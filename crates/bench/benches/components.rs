@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the portopt components: compilation,
+//! profiling, the fast timing model, model training/prediction, and the
+//! search baselines. (Figure regeneration lives in the `--bin` targets.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use portopt_core::{generate, GenOptions, PortableCompiler, SweepScale, TrainOptions};
+use portopt_mibench::{by_name, suite, Workload};
+use portopt_passes::{compile, OptConfig};
+use portopt_sim::{evaluate, profile, simulate};
+use portopt_uarch::MicroArch;
+
+fn bench_compile(c: &mut Criterion) {
+    let p = by_name("crc", Workload::default()).unwrap();
+    let mut g = c.benchmark_group("compile");
+    g.sample_size(20);
+    g.bench_function("crc_o3", |b| {
+        b.iter(|| compile(&p.module, &OptConfig::o3()))
+    });
+    g.bench_function("crc_o0", |b| {
+        b.iter(|| compile(&p.module, &OptConfig::o0()))
+    });
+    let big = by_name("rijndael_e", Workload::default()).unwrap();
+    g.bench_function("rijndael_e_o3", |b| {
+        b.iter(|| compile(&big.module, &OptConfig::o3()))
+    });
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let p = by_name("crc", Workload::default()).unwrap();
+    let img = compile(&p.module, &OptConfig::o3());
+    let prof = profile(&img, &p.module, &[], Default::default()).unwrap();
+    let x = MicroArch::xscale();
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("profile_crc", |b| {
+        b.iter(|| profile(&img, &p.module, &[], Default::default()).unwrap())
+    });
+    g.bench_function("fast_timing_model", |b| b.iter(|| evaluate(&img, &prof, &x)));
+    g.bench_function("detailed_sim_crc", |b| {
+        b.iter(|| simulate(&img, &p.module, &x, &[], Default::default()).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_model(c: &mut Criterion) {
+    // A small dataset to train against.
+    let progs: Vec<_> = suite(Workload::default()).into_iter().take(4).collect();
+    let pairs: Vec<_> = progs
+        .iter()
+        .map(|p| (p.name.to_string(), p.module.clone()))
+        .collect();
+    let ds = generate(
+        &pairs,
+        &GenOptions {
+            scale: SweepScale { n_uarch: 4, n_opts: 24 },
+            seed: 1,
+            extended_space: false,
+            threads: 2,
+        },
+    );
+    let mut g = c.benchmark_group("model");
+    g.sample_size(20);
+    g.bench_function("train", |b| {
+        b.iter(|| PortableCompiler::train(&ds, None, None, &TrainOptions::default()))
+    });
+    let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
+    g.bench_function("predict", |b| b.iter(|| pc.predict(&ds.features[0][0])));
+    g.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    // Search against the pre-priced dataset grid (no recompilation): pure
+    // algorithm cost.
+    let progs: Vec<_> = suite(Workload::default()).into_iter().take(1).collect();
+    let pairs: Vec<_> = progs
+        .iter()
+        .map(|p| (p.name.to_string(), p.module.clone()))
+        .collect();
+    let ds = generate(
+        &pairs,
+        &GenOptions {
+            scale: SweepScale { n_uarch: 1, n_opts: 8 },
+            seed: 2,
+            extended_space: false,
+            threads: 2,
+        },
+    );
+    let base = ds.o3_cycles[0][0];
+    let synthetic = move |cfg: &OptConfig| -> f64 {
+        // Cheap stand-in cost keyed off the config bits, anchored to a real
+        // baseline magnitude.
+        let c = cfg.to_choices();
+        base * (1.0 + c.iter().map(|&v| v as f64).sum::<f64>() / 100.0)
+    };
+    let mut g = c.benchmark_group("search");
+    g.sample_size(20);
+    g.bench_function("random_200", |b| {
+        b.iter(|| portopt_search::random_search(200, 7, synthetic))
+    });
+    g.bench_function("genetic_200", |b| {
+        b.iter(|| portopt_search::genetic_search(200, 7, synthetic))
+    });
+    g.bench_function("hill_200", |b| {
+        b.iter(|| portopt_search::hill_climb(200, 7, synthetic))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_simulation, bench_model, bench_search);
+criterion_main!(benches);

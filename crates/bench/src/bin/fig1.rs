@@ -1,0 +1,72 @@
+//! Figure 1: best-pass segment diagrams for three programs on three
+//! microarchitectures (XScale; small icache; small icache + small dcache).
+
+use portopt_bench::BinArgs;
+use portopt_core::generate;
+use portopt_experiments::figures::fig1;
+use portopt_ir::interp::ExecLimits;
+use portopt_mibench::{by_name, Workload};
+use portopt_passes::compile;
+use portopt_sim::{evaluate, profile};
+use portopt_uarch::MicroArch;
+
+fn main() {
+    let args = BinArgs::parse();
+    let names = ["rijndael_e", "untoast", "madplay"];
+    let pairs: Vec<_> = names
+        .iter()
+        .map(|n| {
+            let p = by_name(n, Workload::default()).unwrap();
+            (p.name.to_string(), p.module)
+        })
+        .collect();
+    let mut small_i = MicroArch::xscale();
+    small_i.il1_size = 4096;
+    let mut small_id = small_i;
+    small_id.dl1_size = 4096;
+    let uarchs = [MicroArch::xscale(), small_i, small_id];
+    let labels = ["A: XScale", "B: small insn cache", "C: small insn+data cache"];
+
+    // Generate a dataset with the right setting sample, then re-price every
+    // (program, setting) on the three *named* configurations instead of the
+    // sampled ones.
+    let mut opts = args.gen_options();
+    opts.scale.n_uarch = 3;
+    let mut ds = generate(&pairs, &opts);
+    ds.uarchs = uarchs.to_vec();
+    let lim = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+    for (p, (_, module)) in pairs.iter().enumerate() {
+        let img3 = compile(module, &portopt_passes::OptConfig::o3());
+        let prof3 = profile(&img3, module, &[], lim).unwrap();
+        for (u, ua) in uarchs.iter().enumerate() {
+            ds.o3_cycles[p][u] = evaluate(&img3, &prof3, ua).cycles;
+        }
+        for (c, cfg) in ds.configs.clone().iter().enumerate() {
+            let img = compile(module, cfg);
+            match profile(&img, module, &[], lim) {
+                Ok(prof) => {
+                    for (u, ua) in uarchs.iter().enumerate() {
+                        ds.cycles[p][u][c] = evaluate(&img, &prof, ua).cycles;
+                    }
+                }
+                Err(_) => {
+                    for u in 0..3 {
+                        ds.cycles[p][u][c] = f64::INFINITY;
+                    }
+                }
+            }
+        }
+    }
+
+    let f = fig1(&ds, &[0, 1, 2], &[0, 1, 2], &labels.map(String::from));
+    println!("{f}");
+    for (p, name) in names.iter().enumerate() {
+        for u in 0..3 {
+            println!(
+                "  best speedup {name} on {}: {:.2}x",
+                labels[u],
+                ds.best_speedup(p, u)
+            );
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Figure 10: per-program model vs. best on the §7 extended space
+//! (frequency 200–600 MHz, issue width 1–2).
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig6;
+
+fn main() {
+    let mut args = BinArgs::parse();
+    args.extended = true;
+    let (ds, loo, _) = args.dataset_and_loo();
+    println!("Figure 10 (extended space: frequency + issue width)");
+    println!("{}", fig6(&ds, &loo));
+}

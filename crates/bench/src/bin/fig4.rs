@@ -1,0 +1,9 @@
+//! Figure 4: distribution of maximum available speedup per program.
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig4;
+
+fn main() {
+    let args = BinArgs::parse();
+    let ds = args.dataset();
+    println!("{}", fig4(&ds));
+}

@@ -1,0 +1,9 @@
+//! Figure 5: best vs. predicted speedup over the joint space.
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig5;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (ds, loo, _) = args.dataset_and_loo();
+    println!("{}", fig5(&ds, &loo));
+}

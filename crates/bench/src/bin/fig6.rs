@@ -1,0 +1,9 @@
+//! Figure 6: per-program model vs. best speedup (mean over uarchs).
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig6;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (ds, loo, _) = args.dataset_and_loo();
+    println!("{}", fig6(&ds, &loo));
+}

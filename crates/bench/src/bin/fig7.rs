@@ -1,0 +1,9 @@
+//! Figure 7: per-uarch model vs. best speedup (mean over programs).
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig7;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (ds, loo, _) = args.dataset_and_loo();
+    println!("{}", fig7(&ds, &loo));
+}

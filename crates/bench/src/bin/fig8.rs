@@ -1,0 +1,10 @@
+//! Figure 8: Hinton diagram — MI(optimisation ; speedup) per program.
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig8;
+
+fn main() {
+    let args = BinArgs::parse();
+    let ds = args.dataset();
+    println!("Figure 8 (rows: optimisations, cols: programs)");
+    println!("{}", fig8(&ds));
+}

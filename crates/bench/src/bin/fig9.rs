@@ -1,0 +1,10 @@
+//! Figure 9: Hinton diagram — MI(feature ; best optimisation).
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::fig9;
+
+fn main() {
+    let args = BinArgs::parse();
+    let ds = args.dataset();
+    println!("Figure 9 (rows: optimisations, cols: 11 counters + 8 descriptors)");
+    println!("{}", fig9(&ds));
+}

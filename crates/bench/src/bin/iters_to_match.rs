@@ -1,0 +1,9 @@
+//! §5.3: how many iterative-compilation evaluations match the model?
+use portopt_bench::BinArgs;
+use portopt_experiments::figures::iters_to_match;
+
+fn main() {
+    let args = BinArgs::parse();
+    let (ds, loo, _) = args.dataset_and_loo();
+    println!("{}", iters_to_match(&ds, &loo));
+}

@@ -1,0 +1,109 @@
+//! # portopt-bench
+//!
+//! Regeneration harness: one binary per table/figure of the paper
+//! (`cargo run -p portopt-bench --release --bin fig6 -- --scale default`)
+//! plus Criterion micro-benchmarks (`cargo bench`).
+
+#![warn(missing_docs)]
+
+use portopt_core::{Dataset, GenOptions, SweepScale};
+use portopt_experiments::loo::{run_loo, LooResult};
+use portopt_experiments::{dataset_cached, suite_modules};
+use portopt_ir::Module;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct BinArgs {
+    /// Sweep scale.
+    pub scale: SweepScale,
+    /// Scale name (cache key).
+    pub scale_name: String,
+    /// Use the §7 extended microarchitecture space.
+    pub extended: bool,
+    /// Disable the dataset cache.
+    pub no_cache: bool,
+}
+
+impl BinArgs {
+    /// Parses `--scale smoke|default|paper|quick`, `--extended`,
+    /// `--no-cache` from `std::env::args`.
+    pub fn parse() -> Self {
+        let mut scale_name = "quick".to_string();
+        let mut extended = false;
+        let mut no_cache = false;
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--scale" => {
+                    i += 1;
+                    scale_name = args.get(i).cloned().unwrap_or_default();
+                }
+                "--extended" => extended = true,
+                "--no-cache" => no_cache = true,
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+            i += 1;
+        }
+        let scale = match scale_name.as_str() {
+            "paper" => SweepScale::paper(),
+            "default" => SweepScale::default_scale(),
+            "smoke" => SweepScale::smoke(),
+            // `quick`: the scale used for the recorded EXPERIMENTS.md run.
+            _ => SweepScale { n_uarch: 10, n_opts: 60 },
+        };
+        BinArgs { scale, scale_name, extended, no_cache }
+    }
+
+    /// Generation options for this run.
+    pub fn gen_options(&self) -> GenOptions {
+        GenOptions {
+            scale: self.scale,
+            seed: 2009,
+            extended_space: self.extended,
+            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+        }
+    }
+
+    /// Loads or generates the dataset (cached under `target/`).
+    pub fn dataset(&self) -> Dataset {
+        let cache = format!(
+            "target/portopt-ds-{}{}.json",
+            self.scale_name,
+            if self.extended { "-ext" } else { "" }
+        );
+        let path = std::path::PathBuf::from(cache);
+        dataset_cached(
+            &self.gen_options(),
+            if self.no_cache { None } else { Some(&path) },
+        )
+    }
+
+    /// Dataset plus the leave-one-out evaluation (also cached).
+    pub fn dataset_and_loo(&self) -> (Dataset, LooResult, Vec<Module>) {
+        let ds = self.dataset();
+        let (_, modules) = suite_modules(2009);
+        let cache = format!(
+            "target/portopt-loo-{}{}.json",
+            self.scale_name,
+            if self.extended { "-ext" } else { "" }
+        );
+        if !self.no_cache {
+            if let Ok(bytes) = std::fs::read(&cache) {
+                if let Ok(loo) = serde_json::from_slice::<LooResult>(&bytes) {
+                    if loo.model_speedup.len() == ds.n_programs() {
+                        return (ds, loo, modules);
+                    }
+                }
+            }
+        }
+        let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
+        let loo = run_loo(&ds, &modules, threads);
+        if !self.no_cache {
+            if let Ok(bytes) = serde_json::to_vec(&loo) {
+                let _ = std::fs::write(&cache, bytes);
+            }
+        }
+        (ds, loo, modules)
+    }
+}

@@ -1,0 +1,223 @@
+//! The portable optimising compiler (Figure 2): train once off-line, then
+//! compile any new program for any new microarchitecture using one `-O3`
+//! profiling run.
+
+use crate::dataset::Dataset;
+use portopt_ir::interp::ExecLimits;
+use portopt_ir::Module;
+use portopt_ml::{IidDistribution, KnnModel, DEFAULT_BETA, DEFAULT_K};
+use portopt_passes::{compile, CodeImage, OptConfig, OptSpace};
+use portopt_sim::{evaluate, profile, TimingResult};
+use portopt_uarch::{FeatureVec, MicroArch, PerfCounters};
+use serde::{Deserialize, Serialize};
+
+/// The fraction of sampled settings considered "good" (paper: top 5 %).
+pub const GOOD_FRACTION: f64 = 0.05;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrainOptions {
+    /// Neighbour count (paper: 7).
+    pub k: usize,
+    /// Softmax inverse temperature (paper: 1).
+    pub beta: f64,
+    /// Good-set fraction (paper: 0.05).
+    pub good_fraction: f64,
+}
+
+impl Default for TrainOptions {
+    fn default() -> Self {
+        TrainOptions {
+            k: DEFAULT_K,
+            beta: DEFAULT_BETA,
+            good_fraction: GOOD_FRACTION,
+        }
+    }
+}
+
+/// A trained portable optimising compiler.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PortableCompiler {
+    model: KnnModel,
+}
+
+impl PortableCompiler {
+    /// Trains on every pair of `ds`, excluding program `skip_prog` and
+    /// configuration `skip_uarch` when given — the leave-one-out protocol
+    /// of §5.1.1 (the test program and test microarchitecture are *never*
+    /// in the training set).
+    pub fn train(
+        ds: &Dataset,
+        skip_prog: Option<usize>,
+        skip_uarch: Option<usize>,
+        opts: &TrainOptions,
+    ) -> Self {
+        let dims: Vec<usize> = OptSpace::dims().iter().map(|d| d.cardinality).collect();
+        let mut features = Vec::new();
+        let mut dists = Vec::new();
+        for p in 0..ds.n_programs() {
+            if Some(p) == skip_prog {
+                continue;
+            }
+            for u in 0..ds.n_uarchs() {
+                if Some(u) == skip_uarch {
+                    continue;
+                }
+                let good: Vec<Vec<u8>> = ds
+                    .good_set(p, u, opts.good_fraction)
+                    .into_iter()
+                    .map(|c| ds.configs[c].to_choices())
+                    .collect();
+                dists.push(IidDistribution::fit(&dims, &good));
+                features.push(ds.features[p][u].values.clone());
+            }
+        }
+        PortableCompiler {
+            model: KnnModel::train(features, dists, opts.k, opts.beta),
+        }
+    }
+
+    /// Predicts the best optimisation setting from a feature vector.
+    pub fn predict(&self, x: &FeatureVec) -> OptConfig {
+        OptConfig::from_choices(&self.model.predict_mode(&x.values))
+    }
+
+    /// Predicts from counters + microarchitecture description (the two
+    /// extra inputs of Figure 2).
+    pub fn predict_from_counters(&self, c: &PerfCounters, d: &MicroArch) -> OptConfig {
+        self.predict(&FeatureVec::new(c, d))
+    }
+
+    /// The full Figure 2 deployment flow for a new program on a new
+    /// microarchitecture: one `-O3` profiling run to read the counters,
+    /// one prediction, one recompilation.
+    ///
+    /// Returns the optimised image, the predicted setting, and the timing
+    /// of the profiling run (whose counters fed the prediction).
+    pub fn optimise(&self, module: &Module, target: &MicroArch) -> (CodeImage, OptConfig, TimingResult) {
+        let limits = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+        let img3 = compile(module, &OptConfig::o3());
+        let prof3 = profile(&img3, module, &[], limits).expect("O3 run");
+        let t3 = evaluate(&img3, &prof3, target);
+        let cfg = self.predict_from_counters(&t3.counters, target);
+        (compile(module, &cfg), cfg, t3)
+    }
+
+    /// Access to the underlying KNN model (for analysis).
+    pub fn model(&self) -> &KnnModel {
+        &self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{generate, GenOptions, SweepScale};
+    use portopt_ir::{FuncBuilder, ModuleBuilder};
+
+    fn program(name: &str, mem_heavy: bool) -> (String, Module) {
+        let mut mb = ModuleBuilder::new(name);
+        let (_, base) = mb.global("buf", 2048);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 500, 1, |b, i| {
+            if mem_heavy {
+                let off0 = b.mul(i, 13);
+                let off = b.and(off0, 2047);
+                let sh = b.shl(off, 2);
+                let a = b.add(p, sh);
+                let v = b.load(a, 0);
+                let w = b.add(v, i);
+                b.store(w, a, 0);
+                let t = b.add(acc, w);
+                b.assign(acc, t);
+            } else {
+                let sq = b.mul(i, i);
+                let x = b.xor(acc, sq);
+                let s = b.shl(x, 1);
+                let m = b.and(s, 0xFFFF_FFFF);
+                b.assign(acc, m);
+            }
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        (name.to_string(), mb.finish())
+    }
+
+    fn small_dataset() -> Dataset {
+        let programs = vec![
+            program("mem1", true),
+            program("alu1", false),
+            program("mem2", true),
+            program("alu2", false),
+        ];
+        generate(
+            &programs,
+            &GenOptions {
+                scale: SweepScale { n_uarch: 5, n_opts: 30 },
+                seed: 11,
+                extended_space: false,
+                threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn leave_one_out_prediction_is_reasonable() {
+        let ds = small_dataset();
+        // Predict for (program 0, uarch 0) having never trained on either.
+        let pc = PortableCompiler::train(&ds, Some(0), Some(0), &TrainOptions::default());
+        let cfg = pc.predict(&ds.features[0][0]);
+        // The predicted setting, evaluated via the dataset's own grid if
+        // present, or fresh: just check prediction is valid and the flow
+        // runs end to end.
+        let choices = cfg.to_choices();
+        assert_eq!(choices.len(), OptSpace::n_dims());
+    }
+
+    #[test]
+    fn training_excludes_the_test_pair() {
+        let ds = small_dataset();
+        let full = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
+        let loo = PortableCompiler::train(&ds, Some(0), Some(0), &TrainOptions::default());
+        assert_eq!(full.model().len(), 4 * 5);
+        assert_eq!(loo.model().len(), 3 * 4);
+    }
+
+    #[test]
+    fn optimise_flow_beats_or_matches_o3_on_average() {
+        let ds = small_dataset();
+        let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
+        // Deploy on a program from the suite (in-sample here; the full
+        // leave-one-out evaluation lives in portopt-experiments).
+        let (name, module) = program("mem_eval", true);
+        let _ = name;
+        let target = ds.uarchs[0];
+        let (img, cfg, t3) = pc.optimise(&module, &target);
+        let prof = profile(
+            &img,
+            &module,
+            &[],
+            ExecLimits { fuel: 100_000_000, max_depth: 2048 },
+        )
+        .unwrap();
+        let t = evaluate(&img, &prof, &target);
+        // Not a strict win requirement at this scale, but the flow must be
+        // coherent and within a sane band of the baseline.
+        assert!(t.cycles > 0.0);
+        assert!(t.cycles < t3.cycles * 2.0, "predicted config catastrophic");
+        let _ = cfg;
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let ds = small_dataset();
+        let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
+        let json = serde_json::to_string(&pc).unwrap();
+        let back: PortableCompiler = serde_json::from_str(&json).unwrap();
+        let x = &ds.features[0][0];
+        assert_eq!(pc.predict(x), back.predict(x));
+    }
+}

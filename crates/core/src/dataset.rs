@@ -1,0 +1,312 @@
+//! Training-data generation (§3.2): evaluate N optimisation settings on
+//! M program/microarchitecture pairs and record execution times, plus the
+//! `-O3` performance counters that form each pair's feature vector.
+//!
+//! The expensive part — compiling and *functionally profiling* each
+//! (program, setting) binary — is microarchitecture-independent, so it is
+//! done once and the resulting profile is priced on every configuration
+//! with the fast timing model. That turns the paper's 7-million-simulation
+//! sweep into `programs × settings` profiler runs plus 7 million
+//! microsecond-scale model evaluations.
+
+use portopt_ir::interp::ExecLimits;
+use portopt_ir::Module;
+use portopt_passes::{compile, OptConfig};
+use portopt_sim::{evaluate, profile};
+use portopt_uarch::{FeatureVec, MicroArch, MicroArchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Scale of a sweep (paper scale: 35 programs × 200 μarchs × 1000 settings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepScale {
+    /// Number of microarchitecture configurations to sample.
+    pub n_uarch: usize,
+    /// Number of optimisation settings to sample.
+    pub n_opts: usize,
+}
+
+impl SweepScale {
+    /// The paper's full scale (very slow on a laptop; hours).
+    pub fn paper() -> Self {
+        SweepScale { n_uarch: 200, n_opts: 1000 }
+    }
+
+    /// A laptop-friendly default preserving the experiment's shape.
+    pub fn default_scale() -> Self {
+        SweepScale { n_uarch: 24, n_opts: 160 }
+    }
+
+    /// A CI-friendly smoke scale.
+    pub fn smoke() -> Self {
+        SweepScale { n_uarch: 6, n_opts: 40 }
+    }
+}
+
+/// The sweep result: everything the model and every figure needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Program names, index = program id.
+    pub programs: Vec<String>,
+    /// Sampled microarchitectures, index = configuration id.
+    pub uarchs: Vec<MicroArch>,
+    /// Sampled optimisation settings (shared across programs).
+    pub configs: Vec<OptConfig>,
+    /// `cycles[p][u][c]`: execution cycles of program `p` compiled with
+    /// setting `c` on configuration `u`.
+    pub cycles: Vec<Vec<Vec<f64>>>,
+    /// `o3_cycles[p][u]`: the `-O3` baseline.
+    pub o3_cycles: Vec<Vec<f64>>,
+    /// `features[p][u]`: the 19-feature vector from the single `-O3` run.
+    pub features: Vec<Vec<FeatureVec>>,
+}
+
+impl Dataset {
+    /// Speedup of setting `c` over `-O3` for pair `(p, u)`.
+    pub fn speedup(&self, p: usize, u: usize, c: usize) -> f64 {
+        self.o3_cycles[p][u] / self.cycles[p][u][c]
+    }
+
+    /// Best speedup over `-O3` for pair `(p, u)` across all settings
+    /// (the paper's "Best": iterative search over the sampled settings).
+    pub fn best_speedup(&self, p: usize, u: usize) -> f64 {
+        let best = self.cycles[p][u]
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min);
+        self.o3_cycles[p][u] / best
+    }
+
+    /// Indices of the top `frac` (by speedup) settings for `(p, u)` — the
+    /// "good set" Ỹ of §3.3.1 (paper: top 5 %).
+    pub fn good_set(&self, p: usize, u: usize, frac: f64) -> Vec<usize> {
+        let n = self.configs.len();
+        let keep = ((n as f64 * frac).ceil() as usize).clamp(1, n);
+        let mut idx: Vec<usize> = (0..n).collect();
+        idx.sort_by(|&a, &b| {
+            self.cycles[p][u][a]
+                .partial_cmp(&self.cycles[p][u][b])
+                .expect("finite cycles")
+        });
+        idx.truncate(keep);
+        idx
+    }
+
+    /// Number of programs.
+    pub fn n_programs(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Number of microarchitectures.
+    pub fn n_uarchs(&self) -> usize {
+        self.uarchs.len()
+    }
+}
+
+/// Options for dataset generation.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Sweep scale.
+    pub scale: SweepScale,
+    /// Master seed (μarch sample, setting sample).
+    pub seed: u64,
+    /// Use the extended (§7) space with frequency/width.
+    pub extended_space: bool,
+    /// Worker threads for the per-setting compile+profile loop.
+    pub threads: usize,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            scale: SweepScale::default_scale(),
+            seed: 2009,
+            extended_space: false,
+            threads: 2,
+        }
+    }
+}
+
+const PROFILE_LIMITS: ExecLimits = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+
+/// Evaluates one program: compiles and profiles each setting once, prices
+/// it on every configuration. Returns `(cycles[u][c], o3_cycles[u],
+/// features[u])`.
+type ProgramSweep = (Vec<Vec<f64>>, Vec<f64>, Vec<FeatureVec>);
+
+fn sweep_program(
+    module: &Module,
+    uarchs: &[MicroArch],
+    configs: &[OptConfig],
+    threads: usize,
+) -> ProgramSweep {
+    // O3 baseline run: cycles + counters per configuration.
+    let img3 = compile(module, &OptConfig::o3());
+    let prof3 = profile(&img3, module, &[], PROFILE_LIMITS)
+        .expect("O3 binary must run (checked by the mibench tests)");
+    let mut o3_cycles = Vec::with_capacity(uarchs.len());
+    let mut features = Vec::with_capacity(uarchs.len());
+    for u in uarchs {
+        let t = evaluate(&img3, &prof3, u);
+        o3_cycles.push(t.cycles);
+        features.push(FeatureVec::new(&t.counters, u));
+    }
+
+    // Per-setting sweeps, parallelised over settings.
+    let n = configs.len();
+    let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; n]; uarchs.len()];
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for _ in 0..threads.max(1) {
+            let next = &next;
+            handles.push(s.spawn(move || {
+                let mut out = Vec::new();
+                loop {
+                    let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if c >= n {
+                        return out;
+                    }
+                    let img = compile(module, &configs[c]);
+                    let per_uarch: Vec<f64> = match profile(&img, module, &[], PROFILE_LIMITS)
+                    {
+                        Ok(prof) => uarchs.iter().map(|u| evaluate(&img, &prof, u).cycles).collect(),
+                        // A setting that fails to run (fuel blow-up from a
+                        // pathological unroll, say) is priced as unusable.
+                        Err(_) => vec![f64::INFINITY; uarchs.len()],
+                    };
+                    out.push((c, per_uarch));
+                }
+            }));
+        }
+        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+    });
+    for (c, per_uarch) in results {
+        for (u, cy) in per_uarch.into_iter().enumerate() {
+            cycles[u][c] = cy;
+        }
+    }
+    (cycles, o3_cycles, features)
+}
+
+/// Generates a full dataset for the given programs.
+pub fn generate(programs: &[(String, Module)], opts: &GenOptions) -> Dataset {
+    let space = if opts.extended_space {
+        MicroArchSpace::extended()
+    } else {
+        MicroArchSpace::base()
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let uarchs = space.sample_n(opts.scale.n_uarch, &mut rng);
+    let mut rng2 = StdRng::seed_from_u64(opts.seed ^ 0xC0FFEE);
+    let configs: Vec<OptConfig> = (0..opts.scale.n_opts)
+        .map(|_| OptConfig::sample(&mut rng2))
+        .collect();
+
+    let mut ds = Dataset {
+        programs: programs.iter().map(|(n, _)| n.clone()).collect(),
+        uarchs,
+        configs,
+        cycles: Vec::new(),
+        o3_cycles: Vec::new(),
+        features: Vec::new(),
+    };
+    for (_, module) in programs {
+        let (cycles, o3, feats) = sweep_program(module, &ds.uarchs, &ds.configs, opts.threads);
+        ds.cycles.push(cycles);
+        ds.o3_cycles.push(o3);
+        ds.features.push(feats);
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::{FuncBuilder, ModuleBuilder};
+
+    fn tiny_program(name: &str, stride: i64) -> (String, Module) {
+        let mut mb = ModuleBuilder::new(name);
+        let (_, base) = mb.global("buf", 512);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 400, 1, |b, i| {
+            let off0 = b.mul(i, stride);
+            let off = b.and(off0, 511);
+            let sh = b.shl(off, 2);
+            let a = b.add(p, sh);
+            let v = b.load(a, 0);
+            let w = b.add(v, i);
+            b.store(w, a, 0);
+            let t = b.add(acc, w);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        (name.to_string(), mb.finish())
+    }
+
+    fn tiny_dataset() -> Dataset {
+        let programs = vec![tiny_program("p1", 1), tiny_program("p2", 7)];
+        generate(
+            &programs,
+            &GenOptions {
+                scale: SweepScale { n_uarch: 4, n_opts: 12 },
+                seed: 5,
+                extended_space: false,
+                threads: 2,
+            },
+        )
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let ds = tiny_dataset();
+        assert_eq!(ds.n_programs(), 2);
+        assert_eq!(ds.n_uarchs(), 4);
+        assert_eq!(ds.configs.len(), 12);
+        assert_eq!(ds.cycles[0].len(), 4);
+        assert_eq!(ds.cycles[0][0].len(), 12);
+        assert_eq!(ds.features[1].len(), 4);
+        assert_eq!(ds.features[0][0].values.len(), portopt_uarch::N_FEATURES);
+    }
+
+    #[test]
+    fn cycles_are_positive_and_best_is_best() {
+        let ds = tiny_dataset();
+        for p in 0..2 {
+            for u in 0..4 {
+                assert!(ds.o3_cycles[p][u] > 0.0);
+                let best = ds.best_speedup(p, u);
+                for c in 0..12 {
+                    assert!(ds.cycles[p][u][c] > 0.0);
+                    assert!(ds.speedup(p, u, c) <= best + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn good_set_contains_the_best() {
+        let ds = tiny_dataset();
+        let gs = ds.good_set(0, 0, 0.25);
+        assert_eq!(gs.len(), 3); // ceil(12 * 0.25)
+        // The first element is the single best setting.
+        let best_c = (0..12)
+            .min_by(|&a, &b| ds.cycles[0][0][a].partial_cmp(&ds.cycles[0][0][b]).unwrap())
+            .unwrap();
+        assert_eq!(gs[0], best_c);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = tiny_dataset();
+        let b = tiny_dataset();
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.o3_cycles, b.o3_cycles);
+        assert_eq!(a.uarchs, b.uarchs);
+    }
+}

@@ -1,0 +1,25 @@
+//! # portopt-core
+//!
+//! The primary contribution of Dubach et al. (MICRO 2009): a **portable
+//! optimising compiler** that, given a microarchitecture description and
+//! the performance counters from a single `-O3` run of a program, predicts
+//! the compiler optimisation passes that maximise its performance — for
+//! programs *and* microarchitectures never seen in training.
+//!
+//! * [`dataset`] — training-data generation (§3.2): the
+//!   programs × settings × microarchitectures sweep.
+//! * [`compiler`] — model building (§3.3) and deployment (§3.4):
+//!   [`PortableCompiler`] wraps good-set extraction, per-pair IID
+//!   distribution fitting, and the KNN predictive distribution, decoded at
+//!   its mode.
+//!
+//! The leave-one-out evaluation harness and every figure of the paper live
+//! in `portopt-experiments`.
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod dataset;
+
+pub use compiler::{PortableCompiler, TrainOptions, GOOD_FRACTION};
+pub use dataset::{generate, Dataset, GenOptions, SweepScale};

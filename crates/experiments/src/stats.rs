@@ -1,0 +1,104 @@
+//! Small statistics helpers shared by the figure generators.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Pearson correlation coefficient.
+pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let (mx, my) = (mean(xs), mean(ys));
+    let mut num = 0.0;
+    let mut dx = 0.0;
+    let mut dy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        num += (x - mx) * (y - my);
+        dx += (x - mx) * (x - mx);
+        dy += (y - my) * (y - my);
+    }
+    if dx <= 0.0 || dy <= 0.0 {
+        return 0.0;
+    }
+    num / (dx * dy).sqrt()
+}
+
+/// Linear-interpolated percentile (`q` in 0..=100).
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty());
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let pos = (q / 100.0) * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        v[lo] + (pos - lo as f64) * (v[hi] - v[lo])
+    }
+}
+
+/// Five-number summary (min, q25, median, q75, max) — one Figure 4 whisker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiveNum {
+    /// Minimum.
+    pub min: f64,
+    /// Lower quartile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// Upper quartile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes the five-number summary.
+pub fn five_num(xs: &[f64]) -> FiveNum {
+    FiveNum {
+        min: percentile(xs, 0.0),
+        q25: percentile(xs, 25.0),
+        median: percentile(xs, 50.0),
+        q75: percentile(xs, 75.0),
+        max: percentile(xs, 100.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_percentiles() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(mean(&xs), 3.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&xs, 25.0), 2.0);
+    }
+
+    #[test]
+    fn correlation_extremes() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((correlation(&xs, &ys) - 1.0).abs() < 1e-12);
+        let yneg = [8.0, 6.0, 4.0, 2.0];
+        assert!((correlation(&xs, &yneg) + 1.0).abs() < 1e-12);
+        let konst = [5.0, 5.0, 5.0, 5.0];
+        assert_eq!(correlation(&xs, &konst), 0.0);
+    }
+
+    #[test]
+    fn five_num_ordering() {
+        let xs = [3.0, 1.0, 4.0, 1.5, 9.0, 2.6];
+        let f = five_num(&xs);
+        assert!(f.min <= f.q25 && f.q25 <= f.median);
+        assert!(f.median <= f.q75 && f.q75 <= f.max);
+        assert_eq!(f.min, 1.0);
+        assert_eq!(f.max, 9.0);
+    }
+}

@@ -1,0 +1,496 @@
+//! Ergonomic builders for constructing IR programs.
+//!
+//! The 35 benchmark programs in `portopt-mibench` are written against this
+//! DSL, so it favours terseness: every arithmetic helper takes
+//! `impl Into<Operand>` and returns the freshly defined [`VReg`].
+//!
+//! # Examples
+//!
+//! ```
+//! use portopt_ir::{FuncBuilder, Pred};
+//!
+//! // fn sum_to(n) { s = 0; for i in 0..n { s += i } return s }
+//! let mut b = FuncBuilder::new("sum_to", 1);
+//! let n = b.param(0);
+//! let s = b.iconst(0);
+//! b.counted_loop(0, n, 1, |b, i| {
+//!     let t = b.add(s, i);
+//!     b.assign(s, t);
+//! });
+//! b.ret(s);
+//! let f = b.finish();
+//! assert!(f.blocks.len() >= 3);
+//! ```
+
+use crate::function::{Function, Global, Module};
+use crate::inst::Inst;
+use crate::types::{BinOp, BlockId, FuncId, Operand, Pred, VReg};
+
+/// Builder for a single [`Function`].
+#[derive(Debug)]
+pub struct FuncBuilder {
+    f: Function,
+    cur: BlockId,
+}
+
+impl FuncBuilder {
+    /// Starts building a function with `nparams` parameters.
+    pub fn new(name: impl Into<String>, nparams: usize) -> Self {
+        FuncBuilder {
+            f: Function::new(name, nparams),
+            cur: BlockId(0),
+        }
+    }
+
+    /// Marks the function as cold (never inlined).
+    pub fn set_cold(&mut self) {
+        self.f.cold = true;
+    }
+
+    /// The `i`-th parameter register.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> VReg {
+        self.f.params[i]
+    }
+
+    /// Creates a new (empty, unconnected) block.
+    pub fn block(&mut self) -> BlockId {
+        self.f.new_block()
+    }
+
+    /// Redirects subsequent instructions to `b`.
+    pub fn switch_to(&mut self, b: BlockId) {
+        self.cur = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current(&self) -> BlockId {
+        self.cur
+    }
+
+    /// Appends a raw instruction to the current block.
+    pub fn push(&mut self, inst: Inst) {
+        self.f.block_mut(self.cur).insts.push(inst);
+    }
+
+    /// Allocates a fresh register (no instruction emitted).
+    pub fn fresh(&mut self) -> VReg {
+        self.f.new_vreg()
+    }
+
+    /// Materialises a constant: `dst = v`.
+    pub fn iconst(&mut self, v: i64) -> VReg {
+        let dst = self.f.new_vreg();
+        self.push(Inst::Copy {
+            dst,
+            src: Operand::Imm(v),
+        });
+        dst
+    }
+
+    /// Emits `dst = src` into an existing register (loop-carried updates).
+    pub fn assign(&mut self, dst: VReg, src: impl Into<Operand>) {
+        self.push(Inst::Copy {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// Emits a binary operation into a fresh register.
+    pub fn bin(&mut self, op: BinOp, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.f.new_vreg();
+        self.push(Inst::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Emits a comparison into a fresh register.
+    pub fn cmp(&mut self, pred: Pred, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        let dst = self.f.new_vreg();
+        self.push(Inst::Cmp {
+            pred,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
+        dst
+    }
+
+    /// Loads `memory[addr + offset]`.
+    pub fn load(&mut self, addr: VReg, offset: i64) -> VReg {
+        let dst = self.f.new_vreg();
+        self.push(Inst::Load { dst, addr, offset });
+        dst
+    }
+
+    /// Stores `src` to `memory[addr + offset]`.
+    pub fn store(&mut self, src: impl Into<Operand>, addr: VReg, offset: i64) {
+        self.push(Inst::Store {
+            src: src.into(),
+            addr,
+            offset,
+        });
+    }
+
+    /// Calls `func`, capturing the return value.
+    pub fn call(&mut self, func: FuncId, args: &[Operand]) -> VReg {
+        let dst = self.f.new_vreg();
+        self.push(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Calls `func`, discarding any return value.
+    pub fn call_void(&mut self, func: FuncId, args: &[Operand]) {
+        self.push(Inst::Call {
+            func,
+            args: args.to_vec(),
+            dst: None,
+        });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: BlockId) {
+        self.push(Inst::Br { target });
+    }
+
+    /// Conditional branch on `cond != 0`.
+    pub fn cond_br(&mut self, cond: VReg, then_: BlockId, else_: BlockId) {
+        self.push(Inst::CondBr { cond, then_, else_ });
+    }
+
+    /// Returns a value.
+    pub fn ret(&mut self, val: impl Into<Operand>) {
+        self.push(Inst::Ret {
+            val: Some(val.into()),
+        });
+    }
+
+    /// Returns without a value.
+    pub fn ret_void(&mut self) {
+        self.push(Inst::Ret { val: None });
+    }
+
+    /// Builds a counted loop `for i in start..end step by step`, running
+    /// `body` with the induction register. Afterwards the builder points at
+    /// the loop's exit block.
+    ///
+    /// The loop is emitted bottom-tested after an initial guard, the shape
+    /// gcc produces for `for` loops, so an empty range executes zero
+    /// iterations.
+    pub fn counted_loop(
+        &mut self,
+        start: impl Into<Operand>,
+        end: impl Into<Operand>,
+        step: i64,
+        body: impl FnOnce(&mut Self, VReg),
+    ) -> VReg {
+        let end = end.into();
+        let i = self.f.new_vreg();
+        let start = start.into();
+        self.assign(i, start);
+        let header = self.block();
+        let body_b = self.block();
+        let exit = self.block();
+        self.br(header);
+
+        self.switch_to(header);
+        let c = self.cmp(Pred::Lt, i, end);
+        self.cond_br(c, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self, i);
+        let next = self.bin(BinOp::Add, i, step);
+        self.assign(i, next);
+        self.br(header);
+
+        self.switch_to(exit);
+        i
+    }
+
+    /// Builds a while loop: `cond` is re-evaluated in a header block each
+    /// iteration; `body` runs while it is non-zero. Afterwards the builder
+    /// points at the exit block.
+    pub fn while_loop(
+        &mut self,
+        cond: impl FnOnce(&mut Self) -> VReg,
+        body: impl FnOnce(&mut Self),
+    ) {
+        let header = self.block();
+        let body_b = self.block();
+        let exit = self.block();
+        self.br(header);
+
+        self.switch_to(header);
+        let c = cond(self);
+        self.cond_br(c, body_b, exit);
+
+        self.switch_to(body_b);
+        body(self);
+        self.br(header);
+
+        self.switch_to(exit);
+    }
+
+    /// Builds an if/else; afterwards the builder points at the join block.
+    pub fn if_else(
+        &mut self,
+        cond: VReg,
+        then_body: impl FnOnce(&mut Self),
+        else_body: impl FnOnce(&mut Self),
+    ) {
+        let t = self.block();
+        let e = self.block();
+        let join = self.block();
+        self.cond_br(cond, t, e);
+
+        self.switch_to(t);
+        then_body(self);
+        self.br(join);
+
+        self.switch_to(e);
+        else_body(self);
+        self.br(join);
+
+        self.switch_to(join);
+    }
+
+    /// Builds an if without an else; afterwards the builder points at the
+    /// join block.
+    pub fn if_then(&mut self, cond: VReg, then_body: impl FnOnce(&mut Self)) {
+        let t = self.block();
+        let join = self.block();
+        self.cond_br(cond, t, join);
+
+        self.switch_to(t);
+        then_body(self);
+        self.br(join);
+
+        self.switch_to(join);
+    }
+
+    /// Finishes the function.
+    pub fn finish(self) -> Function {
+        self.f
+    }
+
+    // --- arithmetic sugar -------------------------------------------------
+
+    /// `a + b`.
+    pub fn add(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Add, a, b)
+    }
+    /// `a - b`.
+    pub fn sub(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Sub, a, b)
+    }
+    /// `a * b` (MAC unit).
+    pub fn mul(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Mul, a, b)
+    }
+    /// `a / b` (0 when `b == 0`).
+    pub fn div(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Div, a, b)
+    }
+    /// `a % b` (0 when `b == 0`).
+    pub fn rem(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Rem, a, b)
+    }
+    /// `a & b`.
+    pub fn and(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::And, a, b)
+    }
+    /// `a | b`.
+    pub fn or(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Or, a, b)
+    }
+    /// `a ^ b`.
+    pub fn xor(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Xor, a, b)
+    }
+    /// `a << b`.
+    pub fn shl(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shl, a, b)
+    }
+    /// `a >> b` (logical).
+    pub fn shr(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Shr, a, b)
+    }
+    /// `a >> b` (arithmetic).
+    pub fn sar(&mut self, a: impl Into<Operand>, b: impl Into<Operand>) -> VReg {
+        self.bin(BinOp::Sar, a, b)
+    }
+}
+
+/// Builder for a whole [`Module`].
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    m: Module,
+}
+
+impl ModuleBuilder {
+    /// Starts building a module.
+    pub fn new(name: impl Into<String>) -> Self {
+        ModuleBuilder {
+            m: Module::new(name),
+        }
+    }
+
+    /// Reserves a function slot so mutually recursive code can reference it
+    /// before its body exists. The slot holds a trivial `ret` body until
+    /// [`define`](Self::define) replaces it.
+    pub fn declare(&mut self, name: impl Into<String>, nparams: usize) -> FuncId {
+        let mut f = Function::new(name, nparams);
+        f.block_mut(BlockId(0)).insts.push(Inst::Ret { val: None });
+        self.m.add_func(f)
+    }
+
+    /// Replaces a declared slot with a finished function body.
+    ///
+    /// # Panics
+    /// Panics if `id` was not previously declared.
+    pub fn define(&mut self, id: FuncId, f: Function) {
+        self.m.funcs[id.index()] = f;
+    }
+
+    /// Adds a finished function, returning its id.
+    pub fn add(&mut self, f: Function) -> FuncId {
+        self.m.add_func(f)
+    }
+
+    /// Adds a zero-initialised global; returns `(index, byte base address)`.
+    pub fn global(&mut self, name: impl Into<String>, words: u32) -> (usize, u32) {
+        let idx = self.m.add_global(name, words);
+        let base = self.m.global_base(idx);
+        (idx, base)
+    }
+
+    /// Adds a global with a static initialiser; returns `(index, base)`.
+    pub fn global_init(&mut self, name: impl Into<String>, words: u32, init: Vec<i64>) -> (usize, u32) {
+        assert!(init.len() <= words as usize, "initialiser longer than global");
+        let idx = self.m.add_global(name, words);
+        self.m.globals[idx] = Global {
+            name: self.m.globals[idx].name.clone(),
+            words,
+            init,
+        };
+        let base = self.m.global_base(idx);
+        (idx, base)
+    }
+
+    /// Sets the entry function.
+    pub fn entry(&mut self, id: FuncId) {
+        self.m.entry = id;
+    }
+
+    /// Finishes the module.
+    pub fn finish(self) -> Module {
+        self.m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify_module;
+
+    #[test]
+    fn counted_loop_shape() {
+        let mut b = FuncBuilder::new("f", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let f = b.finish();
+        // entry + header + body + exit
+        assert_eq!(f.blocks.len(), 4);
+        let mut m = Module::new("t");
+        m.add_func(f);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn if_else_joins() {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.iconst(0);
+        b.if_else(
+            c,
+            |b| b.assign(out, 1),
+            |b| b.assign(out, -1),
+        );
+        b.ret(out);
+        let f = b.finish();
+        assert_eq!(f.blocks.len(), 4);
+        let mut m = Module::new("t");
+        m.add_func(f);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn while_loop_shape() {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        b.while_loop(
+            |b| b.cmp(Pred::Gt, x, 0),
+            |b| {
+                let t = b.sub(x, 1);
+                b.assign(x, t);
+            },
+        );
+        b.ret(x);
+        let f = b.finish();
+        let mut m = Module::new("t");
+        m.add_func(f);
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn declare_define_recursion() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("fib", 1);
+        let mut b = FuncBuilder::new("fib", 1);
+        let n = b.param(0);
+        let c = b.cmp(Pred::Lt, n, 2);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| b.assign(out, n),
+            |b| {
+                let n1 = b.sub(n, 1);
+                let a = b.call(fid, &[n1.into()]);
+                let n2 = b.sub(n, 2);
+                let c2 = b.call(fid, &[n2.into()]);
+                let s = b.add(a, c2);
+                b.assign(out, s);
+            },
+        );
+        b.ret(out);
+        mb.define(fid, b.finish());
+        mb.entry(fid);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn global_init_checks_length() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global_init("tab", 4, vec![1, 2, 3]);
+        assert_eq!(base, Module::DATA_BASE);
+        let m = mb.finish();
+        assert_eq!(m.globals[0].init, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Control-flow graph utilities: successor/predecessor maps and orderings.
+
+use crate::function::Function;
+use crate::types::BlockId;
+
+/// Precomputed successor and predecessor lists for a function's CFG.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    /// `succs[b]` = blocks reachable in one step from `b`.
+    pub succs: Vec<Vec<BlockId>>,
+    /// `preds[b]` = blocks branching to `b`.
+    pub preds: Vec<Vec<BlockId>>,
+}
+
+impl Cfg {
+    /// Builds the CFG of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (id, b) in f.iter_blocks() {
+            for s in b.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        Cfg { succs, preds }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Returns `true` when the CFG has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.succs.is_empty()
+    }
+}
+
+/// Blocks of `f` in reverse postorder from the entry.
+///
+/// Unreachable blocks are omitted.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let cfg = Cfg::compute(f);
+    reverse_postorder_cfg(f, &cfg)
+}
+
+/// [`reverse_postorder`] with a precomputed CFG.
+pub fn reverse_postorder_cfg(f: &Function, cfg: &Cfg) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = Vec::new();
+    let entry = f.entry();
+    visited[entry.index()] = true;
+    stack.push((entry, 0));
+    while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+        let ss = cfg.succs(b);
+        if *i < ss.len() {
+            let s = ss[*i];
+            *i += 1;
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// The set of blocks reachable from the entry.
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let order = reverse_postorder(f);
+    let mut r = vec![false; f.blocks.len()];
+    for b in order {
+        r[b.index()] = true;
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::Pred;
+
+    fn diamond() -> Function {
+        let mut b = FuncBuilder::new("d", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.iconst(0);
+        b.if_else(c, |b| b.assign(out, 1), |b| b.assign(out, 2));
+        b.ret(out);
+        b.finish()
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)).len(), 2);
+        assert_eq!(cfg.preds(BlockId(3)).len(), 2); // join has two preds
+        assert_eq!(cfg.preds(BlockId(0)).len(), 0);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_order() {
+        let f = diamond();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], BlockId(0));
+        // entry before branches, branches before join
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(0)) < pos(BlockId(1)));
+        assert!(pos(BlockId(0)) < pos(BlockId(2)));
+        assert!(pos(BlockId(1)) < pos(BlockId(3)));
+        assert!(pos(BlockId(2)) < pos(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_dropped() {
+        let mut f = diamond();
+        let dead = f.new_block();
+        f.block_mut(dead).insts.push(crate::Inst::Ret { val: None });
+        let rpo = reverse_postorder(&f);
+        assert!(!rpo.contains(&dead));
+        let r = reachable(&f);
+        assert!(!r[dead.index()]);
+        assert!(r[0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::cfg::{reverse_postorder_cfg, Cfg};
+use crate::function::Function;
+use crate::types::BlockId;
+
+/// Immediate-dominator tree for a function.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; `None` for the entry and for
+    /// unreachable blocks.
+    pub idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl DomTree {
+    /// Computes dominators for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let cfg = Cfg::compute(f);
+        Self::compute_with_cfg(f, &cfg)
+    }
+
+    /// [`DomTree::compute`] with a precomputed CFG.
+    pub fn compute_with_cfg(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let rpo = reverse_postorder_cfg(f, cfg);
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        let entry = f.entry();
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // First processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_some() {
+                        new_idom = Some(match new_idom {
+                            None => p,
+                            Some(cur) => Self::intersect(&idom, &rpo_index, p, cur),
+                        });
+                    }
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        // By convention the entry has no immediate dominator.
+        idom[entry.index()] = None;
+        DomTree { idom, rpo_index }
+    }
+
+    fn intersect(
+        idom: &[Option<BlockId>],
+        rpo_index: &[usize],
+        mut a: BlockId,
+        mut b: BlockId,
+    ) -> BlockId {
+        while a != b {
+            while rpo_index[a.index()] > rpo_index[b.index()] {
+                a = idom[a.index()].expect("processed block has idom");
+            }
+            while rpo_index[b.index()] > rpo_index[a.index()] {
+                b = idom[b.index()].expect("processed block has idom");
+            }
+        }
+        a
+    }
+
+    /// Returns `true` if `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.rpo_index[b.index()] == usize::MAX {
+            return false; // unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur.index()] {
+                Some(d) => cur = d,
+                None => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::Pred;
+
+    #[test]
+    fn diamond_dominators() {
+        let mut b = FuncBuilder::new("d", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.iconst(0);
+        b.if_else(c, |b| b.assign(out, 1), |b| b.assign(out, 2));
+        b.ret(out);
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        // Entry dominates everything.
+        for i in 0..f.blocks.len() as u32 {
+            assert!(dt.dominates(BlockId(0), BlockId(i)));
+        }
+        // Neither arm dominates the join.
+        assert!(!dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(2), BlockId(3)));
+        // Join's idom is the entry.
+        assert_eq!(dt.idom[3], Some(BlockId(0)));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let mut b = FuncBuilder::new("l", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let f = b.finish();
+        let dt = DomTree::compute(&f);
+        // Block layout from counted_loop: 0=entry, 1=header, 2=body, 3=exit.
+        assert!(dt.dominates(BlockId(1), BlockId(2)));
+        assert!(dt.dominates(BlockId(1), BlockId(3)));
+        assert!(!dt.dominates(BlockId(2), BlockId(3)));
+    }
+}

@@ -1,0 +1,350 @@
+//! Functions, basic blocks, globals and modules.
+
+use crate::inst::Inst;
+use crate::types::{BlockId, FuncId, VReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A basic block: a straight-line instruction sequence ending in a terminator.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// The instructions, terminator last.
+    pub insts: Vec<Inst>,
+}
+
+impl Block {
+    /// Creates an empty block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the terminator, if the block is non-empty and well-formed.
+    pub fn terminator(&self) -> Option<&Inst> {
+        self.insts.last().filter(|i| i.is_terminator())
+    }
+
+    /// Returns the successor blocks named by the terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self.terminator() {
+            Some(Inst::Br { target }) => vec![*target],
+            Some(Inst::CondBr { then_, else_, .. }) => vec![*then_, *else_],
+            _ => vec![],
+        }
+    }
+
+    /// Number of instructions, including the terminator.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Returns `true` when the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The non-terminator instructions (the block "body").
+    pub fn body(&self) -> &[Inst] {
+        match self.insts.last() {
+            Some(i) if i.is_terminator() => &self.insts[..self.insts.len() - 1],
+            _ => &self.insts,
+        }
+    }
+}
+
+/// A function: parameters, virtual-register count and basic blocks.
+///
+/// Block 0 is always the entry block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (unique within a module; used in diagnostics).
+    pub name: String,
+    /// Parameter registers, defined on entry.
+    pub params: Vec<VReg>,
+    /// Basic blocks; index = [`BlockId`].
+    pub blocks: Vec<Block>,
+    /// Number of virtual registers in use (all `VReg` indices are `< vreg_count`).
+    pub vreg_count: u32,
+    /// Source-level hint: functions marked cold are never inlined.
+    pub cold: bool,
+    /// Stack-frame size in 4-byte slots (set by the register allocator).
+    pub frame_slots: u32,
+}
+
+impl Function {
+    /// Creates a function with an (empty) entry block.
+    pub fn new(name: impl Into<String>, nparams: usize) -> Self {
+        Function {
+            name: name.into(),
+            params: (0..nparams as u32).map(VReg).collect(),
+            blocks: vec![Block::new()],
+            vreg_count: nparams as u32,
+            cold: false,
+            frame_slots: 0,
+        }
+    }
+
+    /// The entry block id (always block 0).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn new_vreg(&mut self) -> VReg {
+        let r = VReg(self.vreg_count);
+        self.vreg_count += 1;
+        r
+    }
+
+    /// Appends a new empty block and returns its id.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block::new());
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Shared access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Exclusive access to a block.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterates over `(BlockId, &Block)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &Block)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total static instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, p) in self.params.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        writeln!(f, ") {{")?;
+        for (id, b) in self.iter_blocks() {
+            writeln!(f, "{id}:")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A global data object (an array of 4-byte words).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Global {
+    /// Name, unique within the module.
+    pub name: String,
+    /// Size in 4-byte words.
+    pub words: u32,
+    /// Optional static initialiser (`init.len() <= words`); the rest is zero.
+    pub init: Vec<i64>,
+}
+
+/// Where a module's globals are laid out in the flat byte address space.
+///
+/// Data starts at [`Module::DATA_BASE`]; each global is placed at the next
+/// 64-byte boundary so that block-size sweeps in the cache model behave
+/// sensibly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GlobalAddr {
+    /// First byte of the global.
+    pub base: u32,
+    /// Size in bytes.
+    pub bytes: u32,
+}
+
+/// A whole program: functions plus global data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Module {
+    /// Program name (diagnostics and experiment labels).
+    pub name: String,
+    /// Functions; index = [`FuncId`]. `main` is the entry function.
+    pub funcs: Vec<Function>,
+    /// Entry function.
+    pub entry: FuncId,
+    /// Global data objects.
+    pub globals: Vec<Global>,
+}
+
+impl Module {
+    /// Base byte address of global data.
+    pub const DATA_BASE: u32 = 0x1_0000;
+    /// Base byte address of the (downward-growing) stack.
+    pub const STACK_BASE: u32 = 0x80_0000;
+
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Self {
+        Module {
+            name: name.into(),
+            funcs: Vec::new(),
+            entry: FuncId(0),
+            globals: Vec::new(),
+        }
+    }
+
+    /// Adds a function, returning its id.
+    pub fn add_func(&mut self, f: Function) -> FuncId {
+        self.funcs.push(f);
+        FuncId(self.funcs.len() as u32 - 1)
+    }
+
+    /// Shared access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.funcs[id.index()]
+    }
+
+    /// Exclusive access to a function.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn func_mut(&mut self, id: FuncId) -> &mut Function {
+        &mut self.funcs[id.index()]
+    }
+
+    /// Adds a zero-initialised global of `words` 4-byte words; returns its index.
+    pub fn add_global(&mut self, name: impl Into<String>, words: u32) -> usize {
+        self.globals.push(Global {
+            name: name.into(),
+            words,
+            init: Vec::new(),
+        });
+        self.globals.len() - 1
+    }
+
+    /// Computes the address of every global under the fixed layout rule.
+    pub fn global_addrs(&self) -> Vec<GlobalAddr> {
+        let mut out = Vec::with_capacity(self.globals.len());
+        let mut base = Self::DATA_BASE;
+        for g in &self.globals {
+            let bytes = g.words * 4;
+            out.push(GlobalAddr { base, bytes });
+            base = (base + bytes + 63) & !63;
+        }
+        out
+    }
+
+    /// Byte address of global `index`.
+    ///
+    /// # Panics
+    /// Panics if `index` is out of range.
+    pub fn global_base(&self, index: usize) -> u32 {
+        self.global_addrs()[index].base
+    }
+
+    /// Total static instruction count over all functions.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(Function::inst_count).sum()
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} (entry {})", self.name, self.entry)?;
+        for g in &self.globals {
+            writeln!(f, "global {}[{} words]", g.name, g.words)?;
+        }
+        for func in &self.funcs {
+            writeln!(f, "{func}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{BinOp, Operand};
+
+    #[test]
+    fn block_successors() {
+        let mut b = Block::new();
+        assert!(b.successors().is_empty());
+        b.insts.push(Inst::CondBr {
+            cond: VReg(0),
+            then_: BlockId(1),
+            else_: BlockId(2),
+        });
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+        assert_eq!(b.body().len(), 0);
+    }
+
+    #[test]
+    fn function_vreg_and_block_allocation() {
+        let mut f = Function::new("test", 2);
+        assert_eq!(f.params, vec![VReg(0), VReg(1)]);
+        let r = f.new_vreg();
+        assert_eq!(r, VReg(2));
+        let b = f.new_block();
+        assert_eq!(b, BlockId(1));
+        assert_eq!(f.blocks.len(), 2);
+        assert_eq!(f.entry(), BlockId(0));
+    }
+
+    #[test]
+    fn module_global_layout_is_64_byte_aligned() {
+        let mut m = Module::new("t");
+        m.add_global("a", 3); // 12 bytes -> next aligns to 64
+        m.add_global("b", 20); // 80 bytes -> next aligns to 64*3
+        m.add_global("c", 1);
+        let addrs = m.global_addrs();
+        assert_eq!(addrs[0].base, Module::DATA_BASE);
+        assert_eq!(addrs[1].base, Module::DATA_BASE + 64);
+        assert_eq!(addrs[2].base, Module::DATA_BASE + 64 + 128);
+        for a in &addrs {
+            assert_eq!(a.base % 64, 0);
+        }
+    }
+
+    #[test]
+    fn inst_count_sums_blocks() {
+        let mut f = Function::new("g", 0);
+        f.block_mut(BlockId(0)).insts.push(Inst::Bin {
+            op: BinOp::Add,
+            dst: VReg(0),
+            a: Operand::Imm(1),
+            b: Operand::Imm(2),
+        });
+        f.block_mut(BlockId(0)).insts.push(Inst::Ret { val: None });
+        let mut m = Module::new("t");
+        m.add_func(f);
+        assert_eq!(m.inst_count(), 2);
+    }
+
+    #[test]
+    fn display_smoke() {
+        let mut f = Function::new("g", 1);
+        f.block_mut(BlockId(0)).insts.push(Inst::Ret {
+            val: Some(Operand::Reg(VReg(0))),
+        });
+        let mut m = Module::new("t");
+        m.add_func(f);
+        let s = m.to_string();
+        assert!(s.contains("fn g(v0)"));
+        assert!(s.contains("ret v0"));
+    }
+}

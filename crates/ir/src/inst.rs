@@ -1,0 +1,436 @@
+//! The portopt instruction set.
+
+use crate::types::{BinOp, BlockId, FuncId, Operand, Pred, VReg};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One IR instruction.
+///
+/// Every basic block ends with exactly one *terminator* ([`Inst::Br`],
+/// [`Inst::CondBr`] or [`Inst::Ret`]); terminators never appear elsewhere.
+/// The [verifier](crate::verify) enforces this.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = op(a, b)` with wrapping semantics.
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = (a pred b) ? 1 : 0`.
+    Cmp {
+        /// The comparison predicate.
+        pred: Pred,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = src` (also materialises constants when `src` is immediate).
+    Copy {
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = memory[addr + offset]` (one 4-byte word).
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Base address register (byte address).
+        addr: VReg,
+        /// Constant byte offset added to the base.
+        offset: i64,
+    },
+    /// `memory[addr + offset] = src` (one 4-byte word).
+    Store {
+        /// Value to store.
+        src: Operand,
+        /// Base address register (byte address).
+        addr: VReg,
+        /// Constant byte offset added to the base.
+        offset: i64,
+    },
+    /// Call a function in the same module.
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, matched positionally to the callee's params.
+        args: Vec<Operand>,
+        /// Register receiving the return value, if used.
+        dst: Option<VReg>,
+    },
+    /// Unconditional branch.
+    Br {
+        /// Jump target.
+        target: BlockId,
+    },
+    /// Conditional branch: non-zero `cond` goes to `then_`, zero to `else_`.
+    CondBr {
+        /// Condition register.
+        cond: VReg,
+        /// Target when `cond != 0`.
+        then_: BlockId,
+        /// Target when `cond == 0`.
+        else_: BlockId,
+    },
+    /// Return from the current function.
+    Ret {
+        /// Returned value, if the caller expects one.
+        val: Option<Operand>,
+    },
+    /// `dst = frame[slot]` — reload from the current stack frame.
+    ///
+    /// Emitted by the register allocator (spill reloads, callee-save
+    /// restores); never produced by the builder DSL.
+    FrameLoad {
+        /// Destination register.
+        dst: VReg,
+        /// Frame slot index (4-byte slots from the frame base).
+        slot: u32,
+    },
+    /// `frame[slot] = src` — spill to the current stack frame.
+    FrameStore {
+        /// Value to spill.
+        src: Operand,
+        /// Frame slot index.
+        slot: u32,
+    },
+}
+
+impl Inst {
+    /// Returns `true` for block terminators.
+    #[inline]
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+    }
+
+    /// Returns the register defined by this instruction, if any.
+    #[inline]
+    pub fn def(&self) -> Option<VReg> {
+        match self {
+            Inst::Bin { dst, .. } | Inst::Cmp { dst, .. } | Inst::Copy { dst, .. } => Some(*dst),
+            Inst::Load { dst, .. } | Inst::FrameLoad { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            _ => None,
+        }
+    }
+
+    /// Invokes `f` for every register read by this instruction.
+    pub fn for_each_use(&self, mut f: impl FnMut(VReg)) {
+        let mut op = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                f(*r);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                op(a);
+                op(b);
+            }
+            Inst::Copy { src, .. } => op(src),
+            Inst::Load { addr, .. } => f(*addr),
+            Inst::Store { src, addr, .. } => {
+                op(src);
+                f(*addr);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    op(a);
+                }
+            }
+            Inst::Br { .. } => {}
+            Inst::CondBr { cond, .. } => f(*cond),
+            Inst::Ret { val } => {
+                if let Some(v) = val {
+                    op(v);
+                }
+            }
+            Inst::FrameLoad { .. } => {}
+            Inst::FrameStore { src, .. } => op(src),
+        }
+    }
+
+    /// Collects the registers read by this instruction.
+    pub fn uses(&self) -> Vec<VReg> {
+        let mut v = Vec::new();
+        self.for_each_use(|r| v.push(r));
+        v
+    }
+
+    /// Rewrites every register *use* through `f` (definitions are untouched).
+    pub fn map_uses(&mut self, mut f: impl FnMut(VReg) -> VReg) {
+        let mut op = |o: &mut Operand| {
+            if let Operand::Reg(r) = o {
+                *r = f(*r);
+            }
+        };
+        match self {
+            Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                op(a);
+                op(b);
+            }
+            Inst::Copy { src, .. } => op(src),
+            Inst::Load { addr, .. } => *addr = f(*addr),
+            Inst::Store { src, addr, .. } => {
+                op(src);
+                *addr = f(*addr);
+            }
+            Inst::Call { args, .. } => {
+                for a in args {
+                    op(a);
+                }
+            }
+            Inst::Br { .. } => {}
+            Inst::CondBr { cond, .. } => *cond = f(*cond),
+            Inst::Ret { val } => {
+                if let Some(v) = val {
+                    op(v);
+                }
+            }
+            Inst::FrameLoad { .. } => {}
+            Inst::FrameStore { src, .. } => op(src),
+        }
+    }
+
+    /// Rewrites the defined register through `f`, if there is one.
+    pub fn map_def(&mut self, mut f: impl FnMut(VReg) -> VReg) {
+        match self {
+            Inst::Bin { dst, .. } | Inst::Cmp { dst, .. } | Inst::Copy { dst, .. } => {
+                *dst = f(*dst)
+            }
+            Inst::Load { dst, .. } | Inst::FrameLoad { dst, .. } => *dst = f(*dst),
+            Inst::Call { dst, .. } => {
+                if let Some(d) = dst {
+                    *d = f(*d);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Rewrites branch targets through `f`.
+    pub fn map_targets(&mut self, mut f: impl FnMut(BlockId) -> BlockId) {
+        match self {
+            Inst::Br { target } => *target = f(*target),
+            Inst::CondBr { then_, else_, .. } => {
+                *then_ = f(*then_);
+                *else_ = f(*else_);
+            }
+            _ => {}
+        }
+    }
+
+    /// Returns `true` for instructions with no side effects besides their def.
+    ///
+    /// Pure instructions whose result is unused may be deleted by dead-code
+    /// elimination. Division counts as pure because `eval` defines division by
+    /// zero (no traps anywhere in the IR).
+    #[inline]
+    pub fn is_pure(&self) -> bool {
+        matches!(
+            self,
+            Inst::Bin { .. }
+                | Inst::Cmp { .. }
+                | Inst::Copy { .. }
+                | Inst::Load { .. }
+                | Inst::FrameLoad { .. }
+        )
+    }
+
+    /// Returns `true` if the instruction touches memory.
+    #[inline]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. }
+                | Inst::Store { .. }
+                | Inst::FrameLoad { .. }
+                | Inst::FrameStore { .. }
+        )
+    }
+
+    /// Returns `true` if the instruction is a call.
+    #[inline]
+    pub fn is_call(&self) -> bool {
+        matches!(self, Inst::Call { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, dst, a, b } => write!(f, "{dst} = {op} {a}, {b}"),
+            Inst::Cmp { pred, dst, a, b } => write!(f, "{dst} = cmp.{pred} {a}, {b}"),
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Load { dst, addr, offset } => write!(f, "{dst} = load [{addr}+{offset}]"),
+            Inst::Store { src, addr, offset } => write!(f, "store [{addr}+{offset}], {src}"),
+            Inst::Call { func, args, dst } => {
+                if let Some(d) = dst {
+                    write!(f, "{d} = call {func}(")?;
+                } else {
+                    write!(f, "call {func}(")?;
+                }
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Br { target } => write!(f, "br {target}"),
+            Inst::CondBr { cond, then_, else_ } => {
+                write!(f, "br {cond} ? {then_} : {else_}")
+            }
+            Inst::Ret { val } => match val {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+            Inst::FrameLoad { dst, slot } => write!(f, "{dst} = frame[{slot}]"),
+            Inst::FrameStore { src, slot } => write!(f, "frame[{slot}] = {src}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Inst> {
+        vec![
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: VReg(2),
+                a: Operand::Reg(VReg(0)),
+                b: Operand::Reg(VReg(1)),
+            },
+            Inst::Cmp {
+                pred: Pred::Lt,
+                dst: VReg(3),
+                a: Operand::Reg(VReg(2)),
+                b: Operand::Imm(10),
+            },
+            Inst::Copy {
+                dst: VReg(4),
+                src: Operand::Imm(5),
+            },
+            Inst::Load {
+                dst: VReg(5),
+                addr: VReg(4),
+                offset: 8,
+            },
+            Inst::Store {
+                src: Operand::Reg(VReg(5)),
+                addr: VReg(4),
+                offset: 12,
+            },
+            Inst::Call {
+                func: FuncId(1),
+                args: vec![Operand::Reg(VReg(5)), Operand::Imm(1)],
+                dst: Some(VReg(6)),
+            },
+            Inst::CondBr {
+                cond: VReg(3),
+                then_: BlockId(1),
+                else_: BlockId(2),
+            },
+            Inst::Br { target: BlockId(3) },
+            Inst::Ret {
+                val: Some(Operand::Reg(VReg(6))),
+            },
+        ]
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let insts = sample();
+        assert_eq!(insts[0].def(), Some(VReg(2)));
+        assert_eq!(insts[0].uses(), vec![VReg(0), VReg(1)]);
+        assert_eq!(insts[3].def(), Some(VReg(5)));
+        assert_eq!(insts[3].uses(), vec![VReg(4)]);
+        assert_eq!(insts[4].def(), None);
+        assert_eq!(insts[4].uses(), vec![VReg(5), VReg(4)]);
+        assert_eq!(insts[5].def(), Some(VReg(6)));
+        assert_eq!(insts[6].def(), None);
+        assert_eq!(insts[6].uses(), vec![VReg(3)]);
+        assert_eq!(insts[8].uses(), vec![VReg(6)]);
+    }
+
+    #[test]
+    fn terminator_classification() {
+        let insts = sample();
+        let term: Vec<bool> = insts.iter().map(Inst::is_terminator).collect();
+        assert_eq!(
+            term,
+            vec![false, false, false, false, false, false, true, true, true]
+        );
+    }
+
+    #[test]
+    fn map_uses_renames_only_uses() {
+        let mut i = sample()[0].clone();
+        i.map_uses(|r| VReg(r.0 + 10));
+        assert_eq!(i.uses(), vec![VReg(10), VReg(11)]);
+        assert_eq!(i.def(), Some(VReg(2)));
+    }
+
+    #[test]
+    fn map_def_renames_only_def() {
+        let mut i = sample()[0].clone();
+        i.map_def(|r| VReg(r.0 + 10));
+        assert_eq!(i.def(), Some(VReg(12)));
+        assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
+    }
+
+    #[test]
+    fn map_targets_rewrites_branches() {
+        let mut br = Inst::Br { target: BlockId(3) };
+        br.map_targets(|b| BlockId(b.0 + 1));
+        assert_eq!(br, Inst::Br { target: BlockId(4) });
+
+        let mut cbr = Inst::CondBr {
+            cond: VReg(0),
+            then_: BlockId(1),
+            else_: BlockId(2),
+        };
+        cbr.map_targets(|b| BlockId(b.0 * 2));
+        match cbr {
+            Inst::CondBr { then_, else_, .. } => {
+                assert_eq!(then_, BlockId(2));
+                assert_eq!(else_, BlockId(4));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn purity() {
+        let insts = sample();
+        assert!(insts[0].is_pure());
+        assert!(insts[3].is_pure()); // loads are pure (no IO in the IR)
+        assert!(!insts[4].is_pure()); // stores have side effects
+        assert!(!insts[5].is_pure()); // calls may have side effects
+        assert!(!insts[6].is_pure());
+    }
+
+    #[test]
+    fn display_round_trip_smoke() {
+        for i in sample() {
+            let s = i.to_string();
+            assert!(!s.is_empty());
+        }
+        assert_eq!(
+            sample()[0].to_string(),
+            "v2 = add v0, v1".to_string()
+        );
+        assert_eq!(sample()[4].to_string(), "store [v4+12], v5");
+    }
+}

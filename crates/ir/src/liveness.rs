@@ -1,0 +1,226 @@
+//! Backward liveness dataflow analysis.
+
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::types::BlockId;
+
+/// Per-block live-in/live-out register sets, stored as bitsets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// `live_in[b]` = registers live on entry to block `b`.
+    pub live_in: Vec<BitSet>,
+    /// `live_out[b]` = registers live on exit from block `b`.
+    pub live_out: Vec<BitSet>,
+}
+
+/// A fixed-capacity bitset over virtual-register indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set with capacity for `n` elements.
+    pub fn new(n: usize) -> Self {
+        BitSet {
+            words: vec![0; n.div_ceil(64)],
+        }
+    }
+
+    /// Inserts `i`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / 64];
+        let m = 1u64 << (i % 64);
+        let new = *w & m == 0;
+        *w |= m;
+        new
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        if i / 64 < self.words.len() {
+            self.words[i / 64] &= !(1u64 << (i % 64));
+        }
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        self.words
+            .get(i / 64)
+            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+
+    /// `self |= other`; returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates over members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            (0..64).filter_map(move |b| {
+                if w & (1u64 << b) != 0 {
+                    Some(wi * 64 + b)
+                } else {
+                    None
+                }
+            })
+        })
+    }
+}
+
+impl Liveness {
+    /// Computes liveness for `f`.
+    pub fn compute(f: &Function) -> Self {
+        let cfg = Cfg::compute(f);
+        Self::compute_with_cfg(f, &cfg)
+    }
+
+    /// [`Liveness::compute`] with a precomputed CFG.
+    pub fn compute_with_cfg(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let nv = f.vreg_count as usize;
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![BitSet::new(nv); n];
+        let mut kill = vec![BitSet::new(nv); n];
+        for (bi, block) in f.iter_blocks() {
+            let g = &mut gen[bi.index()];
+            let k = &mut kill[bi.index()];
+            for inst in &block.insts {
+                inst.for_each_use(|r| {
+                    if !k.contains(r.index()) {
+                        g.insert(r.index());
+                    }
+                });
+                if let Some(d) = inst.def() {
+                    k.insert(d.index());
+                }
+            }
+        }
+
+        let mut live_in = vec![BitSet::new(nv); n];
+        let mut live_out = vec![BitSet::new(nv); n];
+        // Iterate to fixpoint, reverse block order as a decent schedule.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bi in (0..n).rev() {
+                let mut out = BitSet::new(nv);
+                for s in &cfg.succs[bi] {
+                    out.union_with(&live_in[s.index()]);
+                }
+                // in = gen ∪ (out − kill)
+                let mut inp = gen[bi].clone();
+                for w in 0..out.words.len() {
+                    inp.words[w] |= out.words[w] & !kill[bi].words[w];
+                }
+                if inp != live_in[bi] {
+                    live_in[bi] = inp;
+                    changed = true;
+                }
+                live_out[bi] = out;
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live out of block `b`.
+    pub fn out(&self, b: BlockId) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers live into block `b`.
+    pub fn inp(&self, b: BlockId) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+    use crate::types::VReg;
+
+    #[test]
+    fn bitset_basics() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(!s.insert(0));
+        assert!(s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+        s.remove(0);
+        assert!(!s.contains(0));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn loop_carried_register_is_live_around_loop() {
+        let mut b = FuncBuilder::new("l", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // acc is live out of the loop body (block 2) and into the header.
+        assert!(lv.out(crate::BlockId(2)).contains(acc.index()));
+        assert!(lv.inp(crate::BlockId(1)).contains(acc.index()));
+        // acc is live into the exit block (it is returned).
+        assert!(lv.inp(crate::BlockId(3)).contains(acc.index()));
+    }
+
+    #[test]
+    fn dead_value_not_live() {
+        let mut b = FuncBuilder::new("d", 1);
+        let x = b.param(0);
+        let dead = b.add(x, 1); // never used
+        let live = b.add(x, 2);
+        let _ = dead;
+        b.ret(live);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        assert!(!lv.out(crate::BlockId(0)).contains(dead.index()));
+    }
+
+    #[test]
+    fn param_live_through_branch() {
+        let mut b = FuncBuilder::new("p", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let c = b.cmp(crate::Pred::Gt, x, 0);
+        let out = b.fresh();
+        b.if_else(c, |b| b.assign(out, y), |b| b.assign(out, 0));
+        b.ret(out);
+        let f = b.finish();
+        let lv = Liveness::compute(&f);
+        // y is live into the then-arm (block 1) but not the else-arm.
+        assert!(lv.inp(crate::BlockId(1)).contains(VReg(1).index()));
+        assert!(!lv.inp(crate::BlockId(2)).contains(VReg(1).index()));
+    }
+}

@@ -1,0 +1,187 @@
+//! Natural-loop detection from back edges.
+
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+use crate::function::Function;
+use crate::types::BlockId;
+
+/// A natural loop: header plus the set of blocks that reach the back edge.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// The loop header (target of the back edge, dominates all body blocks).
+    pub header: BlockId,
+    /// All blocks in the loop, header included, in ascending id order.
+    pub blocks: Vec<BlockId>,
+    /// Sources of back edges into the header (usually the latch block).
+    pub latches: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Returns `true` if `b` belongs to this loop.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.blocks.binary_search(&b).is_ok()
+    }
+}
+
+/// All natural loops of a function, outermost first.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    /// Loops sorted by (depth, header id).
+    pub loops: Vec<Loop>,
+    /// `depth[b]` = nesting depth of block `b` (0 = not in any loop).
+    pub depth: Vec<u32>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `f`.
+    pub fn compute(f: &Function) -> Self {
+        let cfg = Cfg::compute(f);
+        let dt = DomTree::compute_with_cfg(f, &cfg);
+        Self::compute_with(f, &cfg, &dt)
+    }
+
+    /// [`LoopForest::compute`] with precomputed CFG and dominators.
+    pub fn compute_with(f: &Function, cfg: &Cfg, dt: &DomTree) -> Self {
+        let n = f.blocks.len();
+        // Find back edges: s -> h where h dominates s. Merge loops sharing a
+        // header (e.g. `continue` produces multiple latches).
+        let mut by_header: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for (bi, block) in f.iter_blocks() {
+            for s in block.successors() {
+                if dt.dominates(s, bi) {
+                    by_header[s.index()].push(bi);
+                }
+            }
+        }
+
+        let mut loops = Vec::new();
+        for h in 0..n {
+            if by_header[h].is_empty() {
+                continue;
+            }
+            let header = BlockId(h as u32);
+            // Classic natural-loop body collection: walk predecessors from
+            // each latch until the header.
+            let mut in_loop = vec![false; n];
+            in_loop[h] = true;
+            let mut stack: Vec<BlockId> = by_header[h].clone();
+            for &l in &by_header[h] {
+                in_loop[l.index()] = true;
+            }
+            while let Some(b) = stack.pop() {
+                if b == header {
+                    continue;
+                }
+                for &p in cfg.preds(b) {
+                    if !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let blocks: Vec<BlockId> = (0..n as u32)
+                .map(BlockId)
+                .filter(|b| in_loop[b.index()])
+                .collect();
+            loops.push(Loop {
+                header,
+                blocks,
+                latches: by_header[h].clone(),
+                depth: 0,
+            });
+        }
+
+        // Depth: number of loops containing each block; loop depth = depth of
+        // its header.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for b in &l.blocks {
+                depth[b.index()] += 1;
+            }
+        }
+        for l in &mut loops {
+            l.depth = depth[l.header.index()];
+        }
+        loops.sort_by_key(|l| (l.depth, l.header));
+        LoopForest { loops, depth }
+    }
+
+    /// The innermost loop containing `b`, if any.
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .max_by_key(|l| l.depth)
+    }
+
+    /// Nesting depth of block `b` (0 = straight-line code).
+    pub fn block_depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FuncBuilder;
+
+    #[test]
+    fn single_loop_detected() {
+        let mut b = FuncBuilder::new("l", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let f = b.finish();
+        let lf = LoopForest::compute(&f);
+        assert_eq!(lf.loops.len(), 1);
+        let l = &lf.loops[0];
+        assert_eq!(l.header, BlockId(1));
+        assert!(l.contains(BlockId(2)));
+        assert!(!l.contains(BlockId(0)));
+        assert!(!l.contains(BlockId(3)));
+        assert_eq!(l.depth, 1);
+        assert_eq!(lf.block_depth(BlockId(2)), 1);
+        assert_eq!(lf.block_depth(BlockId(0)), 0);
+    }
+
+    #[test]
+    fn nested_loops_have_increasing_depth() {
+        let mut b = FuncBuilder::new("n", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, _i| {
+            b.counted_loop(0, n, 1, |b, j| {
+                let t = b.add(acc, j);
+                b.assign(acc, t);
+            });
+        });
+        b.ret(acc);
+        let f = b.finish();
+        let lf = LoopForest::compute(&f);
+        assert_eq!(lf.loops.len(), 2);
+        assert_eq!(lf.loops[0].depth, 1);
+        assert_eq!(lf.loops[1].depth, 2);
+        // Outer loop contains inner loop's header.
+        assert!(lf.loops[0].contains(lf.loops[1].header));
+        // Innermost-containing resolves to the depth-2 loop for inner body.
+        let inner_body = lf.loops[1].blocks.last().copied().unwrap();
+        assert_eq!(lf.innermost_containing(inner_body).unwrap().depth, 2);
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let mut b = FuncBuilder::new("s", 1);
+        let x = b.param(0);
+        let y = b.add(x, 1);
+        b.ret(y);
+        let f = b.finish();
+        let lf = LoopForest::compute(&f);
+        assert!(lf.loops.is_empty());
+    }
+}

@@ -1,0 +1,415 @@
+//! Core identifier and operand types for the portopt IR.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register.
+///
+/// Functions may use an unbounded number of virtual registers; the register
+/// allocator in `portopt-passes` later maps them onto the target's physical
+/// register file, inserting spill code where the demand exceeds supply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// Returns the raw index of this register.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block identifier, local to a [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Returns the raw index of this block.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A function identifier, local to a [`Module`](crate::Module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FuncId(pub u32);
+
+impl FuncId {
+    /// Returns the raw index of this function.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FuncId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// An instruction operand: either a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Operand {
+    /// The value held by a virtual register.
+    Reg(VReg),
+    /// A constant, sign-extended to 64 bits.
+    Imm(i64),
+}
+
+impl Operand {
+    /// Returns the register if this operand is one.
+    #[inline]
+    pub fn as_reg(self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Returns the immediate value if this operand is one.
+    #[inline]
+    pub fn as_imm(self) -> Option<i64> {
+        match self {
+            Operand::Reg(_) => None,
+            Operand::Imm(v) => Some(v),
+        }
+    }
+
+    /// Returns `true` when the operand is an immediate.
+    #[inline]
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Binary ALU operations.
+///
+/// The split between plain ALU, multiplier (`Mul`/`MulAdd`) and shifter
+/// operations mirrors the XScale functional units so the simulator can report
+/// the per-unit usage counters of Table 1 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (executes on the MAC unit).
+    Mul,
+    /// Signed division (no hardware divider: multi-cycle ALU sequence).
+    Div,
+    /// Signed remainder (multi-cycle, like [`BinOp::Div`]).
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise exclusive-or.
+    Xor,
+    /// Logical shift left (shifter unit).
+    Shl,
+    /// Logical shift right (shifter unit).
+    Shr,
+    /// Arithmetic shift right (shifter unit).
+    Sar,
+}
+
+impl BinOp {
+    /// All binary operations, in a fixed order.
+    pub const ALL: [BinOp; 11] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Sar,
+    ];
+
+    /// Returns `true` for operations executed by the multiply-accumulate unit.
+    #[inline]
+    pub fn uses_mac(self) -> bool {
+        matches!(self, BinOp::Mul)
+    }
+
+    /// Returns `true` for operations executed by the barrel shifter.
+    #[inline]
+    pub fn uses_shifter(self) -> bool {
+        matches!(self, BinOp::Shl | BinOp::Shr | BinOp::Sar)
+    }
+
+    /// Returns `true` for multi-cycle operations (division and remainder).
+    #[inline]
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, BinOp::Div | BinOp::Rem)
+    }
+
+    /// Returns `true` if `op(a, b) == op(b, a)` for all inputs.
+    #[inline]
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+        )
+    }
+
+    /// Evaluates the operation on two 64-bit values with wrapping semantics.
+    ///
+    /// Division and remainder by zero yield 0, and `i64::MIN / -1` wraps, so
+    /// that compile-time folding and the interpreter agree on every input.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => ((a as u64).wrapping_shr((b & 63) as u32)) as i64,
+            BinOp::Sar => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Sar => "sar",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison predicates for [`Inst::Cmp`](crate::Inst::Cmp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Pred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    ULt,
+    /// Unsigned greater-or-equal.
+    UGe,
+}
+
+impl Pred {
+    /// All predicates, in a fixed order.
+    pub const ALL: [Pred; 8] = [
+        Pred::Eq,
+        Pred::Ne,
+        Pred::Lt,
+        Pred::Le,
+        Pred::Gt,
+        Pred::Ge,
+        Pred::ULt,
+        Pred::UGe,
+    ];
+
+    /// Evaluates the predicate, returning 1 for true and 0 for false.
+    #[inline]
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let r = match self {
+            Pred::Eq => a == b,
+            Pred::Ne => a != b,
+            Pred::Lt => a < b,
+            Pred::Le => a <= b,
+            Pred::Gt => a > b,
+            Pred::Ge => a >= b,
+            Pred::ULt => (a as u64) < (b as u64),
+            Pred::UGe => (a as u64) >= (b as u64),
+        };
+        r as i64
+    }
+
+    /// Returns the predicate with operands swapped (`a p b == b p.swap() a`).
+    #[inline]
+    pub fn swapped(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Eq,
+            Pred::Ne => Pred::Ne,
+            Pred::Lt => Pred::Gt,
+            Pred::Le => Pred::Ge,
+            Pred::Gt => Pred::Lt,
+            Pred::Ge => Pred::Le,
+            Pred::ULt => Pred::UGe, // note: not a true swap; unsigned pair is inverse-based
+            Pred::UGe => Pred::ULt,
+        }
+    }
+
+    /// Returns the logical negation of the predicate.
+    #[inline]
+    pub fn negated(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Ne,
+            Pred::Ne => Pred::Eq,
+            Pred::Lt => Pred::Ge,
+            Pred::Le => Pred::Gt,
+            Pred::Gt => Pred::Le,
+            Pred::Ge => Pred::Lt,
+            Pred::ULt => Pred::UGe,
+            Pred::UGe => Pred::ULt,
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Pred::Eq => "eq",
+            Pred::Ne => "ne",
+            Pred::Lt => "lt",
+            Pred::Le => "le",
+            Pred::Gt => "gt",
+            Pred::Ge => "ge",
+            Pred::ULt => "ult",
+            Pred::UGe => "uge",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_wraps() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), -2);
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), i64::MIN);
+    }
+
+    #[test]
+    fn binop_shift_masks_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 64), 1);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2);
+        assert_eq!(BinOp::Shr.eval(-1, 1), i64::MAX);
+        assert_eq!(BinOp::Sar.eval(-2, 1), -1);
+    }
+
+    #[test]
+    fn binop_commutativity_matches_eval() {
+        for op in BinOp::ALL {
+            if op.is_commutative() {
+                for (a, b) in [(3, 7), (-9, 4), (i64::MAX, 2)] {
+                    assert_eq!(op.eval(a, b), op.eval(b, a), "{op} not commutative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pred_eval_and_negation() {
+        for p in Pred::ALL {
+            for (a, b) in [(1, 2), (2, 1), (3, 3), (-1, 1), (1, -1)] {
+                assert_eq!(
+                    p.eval(a, b),
+                    1 - p.negated().eval(a, b),
+                    "{p} negation failed on ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pred_unsigned_treats_negative_as_large() {
+        assert_eq!(Pred::ULt.eval(-1, 1), 0);
+        assert_eq!(Pred::UGe.eval(-1, 1), 1);
+        assert_eq!(Pred::Lt.eval(-1, 1), 1);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r = VReg(3);
+        assert_eq!(Operand::from(r).as_reg(), Some(r));
+        assert_eq!(Operand::from(42i64).as_imm(), Some(42));
+        assert!(Operand::from(0i64).is_imm());
+        assert!(!Operand::from(r).is_imm());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VReg(7).to_string(), "v7");
+        assert_eq!(BlockId(2).to_string(), "b2");
+        assert_eq!(FuncId(1).to_string(), "f1");
+        assert_eq!(Operand::Reg(VReg(1)).to_string(), "v1");
+        assert_eq!(Operand::Imm(-3).to_string(), "-3");
+        assert_eq!(BinOp::Shl.to_string(), "shl");
+        assert_eq!(Pred::UGe.to_string(), "uge");
+    }
+}

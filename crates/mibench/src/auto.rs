@@ -1,0 +1,378 @@
+//! Automotive/industrial benchmarks: `basicmath`, `bitcnts`, `qsort`,
+//! `susan_s`, `susan_c`, `susan_e`.
+
+use crate::kernels::*;
+use portopt_ir::{FuncBuilder, Module, ModuleBuilder, Operand, Pred};
+
+/// `basicmath` — cubic roots and integer square roots via Newton iteration.
+///
+/// Dominated by long-latency divide sequences that no Figure 3 flag can
+/// remove: the paper's "library-bound" flat case (Figure 4 shows ~1.0x).
+pub fn basicmath(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("basicmath");
+    let n: i64 = 600;
+    let vals = rand_global(&mut mb, "vals", n as u32, seed, 1, 1 << 26);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pv = b.iconst(vals as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, n, 1, |b, i| {
+        let x = load_idx(b, pv, i);
+        // isqrt by Newton: r = (r + x/r)/2, 8 iterations.
+        let r = b.fresh();
+        b.assign(r, 1 << 13);
+        b.counted_loop(0, 8, 1, |b, _| {
+            let q = b.div(x, r);
+            let s = b.add(r, q);
+            let half = b.sar(s, 1);
+            b.assign(r, half);
+        });
+        // Cubic residue.
+        let r2 = b.mul(r, r);
+        let r3 = b.mul(r2, r);
+        let diff0 = b.sub(r3, x);
+        let diff = emit_abs(b, diff0);
+        let scaled = b.rem(diff, 9973);
+        let t = b.add(acc, scaled);
+        let t2 = b.add(t, r);
+        b.assign(acc, t2);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `bitcnts` — bit-counting through a dispatch over four tiny leaf
+/// functions: the inlining benchmark.
+pub fn bitcnts(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("bitcnts");
+    let n: i64 = 2500;
+    let vals = rand_global(&mut mb, "vals", n as u32, seed, 0, i64::MAX / 2);
+
+    // Four counting strategies, all small leaves.
+    let cnt_shift = {
+        let mut b = FuncBuilder::new("cnt_shift", 1);
+        let x = b.fresh();
+        b.assign(x, b.param(0));
+        let c = b.iconst(0);
+        b.counted_loop(0, 16, 1, |b, _| {
+            let bit = b.and(x, 1);
+            let t = b.add(c, bit);
+            b.assign(c, t);
+            let s = b.shr(x, 1);
+            b.assign(x, s);
+        });
+        b.ret(c);
+        mb.add(b.finish())
+    };
+    let cnt_kernighan = {
+        let mut b = FuncBuilder::new("cnt_kernighan", 1);
+        let x = b.fresh();
+        b.assign(x, b.param(0));
+        let c = b.iconst(0);
+        b.while_loop(
+            |b| b.cmp(Pred::Ne, x, 0),
+            |b| {
+                let xm1 = b.sub(x, 1);
+                let nx = b.and(x, xm1);
+                b.assign(x, nx);
+                let t = b.add(c, 1);
+                b.assign(c, t);
+            },
+        );
+        b.ret(c);
+        mb.add(b.finish())
+    };
+    let cnt_nibble = {
+        let mut b = FuncBuilder::new("cnt_nibble", 1);
+        let x = b.param(0);
+        let lo = b.and(x, 0x5555_5555);
+        let hi0 = b.shr(x, 1);
+        let hi = b.and(hi0, 0x5555_5555);
+        let s = b.add(lo, hi);
+        let m = b.rem(s, 255);
+        b.ret(m);
+        mb.add(b.finish())
+    };
+    let cnt_parity = {
+        let mut b = FuncBuilder::new("cnt_parity", 1);
+        let x = b.param(0);
+        let a = b.shr(x, 16);
+        let x1 = b.xor(x, a);
+        let c = b.shr(x1, 8);
+        let x2 = b.xor(x1, c);
+        let m = b.and(x2, 0xFF);
+        b.ret(m);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pv = b.iconst(vals as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, n, 1, |b, i| {
+        let x = load_idx(b, pv, i);
+        let strategy = b.and(i, 3);
+        let r = b.fresh();
+        let is0 = b.cmp(Pred::Eq, strategy, 0);
+        b.if_else(
+            is0,
+            |b| {
+                let v = b.call(cnt_shift, &[x.into()]);
+                b.assign(r, v);
+            },
+            |b| {
+                let is1 = b.cmp(Pred::Eq, strategy, 1);
+                b.if_else(
+                    is1,
+                    |b| {
+                        let v = b.call(cnt_kernighan, &[x.into()]);
+                        b.assign(r, v);
+                    },
+                    |b| {
+                        let is2 = b.cmp(Pred::Eq, strategy, 2);
+                        b.if_else(
+                            is2,
+                            |b| {
+                                let v = b.call(cnt_nibble, &[x.into()]);
+                                b.assign(r, v);
+                            },
+                            |b| {
+                                let v = b.call(cnt_parity, &[x.into()]);
+                                b.assign(r, v);
+                            },
+                        );
+                    },
+                );
+            },
+        );
+        let t = b.add(acc, r);
+        b.assign(acc, t);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `qsort` — recursive quicksort (insertion sort below 8 elements).
+///
+/// Data-dependent compare branches dominate; the paper reports essentially
+/// no headroom for flag selection here.
+pub fn qsort(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("qsort");
+    let n: i64 = 900;
+    let data = rand_global(&mut mb, "data", n as u32, seed, -100_000, 100_000);
+
+    let qs = mb.declare("quicksort", 3); // (base, lo, hi)
+    {
+        let mut b = FuncBuilder::new("quicksort", 3);
+        let (base, lo, hi) = (b.param(0), b.param(1), b.param(2));
+        let span = b.sub(hi, lo);
+        let small = b.cmp(Pred::Lt, span, 8);
+        let done = b.block();
+        let ins = b.block();
+        let rec = b.block();
+        b.cond_br(small, ins, rec);
+
+        // Insertion sort for small partitions.
+        b.switch_to(ins);
+        let i = b.fresh();
+        let lo1 = b.add(lo, 1);
+        b.assign(i, lo1);
+        b.while_loop(
+            |b| b.cmp(Pred::Le, i, hi),
+            |b| {
+                let key = load_idx(b, base, i);
+                let j = b.fresh();
+                let im1 = b.sub(i, 1);
+                b.assign(j, im1);
+                b.while_loop(
+                    |b| {
+                        let ge = b.cmp(Pred::Ge, j, lo);
+                        let out = b.fresh();
+                        b.if_else(
+                            ge,
+                            |b| {
+                                let v = load_idx(b, base, j);
+                                let gt = b.cmp(Pred::Gt, v, key);
+                                b.assign(out, gt);
+                            },
+                            |b| b.assign(out, 0),
+                        );
+                        out
+                    },
+                    |b| {
+                        let v = load_idx(b, base, j);
+                        let j1 = b.add(j, 1);
+                        store_idx(b, base, j1, v);
+                        let jm = b.sub(j, 1);
+                        b.assign(j, jm);
+                    },
+                );
+                let j1 = b.add(j, 1);
+                store_idx(b, base, j1, key);
+                let i1 = b.add(i, 1);
+                b.assign(i, i1);
+            },
+        );
+        b.br(done);
+
+        // Partition + recurse.
+        b.switch_to(rec);
+        let mid0 = b.add(lo, hi);
+        let mid = b.sar(mid0, 1);
+        let pivot = load_idx(&mut b, base, mid);
+        let l = b.fresh();
+        b.assign(l, lo);
+        let r = b.fresh();
+        b.assign(r, hi);
+        b.while_loop(
+            |b| b.cmp(Pred::Le, l, r),
+            |b| {
+                b.while_loop(
+                    |b| {
+                        let v = load_idx(b, base, l);
+                        b.cmp(Pred::Lt, v, pivot)
+                    },
+                    |b| {
+                        let l1 = b.add(l, 1);
+                        b.assign(l, l1);
+                    },
+                );
+                b.while_loop(
+                    |b| {
+                        let v = load_idx(b, base, r);
+                        b.cmp(Pred::Gt, v, pivot)
+                    },
+                    |b| {
+                        let r1 = b.sub(r, 1);
+                        b.assign(r, r1);
+                    },
+                );
+                let le = b.cmp(Pred::Le, l, r);
+                b.if_then(le, |b| {
+                    let vl = load_idx(b, base, l);
+                    let vr = load_idx(b, base, r);
+                    store_idx(b, base, l, vr);
+                    store_idx(b, base, r, vl);
+                    let l1 = b.add(l, 1);
+                    b.assign(l, l1);
+                    let r1 = b.sub(r, 1);
+                    b.assign(r, r1);
+                });
+            },
+        );
+        b.call_void(qs, &[base.into(), lo.into(), r.into()]);
+        // Second recursion in tail position (sibling-call target).
+        b.call_void(qs, &[base.into(), l.into(), hi.into()]);
+        b.br(done);
+
+        b.switch_to(done);
+        b.ret_void();
+        mb.define(qs, b.finish());
+    }
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pd = b.iconst(data as i64);
+    b.call_void(qs, &[pd.into(), Operand::Imm(0), Operand::Imm(n - 1)]);
+    // Verify sortedness into the checksum.
+    let acc = b.iconst(0);
+    b.counted_loop(0, n - 1, 1, |b, i| {
+        let a = load_idx(b, pd, i);
+        let i1 = b.add(i, 1);
+        let c = load_idx(b, pd, i1);
+        let ok = b.cmp(Pred::Le, a, c);
+        let t = b.add(acc, ok);
+        b.assign(acc, t);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// SUSAN-style image kernel shared by the three variants.
+fn susan(name: &str, seed: u64, mode: u8) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let (w, h): (i64, i64) = (64, 48);
+    let img = rand_global(&mut mb, "img", (w * h) as u32, seed, 0, 256);
+    let (_, out_base) = mb.global("out", (w * h) as u32);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pi = b.iconst(img as i64);
+    let po = b.iconst(out_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(1, h - 1, 1, |b, y| {
+        b.counted_loop(1, w - 1, 1, |b, x| {
+            let row = b.mul(y, w);
+            let centre_idx = b.add(row, x);
+            let centre = load_idx(b, pi, centre_idx);
+            let sum = b.fresh();
+            b.assign(sum, 0);
+            let count = b.fresh();
+            b.assign(count, 0);
+            // 3x3 window, statically unrolled in the source (like SUSAN's
+            // hand-tuned masks).
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let nrow = b.add(row, dy * w);
+                    let nidx0 = b.add(nrow, x);
+                    let nidx = b.add(nidx0, dx);
+                    let v = load_idx(b, pi, nidx);
+                    match mode {
+                        0 => {
+                            // Smoothing: accumulate weighted.
+                            let d0 = b.sub(v, centre);
+                            let d = emit_abs(b, d0);
+                            let wgt = b.sub(256, d);
+                            let p = b.mul(v, wgt);
+                            let t = b.add(sum, p);
+                            b.assign(sum, t);
+                            let t2 = b.add(count, wgt);
+                            b.assign(count, t2);
+                        }
+                        _ => {
+                            // Corner/edge: USAN area threshold.
+                            let d0 = b.sub(v, centre);
+                            let d = emit_abs(b, d0);
+                            let thresh = if mode == 1 { 20 } else { 40 };
+                            let sim = b.cmp(Pred::Lt, d, thresh);
+                            let t = b.add(count, sim);
+                            b.assign(count, t);
+                        }
+                    }
+                }
+            }
+            match mode {
+                0 => {
+                    let div = b.div(sum, count);
+                    store_idx(b, po, centre_idx, div);
+                    let t = b.add(acc, div);
+                    b.assign(acc, t);
+                }
+                _ => {
+                    let limit = if mode == 1 { 4 } else { 6 };
+                    let is_feat = b.cmp(Pred::Lt, count, limit);
+                    store_idx(b, po, centre_idx, is_feat);
+                    let t = b.add(acc, is_feat);
+                    b.assign(acc, t);
+                }
+            }
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `susan_s` — SUSAN smoothing (weighted window average).
+pub fn susan_s(seed: u64) -> Module {
+    susan("susan_s", seed, 0)
+}
+
+/// `susan_c` — SUSAN corner detection.
+pub fn susan_c(seed: u64) -> Module {
+    susan("susan_c", seed, 1)
+}
+
+/// `susan_e` — SUSAN edge detection.
+pub fn susan_e(seed: u64) -> Module {
+    susan("susan_e", seed, 2)
+}

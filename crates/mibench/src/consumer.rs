@@ -1,0 +1,410 @@
+//! Consumer benchmarks: `cjpeg`, `djpeg`, `lame`, `madplay`, `tiff2bw`,
+//! `tiff2rgba`, `tiffdither`, `tiffmedian`, `gs`.
+
+use crate::kernels::*;
+use portopt_ir::{FuncBuilder, Module, ModuleBuilder, Pred};
+
+/// 8×8 block transform kernel shared by `cjpeg`/`djpeg` (forward/inverse
+/// DCT-ish): multiply-accumulate over known-trip-count loops.
+fn jpeg_kernel(name: &str, seed: u64, inverse: bool) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let nblocks: i64 = 40;
+    let img = rand_global(&mut mb, "img", (nblocks * 64) as u32, seed, 0, 256);
+    let cos_tab: Vec<i64> = (0..64)
+        .map(|k| {
+            let (i, j) = (k / 8, k % 8);
+            let v = ((2 * j + 1) as f64 * i as f64 * std::f64::consts::PI / 16.0).cos();
+            (v * 256.0) as i64
+        })
+        .collect();
+    let (_, cos_base) = mb.global_init("costab", 64, cos_tab);
+    let (_, tmp_base) = mb.global("tmp", 64);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pi = b.iconst(img as i64);
+    let pc = b.iconst(cos_base as i64);
+    let pt = b.iconst(tmp_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, nblocks, 1, |b, blk| {
+        let base = b.shl(blk, 6);
+        // Row pass: out[i][j] = sum_k in[i][k] * cos[j][k] >> 8.
+        b.counted_loop(0, 8, 1, |b, i| {
+            let irow = b.shl(i, 3);
+            b.counted_loop(0, 8, 1, |b, j| {
+                let jrow = b.shl(j, 3);
+                let sum = b.fresh();
+                b.assign(sum, 0);
+                b.counted_loop(0, 8, 1, |b, k| {
+                    let iidx0 = b.add(base, irow);
+                    let iidx = b.add(iidx0, k);
+                    let v = load_idx(b, pi, iidx);
+                    let cidx = b.add(jrow, k);
+                    let c = load_idx(b, pc, cidx);
+                    let p = b.mul(v, c);
+                    let sc = if inverse { b.sar(p, 9) } else { b.sar(p, 8) };
+                    let t = b.add(sum, sc);
+                    b.assign(sum, t);
+                });
+                let oidx = b.add(irow, j);
+                store_idx(b, pt, oidx, sum);
+            });
+        });
+        // Column pass back into the image + quantise.
+        b.counted_loop(0, 64, 1, |b, k| {
+            let v = load_idx(b, pt, k);
+            let q = b.sar(v, 2);
+            let idx = b.add(base, k);
+            store_idx(b, pi, idx, q);
+            emit_hash_step(b, acc, q);
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `cjpeg` — JPEG compression stand-in (forward transform).
+pub fn cjpeg(seed: u64) -> Module {
+    jpeg_kernel("cjpeg", seed, false)
+}
+
+/// `djpeg` — JPEG decompression stand-in (inverse transform).
+pub fn djpeg(seed: u64) -> Module {
+    jpeg_kernel("djpeg", seed ^ 0xD1, true)
+}
+
+/// `lame` — MP3 encoder stand-in: windowed subband analysis with a
+/// log-quantiser (mul + branch mix).
+pub fn lame(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("lame");
+    let n: i64 = 6 * 576;
+    let pcm = rand_global(&mut mb, "pcm", n as u32, seed, -30000, 30000);
+    let win: Vec<i64> = (0..32).map(|i| 100 + 20 * i).collect();
+    let (_, win_base) = mb.global_init("window", 32, win);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pp = b.iconst(pcm as i64);
+    let pw = b.iconst(win_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, n / 576, 1, |b, g| {
+        let gbase = b.mul(g, 576);
+        b.counted_loop(0, 576 - 32, 8, |b, s| {
+            let sum = b.fresh();
+            b.assign(sum, 0);
+            b.counted_loop(0, 32, 1, |b, k| {
+                let idx0 = b.add(gbase, s);
+                let idx = b.add(idx0, k);
+                let v = load_idx(b, pp, idx);
+                let w = load_idx(b, pw, k);
+                let p = b.mul(v, w);
+                let sc = b.sar(p, 8);
+                let t = b.add(sum, sc);
+                b.assign(sum, t);
+            });
+            // log2-ish quantise by shift ladder.
+            let mag = emit_abs(b, sum);
+            let q = b.fresh();
+            b.assign(q, 0);
+            let t = b.fresh();
+            b.assign(t, mag);
+            b.while_loop(
+                |b| b.cmp(Pred::Gt, t, 0),
+                |b| {
+                    let s2 = b.shr(t, 1);
+                    b.assign(t, s2);
+                    let q2 = b.add(q, 1);
+                    b.assign(q, q2);
+                },
+            );
+            emit_hash_step(b, acc, q);
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `madplay` — MP3 decoder stand-in: polyphase synthesis dot products with
+/// saturation (MAC-heavy, known trip counts).
+pub fn madplay(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("madplay");
+    let frames: i64 = 45;
+    let sub: i64 = 32;
+    let n = frames * sub;
+    let bands = rand_global(&mut mb, "bands", n as u32, seed, -(1 << 20), 1 << 20);
+    let dwin: Vec<i64> = (0..512).map(|i| ((i * 37) % 255) - 127).collect();
+    let (_, dwin_base) = mb.global_init("dwindow", 512, dwin);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pb = b.iconst(bands as i64);
+    let pd = b.iconst(dwin_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, frames, 1, |b, f| {
+        let fbase = b.mul(f, sub);
+        b.counted_loop(0, sub, 1, |b, s| {
+            let sum = b.fresh();
+            b.assign(sum, 0);
+            // 16-tap dot product against the D window.
+            b.counted_loop(0, 16, 1, |b, t| {
+                let widx0 = b.shl(t, 5);
+                let widx = b.add(widx0, s);
+                let w = load_idx(b, pd, widx);
+                let bidx0 = b.add(fbase, t);
+                let bidx = b.rem(bidx0, n);
+                let v = load_idx(b, pb, bidx);
+                let p = b.mul(v, w);
+                let sc = b.sar(p, 12);
+                let t2 = b.add(sum, sc);
+                b.assign(sum, t2);
+            });
+            // Saturate to 16 bits.
+            let hi = b.cmp(Pred::Gt, sum, 32767);
+            b.if_then(hi, |b| b.assign(sum, 32767));
+            let lo = b.cmp(Pred::Lt, sum, -32768);
+            b.if_then(lo, |b| b.assign(sum, -32768));
+            emit_hash_step(b, acc, sum);
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `tiff2bw` — RGB to luminance: pure streaming MAC kernel.
+pub fn tiff2bw(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("tiff2bw");
+    let pixels: i64 = 7000;
+    let rgb = rand_global(&mut mb, "rgb", (pixels * 3) as u32, seed, 0, 256);
+    let (_, out_base) = mb.global("bw", pixels as u32);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pr = b.iconst(rgb as i64);
+    let po = b.iconst(out_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, pixels, 1, |b, i| {
+        let base = b.mul(i, 3);
+        let r = load_idx(b, pr, base);
+        let g_i = b.add(base, 1);
+        let g = load_idx(b, pr, g_i);
+        let b_i = b.add(base, 2);
+        let bl = load_idx(b, pr, b_i);
+        let wr = b.mul(r, 77);
+        let wg = b.mul(g, 151);
+        let wb = b.mul(bl, 28);
+        let s0 = b.add(wr, wg);
+        let s1 = b.add(s0, wb);
+        let y = b.shr(s1, 8);
+        store_idx(b, po, i, y);
+        let t = b.add(acc, y);
+        b.assign(acc, t);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `tiff2rgba` — palette expansion: table lookups + streaming stores.
+pub fn tiff2rgba(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("tiff2rgba");
+    let pixels: i64 = 6000;
+    let src = rand_global(&mut mb, "indexed", pixels as u32, seed, 0, 256);
+    let pal = rand_global(&mut mb, "palette", 256, seed ^ 0x9A, 0, 1 << 24);
+    let (_, out_base) = mb.global("rgba", pixels as u32);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ps = b.iconst(src as i64);
+    let pp = b.iconst(pal as i64);
+    let po = b.iconst(out_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, pixels, 1, |b, i| {
+        let idx = load_idx(b, ps, i);
+        let colour = load_idx(b, pp, idx);
+        let alpha = b.or(colour, 0xFF00_0000u32 as i64);
+        store_idx(b, po, i, alpha);
+        emit_hash_step(b, acc, alpha);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `tiffdither` — Floyd–Steinberg error diffusion: loop-carried error
+/// terms create a tight dependence chain the scheduler cannot break.
+pub fn tiffdither(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("tiffdither");
+    let (w, h): (i64, i64) = (96, 64);
+    let img = rand_global(&mut mb, "gray", (w * h) as u32, seed, 0, 256);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pi = b.iconst(img as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, h - 1, 1, |b, y| {
+        let row = b.mul(y, w);
+        b.counted_loop(0, w - 1, 1, |b, x| {
+            let idx = b.add(row, x);
+            let old = load_idx(b, pi, idx);
+            let is_white = b.cmp(Pred::Gt, old, 127);
+            let newv = b.fresh();
+            b.if_else(
+                is_white,
+                |b| b.assign(newv, 255),
+                |b| b.assign(newv, 0),
+            );
+            let err = b.sub(old, newv);
+            store_idx(b, pi, idx, newv);
+            // Diffuse 7/16 right, 5/16 below.
+            let right_i = b.add(idx, 1);
+            let rv = load_idx(b, pi, right_i);
+            let e7 = b.mul(err, 7);
+            let e7s = b.sar(e7, 4);
+            let nr = b.add(rv, e7s);
+            store_idx(b, pi, right_i, nr);
+            let down_i = b.add(idx, w);
+            let dv = load_idx(b, pi, down_i);
+            let e5 = b.mul(err, 5);
+            let e5s = b.sar(e5, 4);
+            let nd = b.add(dv, e5s);
+            store_idx(b, pi, down_i, nd);
+            let t = b.add(acc, newv);
+            b.assign(acc, t);
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `tiffmedian` — 3×3 median filter via a compare/swap network (branch
+/// ladder dominated).
+pub fn tiffmedian(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("tiffmedian");
+    let (w, h): (i64, i64) = (48, 36);
+    let img = rand_global(&mut mb, "img", (w * h) as u32, seed, 0, 256);
+    let (_, out_base) = mb.global("out", (w * h) as u32);
+    let (_, win_base) = mb.global("window9", 9);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pi = b.iconst(img as i64);
+    let po = b.iconst(out_base as i64);
+    let pw = b.iconst(win_base as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(1, h - 1, 1, |b, y| {
+        b.counted_loop(1, w - 1, 1, |b, x| {
+            let row = b.mul(y, w);
+            // Gather the 3x3 window.
+            let mut k = 0i64;
+            for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    let r = b.add(row, dy * w);
+                    let c0 = b.add(r, x);
+                    let c = b.add(c0, dx);
+                    let v = load_idx(b, pi, c);
+                    store_idx(b, pw, k, v);
+                    k += 1;
+                }
+            }
+            // Partial selection sort for the median (5 passes).
+            b.counted_loop(0, 5, 1, |b, pass| {
+                let best = b.fresh();
+                b.assign(best, pass);
+                let j = b.fresh();
+                let p1 = b.add(pass, 1);
+                b.assign(j, p1);
+                b.while_loop(
+                    |b| b.cmp(Pred::Lt, j, 9),
+                    |b| {
+                        let vj = load_idx(b, pw, j);
+                        let vb = load_idx(b, pw, best);
+                        let less = b.cmp(Pred::Lt, vj, vb);
+                        b.if_then(less, |b| b.assign(best, j));
+                        let j1 = b.add(j, 1);
+                        b.assign(j, j1);
+                    },
+                );
+                let vb = load_idx(b, pw, best);
+                let vp = load_idx(b, pw, pass);
+                store_idx(b, pw, pass, vb);
+                store_idx(b, pw, best, vp);
+            });
+            let med = load_idx(b, pw, 4);
+            let oidx0 = b.add(row, x);
+            store_idx(b, po, oidx0, med);
+            let t = b.add(acc, med);
+            b.assign(acc, t);
+        });
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `gs` — ghostscript stand-in: a bytecode interpreter dispatch loop
+/// (indirect-ish control flow through compare ladders; `thread-jumps`
+/// and `reorder-blocks` territory).
+pub fn gs(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("gs");
+    let n: i64 = 6000;
+    let prog = rand_global(&mut mb, "prog", n as u32, seed, 0, 8);
+    let (_, stack_base) = mb.global("stk", 64);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pp = b.iconst(prog as i64);
+    let ps = b.iconst(stack_base as i64);
+    let sp = b.fresh();
+    b.assign(sp, 0);
+    let acc = b.iconst(0);
+    store_idx(&mut b, ps, 0i64, 1i64);
+    b.counted_loop(0, n, 1, |b, pc| {
+        let op = load_idx(b, pp, pc);
+        let spmask = b.and(sp, 62); // keep in range, leave slot for +1
+        // Opcode dispatch ladder.
+        let is_push = b.cmp(Pred::Eq, op, 0);
+        b.if_else(
+            is_push,
+            |b| {
+                let s1 = b.add(spmask, 1);
+                store_idx(b, ps, s1, pc);
+                b.assign(sp, s1);
+            },
+            |b| {
+                let is_add = b.cmp(Pred::Eq, op, 1);
+                b.if_else(
+                    is_add,
+                    |b| {
+                        let v = load_idx(b, ps, spmask);
+                        let v2 = b.add(v, 7);
+                        store_idx(b, ps, spmask, v2);
+                    },
+                    |b| {
+                        let is_mul = b.cmp(Pred::Eq, op, 2);
+                        b.if_else(
+                            is_mul,
+                            |b| {
+                                let v = load_idx(b, ps, spmask);
+                                let v2 = b.mul(v, 3);
+                                let v3 = b.and(v2, 0xFFFF);
+                                store_idx(b, ps, spmask, v3);
+                            },
+                            |b| {
+                                let is_pop = b.cmp(Pred::Eq, op, 3);
+                                b.if_else(
+                                    is_pop,
+                                    |b| {
+                                        let v = load_idx(b, ps, spmask);
+                                        let t = b.add(acc, v);
+                                        b.assign(acc, t);
+                                        let s1 = b.sub(sp, 1);
+                                        let pos = b.cmp(Pred::Ge, s1, 0);
+                                        b.if_then(pos, |b| b.assign(sp, s1));
+                                    },
+                                    |b| {
+                                        // ops 4..8: xor-rotate the acc.
+                                        let x = b.xor(acc, op);
+                                        let r = b.shl(x, 1);
+                                        let m = b.and(r, 0xFFFF_FFFF);
+                                        b.assign(acc, m);
+                                    },
+                                );
+                            },
+                        );
+                    },
+                );
+            },
+        );
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}

@@ -1,0 +1,119 @@
+//! Shared building blocks for the benchmark programs.
+
+use portopt_ir::{FuncBuilder, ModuleBuilder, Operand, Pred, VReg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic pseudo-random words for a program input.
+pub fn input_words(seed: u64, n: usize, lo: i64, hi: i64) -> Vec<i64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(lo..hi)).collect()
+}
+
+/// Adds a global array initialised with seeded random words in `lo..hi`;
+/// returns its base address.
+pub fn rand_global(
+    mb: &mut ModuleBuilder,
+    name: &str,
+    words: u32,
+    seed: u64,
+    lo: i64,
+    hi: i64,
+) -> u32 {
+    let data = input_words(seed, words as usize, lo, hi);
+    let (_, base) = mb.global_init(name, words, data);
+    base
+}
+
+/// Loads `arr[idx]` where `arr` is a word array at `base` (a register).
+pub fn load_idx(b: &mut FuncBuilder, base: VReg, idx: impl Into<Operand>) -> VReg {
+    let off = b.shl(idx, 2);
+    let addr = b.add(base, off);
+    b.load(addr, 0)
+}
+
+/// Stores `val` to `arr[idx]`.
+pub fn store_idx(
+    b: &mut FuncBuilder,
+    base: VReg,
+    idx: impl Into<Operand>,
+    val: impl Into<Operand>,
+) {
+    let off = b.shl(idx, 2);
+    let addr = b.add(base, off);
+    b.store(val, addr, 0);
+}
+
+/// Emits `min(a, b)` into a fresh register.
+#[allow(dead_code)] // part of the kernel toolkit; used by tests
+pub fn emit_min(b: &mut FuncBuilder, x: VReg, y: VReg) -> VReg {
+    let out = b.fresh();
+    let c = b.cmp(Pred::Lt, x, y);
+    b.if_else(c, |b| b.assign(out, x), |b| b.assign(out, y));
+    out
+}
+
+/// Emits `|a|`.
+pub fn emit_abs(b: &mut FuncBuilder, x: VReg) -> VReg {
+    let out = b.fresh();
+    let c = b.cmp(Pred::Lt, x, 0);
+    b.if_else(
+        c,
+        |b| {
+            let n = b.sub(0, x);
+            b.assign(out, n);
+        },
+        |b| b.assign(out, x),
+    );
+    out
+}
+
+/// Emits a multiplicative hash step: `h = (h ^ v) * 0x9E3779B1 mod 2^32`.
+pub fn emit_hash_step(b: &mut FuncBuilder, h: VReg, v: impl Into<Operand>) {
+    let x = b.xor(h, v);
+    let m = b.mul(x, 0x9E37_79B1);
+    let t = b.and(m, 0xFFFF_FFFF);
+    b.assign(h, t);
+}
+
+/// A standard program skeleton: build `main`, register it as the entry.
+pub fn finish_main(mut mb: ModuleBuilder, main: FuncBuilder) -> portopt_ir::Module {
+    let id = mb.add(main.finish());
+    mb.entry(id);
+    let m = mb.finish();
+    debug_assert!(portopt_ir::verify_module(&m).is_ok());
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+
+    #[test]
+    fn input_words_deterministic() {
+        assert_eq!(input_words(7, 16, 0, 100), input_words(7, 16, 0, 100));
+        assert_ne!(input_words(7, 16, 0, 100), input_words(8, 16, 0, 100));
+        assert!(input_words(1, 64, -5, 5).iter().all(|&v| (-5..5).contains(&v)));
+    }
+
+    #[test]
+    fn helpers_compute_correctly() {
+        let mut mb = ModuleBuilder::new("t");
+        let base = rand_global(&mut mb, "a", 8, 3, 0, 50);
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let mn = emit_min(&mut b, x, y);
+        let ab = emit_abs(&mut b, mn);
+        let p = b.iconst(base as i64);
+        let v0 = load_idx(&mut b, p, 0);
+        store_idx(&mut b, p, 1, v0);
+        let v1 = load_idx(&mut b, p, 1);
+        let s = b.add(ab, v1);
+        b.ret(s);
+        let m = finish_main(mb, b);
+        let expect = input_words(3, 8, 0, 50)[0];
+        assert_eq!(run_module(&m, &[-7, 3]).unwrap().ret, 7 + expect);
+        assert_eq!(run_module(&m, &[4, 9]).unwrap().ret, 4 + expect);
+    }
+}

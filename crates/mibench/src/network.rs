@@ -1,0 +1,221 @@
+//! Network benchmarks: `dijkstra`, `patricia`.
+
+use crate::kernels::*;
+use portopt_ir::{FuncBuilder, Module, ModuleBuilder, Pred};
+
+/// `dijkstra` — single-source shortest paths on an adjacency matrix with
+/// linear min-scans: large-array streaming with data-dependent updates.
+pub fn dijkstra(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("dijkstra");
+    let n: i64 = 72;
+    let adj = rand_global(&mut mb, "adj", (n * n) as u32, seed, 1, 64);
+    let (_, dist_base) = mb.global("dist", n as u32);
+    let (_, vis_base) = mb.global("visited", n as u32);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pa = b.iconst(adj as i64);
+    let pd = b.iconst(dist_base as i64);
+    let pv = b.iconst(vis_base as i64);
+    const INF: i64 = 1 << 30;
+    b.counted_loop(0, n, 1, |b, i| {
+        store_idx(b, pd, i, INF);
+        store_idx(b, pv, i, 0i64);
+    });
+    store_idx(&mut b, pd, 0i64, 0i64);
+
+    b.counted_loop(0, n, 1, |b, _round| {
+        // Find the unvisited node with the smallest distance.
+        let best = b.fresh();
+        b.assign(best, -1);
+        let bestd = b.fresh();
+        b.assign(bestd, INF + 1);
+        b.counted_loop(0, n, 1, |b, v| {
+            let seen = load_idx(b, pv, v);
+            let fresh = b.cmp(Pred::Eq, seen, 0);
+            b.if_then(fresh, |b| {
+                let d = load_idx(b, pd, v);
+                let closer = b.cmp(Pred::Lt, d, bestd);
+                b.if_then(closer, |b| {
+                    b.assign(bestd, d);
+                    b.assign(best, v);
+                });
+            });
+        });
+        let found = b.cmp(Pred::Ge, best, 0);
+        b.if_then(found, |b| {
+            store_idx(b, pv, best, 1i64);
+            // Relax all edges out of `best`.
+            let row = b.mul(best, n);
+            b.counted_loop(0, n, 1, |b, v| {
+                let eidx = b.add(row, v);
+                let w = load_idx(b, pa, eidx);
+                let nd = b.add(bestd, w);
+                let dv = load_idx(b, pd, v);
+                let shorter = b.cmp(Pred::Lt, nd, dv);
+                b.if_then(shorter, |b| {
+                    store_idx(b, pd, v, nd);
+                });
+            });
+        });
+    });
+
+    let acc = b.iconst(0);
+    b.counted_loop(0, n, 1, |b, i| {
+        let d = load_idx(b, pd, i);
+        emit_hash_step(b, acc, d);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `patricia` — PATRICIA-trie routing-table lookups: bit tests plus
+/// index-array pointer chasing with unpredictable branches.
+pub fn patricia(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("patricia");
+    let n_keys: i64 = 600;
+    let n_nodes: i64 = 2 * n_keys + 2;
+    let keys = rand_global(&mut mb, "keys", n_keys as u32, seed, 0, 1 << 24);
+    let queries = rand_global(&mut mb, "queries", n_keys as u32, seed ^ 0x77, 0, 1 << 24);
+    // Node arrays: bit index, left child, right child, stored key.
+    let (_, bit_base) = mb.global("nbit", n_nodes as u32);
+    let (_, left_base) = mb.global("nleft", n_nodes as u32);
+    let (_, right_base) = mb.global("nright", n_nodes as u32);
+    let (_, key_base) = mb.global("nkey", n_nodes as u32);
+    let (_, count_cell) = mb.global("ncount", 1);
+
+    // insert(key): walks bits from the top, appends a node at the first
+    // free slot (simplified binary digital trie, bounded depth 24).
+    let insert = {
+        let mut b = FuncBuilder::new("insert", 1);
+        let key = b.param(0);
+        let pb = b.iconst(bit_base as i64);
+        let pl = b.iconst(left_base as i64);
+        let pr = b.iconst(right_base as i64);
+        let pk = b.iconst(key_base as i64);
+        let pcnt = b.iconst(count_cell as i64);
+        let cur = b.fresh();
+        b.assign(cur, 0);
+        let depth = b.fresh();
+        b.assign(depth, 23);
+        let done = b.fresh();
+        b.assign(done, 0);
+        b.while_loop(
+            |b| {
+                let more = b.cmp(Pred::Ge, depth, 0);
+                let not_done = b.cmp(Pred::Eq, done, 0);
+                b.and(more, not_done)
+            },
+            |b| {
+                let bit0 = b.shr(key, depth);
+                let bit = b.and(bit0, 1);
+                let go_right = b.cmp(Pred::Ne, bit, 0);
+                let childp = b.fresh();
+                b.if_else(
+                    go_right,
+                    |b| {
+                        let v = load_idx(b, pr, cur);
+                        b.assign(childp, v);
+                    },
+                    |b| {
+                        let v = load_idx(b, pl, cur);
+                        b.assign(childp, v);
+                    },
+                );
+                let empty = b.cmp(Pred::Eq, childp, 0);
+                b.if_else(
+                    empty,
+                    |b| {
+                        // Allocate a new node.
+                        let cnt = b.load(pcnt, 0);
+                        let newn = b.add(cnt, 1);
+                        b.store(newn, pcnt, 0);
+                        store_idx(b, pk, newn, key);
+                        store_idx(b, pb, newn, depth);
+                        b.if_else(
+                            go_right,
+                            |b| store_idx(b, pr, cur, newn),
+                            |b| store_idx(b, pl, cur, newn),
+                        );
+                        b.assign(done, 1);
+                    },
+                    |b| {
+                        b.assign(cur, childp);
+                        let d1 = b.sub(depth, 1);
+                        b.assign(depth, d1);
+                    },
+                );
+            },
+        );
+        b.ret_void();
+        mb.add(b.finish())
+    };
+
+    // lookup(key) -> stored key of closest node.
+    let lookup = {
+        let mut b = FuncBuilder::new("lookup", 1);
+        let key = b.param(0);
+        let pl = b.iconst(left_base as i64);
+        let pr = b.iconst(right_base as i64);
+        let pk = b.iconst(key_base as i64);
+        let cur = b.fresh();
+        b.assign(cur, 0);
+        let depth = b.fresh();
+        b.assign(depth, 23);
+        let last = b.fresh();
+        b.assign(last, 0);
+        b.while_loop(
+            |b| {
+                let more = b.cmp(Pred::Ge, depth, 0);
+                let alive = b.cmp(Pred::Ge, cur, 0);
+                b.and(more, alive)
+            },
+            |b| {
+                let bit0 = b.shr(key, depth);
+                let bit = b.and(bit0, 1);
+                let go_right = b.cmp(Pred::Ne, bit, 0);
+                let nxt = b.fresh();
+                b.if_else(
+                    go_right,
+                    |b| {
+                        let v = load_idx(b, pr, cur);
+                        b.assign(nxt, v);
+                    },
+                    |b| {
+                        let v = load_idx(b, pl, cur);
+                        b.assign(nxt, v);
+                    },
+                );
+                let empty = b.cmp(Pred::Eq, nxt, 0);
+                b.if_else(
+                    empty,
+                    |b| b.assign(cur, -1), // stop
+                    |b| {
+                        b.assign(cur, nxt);
+                        let k = load_idx(b, pk, nxt);
+                        b.assign(last, k);
+                        let d1 = b.sub(depth, 1);
+                        b.assign(depth, d1);
+                    },
+                );
+            },
+        );
+        b.ret(last);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pkeys = b.iconst(keys as i64);
+    let pq = b.iconst(queries as i64);
+    b.counted_loop(0, n_keys, 1, |b, i| {
+        let k = load_idx(b, pkeys, i);
+        b.call_void(insert, &[k.into()]);
+    });
+    let acc = b.iconst(0);
+    b.counted_loop(0, n_keys, 1, |b, i| {
+        let q = load_idx(b, pq, i);
+        let r = b.call(lookup, &[q.into()]);
+        emit_hash_step(b, acc, r);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}

@@ -1,0 +1,253 @@
+//! Office benchmarks: `ispell`, `lout`, `say`, `search` (stringsearch).
+
+use crate::kernels::*;
+use portopt_ir::{FuncBuilder, Module, ModuleBuilder, Operand, Pred};
+
+/// `ispell` — dictionary spell-check: per-word hashing through a small
+/// helper (inline-me) plus probe chains in a hash table.
+pub fn ispell(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("ispell");
+    let n_words: i64 = 900;
+    let word_len: i64 = 6;
+    let text = rand_global(&mut mb, "text", (n_words * word_len) as u32, seed, 97, 123);
+    const TABLE: i64 = 1024;
+    let dict = rand_global(&mut mb, "dict", TABLE as u32, seed ^ 0xD1C7, 0, 1 << 30);
+
+    // hash_char(h, c): tiny leaf, called per character.
+    let hash_char = {
+        let mut b = FuncBuilder::new("hash_char", 2);
+        let (h, c) = (b.param(0), b.param(1));
+        let m = b.mul(h, 31);
+        let s = b.add(m, c);
+        let t = b.and(s, 0x7FFF_FFFF);
+        b.ret(t);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pt = b.iconst(text as i64);
+    let pd = b.iconst(dict as i64);
+    let found = b.iconst(0);
+    b.counted_loop(0, n_words, 1, |b, w| {
+        let base = b.mul(w, word_len);
+        let h = b.fresh();
+        b.assign(h, 5381);
+        b.counted_loop(0, word_len, 1, |b, k| {
+            let idx = b.add(base, k);
+            let c = load_idx(b, pt, idx);
+            let nh = b.call(hash_char, &[h.into(), c.into()]);
+            b.assign(h, nh);
+        });
+        // Linear probe up to 4 slots.
+        let slot = b.rem(h, TABLE);
+        let hit = b.fresh();
+        b.assign(hit, 0);
+        b.counted_loop(0, 4, 1, |b, probe| {
+            let s0 = b.add(slot, probe);
+            let s = b.rem(s0, TABLE);
+            let entry = load_idx(b, pd, s);
+            let low = b.and(entry, 0xFFFF);
+            let hlow = b.and(h, 0xFFFF);
+            let eq = b.cmp(Pred::Eq, low, hlow);
+            b.if_then(eq, |b| b.assign(hit, 1));
+        });
+        let t = b.add(found, hit);
+        b.assign(found, t);
+    });
+    b.ret(found);
+    finish_main(mb, b)
+}
+
+/// `lout` — document formatter: optimal line breaking by dynamic
+/// programming over word widths (nested loops + min updates).
+pub fn lout(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("lout");
+    let n_words: i64 = 260;
+    const LINE: i64 = 60;
+    let widths = rand_global(&mut mb, "widths", n_words as u32, seed, 1, 14);
+    let (_, cost_base) = mb.global("cost", (n_words + 1) as u32);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pw = b.iconst(widths as i64);
+    let pc = b.iconst(cost_base as i64);
+    const INF: i64 = 1 << 40;
+    b.counted_loop(0, n_words + 1, 1, |b, i| {
+        store_idx(b, pc, i, INF);
+    });
+    store_idx(&mut b, pc, 0i64, 0i64);
+    b.counted_loop(0, n_words, 1, |b, i| {
+        // Try lines starting at word i.
+        let len = b.fresh();
+        b.assign(len, 0);
+        let j = b.fresh();
+        b.assign(j, i);
+        let ci = load_idx(b, pc, i);
+        let live = b.cmp(Pred::Lt, ci, INF);
+        b.if_then(live, |b| {
+            b.while_loop(
+                |b| {
+                    let in_range = b.cmp(Pred::Lt, j, n_words);
+                    let fits = b.cmp(Pred::Le, len, LINE);
+                    b.and(in_range, fits)
+                },
+                |b| {
+                    let wj = load_idx(b, pw, j);
+                    let l2 = b.add(len, wj);
+                    let l3 = b.add(l2, 1); // space
+                    b.assign(len, l3);
+                    let fits = b.cmp(Pred::Le, len, LINE);
+                    b.if_then(fits, |b| {
+                        // cost = (LINE - len)^2 badness.
+                        let slack = b.sub(LINE, len);
+                        let bad = b.mul(slack, slack);
+                        let cand = b.add(ci, bad);
+                        let j1 = b.add(j, 1);
+                        let cj = load_idx(b, pc, j1);
+                        let better = b.cmp(Pred::Lt, cand, cj);
+                        b.if_then(better, |b| {
+                            store_idx(b, pc, j1, cand);
+                        });
+                    });
+                    let j1 = b.add(j, 1);
+                    b.assign(j, j1);
+                },
+            );
+        });
+    });
+    let r = load_idx(&mut b, pc, n_words);
+    let m = b.rem(r, 1_000_003);
+    b.ret(m);
+    finish_main(mb, b)
+}
+
+/// `say` — speech synthesiser front end: per-character phoneme rules via
+/// small helper functions and a state machine (call-heavy, like `ispell`).
+pub fn say(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("say");
+    let n: i64 = 4000;
+    let text = rand_global(&mut mb, "text", n as u32, seed, 97, 123);
+    let rules = rand_global(&mut mb, "rules", 26 * 4, seed ^ 0x5A7, 1, 100);
+
+    // classify(c): vowel/consonant/sibilant decision tree (leaf).
+    let classify = {
+        let mut b = FuncBuilder::new("classify", 1);
+        let c = b.param(0);
+        let out = b.fresh();
+        b.assign(out, 0);
+        for (k, vowel) in [97i64, 101, 105, 111, 117].iter().enumerate() {
+            let is = b.cmp(Pred::Eq, c, *vowel);
+            let k = k as i64 + 1;
+            b.if_then(is, |b| b.assign(out, k));
+        }
+        b.ret(out);
+        mb.add(b.finish())
+    };
+    // pitch(state, class): table-driven pitch contour (leaf).
+    let pitch = {
+        let mut b = FuncBuilder::new("pitch", 2);
+        let (st, cl) = (b.param(0), b.param(1));
+        let pr = b.iconst(rules as i64);
+        let i0 = b.shl(cl, 2);
+        let mix = b.and(st, 3);
+        let idx0 = b.add(i0, mix);
+        let idx = b.rem(idx0, 26 * 4);
+        let v = load_idx(&mut b, pr, idx);
+        b.ret(v);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let ptext = b.iconst(text as i64);
+    let state = b.fresh();
+    b.assign(state, 1);
+    let acc = b.iconst(0);
+    b.counted_loop(0, n, 1, |b, i| {
+        let c = load_idx(b, ptext, i);
+        let cl = b.call(classify, &[c.into()]);
+        let p = b.call(pitch, &[state.into(), cl.into()]);
+        // State transition.
+        let vowel = b.cmp(Pred::Gt, cl, 0);
+        b.if_else(
+            vowel,
+            |b| {
+                let s = b.add(state, p);
+                let m = b.and(s, 0xFFFF);
+                b.assign(state, m);
+            },
+            |b| {
+                let s = b.shl(state, 1);
+                let x = b.xor(s, c);
+                let m = b.and(x, 0xFFFF);
+                b.assign(state, m);
+            },
+        );
+        emit_hash_step(b, acc, state);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `search` — Boyer–Moore–Horspool string search over a large text with a
+/// fixed-length pattern: short known-trip-count compare loops, the paper's
+/// biggest winner (unrolling + scheduling pay off massively).
+pub fn search(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("search");
+    let n: i64 = 9000;
+    const M: i64 = 8; // pattern length (known at compile time)
+    let text = rand_global(&mut mb, "text", n as u32, seed, 97, 101); // a..d
+    let pattern = rand_global(&mut mb, "pattern", M as u32, seed ^ 0xBEEF, 97, 101);
+    let (_, skip_base) = mb.global("skip", 128);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pt = b.iconst(text as i64);
+    let pp = b.iconst(pattern as i64);
+    let psk = b.iconst(skip_base as i64);
+    // Build the skip table.
+    b.counted_loop(0, 128, 1, |b, c| {
+        store_idx(b, psk, c, M);
+    });
+    b.counted_loop(0, M - 1, 1, |b, k| {
+        let c = load_idx(b, pp, k);
+        let s = b.sub(M - 1, k);
+        store_idx(b, psk, c, s);
+    });
+
+    let matches = b.iconst(0);
+    let pos = b.fresh();
+    b.assign(pos, 0);
+    b.while_loop(
+        |b| b.cmp(Pred::Le, pos, n - M),
+        |b| {
+            // Compare the pattern right-to-left (fixed M iterations with an
+            // early-out flag: the unrollable hot loop).
+            let ok = b.fresh();
+            b.assign(ok, 1);
+            b.counted_loop(0, M, 1, |b, k| {
+                let idx0 = b.add(pos, M - 1);
+                let idx = b.sub(idx0, k);
+                let tc = load_idx(b, pt, idx);
+                let pidx = b.sub(M - 1, k);
+                let pc = load_idx(b, pp, pidx);
+                let ne = b.cmp(Pred::Ne, tc, pc);
+                b.if_then(ne, |b| b.assign(ok, 0));
+            });
+            let hit = b.cmp(Pred::Ne, ok, 0);
+            b.if_then(hit, |b| {
+                let t = b.add(matches, 1);
+                b.assign(matches, t);
+            });
+            // Horspool skip on the last window character.
+            let lidx = b.add(pos, M - 1);
+            let lc = load_idx(b, pt, lidx);
+            let sk = load_idx(b, psk, lc);
+            let np = b.add(pos, sk);
+            b.assign(pos, np);
+        },
+    );
+    let h = b.mul(matches, 2654435761i64);
+    let r = b.and(h, 0x7FFF_FFFF);
+    let r2 = b.add(r, matches);
+    b.ret(r2);
+    let _ = Operand::Imm(0);
+    finish_main(mb, b)
+}

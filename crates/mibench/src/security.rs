@@ -1,0 +1,304 @@
+//! Security benchmarks: `bf_e`, `bf_d`, `pgp`, `pgp_sa`, `rijndael_e`,
+//! `rijndael_d`, `sha`.
+
+use crate::kernels::*;
+use portopt_ir::{FuncBuilder, Module, ModuleBuilder, Pred, VReg};
+
+/// Blowfish-style Feistel kernel: 16 rounds of S-box lookups per block.
+fn blowfish(name: &str, seed: u64, decrypt: bool) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let blocks: i64 = 700;
+    let data = rand_global(&mut mb, "data", (blocks * 2) as u32, seed, 0, 1 << 30);
+    let sbox = rand_global(&mut mb, "sbox", 1024, seed ^ 0xBF, 0, 1 << 30);
+    let pbox = rand_global(&mut mb, "pbox", 18, seed ^ 0x1F, 0, 1 << 30);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pd = b.iconst(data as i64);
+    let ps = b.iconst(sbox as i64);
+    let pp = b.iconst(pbox as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, blocks, 1, |b, blk| {
+        let li = b.shl(blk, 1);
+        let ri = b.add(li, 1);
+        let l = b.fresh();
+        let r = b.fresh();
+        let l0 = load_idx(b, pd, li);
+        let r0 = load_idx(b, pd, ri);
+        b.assign(l, l0);
+        b.assign(r, r0);
+        b.counted_loop(0, 16, 1, |b, round| {
+            // P-box xor (decrypt walks the schedule backwards).
+            let pidx = if decrypt { b.sub(17, round) } else { b.add(round, 0) };
+            let pk = load_idx(b, pp, pidx);
+            let lx = b.xor(l, pk);
+            b.assign(l, lx);
+            // F function: four S-box lookups combined.
+            let b0 = b.and(l, 0xFF);
+            let b1s = b.shr(l, 8);
+            let b1 = b.and(b1s, 0xFF);
+            let b2s = b.shr(l, 16);
+            let b2 = b.and(b2s, 0xFF);
+            let b3s = b.shr(l, 24);
+            let b3 = b.and(b3s, 0xFF);
+            let s0 = load_idx(b, ps, b0);
+            let i1 = b.add(b1, 256);
+            let s1 = load_idx(b, ps, i1);
+            let i2 = b.add(b2, 512);
+            let s2 = load_idx(b, ps, i2);
+            let i3 = b.add(b3, 768);
+            let s3 = load_idx(b, ps, i3);
+            let f0 = b.add(s0, s1);
+            let f1 = b.xor(f0, s2);
+            let f = b.add(f1, s3);
+            let fm = b.and(f, 0xFFFF_FFFF);
+            let rx = b.xor(r, fm);
+            // Swap halves.
+            let tmp = b.fresh();
+            b.assign(tmp, l);
+            b.assign(l, rx);
+            b.assign(r, tmp);
+        });
+        store_idx(b, pd, li, r);
+        store_idx(b, pd, ri, l);
+        emit_hash_step(b, acc, r);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `bf_e` — Blowfish encryption.
+pub fn bf_e(seed: u64) -> Module {
+    blowfish("bf_e", seed, false)
+}
+
+/// `bf_d` — Blowfish decryption.
+pub fn bf_d(seed: u64) -> Module {
+    blowfish("bf_d", seed, true)
+}
+
+/// Emits one hand-unrolled AES-ish round: 4 table lookups + xors per word,
+/// straight-line. `rijndael`'s source unrolls all rounds, so the generated
+/// code is big and loop-free — `-funroll-loops` is useless on it (the
+/// paper's own explanation for its Figure 5 outlier) and small instruction
+/// caches punish any further code growth.
+fn rijndael_round(
+    b: &mut FuncBuilder,
+    tbox: VReg,
+    state: &[VReg; 4],
+    round_key: i64,
+) {
+    let old = [state[0], state[1], state[2], state[3]];
+    let olds: Vec<VReg> = old
+        .iter()
+        .map(|&r| {
+            let t = b.fresh();
+            b.assign(t, r);
+            t
+        })
+        .collect();
+    for w in 0..4 {
+        let a0 = b.and(olds[w], 0xFF);
+        let s1 = b.shr(olds[(w + 1) % 4], 8);
+        let a1 = b.and(s1, 0xFF);
+        let s2 = b.shr(olds[(w + 2) % 4], 16);
+        let a2 = b.and(s2, 0xFF);
+        let s3 = b.shr(olds[(w + 3) % 4], 24);
+        let a3 = b.and(s3, 0xFF);
+        let t0 = load_idx(b, tbox, a0);
+        let i1 = b.add(a1, 256);
+        let t1 = load_idx(b, tbox, i1);
+        let i2 = b.add(a2, 512);
+        let t2 = load_idx(b, tbox, i2);
+        let i3 = b.add(a3, 768);
+        let t3 = load_idx(b, tbox, i3);
+        let x0 = b.xor(t0, t1);
+        let x1 = b.xor(x0, t2);
+        let x2 = b.xor(x1, t3);
+        let x3 = b.xor(x2, round_key + w as i64);
+        let m = b.and(x3, 0xFFFF_FFFF);
+        b.assign(state[w], m);
+    }
+}
+
+/// Rijndael kernel with source-level-unrolled rounds.
+fn rijndael(name: &str, seed: u64, rounds: usize) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let nblocks: i64 = 260;
+    let data = rand_global(&mut mb, "data", (nblocks * 4) as u32, seed, 0, 1 << 30);
+    let tbox = rand_global(&mut mb, "tbox", 1024, seed ^ 0xAE5, 0, 1 << 30);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pd = b.iconst(data as i64);
+    let pt = b.iconst(tbox as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, nblocks, 1, |b, blk| {
+        let base = b.shl(blk, 2);
+        let s0 = b.fresh();
+        let s1 = b.fresh();
+        let s2 = b.fresh();
+        let s3 = b.fresh();
+        for (w, reg) in [s0, s1, s2, s3].into_iter().enumerate() {
+            let idx = b.add(base, w as i64);
+            let v = load_idx(b, pd, idx);
+            b.assign(reg, v);
+        }
+        let state = [s0, s1, s2, s3];
+        // Hand-unrolled rounds: straight-line code, large footprint.
+        for r in 0..rounds {
+            rijndael_round(b, pt, &state, 0x1010 * (r as i64 + 1));
+        }
+        for (w, reg) in state.into_iter().enumerate() {
+            let idx = b.add(base, w as i64);
+            store_idx(b, pd, idx, reg);
+        }
+        emit_hash_step(b, acc, state[0]);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `rijndael_e` — AES-ish encryption, 10 hand-unrolled rounds.
+pub fn rijndael_e(seed: u64) -> Module {
+    rijndael("rijndael_e", seed, 10)
+}
+
+/// `rijndael_d` — AES-ish decryption, 10 hand-unrolled rounds (different
+/// seed mix so the working set differs from `rijndael_e`).
+pub fn rijndael_d(seed: u64) -> Module {
+    rijndael("rijndael_d", seed.wrapping_mul(0x9E37_79B9), 10)
+}
+
+/// `sha` — SHA-1-style compression: shift/xor message schedule plus a
+/// four-phase compression loop with known trip counts.
+pub fn sha(seed: u64) -> Module {
+    let mut mb = ModuleBuilder::new("sha");
+    let nblocks: i64 = 90;
+    let msg = rand_global(&mut mb, "msg", (nblocks * 16) as u32, seed, 0, 1 << 30);
+    let (_, w_base) = mb.global("w", 80);
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pm = b.iconst(msg as i64);
+    let pw = b.iconst(w_base as i64);
+    let h0 = b.fresh();
+    b.assign(h0, 0x6745_2301i64);
+    let h1 = b.fresh();
+    b.assign(h1, 0xEFCD_AB89i64);
+    let h2 = b.fresh();
+    b.assign(h2, 0x98BA_DCFEi64);
+
+    b.counted_loop(0, nblocks, 1, |b, blk| {
+        let base = b.shl(blk, 4);
+        // Schedule: w[0..16] = msg; w[16..80] = rotl1(xor of taps).
+        b.counted_loop(0, 16, 1, |b, t| {
+            let idx = b.add(base, t);
+            let v = load_idx(b, pm, idx);
+            store_idx(b, pw, t, v);
+        });
+        b.counted_loop(16, 80, 1, |b, t| {
+            let i3 = b.sub(t, 3);
+            let i8 = b.sub(t, 8);
+            let i14 = b.sub(t, 14);
+            let i16 = b.sub(t, 16);
+            let a = load_idx(b, pw, i3);
+            let c = load_idx(b, pw, i8);
+            let d = load_idx(b, pw, i14);
+            let e = load_idx(b, pw, i16);
+            let x0 = b.xor(a, c);
+            let x1 = b.xor(x0, d);
+            let x2 = b.xor(x1, e);
+            let hi = b.shl(x2, 1);
+            let lo = b.shr(x2, 31);
+            let lo2 = b.and(lo, 1);
+            let rot0 = b.or(hi, lo2);
+            let rot = b.and(rot0, 0xFFFF_FFFF);
+            store_idx(b, pw, t, rot);
+        });
+        // Compression (simplified three-register variant).
+        b.counted_loop(0, 80, 1, |b, t| {
+            let w = load_idx(b, pw, t);
+            let f = b.fresh();
+            let phase = b.div(t, 20);
+            let is0 = b.cmp(Pred::Eq, phase, 0);
+            b.if_else(
+                is0,
+                |b| {
+                    // Ch(h1, h2): (h1 & h2) | (!h1 & const)
+                    let x = b.and(h1, h2);
+                    b.assign(f, x);
+                },
+                |b| {
+                    let x = b.xor(h1, h2);
+                    b.assign(f, x);
+                },
+            );
+            let rot5h = b.shl(h0, 5);
+            let rot5l = b.shr(h0, 27);
+            let rot5 = b.or(rot5h, rot5l);
+            let s0 = b.add(rot5, f);
+            let s1 = b.add(s0, w);
+            let s2 = b.add(s1, 0x5A82_7999);
+            let nm = b.and(s2, 0xFFFF_FFFF);
+            b.assign(h2, h1);
+            b.assign(h1, h0);
+            b.assign(h0, nm);
+        });
+    });
+    let d0 = b.xor(h0, h1);
+    let d1 = b.xor(d0, h2);
+    b.ret(d1);
+    finish_main(mb, b)
+}
+
+/// Modular-exponentiation kernel shared by `pgp` and `pgp_sa` — call-heavy
+/// (`mulmod` helper per step), div/rem dominated, the inlining showcase of
+/// the paper's Figure 8.
+fn pgp_kernel(name: &str, seed: u64, exponent_bits: i64) -> Module {
+    let mut mb = ModuleBuilder::new(name);
+    let nmsgs: i64 = 40;
+    let msgs = rand_global(&mut mb, "msgs", nmsgs as u32, seed, 2, 1 << 20);
+
+    // mulmod(a, b, m) = a*b % m — small, hot, inline-me.
+    let mulmod = {
+        let mut b = FuncBuilder::new("mulmod", 3);
+        let p = b.mul(b.param(0), b.param(1));
+        let r = b.rem(p, b.param(2));
+        b.ret(r);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let pm = b.iconst(msgs as i64);
+    let modulus = b.iconst(1_000_003);
+    let acc = b.iconst(0);
+    b.counted_loop(0, nmsgs, 1, |b, i| {
+        let base = load_idx(b, pm, i);
+        let result = b.fresh();
+        b.assign(result, 1);
+        let pow = b.fresh();
+        b.assign(pow, base);
+        // Square-and-multiply with a fixed exponent pattern.
+        b.counted_loop(0, exponent_bits, 1, |b, bit| {
+            let odd = b.and(bit, 1);
+            let use_mul = b.cmp(Pred::Ne, odd, 0);
+            b.if_then(use_mul, |b| {
+                let r = b.call(mulmod, &[result.into(), pow.into(), modulus.into()]);
+                b.assign(result, r);
+            });
+            let sq = b.call(mulmod, &[pow.into(), pow.into(), modulus.into()]);
+            b.assign(pow, sq);
+        });
+        emit_hash_step(b, acc, result);
+    });
+    b.ret(acc);
+    finish_main(mb, b)
+}
+
+/// `pgp` — RSA-style encryption stand-in.
+pub fn pgp(seed: u64) -> Module {
+    pgp_kernel("pgp", seed, 64)
+}
+
+/// `pgp_sa` — signature stand-in (longer exponent).
+pub fn pgp_sa(seed: u64) -> Module {
+    pgp_kernel("pgp_sa", seed ^ 0x5A, 96)
+}

@@ -1,0 +1,241 @@
+//! Factorised (IID) multinomial distributions over optimisation settings —
+//! §3.3.1 of the paper.
+//!
+//! For each training program/microarchitecture pair, the model fits
+//! `g(y|X) = Π_ℓ g(y_ℓ)` to the empirical distribution over the *good*
+//! settings (the top 5 % of sampled configurations) by minimising KL
+//! divergence — equations (2)–(5). With a uniform empirical distribution
+//! the maximum-likelihood estimate is just frequency counting (eq. 5).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A product of independent multinomials, one per optimisation dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IidDistribution {
+    /// `probs[dim][choice]` = `θ_ℓ^j`, with `Σ_j probs[dim][j] == 1`.
+    probs: Vec<Vec<f64>>,
+}
+
+/// Laplace smoothing mass added per choice when fitting (keeps the mode
+/// well-defined and cross-entropies finite on small good-sets).
+const SMOOTHING: f64 = 0.1;
+
+impl IidDistribution {
+    /// The uniform distribution over a space with the given per-dimension
+    /// cardinalities.
+    pub fn uniform(dims: &[usize]) -> Self {
+        IidDistribution {
+            probs: dims.iter().map(|&c| vec![1.0 / c as f64; c]).collect(),
+        }
+    }
+
+    /// Maximum-likelihood fit (eq. 5): `θ_ℓ^j` = fraction of good settings
+    /// in which dimension ℓ takes value j, Laplace-smoothed.
+    ///
+    /// # Panics
+    /// Panics if `good` is empty or a choice exceeds its cardinality.
+    pub fn fit(dims: &[usize], good: &[Vec<u8>]) -> Self {
+        assert!(!good.is_empty(), "cannot fit to an empty good-set");
+        let mut counts: Vec<Vec<f64>> = dims.iter().map(|&c| vec![SMOOTHING; c]).collect();
+        for y in good {
+            assert_eq!(y.len(), dims.len(), "setting has wrong dimensionality");
+            for (d, &choice) in y.iter().enumerate() {
+                counts[d][choice as usize] += 1.0;
+            }
+        }
+        for row in &mut counts {
+            let total: f64 = row.iter().sum();
+            for p in row.iter_mut() {
+                *p /= total;
+            }
+        }
+        IidDistribution { probs: counts }
+    }
+
+    /// Number of dimensions.
+    pub fn n_dims(&self) -> usize {
+        self.probs.len()
+    }
+
+    /// `θ_ℓ^j`.
+    pub fn prob(&self, dim: usize, choice: u8) -> f64 {
+        self.probs[dim][choice as usize]
+    }
+
+    /// `log g(y)` (natural log).
+    pub fn log_prob(&self, y: &[u8]) -> f64 {
+        y.iter()
+            .enumerate()
+            .map(|(d, &c)| self.probs[d][c as usize].ln())
+            .sum()
+    }
+
+    /// The mode `argmax_y g(y)` — eq. (1). For a factorised distribution
+    /// this is the per-dimension argmax.
+    pub fn mode(&self) -> Vec<u8> {
+        self.probs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(j, _)| j as u8)
+                    .expect("non-empty dimension")
+            })
+            .collect()
+    }
+
+    /// Draws a sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> Vec<u8> {
+        self.probs
+            .iter()
+            .map(|row| {
+                let mut u: f64 = rng.gen();
+                for (j, p) in row.iter().enumerate() {
+                    if u < *p {
+                        return j as u8;
+                    }
+                    u -= p;
+                }
+                (row.len() - 1) as u8
+            })
+            .collect()
+    }
+
+    /// Cross-entropy `H(p̃, g) = -Σ_y p̃(y) log g(y)` against a uniform
+    /// empirical distribution over `samples` — the objective of eq. (3)
+    /// (up to sign).
+    pub fn cross_entropy(&self, samples: &[Vec<u8>]) -> f64 {
+        -samples.iter().map(|y| self.log_prob(y)).sum::<f64>() / samples.len() as f64
+    }
+
+    /// Convex combination `Σ_k w_k g_k` of factorised distributions — the
+    /// KNN predictive distribution `q(y|x)` of §3.3.2. Weights need not be
+    /// normalised.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or dimensionalities disagree.
+    pub fn mix(parts: &[(f64, &IidDistribution)]) -> Self {
+        assert!(!parts.is_empty(), "empty mixture");
+        let wsum: f64 = parts.iter().map(|(w, _)| w).sum();
+        let dims = parts[0].1.n_dims();
+        let mut probs: Vec<Vec<f64>> = (0..dims)
+            .map(|d| vec![0.0; parts[0].1.probs[d].len()])
+            .collect();
+        for (w, g) in parts {
+            assert_eq!(g.n_dims(), dims);
+            for (d, row) in g.probs.iter().enumerate() {
+                for (j, p) in row.iter().enumerate() {
+                    probs[d][j] += (w / wsum) * p;
+                }
+            }
+        }
+        IidDistribution { probs }
+    }
+
+    /// Per-dimension entropy in nats (used by the Figure 8 analysis).
+    pub fn dim_entropy(&self, dim: usize) -> f64 {
+        -self.probs[dim]
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dims() -> Vec<usize> {
+        vec![2, 2, 4]
+    }
+
+    #[test]
+    fn fit_recovers_frequencies() {
+        let good = vec![
+            vec![1, 0, 3],
+            vec![1, 0, 3],
+            vec![1, 1, 2],
+            vec![1, 0, 3],
+        ];
+        let g = IidDistribution::fit(&dims(), &good);
+        // Dimension 0: always 1.
+        assert!(g.prob(0, 1) > 0.9);
+        // Dimension 1: 3/4 zeros.
+        assert!((g.prob(1, 0) - 0.75).abs() < 0.08);
+        // Mode matches the dominant choices.
+        assert_eq!(g.mode(), vec![1, 0, 3]);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let good = vec![vec![0, 1, 2], vec![1, 1, 0]];
+        let g = IidDistribution::fit(&dims(), &good);
+        for d in 0..3 {
+            let s: f64 = (0..dims()[d]).map(|j| g.prob(d, j as u8)).sum();
+            assert!((s - 1.0).abs() < 1e-12, "dim {d} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn uniform_has_max_entropy_and_uniform_mode_prob() {
+        let u = IidDistribution::uniform(&dims());
+        assert!((u.prob(2, 0) - 0.25).abs() < 1e-12);
+        let fitted = IidDistribution::fit(&dims(), &[vec![0, 0, 0]]);
+        assert!(fitted.dim_entropy(2) < u.dim_entropy(2));
+    }
+
+    #[test]
+    fn mode_maximises_log_prob() {
+        let good = vec![vec![1, 0, 3], vec![1, 1, 3], vec![1, 0, 2]];
+        let g = IidDistribution::fit(&dims(), &good);
+        let mode = g.mode();
+        let lp = g.log_prob(&mode);
+        // Exhaustive check over the small space.
+        for a in 0..2u8 {
+            for b in 0..2u8 {
+                for c in 0..4u8 {
+                    assert!(g.log_prob(&[a, b, c]) <= lp + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_entropy_lower_for_matching_distribution() {
+        let good = vec![vec![1, 0, 3]; 10];
+        let g_match = IidDistribution::fit(&dims(), &good);
+        let g_other = IidDistribution::fit(&dims(), &vec![vec![0, 1, 0]; 10]);
+        assert!(g_match.cross_entropy(&good) < g_other.cross_entropy(&good));
+    }
+
+    #[test]
+    fn mix_interpolates() {
+        let a = IidDistribution::fit(&dims(), &vec![vec![0, 0, 0]; 5]);
+        let b = IidDistribution::fit(&dims(), &vec![vec![1, 1, 3]; 5]);
+        let m = IidDistribution::mix(&[(1.0, &a), (1.0, &b)]);
+        assert!((m.prob(0, 0) - 0.5).abs() < 0.05);
+        assert!((m.prob(0, 1) - 0.5).abs() < 0.05);
+        // Heavier weight pulls the mode.
+        let m2 = IidDistribution::mix(&[(10.0, &a), (1.0, &b)]);
+        assert_eq!(m2.mode(), a.mode());
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let good = vec![vec![1, 0, 3]; 20];
+        let g = IidDistribution::fit(&dims(), &good);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut ones = 0;
+        for _ in 0..1000 {
+            if g.sample(&mut rng)[0] == 1 {
+                ones += 1;
+            }
+        }
+        assert!(ones > 900, "{ones}");
+    }
+}

@@ -1,0 +1,225 @@
+//! The K-nearest-neighbour predictive distribution of §3.3.2.
+//!
+//! `q(y|x*)` is the softmax-weighted convex combination (eq. 6, β = 1,
+//! K = 7) of the per-training-pair distributions whose feature vectors are
+//! nearest to the new program/microarchitecture's features under Euclidean
+//! distance on z-score-normalised features.
+
+use crate::dist::IidDistribution;
+use serde::{Deserialize, Serialize};
+
+/// Per-feature z-score normalisation fitted on the training set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Normalizer {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits mean/std per feature. Zero-variance features get std 1 (they
+    /// then contribute nothing to distances).
+    pub fn fit(features: &[Vec<f64>]) -> Self {
+        assert!(!features.is_empty(), "no training features");
+        let n = features.len() as f64;
+        let d = features[0].len();
+        let mut mean = vec![0.0; d];
+        for f in features {
+            for (m, v) in mean.iter_mut().zip(f) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for f in features {
+            for ((v, x), m) in var.iter_mut().zip(f).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n).sqrt();
+                if s < 1e-12 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Normalizer { mean, std }
+    }
+
+    /// Normalises one feature vector.
+    pub fn apply(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(&self.mean)
+            .zip(&self.std)
+            .map(|((v, m), s)| (v - m) / s)
+            .collect()
+    }
+}
+
+/// The trained model `M : x → q(y|x)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct KnnModel {
+    normalizer: Normalizer,
+    /// Normalised features and fitted distribution per training pair.
+    points: Vec<(Vec<f64>, IidDistribution)>,
+    /// Number of neighbours (paper: 7).
+    pub k: usize,
+    /// Softmax inverse temperature (paper: 1.0).
+    pub beta: f64,
+}
+
+/// The paper's K.
+pub const DEFAULT_K: usize = 7;
+/// The paper's β.
+pub const DEFAULT_BETA: f64 = 1.0;
+
+impl KnnModel {
+    /// Trains the model from per-pair features and fitted distributions.
+    ///
+    /// # Panics
+    /// Panics if the inputs are empty or of mismatched length.
+    pub fn train(features: Vec<Vec<f64>>, dists: Vec<IidDistribution>, k: usize, beta: f64) -> Self {
+        assert_eq!(features.len(), dists.len(), "features/distributions mismatch");
+        assert!(!features.is_empty(), "empty training set");
+        let normalizer = Normalizer::fit(&features);
+        let points = features
+            .into_iter()
+            .map(|f| normalizer.apply(&f))
+            .zip(dists)
+            .collect();
+        KnnModel {
+            normalizer,
+            points,
+            k,
+            beta,
+        }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the model holds no training points (never true
+    /// for a model built by [`KnnModel::train`]).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The predictive distribution `q(y|x*)` (eq. 6).
+    pub fn predict(&self, x: &[f64]) -> IidDistribution {
+        let xn = self.normalizer.apply(x);
+        // K nearest by Euclidean distance.
+        let mut dist_idx: Vec<(f64, usize)> = self
+            .points
+            .iter()
+            .enumerate()
+            .map(|(i, (f, _))| {
+                let d2: f64 = f.iter().zip(&xn).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2.sqrt(), i)
+            })
+            .collect();
+        dist_idx.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let k = self.k.min(dist_idx.len());
+        let nearest = &dist_idx[..k];
+        // Softmax weights, computed stably relative to the closest point.
+        let dmin = nearest[0].0;
+        let parts: Vec<(f64, &IidDistribution)> = nearest
+            .iter()
+            .map(|&(d, i)| ((-self.beta * (d - dmin)).exp(), &self.points[i].1))
+            .collect();
+        IidDistribution::mix(&parts)
+    }
+
+    /// The predicted-best setting `y* = argmax_y q(y|x*)` (eq. 1).
+    pub fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        self.predict(x).mode()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_model(k: usize) -> KnnModel {
+        // Cluster A near (0,0) prefers setting [0,0]; cluster B near (10,10)
+        // prefers [1,3].
+        let dims = vec![2usize, 4usize];
+        let mut features = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..8 {
+            let e = i as f64 * 0.1;
+            features.push(vec![e, -e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![0, 0]; 4]));
+            features.push(vec![10.0 + e, 10.0 - e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![1, 3]; 4]));
+        }
+        KnnModel::train(features, dists, k, 1.0)
+    }
+
+    #[test]
+    fn predicts_cluster_preference() {
+        let m = two_cluster_model(DEFAULT_K);
+        assert_eq!(m.predict_mode(&[0.2, 0.0]), vec![0, 0]);
+        assert_eq!(m.predict_mode(&[9.8, 10.1]), vec![1, 3]);
+    }
+
+    #[test]
+    fn normalization_makes_scales_comparable() {
+        // One feature ranges 0..1, the other 0..1e6; without normalisation
+        // the small feature would be ignored.
+        let dims = vec![2usize];
+        let features = vec![
+            vec![0.0, 500_000.0],
+            vec![0.1, 500_000.0],
+            vec![1.0, 500_000.0],
+            vec![0.9, 500_000.0],
+        ];
+        let dists = vec![
+            IidDistribution::fit(&dims, &vec![vec![0]; 3]),
+            IidDistribution::fit(&dims, &vec![vec![0]; 3]),
+            IidDistribution::fit(&dims, &vec![vec![1]; 3]),
+            IidDistribution::fit(&dims, &vec![vec![1]; 3]),
+        ];
+        let m = KnnModel::train(features, dists, 2, 1.0);
+        assert_eq!(m.predict_mode(&[0.05, 500_000.0]), vec![0]);
+        assert_eq!(m.predict_mode(&[0.95, 500_000.0]), vec![1]);
+    }
+
+    #[test]
+    fn k_larger_than_training_set_is_clamped() {
+        let m = two_cluster_model(100);
+        // Should not panic; blends everything.
+        let _ = m.predict(&[5.0, 5.0]);
+        assert_eq!(m.len(), 16);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn closer_neighbours_dominate_the_mixture() {
+        let dims = vec![2usize];
+        let features = vec![vec![0.0], vec![3.0]];
+        let dists = vec![
+            IidDistribution::fit(&dims, &vec![vec![0]; 5]),
+            IidDistribution::fit(&dims, &vec![vec![1]; 5]),
+        ];
+        let m = KnnModel::train(features, dists, 2, 1.0);
+        let q = m.predict(&[0.1]);
+        assert!(q.prob(0, 0) > q.prob(0, 1));
+        let q2 = m.predict(&[2.9]);
+        assert!(q2.prob(0, 1) > q2.prob(0, 0));
+    }
+
+    #[test]
+    fn normalizer_zscores() {
+        let n = Normalizer::fit(&[vec![0.0, 10.0], vec![2.0, 10.0]]);
+        let z = n.apply(&[1.0, 10.0]);
+        assert!((z[0] - 0.0).abs() < 1e-12);
+        assert_eq!(z[1], 0.0, "zero-variance feature maps to 0");
+    }
+}

@@ -1,0 +1,149 @@
+//! Mutual-information analysis for the Hinton diagrams of Figures 8 and 9.
+//!
+//! Figure 8 plots, per program, the normalised mutual information between
+//! each optimisation dimension's setting and the achieved speedup (binned);
+//! Figure 9 plots the MI between each feature (binned) and the best setting
+//! of each optimisation dimension.
+
+/// Mutual information `I(X;Y)` in nats between two discrete variables given
+/// paired samples, with supports `0..nx` and `0..ny`.
+///
+/// # Panics
+/// Panics if any sample is outside its support.
+pub fn mutual_information(pairs: &[(usize, usize)], nx: usize, ny: usize) -> f64 {
+    if pairs.is_empty() {
+        return 0.0;
+    }
+    let n = pairs.len() as f64;
+    let mut joint = vec![0.0f64; nx * ny];
+    let mut px = vec![0.0f64; nx];
+    let mut py = vec![0.0f64; ny];
+    for &(x, y) in pairs {
+        assert!(x < nx && y < ny, "sample ({x},{y}) outside support");
+        joint[x * ny + y] += 1.0;
+        px[x] += 1.0;
+        py[y] += 1.0;
+    }
+    let mut mi = 0.0;
+    for x in 0..nx {
+        for y in 0..ny {
+            let pxy = joint[x * ny + y] / n;
+            if pxy > 0.0 {
+                mi += pxy * (pxy * n * n / (px[x] * py[y])).ln();
+            }
+        }
+    }
+    mi.max(0.0)
+}
+
+/// Entropy `H(X)` in nats of a discrete sample.
+pub fn entropy(xs: &[usize], nx: usize) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mut c = vec![0.0f64; nx];
+    for &x in xs {
+        c[x] += 1.0;
+    }
+    -c.iter()
+        .filter(|&&v| v > 0.0)
+        .map(|&v| (v / n) * (v / n).ln())
+        .sum::<f64>()
+}
+
+/// Normalised mutual information `I(X;Y) / sqrt(H(X) H(Y))` in `[0, 1]`
+/// (0 when either variable is constant).
+pub fn normalized_mutual_information(pairs: &[(usize, usize)], nx: usize, ny: usize) -> f64 {
+    let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+    let hx = entropy(&xs, nx);
+    let hy = entropy(&ys, ny);
+    if hx <= 0.0 || hy <= 0.0 {
+        return 0.0;
+    }
+    (mutual_information(pairs, nx, ny) / (hx * hy).sqrt()).clamp(0.0, 1.0)
+}
+
+/// Equal-frequency binning of a continuous variable into `nbins` bins;
+/// returns the bin index per sample.
+pub fn bin_equal_frequency(values: &[f64], nbins: usize) -> Vec<usize> {
+    assert!(nbins >= 1);
+    let n = values.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut bins = vec![0usize; n];
+    for (rank, &i) in order.iter().enumerate() {
+        bins[i] = (rank * nbins / n).min(nbins - 1);
+    }
+    bins
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_variables_have_zero_mi() {
+        // x cycles 0..4, y constant-ish pattern independent of x.
+        let pairs: Vec<(usize, usize)> =
+            (0..4000).map(|i| (i % 4, (i / 4) % 3)).collect();
+        let mi = mutual_information(&pairs, 4, 3);
+        assert!(mi < 0.01, "mi = {mi}");
+    }
+
+    #[test]
+    fn identical_variables_have_mi_equal_entropy() {
+        let pairs: Vec<(usize, usize)> = (0..1000).map(|i| (i % 4, i % 4)).collect();
+        let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let mi = mutual_information(&pairs, 4, 4);
+        let h = entropy(&xs, 4);
+        assert!((mi - h).abs() < 1e-9);
+        assert!((normalized_mutual_information(&pairs, 4, 4) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_dependence_is_between() {
+        // y = x for half the samples, random-ish otherwise.
+        let pairs: Vec<(usize, usize)> = (0..2000)
+            .map(|i| {
+                let x = i % 4;
+                let y = if i % 2 == 0 { x } else { (i / 2) % 4 };
+                (x, y)
+            })
+            .collect();
+        let nmi = normalized_mutual_information(&pairs, 4, 4);
+        assert!(nmi > 0.05 && nmi < 0.95, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn constant_variable_yields_zero_nmi() {
+        let pairs: Vec<(usize, usize)> = (0..100).map(|i| (0usize, i % 4)).collect();
+        assert_eq!(normalized_mutual_information(&pairs, 1, 4), 0.0);
+    }
+
+    #[test]
+    fn equal_frequency_binning_balances() {
+        let values: Vec<f64> = (0..100).map(|i| (i * i) as f64).collect();
+        let bins = bin_equal_frequency(&values, 4);
+        let mut counts = [0usize; 4];
+        for &b in &bins {
+            counts[b] += 1;
+        }
+        for c in counts {
+            assert_eq!(c, 25);
+        }
+        // Order-preserving.
+        assert_eq!(bins[0], 0);
+        assert_eq!(bins[99], 3);
+    }
+
+    #[test]
+    fn entropy_of_uniform_is_log_n() {
+        let xs: Vec<usize> = (0..800).map(|i| i % 8).collect();
+        assert!((entropy(&xs, 8) - (8.0f64).ln()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the model mathematics: distribution fitting,
+//! mixing, KNN prediction and mutual information.
+
+use portopt_ml::{
+    bin_equal_frequency, entropy, mutual_information, normalized_mutual_information,
+    IidDistribution, KnnModel,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_goodset(seed: u64, dims: &[usize], n: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| dims.iter().map(|&c| rng.gen_range(0..c) as u8).collect())
+        .collect()
+}
+
+proptest! {
+    /// Fitted distributions are proper (rows sum to 1, probs in (0,1]),
+    /// and the mode maximises per-dimension probability.
+    #[test]
+    fn fit_produces_proper_distribution(seed in 0u64..100_000, n in 1usize..60) {
+        let dims = vec![2usize, 3, 4, 2, 5];
+        let good = random_goodset(seed, &dims, n);
+        let g = IidDistribution::fit(&dims, &good);
+        for (d, &card) in dims.iter().enumerate() {
+            let mut total = 0.0;
+            let mut maxp = 0.0f64;
+            for j in 0..card {
+                let p = g.prob(d, j as u8);
+                prop_assert!(p > 0.0 && p <= 1.0);
+                total += p;
+                maxp = maxp.max(p);
+            }
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            let mode = g.mode();
+            prop_assert!((g.prob(d, mode[d]) - maxp).abs() < 1e-12);
+        }
+    }
+
+    /// Mixtures are proper distributions, and weights interpolate: the
+    /// mixture probability lies between the component extremes.
+    #[test]
+    fn mixtures_are_bounded_by_components(sa in 0u64..100_000, sb in 0u64..100_000, w in 0.01f64..10.0) {
+        let dims = vec![2usize, 4];
+        let a = IidDistribution::fit(&dims, &random_goodset(sa, &dims, 10));
+        let b = IidDistribution::fit(&dims, &random_goodset(sb, &dims, 10));
+        let m = IidDistribution::mix(&[(w, &a), (1.0, &b)]);
+        for d in 0..dims.len() {
+            let mut total = 0.0;
+            for j in 0..dims[d] {
+                let (pa, pb, pm) = (a.prob(d, j as u8), b.prob(d, j as u8), m.prob(d, j as u8));
+                prop_assert!(pm >= pa.min(pb) - 1e-12 && pm <= pa.max(pb) + 1e-12);
+                total += pm;
+            }
+            prop_assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Cross-entropy is minimised (among our candidates) by the matching
+    /// distribution: H(p, fit(p-samples)) <= H(p, fit(other-samples)).
+    #[test]
+    fn cross_entropy_prefers_own_samples(sa in 0u64..100_000, sb in 0u64..100_000) {
+        prop_assume!(sa != sb);
+        let dims = vec![2usize, 3, 4];
+        let sample_a = random_goodset(sa, &dims, 30);
+        let sample_b = random_goodset(sb, &dims, 30);
+        let ga = IidDistribution::fit(&dims, &sample_a);
+        let gb = IidDistribution::fit(&dims, &sample_b);
+        // Allow tiny slack: smoothing can blur close distributions.
+        prop_assert!(ga.cross_entropy(&sample_a) <= gb.cross_entropy(&sample_a) + 0.05);
+    }
+
+    /// KNN prediction always returns in-range choices, and for k=1 it
+    /// returns the nearest training point's mode exactly.
+    #[test]
+    fn knn_prediction_in_range(seed in 0u64..100_000, npts in 2usize..30) {
+        let dims = vec![2usize, 3, 4];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push(vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]);
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 8)));
+        }
+        let m1 = KnnModel::train(feats.clone(), dists.clone(), 1, 1.0);
+        let q = vec![rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)];
+        let pred = m1.predict_mode(&q);
+        for (d, &card) in dims.iter().enumerate() {
+            prop_assert!((pred[d] as usize) < card);
+        }
+        let mk = KnnModel::train(feats, dists, 7, 1.0);
+        let predk = mk.predict_mode(&q);
+        for (d, &card) in dims.iter().enumerate() {
+            prop_assert!((predk[d] as usize) < card);
+        }
+    }
+
+    /// MI is non-negative, symmetric, and bounded by both entropies.
+    #[test]
+    fn mi_properties(seed in 0u64..100_000, n in 20usize..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pairs: Vec<(usize, usize)> = (0..n)
+            .map(|_| (rng.gen_range(0..4usize), rng.gen_range(0..3usize)))
+            .collect();
+        let swapped: Vec<(usize, usize)> = pairs.iter().map(|&(a, b)| (b, a)).collect();
+        let mi = mutual_information(&pairs, 4, 3);
+        prop_assert!(mi >= 0.0);
+        prop_assert!((mi - mutual_information(&swapped, 3, 4)).abs() < 1e-9);
+        let xs: Vec<usize> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<usize> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!(mi <= entropy(&xs, 4) + 1e-9);
+        prop_assert!(mi <= entropy(&ys, 3) + 1e-9);
+        let nmi = normalized_mutual_information(&pairs, 4, 3);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+    }
+
+    /// Equal-frequency binning is order-preserving and balanced within 1.
+    #[test]
+    fn binning_properties(seed in 0u64..100_000, n in 8usize..400, nbins in 2usize..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let values: Vec<f64> = (0..n).map(|_| rng.gen_range(-1e6..1e6)).collect();
+        let bins = bin_equal_frequency(&values, nbins);
+        prop_assert_eq!(bins.len(), n);
+        for (i, &b) in bins.iter().enumerate() {
+            prop_assert!(b < nbins);
+            for (j, &b2) in bins.iter().enumerate() {
+                if values[i] < values[j] {
+                    prop_assert!(b <= b2, "binning not order-preserving");
+                }
+            }
+        }
+    }
+}

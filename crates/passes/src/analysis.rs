@@ -1,0 +1,441 @@
+//! Shared analyses and CFG surgery helpers used by several passes.
+
+use portopt_ir::{BinOp, BlockId, Function, Inst, Loop, Operand, Pred, VReg};
+
+/// Number of definitions of each virtual register in `f`.
+pub fn def_counts(f: &Function) -> Vec<u32> {
+    let mut counts = vec![0u32; f.vreg_count as usize];
+    for p in &f.params {
+        counts[p.index()] += 1;
+    }
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(d) = i.def() {
+                counts[d.index()] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// A symbolic value key for GVN-style passes.
+///
+/// Keys are only comparable for *single-definition* registers (registers
+/// defined exactly once in the function, including by being a parameter):
+/// such a register always denotes the same run-time value wherever it is
+/// in scope, which makes key equality imply value equality under dominance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueKey {
+    /// A single-def register.
+    Reg(VReg),
+    /// An immediate.
+    Imm(i64),
+}
+
+impl ValueKey {
+    /// Key for an operand; `None` when the register is not single-def.
+    pub fn of(op: Operand, single_def: &[bool]) -> Option<ValueKey> {
+        match op {
+            Operand::Imm(v) => Some(ValueKey::Imm(v)),
+            Operand::Reg(r) => single_def[r.index()].then_some(ValueKey::Reg(r)),
+        }
+    }
+}
+
+/// An expression key: operation plus operand value keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExprKey {
+    /// Binary ALU expression.
+    Bin(BinOp, ValueKey, ValueKey),
+    /// Comparison expression.
+    Cmp(Pred, ValueKey, ValueKey),
+    /// Memory load from `base + offset`.
+    Load(ValueKey, i64),
+}
+
+impl ExprKey {
+    /// Key for a pure instruction, if all operands have stable keys.
+    /// Commutative operations are canonicalised (smaller key first).
+    pub fn of(inst: &Inst, single_def: &[bool]) -> Option<ExprKey> {
+        match inst {
+            Inst::Bin { op, a, b, .. } => {
+                let ka = ValueKey::of(*a, single_def)?;
+                let kb = ValueKey::of(*b, single_def)?;
+                let (ka, kb) = if op.is_commutative() && key_rank(kb) < key_rank(ka) {
+                    (kb, ka)
+                } else {
+                    (ka, kb)
+                };
+                Some(ExprKey::Bin(*op, ka, kb))
+            }
+            Inst::Cmp { pred, a, b, .. } => {
+                let ka = ValueKey::of(*a, single_def)?;
+                let kb = ValueKey::of(*b, single_def)?;
+                Some(ExprKey::Cmp(*pred, ka, kb))
+            }
+            Inst::Load { addr, offset, .. } => {
+                let ka = ValueKey::of(Operand::Reg(*addr), single_def)?;
+                Some(ExprKey::Load(ka, *offset))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn key_rank(k: ValueKey) -> (u8, i64) {
+    match k {
+        ValueKey::Imm(v) => (0, v),
+        ValueKey::Reg(r) => (1, r.0 as i64),
+    }
+}
+
+/// Returns `single_def[r] == true` when register `r` is defined exactly once.
+pub fn single_defs(f: &Function) -> Vec<bool> {
+    def_counts(f).iter().map(|&c| c == 1).collect()
+}
+
+/// Ensures `l.header` has a dedicated preheader: a block that is the single
+/// edge into the loop from outside. Returns the preheader id.
+///
+/// All non-latch predecessors of the header are retargeted to the new block.
+/// The loop structure (`l`) is stale afterwards; callers must recompute
+/// analyses before further use.
+pub fn ensure_preheader(f: &mut Function, l: &Loop) -> BlockId {
+    let pre = f.new_block();
+    let header = l.header;
+    // Retarget all out-of-loop predecessors of the header to `pre`.
+    for bi in 0..f.blocks.len() {
+        let b = BlockId(bi as u32);
+        if b == pre || l.contains(b) {
+            continue;
+        }
+        if let Some(t) = f.block_mut(b).insts.last_mut() {
+            t.map_targets(|old| if old == header { pre } else { old });
+        }
+    }
+    f.block_mut(pre).insts.push(Inst::Br { target: header });
+    pre
+}
+
+/// Clones a set of blocks, remapping internal branch targets and leaving
+/// external targets untouched. Returns the mapping old → new.
+pub fn clone_blocks(f: &mut Function, blocks: &[BlockId]) -> Vec<(BlockId, BlockId)> {
+    let mut map = Vec::with_capacity(blocks.len());
+    for &b in blocks {
+        let nb = f.new_block();
+        let insts = f.block(b).insts.clone();
+        f.block_mut(nb).insts = insts;
+        map.push((b, nb));
+    }
+    for &(_, nb) in &map {
+        if let Some(t) = f.block_mut(nb).insts.last_mut() {
+            t.map_targets(|old| {
+                map.iter()
+                    .find(|(o, _)| *o == old)
+                    .map(|(_, n)| *n)
+                    .unwrap_or(old)
+            });
+        }
+    }
+    map
+}
+
+/// Conservative may-alias test for two memory operations.
+///
+/// `true` means the accesses may touch the same word. Accesses through the
+/// same base register with different constant offsets are provably disjoint;
+/// everything else (different base registers, equal offsets) is assumed to
+/// alias. Frame slots never alias `Load`/`Store` (the stack region is
+/// disjoint from globals by construction).
+///
+/// For object-based disambiguation across different base registers, use
+/// [`AliasAnalysis`].
+pub fn may_alias(a: &Inst, b: &Inst) -> bool {
+    use Inst::*;
+    match (a, b) {
+        (
+            Load { addr: a1, offset: o1, .. } | Store { addr: a1, offset: o1, .. },
+            Load { addr: a2, offset: o2, .. } | Store { addr: a2, offset: o2, .. },
+        ) => {
+            if a1 == a2 {
+                o1 == o2
+            } else {
+                true
+            }
+        }
+        (FrameLoad { slot: s1, .. } | FrameStore { slot: s1, .. },
+         FrameLoad { slot: s2, .. } | FrameStore { slot: s2, .. }) => s1 == s2,
+        // Frame vs global memory: disjoint regions.
+        (Load { .. } | Store { .. }, FrameLoad { .. } | FrameStore { .. }) => false,
+        (FrameLoad { .. } | FrameStore { .. }, Load { .. } | Store { .. }) => false,
+        _ => false,
+    }
+}
+
+/// The memory object an address register points into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// No information (aliases everything).
+    Unknown,
+    /// Points into global `index` of the module.
+    Global(u32),
+}
+
+/// Object-based alias analysis.
+///
+/// Address registers are traced to the global whose address range their
+/// defining constant falls into; pointer arithmetic (`add`/`sub`) keeps the
+/// region of its pointer operand. Like C compilers, we assume pointer
+/// arithmetic never crosses from one object into another — the benchmark
+/// suite respects this, and the interpreter's bounds checks guard gross
+/// violations. Two accesses in *different* global regions never alias.
+#[derive(Debug, Clone)]
+pub struct AliasAnalysis {
+    region: Vec<Region>,
+}
+
+impl AliasAnalysis {
+    /// Computes regions for every register of `f`, given the module's global
+    /// layout (`globals[i] = (base, bytes)`).
+    pub fn compute(f: &Function, globals: &[(u32, u32)]) -> Self {
+        let n = f.vreg_count as usize;
+        // Fixpoint with a meet: Unknown wins over disagreement. Start from
+        // "no def seen" (None), then merge every def's inferred region.
+        let mut region: Vec<Option<Region>> = vec![None; n];
+        for p in &f.params {
+            region[p.index()] = Some(Region::Unknown);
+        }
+        let of_const = |v: i64| -> Region {
+            for (gi, &(base, bytes)) in globals.iter().enumerate() {
+                if v >= base as i64 && v < (base + bytes.max(4)) as i64 {
+                    return Region::Global(gi as u32);
+                }
+            }
+            Region::Unknown
+        };
+        for _ in 0..4 {
+            let mut changed = false;
+            for b in &f.blocks {
+                for inst in &b.insts {
+                    let Some(d) = inst.def() else { continue };
+                    let new = match inst {
+                        Inst::Copy { src: Operand::Imm(v), .. } => of_const(*v),
+                        Inst::Copy { src: Operand::Reg(s), .. } => {
+                            region[s.index()].unwrap_or(Region::Unknown)
+                        }
+                        Inst::Bin { op: BinOp::Add | BinOp::Sub, a, b, .. } => {
+                            let ra = match a {
+                                Operand::Reg(r) => region[r.index()].unwrap_or(Region::Unknown),
+                                Operand::Imm(v) => of_const(*v),
+                            };
+                            let rb = match b {
+                                Operand::Reg(r) => region[r.index()].unwrap_or(Region::Unknown),
+                                Operand::Imm(_) => Region::Unknown,
+                            };
+                            // A pointer plus a non-pointer stays in its object.
+                            match (ra, rb) {
+                                (Region::Global(g), Region::Unknown) => Region::Global(g),
+                                (Region::Unknown, Region::Global(g)) => Region::Global(g),
+                                _ => Region::Unknown,
+                            }
+                        }
+                        _ => Region::Unknown,
+                    };
+                    let merged = match region[d.index()] {
+                        None => Some(new),
+                        Some(old) if old == new => Some(old),
+                        Some(_) => Some(Region::Unknown),
+                    };
+                    if merged != region[d.index()] {
+                        region[d.index()] = merged;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        AliasAnalysis {
+            region: region
+                .into_iter()
+                .map(|r| r.unwrap_or(Region::Unknown))
+                .collect(),
+        }
+    }
+
+    /// Region of register `r`.
+    pub fn region(&self, r: VReg) -> Region {
+        self.region.get(r.index()).copied().unwrap_or(Region::Unknown)
+    }
+
+    /// May the two memory instructions touch the same word?
+    pub fn may_alias(&self, a: &Inst, b: &Inst) -> bool {
+        if !may_alias(a, b) {
+            return false;
+        }
+        // Same-base cases were already resolved; try region disambiguation.
+        let base_of = |i: &Inst| match i {
+            Inst::Load { addr, .. } | Inst::Store { addr, .. } => Some(*addr),
+            _ => None,
+        };
+        if let (Some(ra), Some(rb)) = (base_of(a), base_of(b)) {
+            if let (Region::Global(ga), Region::Global(gb)) = (self.region(ra), self.region(rb)) {
+                if ga != gb {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Extracts `(base, bytes)` pairs for [`AliasAnalysis::compute`] from a module.
+pub fn global_ranges(m: &portopt_ir::Module) -> Vec<(u32, u32)> {
+    m.global_addrs().iter().map(|a| (a.base, a.bytes)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::{FuncBuilder, LoopForest, Module, Pred};
+
+    #[test]
+    fn def_counts_include_params() {
+        let mut b = FuncBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.add(x, 1);
+        b.assign(y, 2); // second def of y
+        b.ret(y);
+        let f = b.finish();
+        let c = def_counts(&f);
+        assert_eq!(c[x.index()], 1);
+        assert_eq!(c[y.index()], 2);
+        let sd = single_defs(&f);
+        assert!(sd[x.index()]);
+        assert!(!sd[y.index()]);
+    }
+
+    #[test]
+    fn expr_key_canonicalises_commutative() {
+        let mut b = FuncBuilder::new("f", 2);
+        let x = b.param(0);
+        let y = b.param(1);
+        let s1 = b.add(x, y);
+        let s2 = b.add(y, x);
+        b.ret(b.param(0));
+        let _ = (s1, s2);
+        let f = b.finish();
+        let sd = single_defs(&f);
+        let k1 = ExprKey::of(&f.blocks[0].insts[0], &sd).unwrap();
+        let k2 = ExprKey::of(&f.blocks[0].insts[1], &sd).unwrap();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn expr_key_none_for_multi_def() {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let t = b.add(x, 1);
+        b.assign(t, 0);
+        let u = b.add(t, 2); // t multi-def: no key
+        b.ret(u);
+        let f = b.finish();
+        let sd = single_defs(&f);
+        assert!(ExprKey::of(&f.blocks[0].insts[2], &sd).is_none());
+    }
+
+    #[test]
+    fn preheader_redirects_entry_edge() {
+        let mut b = FuncBuilder::new("f", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let lf = LoopForest::compute(&f);
+        let l = lf.loops[0].clone();
+        let pre = ensure_preheader(&mut f, &l);
+        // Entry now branches to the preheader, not the header.
+        let entry_succs = f.block(f.entry()).successors();
+        assert_eq!(entry_succs, vec![pre]);
+        // The latch still branches to the header.
+        let latch_succs = f.block(l.latches[0]).successors();
+        assert!(latch_succs.contains(&l.header));
+        let mut m = Module::new("t");
+        m.add_func(f);
+        portopt_ir::verify_module(&m).unwrap();
+    }
+
+    #[test]
+    fn may_alias_rules() {
+        let l1 = Inst::Load { dst: VReg(1), addr: VReg(0), offset: 0 };
+        let l2 = Inst::Load { dst: VReg(2), addr: VReg(0), offset: 4 };
+        let s1 = Inst::Store { src: Operand::Imm(0), addr: VReg(0), offset: 0 };
+        let s2 = Inst::Store { src: Operand::Imm(0), addr: VReg(9), offset: 0 };
+        let fl = Inst::FrameLoad { dst: VReg(3), slot: 0 };
+        let fs = Inst::FrameStore { src: Operand::Imm(1), slot: 0 };
+        assert!(!may_alias(&l1, &l2)); // same base, different offsets
+        assert!(may_alias(&l1, &s1)); // same base, same offset
+        assert!(may_alias(&l1, &s2)); // different bases: conservative
+        assert!(!may_alias(&l1, &fs)); // global vs frame
+        assert!(may_alias(&fl, &fs)); // same slot
+    }
+
+    #[test]
+    fn clone_blocks_remaps_internal_targets() {
+        let mut b = FuncBuilder::new("f", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let lf = LoopForest::compute(&f);
+        let blocks = lf.loops[0].blocks.clone();
+        let map = clone_blocks(&mut f, &blocks);
+        assert_eq!(map.len(), 2);
+        // Cloned latch branches to cloned header.
+        let (_, new_header) = map.iter().find(|(o, _)| *o == lf.loops[0].header).unwrap();
+        let (_, new_body) = map.iter().find(|(o, _)| *o != lf.loops[0].header).unwrap();
+        assert!(f.block(*new_body).successors().contains(new_header));
+        // Cloned header still exits to the original exit block (external).
+        let orig_exit: Vec<_> = f
+            .block(lf.loops[0].header)
+            .successors()
+            .into_iter()
+            .filter(|s| !lf.loops[0].contains(*s))
+            .collect();
+        let cloned_exit: Vec<_> = f
+            .block(*new_header)
+            .successors()
+            .into_iter()
+            .filter(|s| !blocks.contains(s) && !map.iter().any(|(_, n)| n == s))
+            .collect();
+        assert_eq!(orig_exit, cloned_exit);
+    }
+
+    #[test]
+    fn expr_key_for_pred_load() {
+        let mut b = FuncBuilder::new("f", 1);
+        let x = b.param(0);
+        let v = b.load(x, 8);
+        let c = b.cmp(Pred::Eq, v, 0);
+        b.ret(c);
+        let f = b.finish();
+        let sd = single_defs(&f);
+        assert!(matches!(
+            ExprKey::of(&f.blocks[0].insts[0], &sd),
+            Some(ExprKey::Load(ValueKey::Reg(_), 8))
+        ));
+        assert!(matches!(
+            ExprKey::of(&f.blocks[0].insts[1], &sd),
+            Some(ExprKey::Cmp(..))
+        ));
+    }
+}

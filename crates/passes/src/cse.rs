@@ -1,0 +1,364 @@
+//! RTL-level common-subexpression elimination (`cse1` in gcc).
+//!
+//! The base pass is always on (as in gcc at `-O1` and above) and works on
+//! one basic block at a time with a value table keyed on operand *values*
+//! (not just register names): copies are tracked, so `b = a; c = b + 1;
+//! d = a + 1` eliminates `d`. The two Figure-3 flags extend its scope:
+//!
+//! * `-fcse-follow-jumps` — the value table is carried into a successor
+//!   that has exactly one predecessor (following the jump);
+//! * `-fcse-skip-blocks` — while following, a conditional branch may be
+//!   "skipped": the table is carried into a successor with a single
+//!   predecessor even when the path passes a side-effect-free diamond arm.
+//!   We implement the practically-relevant case: carrying the table into
+//!   both arms of a conditional branch when each arm has one predecessor.
+
+use portopt_ir::{BinOp, BlockId, Cfg, Function, Inst, Operand, Pred, VReg};
+use std::collections::HashMap;
+
+/// Value-number table for one CSE walk.
+#[derive(Debug, Clone, Default)]
+struct Table {
+    /// Register → value number.
+    reg_vn: HashMap<VReg, u32>,
+    /// Constant → value number. Must live *inside* the table: value numbers
+    /// are only meaningful against this table's counter.
+    consts: HashMap<i64, u32>,
+    /// Expression (op, vn, vn) → (value number, defining register).
+    expr: HashMap<(ExprOp, u32, u32), (u32, VReg)>,
+    /// Memory: (base vn, offset) → (value vn, register holding it).
+    mem: HashMap<(u32, i64), (u32, VReg)>,
+    next_vn: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ExprOp {
+    Bin(BinOp),
+    Cmp(Pred),
+}
+
+impl Table {
+    fn fresh(&mut self) -> u32 {
+        self.next_vn += 1;
+        self.next_vn
+    }
+
+    fn vn_of_reg(&mut self, r: VReg) -> u32 {
+        if let Some(&v) = self.reg_vn.get(&r) {
+            return v;
+        }
+        let v = self.fresh();
+        self.reg_vn.insert(r, v);
+        v
+    }
+
+    fn vn_of_operand(&mut self, o: &Operand) -> u32 {
+        match o {
+            Operand::Reg(r) => self.vn_of_reg(*r),
+            Operand::Imm(v) => {
+                if let Some(&vn) = self.consts.get(v) {
+                    vn
+                } else {
+                    let vn = self.fresh();
+                    self.consts.insert(*v, vn);
+                    vn
+                }
+            }
+        }
+    }
+
+    /// Invalidate expression/memory entries whose *holder register* is `r`.
+    fn clobber_holder(&mut self, r: VReg) {
+        self.expr.retain(|_, (_, h)| *h != r);
+        self.mem.retain(|_, (_, h)| *h != r);
+    }
+}
+
+/// Runs CSE over `f` with the given scope extensions. Returns `true` if
+/// anything changed.
+pub fn cse(f: &mut Function, follow_jumps: bool, skip_blocks: bool) -> bool {
+    let cfg = Cfg::compute(f);
+    let n = f.blocks.len();
+    let mut changed = false;
+
+    // Process extended regions starting from blocks that are not extended
+    // into (i.e. blocks whose table cannot be inherited), walking forward.
+    let mut inherits: Vec<bool> = vec![false; n];
+    if follow_jumps {
+        for bi in 0..n {
+            // A block inherits when it has exactly one predecessor.
+            inherits[bi] = cfg.preds(BlockId(bi as u32)).len() == 1;
+        }
+    }
+
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] || inherits[start] {
+            continue;
+        }
+        // Walk the extended region from `start`.
+        let mut table;
+        let mut queue: Vec<(BlockId, Table)> = vec![(BlockId(start as u32), Table::default())];
+        while let Some((bi, t)) = queue.pop() {
+            if visited[bi.index()] {
+                continue;
+            }
+            visited[bi.index()] = true;
+            table = t;
+            changed |= cse_block(f, bi, &mut table);
+            // Extend into successors.
+            let succs = f.block(bi).successors();
+            let single_succ = succs.len() == 1;
+            for s in succs {
+                if visited[s.index()] || !inherits[s.index()] {
+                    continue;
+                }
+                // follow-jumps alone only follows unconditional edges;
+                // skip-blocks also pushes through conditional branches.
+                if single_succ || skip_blocks {
+                    queue.push((s, table.clone()));
+                }
+            }
+        }
+    }
+    // Any block not yet visited (inherits but its pred was in another
+    // region) still gets local CSE.
+    for bi in 0..n {
+        if !visited[bi] {
+            let mut t = Table::default();
+            changed |= cse_block(f, BlockId(bi as u32), &mut t);
+        }
+    }
+    changed
+}
+
+fn cse_block(f: &mut Function, bi: BlockId, t: &mut Table) -> bool {
+    let mut changed = false;
+    let insts = &mut f.blocks[bi.index()].insts;
+    for inst in insts.iter_mut() {
+        match inst.clone() {
+            Inst::Bin { op, dst, a, b } => {
+                let mut va = t.vn_of_operand(&a);
+                let mut vb = t.vn_of_operand(&b);
+                if op.is_commutative() && vb < va {
+                    std::mem::swap(&mut va, &mut vb);
+                }
+                let key = (ExprOp::Bin(op), va, vb);
+                if let Some(&(vn, holder)) = t.expr.get(&key) {
+                    *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                    changed = true;
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                } else {
+                    let vn = t.fresh();
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                    t.expr.insert(key, (vn, dst));
+                }
+            }
+            Inst::Cmp { pred, dst, a, b } => {
+                let va = t.vn_of_operand(&a);
+                let vb = t.vn_of_operand(&b);
+                let key = (ExprOp::Cmp(pred), va, vb);
+                if let Some(&(vn, holder)) = t.expr.get(&key) {
+                    *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                    changed = true;
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                } else {
+                    let vn = t.fresh();
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                    t.expr.insert(key, (vn, dst));
+                }
+            }
+            Inst::Copy { dst, src } => {
+                let v = t.vn_of_operand(&src);
+                t.clobber_holder(dst);
+                t.reg_vn.insert(dst, v);
+            }
+            Inst::Load { dst, addr, offset } => {
+                let va = t.vn_of_reg(addr);
+                if let Some(&(vn, holder)) = t.mem.get(&(va, offset)) {
+                    if holder != dst {
+                        *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                        changed = true;
+                    }
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                } else {
+                    let vn = t.fresh();
+                    t.clobber_holder(dst);
+                    t.reg_vn.insert(dst, vn);
+                    t.mem.insert((va, offset), (vn, dst));
+                }
+            }
+            Inst::Store { src, addr, offset } => {
+                let va = t.vn_of_reg(addr);
+                let vs = t.vn_of_operand(&src);
+                // Conservative: drop all memory facts except provably-disjoint
+                // same-base entries, then record the stored value.
+                t.mem.retain(|(b, o), _| *b == va && *o != offset);
+                if let Operand::Reg(r) = src {
+                    t.mem.insert((va, offset), (vs, r));
+                }
+            }
+            Inst::Call { dst, .. } => {
+                t.mem.clear();
+                if let Some(d) = dst {
+                    let vn = t.fresh();
+                    t.clobber_holder(d);
+                    t.reg_vn.insert(d, vn);
+                }
+            }
+            Inst::FrameLoad { dst, .. } => {
+                let vn = t.fresh();
+                t.clobber_holder(dst);
+                t.reg_vn.insert(dst, vn);
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn count_op(m: &Module, op: BinOp) -> usize {
+        m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: o, .. } if *o == op))
+            .count()
+    }
+
+    #[test]
+    fn local_cse_through_copies() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t1 = b.mul(x, y);
+        let x2 = b.fresh();
+        b.assign(x2, x); // copy of x
+        let t2 = b.mul(x2, y); // same value as t1
+        let s = b.add(t1, t2);
+        b.ret(s);
+        let mut f = b.finish();
+        assert!(cse(&mut f, false, false));
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(count_op(&m, BinOp::Mul), 1);
+        assert_eq!(run_module(&m, &[3, 5]).unwrap().ret, 30);
+    }
+
+    #[test]
+    fn redefinition_invalidates() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t1 = b.mul(x, y);
+        b.assign(x, 100); // x redefined
+        let t2 = b.mul(x, y); // NOT the same value
+        let s = b.add(t1, t2);
+        b.ret(s);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[3, 5]).unwrap();
+        cse(&mut f, false, false);
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[3, 5]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 3 * 5 + 100 * 5);
+        assert_eq!(count_op(&m, BinOp::Mul), 2);
+    }
+
+    #[test]
+    fn follow_jumps_extends_across_single_pred_edge() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t1 = b.mul(x, y);
+        let nxt = b.block();
+        b.br(nxt);
+        b.switch_to(nxt);
+        let t2 = b.mul(x, y); // redundant across the jump
+        let s = b.add(t1, t2);
+        b.ret(s);
+        let mut f = b.finish();
+        // Without follow-jumps the redundancy survives CSE (GVN would catch
+        // it, but this pass must not).
+        let mut f2 = f.clone();
+        cse(&mut f2, false, false);
+        cleanup(&mut f2);
+        assert_eq!(count_op(&close(f2), BinOp::Mul), 2);
+        // With follow-jumps it is eliminated.
+        assert!(cse(&mut f, true, false));
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(count_op(&m, BinOp::Mul), 1);
+        assert_eq!(run_module(&m, &[6, 7]).unwrap().ret, 84);
+    }
+
+    #[test]
+    fn skip_blocks_extends_into_branch_arms() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let t1 = b.mul(x, y);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| {
+                let t2 = b.mul(x, y); // redundant, reachable via cond edge
+                b.assign(out, t2);
+            },
+            |b| b.assign(out, t1), // keeps t1 live on the other path
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        // follow-jumps alone does not push through the conditional.
+        let mut f2 = f.clone();
+        cse(&mut f2, true, false);
+        cleanup(&mut f2);
+        assert_eq!(count_op(&close(f2), BinOp::Mul), 2);
+        // skip-blocks does.
+        assert!(cse(&mut f, true, true));
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(count_op(&m, BinOp::Mul), 1);
+        assert_eq!(run_module(&m, &[6, 7]).unwrap().ret, 42);
+    }
+
+    #[test]
+    fn store_forward_and_clobber() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let mut b = FuncBuilder::new("main", 1);
+        let p = b.iconst(base as i64);
+        let v = b.param(0);
+        b.store(v, p, 0);
+        let l1 = b.load(p, 0); // forwarded value of v
+        b.store(99, p, 0); // clobbers
+        let l2 = b.load(p, 0); // NOT forwardable to l1
+        let s = b.add(l1, l2);
+        b.ret(s);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        cse(&mut m.funcs[0], false, false);
+        cleanup(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[1]).unwrap().ret, 100);
+    }
+}

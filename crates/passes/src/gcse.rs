@@ -1,0 +1,437 @@
+//! The `-fgcse` family: global common-subexpression elimination over memory.
+//!
+//! * `gcse` — the GVN engine of [`crate::pre`] with loads enabled, repeated
+//!   `--param max-gcse-passes` times;
+//! * `gcse-lm` — load motion: hoist loop-invariant loads to the preheader;
+//! * `gcse-sm` — store motion: with `lm`, promote a loop-carried
+//!   load/store memory cell to a register, storing back at the exits;
+//! * `gcse-las` — load-after-store forwarding within a block;
+//! * `gcse-after-reload` — post-register-allocation removal of redundant
+//!   frame reloads (in [`crate::peephole`], run after allocation).
+
+use crate::analysis::{ensure_preheader, single_defs, AliasAnalysis};
+use crate::config::OptConfig;
+use crate::pre::{global_value_number, GvnOptions};
+use portopt_ir::{Function, Inst, Liveness, LoopForest, Operand, VReg};
+
+/// Runs the configured gcse sub-passes on `f`. Returns `true` on change.
+pub fn gcse(f: &mut Function, globals: &[(u32, u32)], cfg: &OptConfig) -> bool {
+    if !cfg.gcse {
+        return false;
+    }
+    let mut changed = false;
+    for _ in 0..cfg.max_gcse_passes_value() {
+        let mut pass_changed = false;
+        if cfg.gcse_las {
+            pass_changed |= load_after_store(f);
+        }
+        pass_changed |= global_value_number(
+            f,
+            GvnOptions { include_loads: true, globals: globals.to_vec() },
+        );
+        if cfg.gcse_lm {
+            pass_changed |= loop_load_motion(f, globals, cfg.gcse_sm);
+        }
+        crate::util::cleanup(f);
+        changed |= pass_changed;
+        if !pass_changed {
+            break;
+        }
+    }
+    changed
+}
+
+/// `-fgcse-las`: within a block, a load that follows a store to the same
+/// address reads the stored value; forward it. Also forwards load-to-load.
+pub fn load_after_store(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // Track the most recent store/load per (base, offset).
+        let mut avail: Vec<(VReg, i64, Operand)> = Vec::new();
+        for inst in &mut block.insts {
+            match inst {
+                Inst::Store { src, addr, offset } => {
+                    let (addr, offset, src) = (*addr, *offset, *src);
+                    // Invalidate entries that may alias this store.
+                    avail.retain(|(a, o, _)| *a == addr && *o != offset);
+                    avail.push((addr, offset, src));
+                }
+                Inst::Load { dst, addr, offset } => {
+                    if let Some((_, _, val)) = avail
+                        .iter()
+                        .find(|(a, o, _)| a == addr && o == offset)
+                    {
+                        let (dst, val) = (*dst, *val);
+                        *inst = Inst::Copy { dst, src: val };
+                        changed = true;
+                    } else {
+                        let (dst, addr, offset) = (*dst, *addr, *offset);
+                        avail.retain(|(a, o, _)| *a == addr && *o != offset);
+                        avail.push((addr, offset, Operand::Reg(dst)));
+                    }
+                }
+                Inst::Call { .. } => avail.clear(),
+                _ => {
+                    // A forwarded operand register may be redefined: drop
+                    // entries whose value or base register is clobbered.
+                    if let Some(d) = inst.def() {
+                        avail.retain(|(a, _, v)| {
+                            *a != d && !matches!(v, Operand::Reg(r) if *r == d)
+                        });
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// `-fgcse-lm` (+ optional `-fgcse-sm`): loop-level load/store motion.
+///
+/// For each innermost loop and each memory cell `(base, offset)` with a
+/// loop-invariant single-def base register:
+/// * loads only, no may-aliasing stores/calls in the loop → hoist one load
+///   to the preheader and rewrite in-loop loads as copies (`lm`);
+/// * loads *and* stores to exactly that cell, no other aliasing accesses →
+///   promote to a register: load in the preheader, copies inside, store at
+///   each exit edge (`lm` + `sm`).
+pub fn loop_load_motion(f: &mut Function, globals: &[(u32, u32)], enable_sm: bool) -> bool {
+    let mut changed = false;
+    // One promotion per call keeps analyses fresh; iterate to a fixpoint.
+    loop {
+        let forest = LoopForest::compute(f);
+        let sd = single_defs(f);
+        let aa = AliasAnalysis::compute(f, globals);
+        let mut applied = false;
+
+        'loops: for l in forest.loops.iter().rev() {
+            // innermost first
+            // Collect memory operations in the loop.
+            let mut cells: Vec<(VReg, i64, usize, usize)> = Vec::new(); // base, off, #loads, #stores
+            let mut barrier = false;
+            for &b in &l.blocks {
+                for inst in &f.block(b).insts {
+                    match inst {
+                        Inst::Load { addr, offset, .. } => {
+                            if let Some(c) =
+                                cells.iter_mut().find(|(a, o, ..)| a == addr && o == offset)
+                            {
+                                c.2 += 1;
+                            } else {
+                                cells.push((*addr, *offset, 1, 0));
+                            }
+                        }
+                        Inst::Store { addr, offset, .. } => {
+                            if let Some(c) =
+                                cells.iter_mut().find(|(a, o, ..)| a == addr && o == offset)
+                            {
+                                c.3 += 1;
+                            } else {
+                                cells.push((*addr, *offset, 0, 1));
+                            }
+                        }
+                        Inst::Call { .. } => barrier = true,
+                        _ => {}
+                    }
+                }
+            }
+            if barrier {
+                continue;
+            }
+            for &(base, off, nloads, nstores) in &cells {
+                if !sd[base.index()] || nloads == 0 {
+                    continue;
+                }
+                // The base must be defined outside the loop.
+                let defined_in_loop = l.blocks.iter().any(|&b| {
+                    f.block(b)
+                        .insts
+                        .iter()
+                        .any(|i| i.def() == Some(base))
+                });
+                if defined_in_loop {
+                    continue;
+                }
+                // Every other memory op in the loop must be provably disjoint.
+                let probe = Inst::Load { dst: VReg(0), addr: base, offset: off };
+                let mut safe = true;
+                for &b in &l.blocks {
+                    for inst in &f.block(b).insts {
+                        if let Inst::Load { addr, offset, .. } | Inst::Store { addr, offset, .. } =
+                            inst
+                        {
+                            if (*addr, *offset) == (base, off) {
+                                continue;
+                            }
+                            let other = inst.clone();
+                            if aa.may_alias(&probe, &other) {
+                                safe = false;
+                            }
+                        }
+                    }
+                }
+                if !safe {
+                    continue;
+                }
+                if nstores > 0 && !enable_sm {
+                    continue; // promotion needs store motion too
+                }
+                // For promotion with stores, every in-loop path must keep the
+                // register and the cell coherent; we ensure this by rewriting
+                // *all* accesses and storing back on every exit edge.
+                apply_promotion(f, l, base, off, nstores > 0);
+                changed = true;
+                applied = true;
+                break 'loops;
+            }
+        }
+        if !applied {
+            return changed;
+        }
+    }
+}
+
+/// Rewrites all `(base, off)` accesses in loop `l` through a fresh register.
+fn apply_promotion(
+    f: &mut Function,
+    l: &portopt_ir::Loop,
+    base: VReg,
+    off: i64,
+    has_stores: bool,
+) {
+    let pre = ensure_preheader(f, l);
+    let reg = f.new_vreg();
+
+    // Preheader: initial load before the branch into the loop.
+    let pre_insts = &mut f.block_mut(pre).insts;
+    let at = pre_insts.len() - 1;
+    pre_insts.insert(at, Inst::Load { dst: reg, addr: base, offset: off });
+
+    // Rewrite in-loop accesses.
+    for &b in &l.blocks {
+        for inst in &mut f.block_mut(b).insts {
+            match inst.clone() {
+                Inst::Load { dst, addr, offset } if (addr, offset) == (base, off) => {
+                    *inst = Inst::Copy { dst, src: Operand::Reg(reg) };
+                }
+                Inst::Store { src, addr, offset } if (addr, offset) == (base, off) => {
+                    *inst = Inst::Copy { dst: reg, src };
+                }
+                _ => {}
+            }
+        }
+    }
+
+    if has_stores {
+        // Store back on every loop-exit edge: split each exiting edge with a
+        // flush block. Exits are successors of loop blocks outside the loop.
+        let loop_blocks = l.blocks.clone();
+        for &b in &loop_blocks {
+            let succs = f.block(b).successors();
+            for s in succs {
+                if loop_blocks.contains(&s) {
+                    continue;
+                }
+                let flush = f.new_block();
+                f.block_mut(flush).insts.push(Inst::Store {
+                    src: Operand::Reg(reg),
+                    addr: base,
+                    offset: off,
+                });
+                f.block_mut(flush).insts.push(Inst::Br { target: s });
+                if let Some(t) = f.block_mut(b).insts.last_mut() {
+                    t.map_targets(|old| if old == s { flush } else { old });
+                }
+            }
+        }
+    }
+    let _ = Liveness::compute(f); // cheap sanity: analyses still computable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
+
+    fn close(m: &Module) {
+        verify_module(m).unwrap();
+    }
+
+    /// acc-in-memory loop: the canonical lm+sm promotion target.
+    fn acc_in_memory() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("acc", 1);
+        let (_, data) = mb.global("data", 64);
+        let mut b = FuncBuilder::new("main", 0);
+        let pa = b.iconst(base as i64);
+        let pd = b.iconst(data as i64);
+        b.counted_loop(0, 64, 1, |b, i| {
+            let off = b.shl(i, 2);
+            let addr = b.add(pd, off);
+            let v = b.load(addr, 0);
+            let acc = b.load(pa, 0); // load-add-store accumulate
+            let t = b.add(acc, v);
+            b.store(t, pa, 0);
+        });
+        let r = b.load(pa, 0);
+        b.ret(r);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        mb.finish()
+    }
+
+    fn count_mem(m: &Module) -> usize {
+        m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. } | Inst::Store { .. }))
+            .count()
+    }
+
+    #[test]
+    fn promotion_removes_in_loop_traffic() {
+        let mut m = acc_in_memory();
+        // Seed the data array.
+        for (i, w) in (0..64).zip(m.globals[1].init.iter_mut()) {
+            *w = i;
+        }
+        m.globals[1].init = (0..64).collect();
+        let before = run_module(&m, &[]).unwrap();
+        let mem_before = count_mem(&m);
+        let globals = crate::analysis::global_ranges(&m);
+        assert!(loop_load_motion(&mut m.funcs[0], &globals, true));
+        crate::util::cleanup(&mut m.funcs[0]);
+        close(&m);
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(before.mem_hash, after.mem_hash);
+        // Static count stays flat (preheader load + exit store appear) but
+        // the in-loop acc load/store are gone: dynamic traffic collapses.
+        assert!(count_mem(&m) <= mem_before);
+        assert!(after.dyn_insts < before.dyn_insts);
+    }
+
+    #[test]
+    fn promotion_requires_sm_for_stores() {
+        let mut m = acc_in_memory();
+        // lm only: the accumulate cell has stores, must be left alone.
+        let globals = crate::analysis::global_ranges(&m);
+        assert!(!loop_load_motion(&mut m.funcs[0], &globals, false));
+    }
+
+    #[test]
+    fn hoists_read_only_loop_invariant_load() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, kbase) = mb.global_init("k", 1, vec![21]);
+        let mut b = FuncBuilder::new("main", 0);
+        let pk = b.iconst(kbase as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 50, 1, |b, _i| {
+            let k = b.load(pk, 0); // invariant, read-only
+            let t = b.add(acc, k);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[]).unwrap();
+        let globals = crate::analysis::global_ranges(&m);
+        assert!(loop_load_motion(&mut m.funcs[0], &globals, false));
+        crate::util::cleanup(&mut m.funcs[0]);
+        close(&m);
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, 21 * 50);
+        assert!(after.dyn_insts < before.dyn_insts);
+        // No loads remain inside the loop body.
+        let lf = portopt_ir::LoopForest::compute(&m.funcs[0]);
+        for l in &lf.loops {
+            for &bk in &l.blocks {
+                for i in &m.funcs[0].block(bk).insts {
+                    assert!(!matches!(i, Inst::Load { .. }), "load left in loop: {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn aliasing_store_blocks_motion() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("buf", 8);
+        let mut b = FuncBuilder::new("main", 1);
+        let idx = b.param(0);
+        let p = b.iconst(base as i64);
+        let q = b.add(p, idx); // unknown address
+        let acc = b.iconst(0);
+        b.counted_loop(0, 8, 1, |b, _i| {
+            let v = b.load(p, 0);
+            b.store(0, q, 0); // may alias p+0
+            let t = b.add(acc, v);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let globals = crate::analysis::global_ranges(&m);
+        assert!(!loop_load_motion(&mut m.funcs[0], &globals, true));
+    }
+
+    #[test]
+    fn las_forwards_stored_value() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 2);
+        let mut b = FuncBuilder::new("main", 1);
+        let p = b.iconst(base as i64);
+        b.store(b.param(0), p, 0);
+        let v = b.load(p, 0); // forwarded from the store
+        let w = b.add(v, 1);
+        b.ret(w);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        assert!(load_after_store(&mut m.funcs[0]));
+        close(&m);
+        assert_eq!(run_module(&m, &[9]).unwrap().ret, 10);
+        assert_eq!(count_mem(&m), 1); // only the store remains
+    }
+
+    #[test]
+    fn las_respects_clobbered_base() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.fresh();
+        b.assign(p, base as i64);
+        b.store(1, p, 0);
+        b.assign(p, base as i64 + 4); // base register redefined
+        let v = b.load(p, 0); // different cell: must NOT forward
+        b.ret(v);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[]).unwrap();
+        load_after_store(&mut m.funcs[0]);
+        close(&m);
+        assert_eq!(run_module(&m, &[]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 0);
+    }
+
+    #[test]
+    fn full_gcse_pipeline_preserves_semantics() {
+        let mut m = acc_in_memory();
+        m.globals[1].init = (0..64).map(|i| i * 3).collect();
+        let before = run_module(&m, &[]).unwrap();
+        let cfg = OptConfig::o3();
+        let globals = crate::analysis::global_ranges(&m);
+        gcse(&mut m.funcs[0], &globals, &cfg);
+        close(&m);
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(before.mem_hash, after.mem_hash);
+        assert!(after.dyn_insts <= before.dyn_insts);
+    }
+}

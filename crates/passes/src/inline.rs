@@ -1,0 +1,340 @@
+//! `-finline-functions` with gcc 4.2's six inlining parameters.
+//!
+//! Call sites are inlined bottom-up subject to the same budget structure as
+//! gcc: a per-callee size test (`max-inline-insns-auto`, offset by
+//! `inline-call-cost`), a per-caller growth budget (`large-function-insns`,
+//! `large-function-growth`) and a whole-module budget (`large-unit-insns`,
+//! `inline-unit-growth`). The paper's crc case study — where only a large
+//! growth factor lets the hot pointer-increment be inlined away — is
+//! exactly the behaviour these knobs gate.
+
+use crate::config::OptConfig;
+use portopt_ir::{BlockId, FuncId, Function, Inst, Module};
+
+/// Runs the inliner over `m`. Returns `true` if any call was inlined.
+pub fn inline_functions(m: &mut Module, cfg: &OptConfig) -> bool {
+    if !cfg.inline_functions {
+        return false;
+    }
+    let unit_insns_orig: usize = m.inst_count();
+    let unit_budget = (cfg.large_unit_insns_value() as usize)
+        .max(unit_insns_orig * (100 + cfg.inline_unit_growth_value() as usize) / 100);
+    let call_cost = cfg.inline_call_cost_value() as usize;
+    let auto_limit = cfg.max_inline_insns_auto_value() as usize;
+
+    let orig_sizes: Vec<usize> = m.funcs.iter().map(Function::inst_count).collect();
+    let mut changed = false;
+
+    // Iterate a few rounds so chains (a -> b -> c) flatten.
+    for _round in 0..3 {
+        let mut any = false;
+        for caller_id in 0..m.funcs.len() {
+            loop {
+                // Find the next inlinable call site in this caller.
+                let site = find_site(m, caller_id, call_cost, auto_limit);
+                let Some((block, idx, callee_id)) = site else { break };
+
+                // Budgets.
+                let caller_size = m.funcs[caller_id].inst_count();
+                let callee_size = m.funcs[callee_id.index()].inst_count();
+                let caller_budget = (cfg.large_function_insns_value() as usize).max(
+                    orig_sizes[caller_id] * (100 + cfg.large_function_growth_value() as usize)
+                        / 100,
+                );
+                if caller_size + callee_size > caller_budget {
+                    break;
+                }
+                if m.inst_count() + callee_size > unit_budget {
+                    break;
+                }
+                inline_one(m, caller_id, block, idx, callee_id);
+                changed = true;
+                any = true;
+            }
+        }
+        if !any {
+            break;
+        }
+    }
+    changed
+}
+
+/// Finds a call site in `caller` whose callee passes the per-callee test.
+fn find_site(
+    m: &Module,
+    caller: usize,
+    call_cost: usize,
+    auto_limit: usize,
+) -> Option<(BlockId, usize, FuncId)> {
+    let f = &m.funcs[caller];
+    for (bi, block) in f.iter_blocks() {
+        for (k, inst) in block.insts.iter().enumerate() {
+            let Inst::Call { func, .. } = inst else { continue };
+            if func.index() == caller {
+                continue; // direct recursion: never inlined
+            }
+            let callee = &m.funcs[func.index()];
+            if callee.cold {
+                continue;
+            }
+            // Callees containing calls are only inlined after their own
+            // calls flatten (bottom-up effect across rounds); recursive
+            // callees never flatten so this also blocks mutual recursion.
+            if callee
+                .blocks
+                .iter()
+                .any(|b| b.insts.iter().any(Inst::is_call))
+            {
+                continue;
+            }
+            let size = callee.inst_count();
+            if size.saturating_sub(call_cost) <= auto_limit {
+                return Some((bi, k, *func));
+            }
+        }
+    }
+    None
+}
+
+/// Splices `callee` into `caller` at the given call site.
+fn inline_one(m: &mut Module, caller_id: usize, block: BlockId, idx: usize, callee_id: FuncId) {
+    let callee = m.funcs[callee_id.index()].clone();
+    let caller = &mut m.funcs[caller_id];
+
+    let Inst::Call { args, dst, .. } = caller.block(block).insts[idx].clone() else {
+        panic!("call site moved");
+    };
+
+    // Remap callee registers and blocks into the caller's space.
+    let reg_base = caller.vreg_count;
+    caller.vreg_count += callee.vreg_count;
+
+    // Continuation: the tail of the call block after the call. Allocated
+    // first, so the callee's blocks start at `block_base`.
+    let cont = caller.new_block();
+    let block_base = caller.blocks.len() as u32;
+    let call_block_len = caller.block(block).insts.len();
+    let tail: Vec<Inst> = caller
+        .block_mut(block)
+        .insts
+        .drain(idx + 1..call_block_len)
+        .collect();
+    caller.block_mut(cont).insts = tail;
+
+    // The call itself becomes: copies of args into remapped params, then a
+    // branch to the remapped callee entry.
+    caller.block_mut(block).insts.truncate(idx);
+    for (p, a) in callee.params.iter().zip(&args) {
+        let dst = portopt_ir::VReg(p.0 + reg_base);
+        caller.block_mut(block).insts.push(Inst::Copy { dst, src: *a });
+    }
+    caller.block_mut(block).insts.push(Inst::Br {
+        target: BlockId(block_base),
+    });
+
+    // Splice callee blocks, rewriting registers, targets, and returns.
+    // A `ret v` becomes `dst = v; br cont` (the copy only when the caller
+    // uses the result).
+    for (bi, cb) in callee.blocks.iter().enumerate() {
+        let nb = caller.new_block();
+        debug_assert_eq!(nb.0, block_base + bi as u32);
+        let mut insts = Vec::with_capacity(cb.insts.len() + 1);
+        for inst in &cb.insts {
+            let mut inst = inst.clone();
+            inst.map_uses(|r| portopt_ir::VReg(r.0 + reg_base));
+            inst.map_def(|r| portopt_ir::VReg(r.0 + reg_base));
+            inst.map_targets(|t| BlockId(t.0 + block_base));
+            if let Inst::Ret { val } = inst {
+                if let (Some(d), Some(v)) = (dst, val) {
+                    insts.push(Inst::Copy { dst: d, src: v });
+                }
+                insts.push(Inst::Br { target: cont });
+            } else {
+                insts.push(inst);
+            }
+        }
+        caller.block_mut(nb).insts = insts;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup_module;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Operand, Pred};
+
+    fn leaf_add_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let leaf = {
+            let mut b = FuncBuilder::new("mac", 3);
+            let p = b.mul(b.param(0), b.param(1));
+            let s = b.add(p, b.param(2));
+            b.ret(s);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            let r = b.call(leaf, &[i.into(), i.into(), acc.into()]);
+            b.assign(acc, r);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        mb.finish()
+    }
+
+    fn count_calls(m: &Module) -> usize {
+        m.funcs[m.entry.index()]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| i.is_call())
+            .count()
+    }
+
+    #[test]
+    fn inlines_small_leaf() {
+        let mut m = leaf_add_module();
+        let before = run_module(&m, &[]).unwrap();
+        assert!(inline_functions(&mut m, &OptConfig::o3()));
+        verify_module(&m).unwrap();
+        cleanup_module(&mut m);
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(count_calls(&m), 0);
+        assert!(after.dyn_insts < before.dyn_insts);
+    }
+
+    #[test]
+    fn flag_off_is_noop() {
+        let mut m = leaf_add_module();
+        assert!(!inline_functions(&mut m, &OptConfig::o0()));
+        assert_eq!(count_calls(&m), 1);
+    }
+
+    #[test]
+    fn cold_functions_never_inlined() {
+        let mut mb = ModuleBuilder::new("t");
+        let leaf = {
+            let mut b = FuncBuilder::new("coldy", 1);
+            b.set_cold();
+            let s = b.add(b.param(0), 1);
+            b.ret(s);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let r = b.call(leaf, &[Operand::Imm(41)]);
+        b.ret(r);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        assert!(!inline_functions(&mut m, &OptConfig::o3()));
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 42);
+    }
+
+    #[test]
+    fn size_limit_blocks_inlining() {
+        let mut mb = ModuleBuilder::new("t");
+        let big = {
+            let mut b = FuncBuilder::new("big", 1);
+            let mut t = b.param(0);
+            for _ in 0..430 {
+                t = b.add(t, 1);
+            }
+            b.ret(t);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let r = b.call(big, &[Operand::Imm(0)]);
+        b.ret(r);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        // Tightest settings: 30-insn auto limit.
+        let tight = OptConfig {
+            inline_functions: true,
+            max_inline_insns_auto: 0,
+            inline_call_cost: 0,
+            ..OptConfig::o3()
+        };
+        assert!(!inline_functions(&mut m, &tight));
+        // Most permissive settings: 450-insn limit admits it.
+        let loose = OptConfig {
+            inline_functions: true,
+            max_inline_insns_auto: 4,
+            large_function_insns: 2,
+            large_function_growth: 3,
+            large_unit_insns: 2,
+            inline_unit_growth: 3,
+            ..OptConfig::o3()
+        };
+        assert!(inline_functions(&mut m, &loose));
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 430);
+    }
+
+    #[test]
+    fn chains_flatten_bottom_up() {
+        let mut mb = ModuleBuilder::new("t");
+        let inner = {
+            let mut b = FuncBuilder::new("inner", 1);
+            let s = b.add(b.param(0), 1);
+            b.ret(s);
+            mb.add(b.finish())
+        };
+        let mid = {
+            let mut b = FuncBuilder::new("mid", 1);
+            let r = b.call(inner, &[b.param(0).into()]);
+            let s = b.mul(r, 2);
+            b.ret(s);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let r = b.call(mid, &[Operand::Imm(5)]);
+        b.ret(r);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        assert!(inline_functions(&mut m, &OptConfig::o3()));
+        verify_module(&m).unwrap();
+        cleanup_module(&mut m);
+        assert_eq!(count_calls(&m), 0, "chain fully flattened");
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 12);
+    }
+
+    #[test]
+    fn recursion_not_inlined() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("fact", 1);
+        let mut b = FuncBuilder::new("fact", 1);
+        let n = b.param(0);
+        let c = b.cmp(Pred::Le, n, 1);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| b.assign(out, 1),
+            |b| {
+                let n1 = b.sub(n, 1);
+                let r = b.call(fid, &[n1.into()]);
+                let p = b.mul(n, r);
+                b.assign(out, p);
+            },
+        );
+        b.ret(out);
+        mb.define(fid, b.finish());
+        let mut mb2 = mb;
+        let mut mainb = FuncBuilder::new("main", 0);
+        let r = mainb.call(fid, &[Operand::Imm(6)]);
+        mainb.ret(r);
+        let id = mb2.add(mainb.finish());
+        mb2.entry(id);
+        let mut m = mb2.finish();
+        inline_functions(&mut m, &OptConfig::o3());
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 720);
+        // fact still calls itself.
+        assert!(portopt_ir::calls(&m.funcs[fid.index()], fid));
+    }
+}

@@ -1,0 +1,247 @@
+//! Jump-level passes: `-fthread-jumps` and `-fcrossjumping`.
+
+use portopt_ir::{BlockId, Cfg, Function, Inst};
+
+/// `-fthread-jumps`: retarget branches that land on trivial forwarding
+/// blocks, and thread conditional branches through blocks that immediately
+/// re-test the same condition. Returns `true` if anything changed.
+pub fn thread_jumps(f: &mut Function) -> bool {
+    let mut changed = false;
+
+    // Resolve chains of blocks containing only `br x`, with cycle detection.
+    let n = f.blocks.len();
+    let forward: Vec<Option<BlockId>> = (0..n)
+        .map(|i| match f.blocks[i].insts.as_slice() {
+            [Inst::Br { target }] => Some(*target),
+            _ => None,
+        })
+        .collect();
+    let resolve = |mut b: BlockId| -> BlockId {
+        let mut hops = 0;
+        while let Some(next) = forward[b.index()] {
+            if next == b || hops > n {
+                break;
+            }
+            b = next;
+            hops += 1;
+        }
+        b
+    };
+
+    for bi in 0..n {
+        // Work on a copy of the terminator to appease the borrow checker.
+        let Some(mut term) = f.blocks[bi].insts.last().cloned() else {
+            continue;
+        };
+        let before = term.clone();
+        term.map_targets(resolve);
+        // Thread `condbr c, T, E` where T itself is just `condbr c, T2, E2`:
+        // along the taken edge `c != 0`, so the re-test must take T2.
+        if let Inst::CondBr { cond, then_, else_ } = term {
+            let thread = |target: BlockId, take_then: bool| -> BlockId {
+                match f.blocks[target.index()].insts.as_slice() {
+                    [Inst::CondBr { cond: c2, then_: t2, else_: e2 }] if *c2 == cond => {
+                        if take_then {
+                            *t2
+                        } else {
+                            *e2
+                        }
+                    }
+                    _ => target,
+                }
+            };
+            let nt = thread(then_, true);
+            let ne = thread(else_, false);
+            term = Inst::CondBr { cond, then_: nt, else_: ne };
+        }
+        if term != before {
+            *f.blocks[bi].insts.last_mut().unwrap() = term;
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// `-fcrossjumping`: merge identical instruction tails of two unconditional
+/// predecessors of a join block into the join block (a pure code-size
+/// optimisation). Returns `true` if anything changed.
+pub fn crossjumping(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::compute(f);
+        let mut done_one = false;
+        for j in 0..f.blocks.len() {
+            let join = BlockId(j as u32);
+            let preds = cfg.preds(join);
+            if preds.len() != 2 || preds[0] == preds[1] || join == f.entry() {
+                continue;
+            }
+            let (p1, p2) = (preds[0], preds[1]);
+            // Both predecessors must end with an unconditional branch to join.
+            let uncond = |b: BlockId| {
+                matches!(
+                    f.block(b).insts.last(),
+                    Some(Inst::Br { target }) if *target == join
+                )
+            };
+            if !uncond(p1) || !uncond(p2) || p1 == join || p2 == join {
+                continue;
+            }
+            // Longest common suffix of the bodies (excluding terminators).
+            let b1 = f.block(p1).body();
+            let b2 = f.block(p2).body();
+            let mut k = 0;
+            while k < b1.len() && k < b2.len() && b1[b1.len() - 1 - k] == b2[b2.len() - 1 - k] {
+                k += 1;
+            }
+            if k == 0 {
+                continue;
+            }
+            // Move the common tail to the head of the join block.
+            let tail: Vec<Inst> = b1[b1.len() - k..].to_vec();
+            for p in [p1, p2] {
+                let blk = f.block_mut(p);
+                let keep = blk.insts.len() - 1 - k;
+                blk.insts.drain(keep..blk.insts.len() - 1);
+            }
+            let jb = f.block_mut(join);
+            for (i, inst) in tail.into_iter().enumerate() {
+                jb.insts.insert(i, inst);
+            }
+            changed = true;
+            done_one = true;
+            break;
+        }
+        if !done_one {
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Module, Pred};
+
+    fn finish(f: portopt_ir::Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn threads_through_forwarding_block() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let fwd = b.block();
+        let real = b.block();
+        let other = b.block();
+        b.cond_br(c, fwd, other);
+        b.switch_to(fwd);
+        b.br(real); // forwarding-only block
+        b.switch_to(real);
+        b.ret(1);
+        b.switch_to(other);
+        b.ret(0);
+        let mut f = b.finish();
+        assert!(thread_jumps(&mut f));
+        // The entry's condbr must now target `real` directly.
+        match f.block(portopt_ir::BlockId(0)).insts.last().unwrap() {
+            Inst::CondBr { then_, .. } => assert_eq!(*then_, real),
+            other => panic!("unexpected terminator {other}"),
+        }
+        let m = finish(f);
+        assert_eq!(run_module(&m, &[5]).unwrap().ret, 1);
+        assert_eq!(run_module(&m, &[-5]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn threads_repeated_condition() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let retest = b.block();
+        let t2 = b.block();
+        let e2 = b.block();
+        let other = b.block();
+        b.cond_br(c, retest, other);
+        b.switch_to(retest);
+        b.cond_br(c, t2, e2); // same condition re-tested
+        b.switch_to(t2);
+        b.ret(10);
+        b.switch_to(e2);
+        b.ret(20);
+        b.switch_to(other);
+        b.ret(30);
+        let mut f = b.finish();
+        let before_pos = run_module(&finish(f.clone()), &[1]).unwrap();
+        let before_neg = run_module(&finish(f.clone()), &[-1]).unwrap();
+        assert!(thread_jumps(&mut f));
+        match f.block(portopt_ir::BlockId(0)).insts.last().unwrap() {
+            Inst::CondBr { then_, .. } => assert_eq!(*then_, t2),
+            other => panic!("unexpected terminator {other}"),
+        }
+        let m = finish(f);
+        assert_eq!(run_module(&m, &[1]).unwrap().ret, before_pos.ret);
+        assert_eq!(run_module(&m, &[-1]).unwrap().ret, before_neg.ret);
+        // The threaded path executes fewer dynamic instructions.
+        assert!(run_module(&m, &[1]).unwrap().dyn_insts < before_pos.dyn_insts);
+    }
+
+    #[test]
+    fn crossjump_merges_common_tail() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.fresh();
+        let t = b.fresh();
+        // Both arms end with the same two instructions (same registers).
+        let tail = |b: &mut FuncBuilder| {
+            b.push(Inst::Bin {
+                op: portopt_ir::BinOp::Mul,
+                dst: t,
+                a: out.into(),
+                b: 7i64.into(),
+            });
+            b.assign(out, t);
+        };
+        b.if_else(
+            c,
+            |b| {
+                b.assign(out, 1);
+                tail(b);
+            },
+            |b| {
+                b.assign(out, 2);
+                tail(b);
+            },
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        let size_before = f.inst_count();
+        let before = run_module(&finish(f.clone()), &[3]).unwrap();
+        assert!(crossjumping(&mut f));
+        let m = finish(f.clone());
+        assert!(f.inst_count() < size_before, "code must shrink");
+        assert_eq!(run_module(&m, &[3]).unwrap().ret, before.ret);
+        assert_eq!(run_module(&m, &[-3]).unwrap().ret, 14);
+    }
+
+    #[test]
+    fn crossjump_noop_when_tails_differ() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.fresh();
+        b.if_else(c, |b| b.assign(out, 1), |b| b.assign(out, 2));
+        b.ret(out);
+        let mut f = b.finish();
+        // Different constants: only the Copy differs, no common suffix.
+        assert!(!crossjumping(&mut f));
+    }
+}

@@ -1,0 +1,558 @@
+//! Code layout and lowering: `-freorder-blocks` and the four `-falign-*`
+//! flags, plus address assignment and per-block schedule tables.
+//!
+//! The output, a [`CodeImage`], is the "binary" the simulator executes:
+//! every block has a byte address and size (so the instruction cache sees
+//! real layout effects from alignment, inlining, unrolling and unswitching),
+//! a lowered terminator kind (so taken-branch and BTB behaviour depend on
+//! block ordering), and a static scoreboard table giving its issue cycles
+//! for each (load-use latency, issue width) pair.
+
+use crate::config::OptConfig;
+use portopt_ir::{BinOp, BlockId, Cfg, FuncId, Function, Inst, LoopForest, Module};
+use serde::{Deserialize, Serialize};
+
+/// Base address of the code segment.
+pub const CODE_BASE: u32 = 0x1000;
+/// Bytes per machine instruction (fixed-width, ARM-style).
+pub const INST_BYTES: u32 = 4;
+/// Load-use latencies covered by the static schedule table (1..=MAX_LAT).
+pub const MAX_LAT: usize = 6;
+
+/// How a block's terminator was lowered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TermKind {
+    /// Unconditional fall-through: no branch instruction emitted.
+    Fall,
+    /// Unconditional jump (1 instruction, always taken).
+    Jump,
+    /// Conditional branch to `then_`; `else_` is the fall-through.
+    CondFall,
+    /// Inverted conditional branch to `else_`; `then_` is the fall-through.
+    CondFlip,
+    /// Conditional branch to `then_` plus unconditional jump to `else_`.
+    CondTwoJumps,
+    /// Function return (1 instruction).
+    Ret,
+}
+
+/// Placement and lowering of one basic block.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BlockLayout {
+    /// Byte address of the first instruction.
+    pub addr: u32,
+    /// Emitted code bytes (body + lowered terminator, no padding).
+    pub bytes: u32,
+    /// Alignment padding inserted before this block.
+    pub pad: u32,
+    /// Successor reached without taking a branch, if any.
+    pub fallthrough: Option<BlockId>,
+    /// Lowered terminator.
+    pub term: TermKind,
+}
+
+/// Static execution profile of one block: issue cycles on the in-order
+/// pipeline for each (width, load-use latency) pair, plus operation counts
+/// for the performance-counter model.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BlockSched {
+    /// `cycles[w-1][lat-1]`: block issue cycles at width `w`, load-use
+    /// latency `lat` (assuming all cache hits).
+    pub cycles: [[u16; MAX_LAT]; 2],
+    /// Emitted instructions (decode slots).
+    pub insts: u16,
+    /// Plain ALU operations (incl. compares and copies).
+    pub alu: u16,
+    /// Multiply (MAC-unit) operations.
+    pub mac: u16,
+    /// Shifter operations.
+    pub shift: u16,
+    /// Long-latency ALU sequences (div/rem).
+    pub div: u16,
+    /// Memory loads (global + frame).
+    pub loads: u16,
+    /// Memory stores (global + frame).
+    pub stores: u16,
+    /// Conditional branches (branch-predictor accesses).
+    pub cond_branches: u16,
+    /// Unconditional jumps emitted.
+    pub jumps: u16,
+    /// Calls.
+    pub calls: u16,
+    /// Returns.
+    pub rets: u16,
+    /// Register-file read accesses.
+    pub reg_reads: u16,
+    /// Register-file write accesses.
+    pub reg_writes: u16,
+}
+
+/// A laid-out, lowered function.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MachineFunc {
+    /// The executable (post-allocation) IR.
+    pub func: Function,
+    /// Blocks in layout order.
+    pub order: Vec<BlockId>,
+    /// Per-block placement, indexed by block id.
+    pub layout: Vec<BlockLayout>,
+    /// Per-block static schedule, indexed by block id.
+    pub sched: Vec<BlockSched>,
+    /// Function base address.
+    pub base: u32,
+}
+
+/// A compiled program image.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CodeImage {
+    /// Program name.
+    pub name: String,
+    /// Per-function code, indexed by [`FuncId`].
+    pub funcs: Vec<MachineFunc>,
+    /// Entry function.
+    pub entry: FuncId,
+    /// Total code size in bytes (including padding).
+    pub code_bytes: u32,
+    /// Total emitted instructions.
+    pub total_insts: u32,
+    /// Global layout `(base, bytes)`, copied from the module for the
+    /// simulator's memory construction.
+    pub globals: Vec<(u32, u32)>,
+}
+
+impl CodeImage {
+    /// The layout of `(func, block)`.
+    pub fn block_layout(&self, f: FuncId, b: BlockId) -> &BlockLayout {
+        &self.funcs[f.index()].layout[b.index()]
+    }
+}
+
+/// Computes the block order for a function.
+///
+/// With `-freorder-blocks`, a greedy trace-growing pass places each block's
+/// most likely successor next (back edges and loop-internal edges are
+/// considered likely, loop exits unlikely), maximising fall-through on hot
+/// edges. Without it, blocks stay in creation order — after inlining,
+/// unrolling and unswitching have appended their clones at the end, that
+/// order is littered with unconditional jumps.
+pub fn block_order(f: &Function, reorder: bool) -> Vec<BlockId> {
+    let n = f.blocks.len();
+    if !reorder {
+        return (0..n as u32).map(BlockId).collect();
+    }
+    let forest = LoopForest::compute(f);
+    let prob = |from: BlockId, to: BlockId| -> u32 {
+        // Higher is more likely.
+        let d_from = forest.block_depth(from);
+        let d_to = forest.block_depth(to);
+        if forest
+            .loops
+            .iter()
+            .any(|l| l.header == to && l.contains(from))
+        {
+            90 // back edge
+        } else if d_to < d_from {
+            10 // loop exit
+        } else if d_to > d_from {
+            80 // loop entry
+        } else {
+            50
+        }
+    };
+    let mut placed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut cur = Some(f.entry());
+    loop {
+        let b = match cur {
+            Some(b) if !placed[b.index()] => b,
+            _ => {
+                // Next trace seed: first unplaced block in id order.
+                match (0..n).find(|&i| !placed[i]) {
+                    Some(i) => BlockId(i as u32),
+                    None => break,
+                }
+            }
+        };
+        placed[b.index()] = true;
+        order.push(b);
+        cur = f
+            .block(b)
+            .successors()
+            .into_iter()
+            .filter(|s| !placed[s.index()])
+            .max_by_key(|&s| prob(b, s));
+    }
+    order
+}
+
+/// Lowers the terminator of `b` given the block laid out after it.
+fn lower_term(block: &portopt_ir::Block, next: Option<BlockId>) -> (TermKind, Option<BlockId>, u32) {
+    match block.insts.last() {
+        Some(Inst::Br { target }) => {
+            if next == Some(*target) {
+                (TermKind::Fall, Some(*target), 0)
+            } else {
+                (TermKind::Jump, None, 1)
+            }
+        }
+        Some(Inst::CondBr { then_, else_, .. }) => {
+            if next == Some(*else_) {
+                (TermKind::CondFall, Some(*else_), 1)
+            } else if next == Some(*then_) {
+                (TermKind::CondFlip, Some(*then_), 1)
+            } else {
+                (TermKind::CondTwoJumps, None, 2)
+            }
+        }
+        Some(Inst::Ret { .. }) => (TermKind::Ret, None, 1),
+        _ => (TermKind::Fall, next, 0),
+    }
+}
+
+/// Operation latency on the pipeline, parameterised by load-use latency.
+fn op_latency(inst: &Inst, load_lat: u32) -> u32 {
+    match inst {
+        Inst::Load { .. } | Inst::FrameLoad { .. } => load_lat,
+        Inst::Bin { op, .. } if op.is_long_latency() => 16,
+        Inst::Bin { op, .. } if op.uses_mac() => 2,
+        _ => 1,
+    }
+}
+
+/// Static scoreboard simulation of one block at the given width and
+/// load-use latency: in-order issue, `width` slots per cycle, one memory
+/// port, one MAC unit.
+fn scoreboard(insts: &[Inst], width: u32, load_lat: u32, nregs: usize) -> u32 {
+    let mut ready = vec![0u32; nregs.max(1)];
+    let mut cycle: u32 = 0;
+    let mut slots = 0u32;
+    let mut mem_used = false;
+    let mut mac_used = false;
+    for inst in insts {
+        let mut start = cycle;
+        inst.for_each_use(|r| {
+            start = start.max(ready[r.index()]);
+        });
+        let needs_mem = inst.is_memory();
+        let needs_mac = matches!(inst, Inst::Bin { op, .. } if op.uses_mac());
+        // Advance to a cycle with a free slot and free resources.
+        loop {
+            if start > cycle {
+                cycle = start;
+                slots = 0;
+                mem_used = false;
+                mac_used = false;
+            }
+            if slots >= width || (needs_mem && mem_used) || (needs_mac && mac_used) {
+                cycle += 1;
+                slots = 0;
+                mem_used = false;
+                mac_used = false;
+                continue;
+            }
+            break;
+        }
+        slots += 1;
+        mem_used |= needs_mem;
+        mac_used |= needs_mac;
+        if let Some(d) = inst.def() {
+            ready[d.index()] = cycle + op_latency(inst, load_lat);
+        }
+    }
+    cycle + 1
+}
+
+/// Builds the per-block operation counts and schedule table.
+fn block_sched(block: &portopt_ir::Block, term: TermKind, nregs: usize) -> BlockSched {
+    let mut s = BlockSched::default();
+    for inst in &block.insts {
+        let mut reads = 0u16;
+        inst.for_each_use(|_| reads += 1);
+        s.reg_reads += reads;
+        if inst.def().is_some() {
+            s.reg_writes += 1;
+        }
+        match inst {
+            Inst::Bin { op, .. } => {
+                if op.is_long_latency() {
+                    s.div += 1;
+                } else if op.uses_mac() {
+                    s.mac += 1;
+                } else if op.uses_shifter() {
+                    s.shift += 1;
+                } else {
+                    s.alu += 1;
+                }
+            }
+            Inst::Cmp { .. } | Inst::Copy { .. } => s.alu += 1,
+            Inst::Load { .. } | Inst::FrameLoad { .. } => s.loads += 1,
+            Inst::Store { .. } | Inst::FrameStore { .. } => s.stores += 1,
+            Inst::Call { .. } => s.calls += 1,
+            Inst::Ret { .. } => s.rets += 1,
+            Inst::Br { .. } | Inst::CondBr { .. } => {}
+        }
+    }
+    match term {
+        TermKind::Fall => {}
+        TermKind::Jump => s.jumps += 1,
+        TermKind::CondFall | TermKind::CondFlip => s.cond_branches += 1,
+        TermKind::CondTwoJumps => {
+            s.cond_branches += 1;
+            s.jumps += 1;
+        }
+        TermKind::Ret => {}
+    }
+    // Emitted instructions: body plus lowered terminator.
+    let body = block.body().len() as u16;
+    let term_insts = match term {
+        TermKind::Fall => 0,
+        TermKind::Jump | TermKind::CondFall | TermKind::CondFlip | TermKind::Ret => 1,
+        TermKind::CondTwoJumps => 2,
+    };
+    s.insts = body + term_insts;
+    for w in 1..=2u32 {
+        for lat in 1..=MAX_LAT as u32 {
+            s.cycles[(w - 1) as usize][(lat - 1) as usize] =
+                scoreboard(&block.insts, w, lat, nregs).min(u16::MAX as u32) as u16;
+        }
+    }
+    s
+}
+
+/// Lays out and lowers a whole module into a [`CodeImage`].
+pub fn layout_module(m: &Module, cfg: &OptConfig) -> CodeImage {
+    let mut funcs = Vec::with_capacity(m.funcs.len());
+    let mut addr = CODE_BASE;
+    let mut total_insts = 0u32;
+
+    for f in &m.funcs {
+        // Function alignment.
+        let fn_align = if cfg.align_functions { 32 } else { 4 };
+        addr = (addr + fn_align - 1) & !(fn_align - 1);
+        let base = addr;
+
+        let order = block_order(f, cfg.reorder_blocks);
+        let forest = LoopForest::compute(f);
+        let cfg_graph = Cfg::compute(f);
+        let nregs = f.vreg_count as usize;
+
+        let n = f.blocks.len();
+        let mut layout = vec![
+            BlockLayout {
+                addr: 0,
+                bytes: 0,
+                pad: 0,
+                fallthrough: None,
+                term: TermKind::Fall,
+            };
+            n
+        ];
+        let mut sched = vec![BlockSched::default(); n];
+
+        for (k, &b) in order.iter().enumerate() {
+            let next = order.get(k + 1).copied();
+            let block = f.block(b);
+            let (term, fallthrough, term_insts) = lower_term(block, next);
+
+            // Alignment rules (max of the applicable ones).
+            let mut align = 4u32;
+            if cfg.align_labels {
+                align = align.max(8);
+            }
+            if cfg.align_jumps && cfg_graph.preds(b).len() >= 2 {
+                align = align.max(8);
+            }
+            if cfg.align_loops && forest.loops.iter().any(|l| l.header == b) {
+                align = align.max(16);
+            }
+            let aligned = (addr + align - 1) & !(align - 1);
+            let pad = aligned - addr;
+            addr = aligned;
+
+            let body_insts = block.body().len() as u32;
+            let bytes = (body_insts + term_insts) * INST_BYTES;
+            layout[b.index()] = BlockLayout { addr, bytes, pad, fallthrough, term };
+            sched[b.index()] = block_sched(block, term, nregs);
+            total_insts += body_insts + term_insts;
+            addr += bytes;
+        }
+
+        funcs.push(MachineFunc {
+            func: f.clone(),
+            order,
+            layout,
+            sched,
+            base,
+        });
+    }
+
+    CodeImage {
+        name: m.name.clone(),
+        funcs,
+        entry: m.entry,
+        code_bytes: addr - CODE_BASE,
+        total_insts,
+        globals: m.global_addrs().iter().map(|a| (a.base, a.bytes)).collect(),
+    }
+}
+
+/// Convenience: does this op use the shifter? (re-exported logic for sim)
+pub fn uses_shifter(op: BinOp) -> bool {
+    op.uses_shifter()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::{FuncBuilder, ModuleBuilder, Pred};
+
+    fn loop_module() -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn layout_assigns_increasing_addresses() {
+        let m = loop_module();
+        let img = layout_module(&m, &OptConfig::o0());
+        let mf = &img.funcs[0];
+        let mut addrs: Vec<u32> = mf.order.iter().map(|b| mf.layout[b.index()].addr).collect();
+        let sorted = {
+            let mut a = addrs.clone();
+            a.sort_unstable();
+            a
+        };
+        assert_eq!(addrs, sorted);
+        addrs.dedup();
+        assert_eq!(addrs.len(), mf.order.len(), "blocks overlap");
+        assert!(img.code_bytes > 0);
+        assert!(img.total_insts > 0);
+    }
+
+    #[test]
+    fn fallthrough_detected_in_natural_order() {
+        let m = loop_module();
+        let img = layout_module(&m, &OptConfig::o0());
+        let mf = &img.funcs[0];
+        // Block 0 (entry) ends `br header(1)` and 1 follows it: fall-through.
+        assert_eq!(mf.layout[0].term, TermKind::Fall);
+        assert_eq!(mf.layout[0].fallthrough, Some(BlockId(1)));
+        // Header’s CondBr: body (2) follows, so the branch is flipped and
+        // taken only on exit.
+        assert_eq!(mf.layout[1].term, TermKind::CondFlip);
+    }
+
+    #[test]
+    fn alignment_pads_loop_headers() {
+        let m = loop_module();
+        let aligned_cfg = OptConfig {
+            align_loops: true,
+            ..OptConfig::o0()
+        };
+        let img = layout_module(&m, &aligned_cfg);
+        let header = &img.funcs[0].layout[1];
+        assert_eq!(header.addr % 16, 0, "loop header must be 16-aligned");
+        // Padding costs code bytes.
+        let img0 = layout_module(&m, &OptConfig::o0());
+        assert!(img.code_bytes >= img0.code_bytes);
+    }
+
+    #[test]
+    fn scoreboard_width_and_latency_monotone() {
+        let m = loop_module();
+        let img = layout_module(&m, &OptConfig::o0());
+        for mf in &img.funcs {
+            for s in &mf.sched {
+                for lat in 0..MAX_LAT {
+                    // Wider never slower.
+                    assert!(s.cycles[1][lat] <= s.cycles[0][lat]);
+                    if lat > 0 {
+                        // Higher latency never faster.
+                        assert!(s.cycles[0][lat] >= s.cycles[0][lat - 1]);
+                        assert!(s.cycles[1][lat] >= s.cycles[1][lat - 1]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scoreboard_counts_load_use_stall() {
+        // load; use — at lat L the block takes at least L+1 cycles.
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 2);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let v = b.load(p, 0);
+        let w = b.add(v, 1);
+        b.ret(w);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let m = mb.finish();
+        let img = layout_module(&m, &OptConfig::o0());
+        let s = &img.funcs[0].sched[0];
+        assert!(s.cycles[0][3] > s.cycles[0][0], "latency must show");
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.alu >= 2, true); // iconst + add
+        assert_eq!(s.rets, 1);
+    }
+
+    #[test]
+    fn reorder_blocks_changes_layout_after_cloning() {
+        // Unswitching appends clones; reorder should reduce taken jumps.
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let mode = b.param(0);
+        let acc = b.iconst(0);
+        let c = b.cmp(Pred::Ne, mode, 0);
+        b.counted_loop(0, 50, 1, |b, i| {
+            b.if_else(
+                c,
+                |b| {
+                    let t = b.add(acc, i);
+                    b.assign(acc, t);
+                },
+                |b| {
+                    let t = b.sub(acc, i);
+                    b.assign(acc, t);
+                },
+            );
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        crate::unswitch::unswitch_loops(&mut f);
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+
+        let count_jumps = |img: &CodeImage| {
+            img.funcs[0]
+                .layout
+                .iter()
+                .filter(|l| matches!(l.term, TermKind::Jump | TermKind::CondTwoJumps))
+                .count()
+        };
+        let img_plain = layout_module(&m, &OptConfig::o0());
+        let img_reord = layout_module(
+            &m,
+            &OptConfig {
+                reorder_blocks: true,
+                ..OptConfig::o0()
+            },
+        );
+        assert!(
+            count_jumps(&img_reord) <= count_jumps(&img_plain),
+            "reordering should not add jumps"
+        );
+    }
+}

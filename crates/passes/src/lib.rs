@@ -1,0 +1,54 @@
+//! # portopt-passes
+//!
+//! The optimising-compiler half of `portopt`: every pass of the paper's
+//! Figure 3 optimisation space (Dubach et al., MICRO 2009), a register
+//! allocator, an instruction scheduler, and code layout — producing a
+//! [`CodeImage`] that the `portopt-sim` simulator executes.
+//!
+//! The single entry point is [`compile`]:
+//!
+//! ```
+//! use portopt_ir::{FuncBuilder, ModuleBuilder};
+//! use portopt_passes::{compile, OptConfig};
+//!
+//! let mut mb = ModuleBuilder::new("demo");
+//! let mut b = FuncBuilder::new("main", 0);
+//! let acc = b.iconst(0);
+//! b.counted_loop(0, 100, 1, |b, i| {
+//!     let sq = b.mul(i, i);
+//!     let t = b.add(acc, sq);
+//!     b.assign(acc, t);
+//! });
+//! b.ret(acc);
+//! let id = mb.add(b.finish());
+//! mb.entry(id);
+//! let module = mb.finish();
+//!
+//! let image = compile(&module, &OptConfig::o3());
+//! assert!(image.code_bytes > 0);
+//! ```
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod config;
+pub mod cse;
+pub mod gcse;
+pub mod inline;
+pub mod jumps;
+pub mod layout;
+pub mod licm;
+pub mod peephole;
+pub mod pipeline;
+pub mod pre;
+pub mod regalloc;
+pub mod sched;
+pub mod strength;
+pub mod tailcall;
+pub mod unroll;
+pub mod unswitch;
+pub mod util;
+pub mod vrp;
+
+pub use config::{menus, OptConfig, OptDim, OptSpace};
+pub use layout::{BlockLayout, BlockSched, CodeImage, MachineFunc, TermKind, CODE_BASE, INST_BYTES, MAX_LAT};
+pub use pipeline::{compile, compile_with_stats, CompileStats};

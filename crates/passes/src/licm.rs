@@ -1,0 +1,207 @@
+//! Loop-invariant code motion.
+//!
+//! Always on (the paper notes "moving loop-invariant code out of the loops"
+//! happens even in the best configurations that disable everything else);
+//! `-frerun-loop-opt` re-runs it after the CSE/GCSE reruns, catching
+//! invariants those passes expose.
+
+use crate::analysis::{ensure_preheader, single_defs};
+use portopt_ir::{Function, LoopForest};
+
+/// Hoists loop-invariant pure, non-memory instructions to loop preheaders.
+/// Returns `true` if anything moved.
+///
+/// An instruction is hoisted when:
+/// * it is pure and not a load (loads are `-fgcse-lm`'s job, with alias
+///   checks);
+/// * its destination is defined exactly once in the whole function (so
+///   speculative execution in the preheader cannot clash with another def);
+/// * every register operand is defined outside the loop.
+///
+/// Pure instructions cannot trap (division by zero is total in this IR), so
+/// hoisting out of a conditionally-executed block is safe.
+pub fn licm(f: &mut Function) -> bool {
+    let mut changed = false;
+    // Iterate: hoisting one instruction can make another invariant.
+    loop {
+        let forest = LoopForest::compute(f);
+        let sd = single_defs(f);
+        let mut moved = false;
+
+        // Innermost loops first: an instruction escapes one level per round.
+        'outer: for l in forest.loops.iter().rev() {
+            // Registers defined anywhere in the loop.
+            let mut defined_in: Vec<bool> = vec![false; f.vreg_count as usize];
+            for &b in &l.blocks {
+                for i in &f.block(b).insts {
+                    if let Some(d) = i.def() {
+                        defined_in[d.index()] = true;
+                    }
+                }
+            }
+            for &b in &l.blocks {
+                for k in 0..f.block(b).insts.len() {
+                    let inst = &f.block(b).insts[k];
+                    if !inst.is_pure() || inst.is_memory() || inst.is_terminator() {
+                        continue;
+                    }
+                    let Some(dst) = inst.def() else { continue };
+                    if !sd[dst.index()] {
+                        continue;
+                    }
+                    let mut invariant = true;
+                    inst.for_each_use(|r| {
+                        if defined_in[r.index()] {
+                            invariant = false;
+                        }
+                    });
+                    if !invariant {
+                        continue;
+                    }
+                    // Hoist: remove from the block, insert before the
+                    // preheader's terminator.
+                    let inst = f.block_mut(b).insts.remove(k);
+                    let pre = ensure_preheader(f, l);
+                    let pi = f.block_mut(pre).insts.len() - 1;
+                    f.block_mut(pre).insts.insert(pi, inst);
+                    moved = true;
+                    changed = true;
+                    break 'outer; // analyses are stale; restart
+                }
+            }
+        }
+        if !moved {
+            return changed;
+        }
+    }
+}
+
+/// Helper for tests and experiments: counts instructions inside loops.
+pub fn insts_in_loops(f: &Function) -> usize {
+    let forest = LoopForest::compute(f);
+    let mut in_loop = vec![false; f.blocks.len()];
+    for l in &forest.loops {
+        for &b in &l.blocks {
+            in_loop[b.index()] = true;
+        }
+    }
+    f.iter_blocks()
+        .filter(|(b, _)| in_loop[b.index()])
+        .map(|(_, blk)| blk.insts.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Inst, Module, ModuleBuilder};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn hoists_invariant_expression() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let acc = b.iconst(0);
+        b.counted_loop(0, 100, 1, |b, _i| {
+            let inv = b.mul(x, y); // invariant
+            let t = b.add(acc, inv);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[3, 4]).unwrap();
+        assert!(licm(&mut f));
+        cleanup(&mut f);
+        let m = close(f.clone());
+        let after = run_module(&m, &[3, 4]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, 1200);
+        assert!(after.dyn_insts < before.dyn_insts);
+        // The mul must no longer be inside any loop.
+        let forest = LoopForest::compute(&f);
+        for l in &forest.loops {
+            for &bk in &l.blocks {
+                for i in &f.block(bk).insts {
+                    assert!(
+                        !matches!(i, Inst::Bin { op: portopt_ir::BinOp::Mul, .. }),
+                        "mul still in loop"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn does_not_hoist_variant_code() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let sq = b.mul(i, i); // depends on i: variant
+            let t = b.add(acc, sq);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        assert!(!licm(&mut f));
+        let m = close(f);
+        assert_eq!(run_module(&m, &[4]).unwrap().ret, 1 + 4 + 9);
+    }
+
+    #[test]
+    fn hoists_chains_transitively() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let acc = b.iconst(0);
+        b.counted_loop(0, 10, 1, |b, _i| {
+            let a = b.mul(x, y);
+            let c = b.add(a, 5); // invariant once `a` is hoisted
+            let t = b.add(acc, c);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        assert!(licm(&mut f));
+        let remaining = insts_in_loops(&f);
+        // Loop should contain only: cmp+condbr (header), add/assign/iv
+        // update/branch in the body — both invariant ops hoisted.
+        assert!(remaining <= 8, "still {remaining} insts in loop");
+        let m = close(f);
+        assert_eq!(run_module(&m, &[2, 3]).unwrap().ret, 110);
+    }
+
+    #[test]
+    fn nested_loops_hoist_to_correct_level() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let acc = b.iconst(0);
+        b.counted_loop(0, 5, 1, |b, i| {
+            let mid = b.mul(i, x); // invariant for the inner loop only
+            b.counted_loop(0, 5, 1, |b, _j| {
+                let inv = b.mul(x, y); // invariant everywhere
+                let t1 = b.add(mid, inv);
+                let t2 = b.add(acc, t1);
+                b.assign(acc, t2);
+            });
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[2, 3]).unwrap();
+        assert!(licm(&mut f));
+        cleanup(&mut f);
+        let m = close(f);
+        let after = run_module(&m, &[2, 3]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert!(after.dyn_insts < before.dyn_insts);
+    }
+}

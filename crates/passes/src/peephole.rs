@@ -1,0 +1,267 @@
+//! Post-register-allocation cleanups: `-fpeephole2` and
+//! `-fgcse-after-reload`.
+//!
+//! Both run on physical-register code where spill traffic is explicit, so
+//! their wins are measured in removed `FrameLoad`/`FrameStore` traffic and
+//! fused ALU operations — precisely the code the scheduler/allocator
+//! interplay generates more or less of under different flag settings.
+
+use portopt_ir::{BinOp, Function, Inst, Operand, VReg};
+
+/// `-fpeephole2`: small-window cleanups. Returns `true` on change.
+///
+/// Patterns (adjacent or near-adjacent within a block):
+/// * `frame[s] = r` immediately followed by `r' = frame[s]` → `r' = r`;
+/// * `r = r + c1; r = r + c2` → `r = r + (c1+c2)` (also `sub` via negation);
+/// * `r = copy r` — removed;
+/// * a `frame[s] = _` overwritten by another store to `s` with no
+///   intervening read of `s` within the window → first store removed.
+pub fn peephole2(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        let insts = &mut block.insts;
+        // Self-copies first.
+        let before = insts.len();
+        insts.retain(|i| !matches!(i, Inst::Copy { dst, src: Operand::Reg(s) } if dst == s));
+        changed |= insts.len() != before;
+
+        // Window rewrites; restart the scan after each change.
+        let mut k = 0;
+        while k + 1 < insts.len() {
+            let (a, b) = (insts[k].clone(), insts[k + 1].clone());
+            // store-to-load forwarding.
+            if let (
+                Inst::FrameStore { src, slot: s1 },
+                Inst::FrameLoad { dst, slot: s2 },
+            ) = (&a, &b)
+            {
+                if s1 == s2 {
+                    insts[k + 1] = Inst::Copy { dst: *dst, src: *src };
+                    changed = true;
+                    k += 1;
+                    continue;
+                }
+            }
+            // increment fusion: r = r op c1 ; r = r op c2.
+            if let (
+                Inst::Bin { op: BinOp::Add, dst: d1, a: Operand::Reg(a1), b: Operand::Imm(c1) },
+                Inst::Bin { op: BinOp::Add, dst: d2, a: Operand::Reg(a2), b: Operand::Imm(c2) },
+            ) = (&a, &b)
+            {
+                if d1 == a1 && d2 == a2 && d1 == d2 {
+                    insts[k] = Inst::Bin {
+                        op: BinOp::Add,
+                        dst: *d1,
+                        a: Operand::Reg(*a1),
+                        b: Operand::Imm(c1.wrapping_add(*c2)),
+                    };
+                    insts.remove(k + 1);
+                    changed = true;
+                    continue;
+                }
+            }
+            // dead frame store: overwritten before any read.
+            if let Inst::FrameStore { slot: s1, .. } = &a {
+                let mut dead = false;
+                for later in insts[k + 1..].iter() {
+                    match later {
+                        Inst::FrameLoad { slot, .. } if slot == s1 => break,
+                        Inst::Call { .. } => break, // callee frames are separate, but stay conservative
+                        Inst::FrameStore { slot, .. } if slot == s1 => {
+                            dead = true;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if dead {
+                    insts.remove(k);
+                    changed = true;
+                    continue;
+                }
+            }
+            k += 1;
+        }
+    }
+    changed
+}
+
+/// `-fgcse-after-reload`: block-wide redundant reload elimination.
+///
+/// Tracks which register holds each frame slot's current value; a
+/// `FrameLoad` whose slot value is already in a register becomes a copy.
+/// Returns `true` on change.
+pub fn gcse_after_reload(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // slot -> register currently holding its value
+        let mut holder: Vec<(u32, VReg)> = Vec::new();
+        for inst in &mut block.insts {
+            match inst.clone() {
+                Inst::FrameStore { src: Operand::Reg(r), slot } => {
+                    holder.retain(|(s, _)| *s != slot);
+                    holder.push((slot, r));
+                }
+                Inst::FrameStore { slot, .. } => {
+                    holder.retain(|(s, _)| *s != slot);
+                }
+                Inst::FrameLoad { dst, slot } => {
+                    if let Some((_, r)) = holder.iter().find(|(s, _)| *s == slot) {
+                        if *r != dst {
+                            *inst = Inst::Copy { dst, src: Operand::Reg(*r) };
+                            changed = true;
+                        }
+                        let r = *r;
+                        holder.retain(|(_, h)| *h != dst);
+                        if r != dst {
+                            holder.push((slot, dst));
+                        }
+                    } else {
+                        holder.retain(|(_, h)| *h != dst);
+                        holder.push((slot, dst));
+                    }
+                }
+                // Calls execute in their own frame; slots survive, but any
+                // register holding a slot value may be reused by spills in
+                // the callee's caller-save code? No — registers are per-
+                // frame in this machine, so only local defs invalidate.
+                _ => {
+                    if let Some(d) = inst.def() {
+                        holder.retain(|(_, h)| *h != d);
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
+
+    fn frame_module(build: impl FnOnce(&mut FuncBuilder)) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        build(&mut b);
+        let mut f = b.finish();
+        f.frame_slots = 8;
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn count_frame_ops(m: &Module) -> usize {
+        m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::FrameLoad { .. } | Inst::FrameStore { .. }))
+            .count()
+    }
+
+    #[test]
+    fn forwards_store_to_adjacent_load() {
+        let mut m = frame_module(|b| {
+            let x = b.param(0);
+            b.push(Inst::FrameStore { src: x.into(), slot: 0 });
+            let y = b.fresh();
+            b.push(Inst::FrameLoad { dst: y, slot: 0 });
+            let z = b.add(y, 1);
+            b.ret(z);
+        });
+        let before = run_module(&m, &[9]).unwrap();
+        assert!(peephole2(&mut m.funcs[0]));
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[9]).unwrap().ret, before.ret);
+        // The load became a copy.
+        assert_eq!(
+            m.funcs[0]
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .filter(|i| matches!(i, Inst::FrameLoad { .. }))
+                .count(),
+            0
+        );
+    }
+
+    #[test]
+    fn fuses_adjacent_increments() {
+        let mut m = frame_module(|b| {
+            let x = b.param(0);
+            b.push(Inst::Bin { op: BinOp::Add, dst: x, a: x.into(), b: 4.into() });
+            b.push(Inst::Bin { op: BinOp::Add, dst: x, a: x.into(), b: 8.into() });
+            b.ret(x);
+        });
+        assert!(peephole2(&mut m.funcs[0]));
+        assert_eq!(m.funcs[0].inst_count(), 2); // fused add + ret
+        assert_eq!(run_module(&m, &[1]).unwrap().ret, 13);
+    }
+
+    #[test]
+    fn removes_dead_frame_store() {
+        let mut m = frame_module(|b| {
+            let x = b.param(0);
+            b.push(Inst::FrameStore { src: x.into(), slot: 3 }); // dead
+            b.push(Inst::FrameStore { src: Operand::Imm(5), slot: 3 });
+            let y = b.fresh();
+            b.push(Inst::FrameLoad { dst: y, slot: 3 });
+            b.ret(y);
+        });
+        assert!(peephole2(&mut m.funcs[0]));
+        assert_eq!(run_module(&m, &[1]).unwrap().ret, 5);
+    }
+
+    #[test]
+    fn after_reload_kills_distant_reload() {
+        let mut m = frame_module(|b| {
+            let x = b.param(0);
+            b.push(Inst::FrameStore { src: x.into(), slot: 2 });
+            // Unrelated work in between.
+            let a = b.mul(x, 3);
+            let c = b.add(a, 7);
+            let y = b.fresh();
+            b.push(Inst::FrameLoad { dst: y, slot: 2 }); // redundant
+            let z = b.add(c, y);
+            b.ret(z);
+        });
+        let before = run_module(&m, &[4]).unwrap();
+        let frames_before = count_frame_ops(&m);
+        assert!(gcse_after_reload(&mut m.funcs[0]));
+        // peephole2's window is too small for this; after-reload catches it.
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[4]).unwrap().ret, before.ret);
+        assert!(
+            m.funcs[0]
+                .blocks
+                .iter()
+                .flat_map(|b| &b.insts)
+                .filter(|i| matches!(i, Inst::FrameLoad { .. }))
+                .count()
+                < frames_before
+        );
+    }
+
+    #[test]
+    fn after_reload_respects_holder_clobber() {
+        let mut m = frame_module(|b| {
+            let x = b.param(0);
+            b.push(Inst::FrameStore { src: x.into(), slot: 2 });
+            // x is redefined: it no longer holds slot 2's value.
+            b.assign(x, 1000);
+            let y = b.fresh();
+            b.push(Inst::FrameLoad { dst: y, slot: 2 });
+            b.ret(y);
+        });
+        let before = run_module(&m, &[4]).unwrap();
+        gcse_after_reload(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[4]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 4);
+    }
+}

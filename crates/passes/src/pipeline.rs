@@ -1,0 +1,234 @@
+//! The full compilation pipeline: source module + [`OptConfig`] →
+//! [`CodeImage`], in gcc 4.2's pass order.
+
+use crate::analysis::global_ranges;
+use crate::config::OptConfig;
+use crate::layout::{layout_module, CodeImage};
+use portopt_ir::{FuncId, Module};
+
+/// Summary of what the pipeline did (for experiments and debugging).
+#[derive(Debug, Clone, Default)]
+pub struct CompileStats {
+    /// Static instruction count after optimisation, before lowering.
+    pub insts_after_opt: usize,
+    /// Total spilled virtual registers across functions.
+    pub spills: u32,
+    /// Copies coalesced by regmove.
+    pub coalesced: u32,
+    /// Caller-save pairs inserted.
+    pub caller_save_pairs: u32,
+}
+
+/// Compiles `module` under the given optimisation configuration.
+///
+/// The pass order mirrors gcc 4.2: tree-level passes (vrp, pre), inlining,
+/// RTL scalar passes (cse, gcse family, loop optimisations, unrolling),
+/// jump optimisations, scheduling, register allocation, post-reload
+/// cleanups, then layout.
+pub fn compile(module: &Module, cfg: &OptConfig) -> CodeImage {
+    compile_with_stats(module, cfg).0
+}
+
+/// [`compile`] that also returns pipeline statistics.
+pub fn compile_with_stats(module: &Module, cfg: &OptConfig) -> (CodeImage, CompileStats) {
+    let mut m = module.clone();
+    let globals = global_ranges(&m);
+    let mut stats = CompileStats::default();
+
+    // --- tree level --------------------------------------------------------
+    for f in &mut m.funcs {
+        crate::util::cleanup(f);
+        if cfg.tree_vrp {
+            crate::vrp::tree_vrp(f);
+        }
+        if cfg.tree_pre {
+            crate::pre::tree_pre(f);
+        }
+        crate::util::cleanup(f);
+    }
+
+    // --- inlining (interprocedural) ----------------------------------------
+    crate::inline::inline_functions(&mut m, cfg);
+    for f in &mut m.funcs {
+        crate::util::cleanup(f);
+    }
+
+    // --- sibling calls ------------------------------------------------------
+    if cfg.optimize_sibling_calls {
+        for i in 0..m.funcs.len() {
+            crate::tailcall::optimize_sibling_calls(&mut m.funcs[i], FuncId(i as u32));
+            crate::util::cleanup(&mut m.funcs[i]);
+        }
+    }
+
+    // --- RTL scalar + loop passes -------------------------------------------
+    for f in &mut m.funcs {
+        // cse1 (always on at O1+ in gcc; here always on, flags extend scope).
+        crate::cse::cse(f, cfg.cse_follow_jumps, cfg.cse_skip_blocks);
+        crate::util::cleanup(f);
+
+        crate::gcse::gcse(f, &globals, cfg);
+
+        // Loop optimisations. LICM is the always-on part.
+        crate::licm::licm(f);
+        if cfg.strength_reduce {
+            crate::strength::strength_reduce(f);
+        }
+        if cfg.unswitch_loops {
+            crate::unswitch::unswitch_loops(f);
+        }
+        crate::util::cleanup(f);
+        if cfg.unroll_loops {
+            crate::unroll::unroll_loops(f, cfg);
+            crate::util::cleanup(f);
+        }
+
+        // Expensive reruns.
+        if cfg.expensive_optimizations && cfg.rerun_cse_after_loop {
+            crate::cse::cse(f, cfg.cse_follow_jumps, cfg.cse_skip_blocks);
+            crate::util::cleanup(f);
+        }
+        if cfg.expensive_optimizations && cfg.rerun_loop_opt {
+            crate::licm::licm(f);
+            crate::util::cleanup(f);
+        }
+
+        // Jump-level passes.
+        if cfg.thread_jumps {
+            crate::jumps::thread_jumps(f);
+        }
+        if cfg.crossjumping {
+            crate::jumps::crossjumping(f);
+        }
+        crate::util::cleanup(f);
+    }
+    stats.insts_after_opt = m.inst_count();
+
+    // --- scheduling, allocation, post-reload --------------------------------
+    for f in &mut m.funcs {
+        if cfg.schedule_insns {
+            crate::sched::schedule_insns(f, &globals, cfg.sched_interblock, cfg.sched_spec);
+        }
+        let ra = crate::regalloc::allocate(f, cfg.caller_saves, cfg.regmove);
+        stats.spills += ra.spilled;
+        stats.coalesced += ra.coalesced;
+        stats.caller_save_pairs += ra.caller_save_pairs;
+
+        if cfg.gcse && cfg.gcse_after_reload {
+            crate::peephole::gcse_after_reload(f);
+        }
+        if cfg.peephole2 {
+            crate::peephole::peephole2(f);
+        }
+    }
+
+    debug_assert!(portopt_ir::verify_module(&m).is_ok(), "pipeline broke IR");
+
+    // --- layout --------------------------------------------------------------
+    (layout_module(&m, cfg), stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A program with a bit of everything: loops, calls, memory, branches.
+    fn kitchen_sink() -> Module {
+        let mut mb = ModuleBuilder::new("sink");
+        let (_, tab) = mb.global_init("tab", 32, (0..32).map(|i| (i * 7) % 13).collect());
+        let (_, out) = mb.global("out", 32);
+        let helper = {
+            let mut b = FuncBuilder::new("clamp", 2);
+            let (x, hi) = (b.param(0), b.param(1));
+            let c = b.cmp(portopt_ir::Pred::Gt, x, hi);
+            let r = b.fresh();
+            b.if_else(c, |b| b.assign(r, hi), |b| b.assign(r, x));
+            b.ret(r);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let pt = b.iconst(tab as i64);
+        let po = b.iconst(out as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 32, 1, |b, i| {
+            let off = b.shl(i, 2);
+            let a1 = b.add(pt, off);
+            let v = b.load(a1, 0);
+            let sq = b.mul(v, v);
+            let cl = b.call(helper, &[sq.into(), 100i64.into()]);
+            let a2 = b.add(po, off);
+            b.store(cl, a2, 0);
+            let t = b.add(acc, cl);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        mb.finish()
+    }
+
+    #[test]
+    fn o0_through_o3_all_compile_and_agree() {
+        let m = kitchen_sink();
+        let reference = run_module(&m, &[]).unwrap();
+        for cfg in [OptConfig::o0(), OptConfig::o1(), OptConfig::o2(), OptConfig::o3()] {
+            let (img, _) = compile_with_stats(&m, &cfg);
+            // The compiled image embeds runnable IR; execute each function
+            // image directly.
+            let mut m2 = m.clone();
+            m2.funcs = img.funcs.iter().map(|mf| mf.func.clone()).collect();
+            verify_module(&m2).unwrap();
+            let r = run_module(&m2, &[]).unwrap();
+            assert_eq!(r.ret, reference.ret, "wrong result under {cfg:?}");
+            assert_eq!(r.mem_hash, reference.mem_hash);
+        }
+    }
+
+    #[test]
+    fn random_configs_preserve_semantics() {
+        let m = kitchen_sink();
+        let reference = run_module(&m, &[]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2009);
+        for k in 0..60 {
+            let cfg = OptConfig::sample(&mut rng);
+            let img = compile(&m, &cfg);
+            let mut m2 = m.clone();
+            m2.funcs = img.funcs.iter().map(|mf| mf.func.clone()).collect();
+            verify_module(&m2).expect("verifier");
+            let r = run_module(&m2, &[]).unwrap();
+            assert_eq!(r.ret, reference.ret, "config #{k} ({cfg:?}) broke output");
+            assert_eq!(r.mem_hash, reference.mem_hash, "config #{k} broke memory");
+        }
+    }
+
+    #[test]
+    fn o3_is_smaller_or_faster_than_o0() {
+        let m = kitchen_sink();
+        let img0 = compile(&m, &OptConfig::o0());
+        let img3 = compile(&m, &OptConfig::o3());
+        let run = |img: &CodeImage| {
+            let mut m2 = m.clone();
+            m2.funcs = img.funcs.iter().map(|mf| mf.func.clone()).collect();
+            run_module(&m2, &[]).unwrap().dyn_insts
+        };
+        // O3 executes strictly fewer dynamic instructions on this program.
+        assert!(run(&img3) < run(&img0));
+    }
+
+    #[test]
+    fn deterministic_compilation() {
+        let m = kitchen_sink();
+        let a = compile(&m, &OptConfig::o3());
+        let b = compile(&m, &OptConfig::o3());
+        assert_eq!(a.code_bytes, b.code_bytes);
+        assert_eq!(a.total_insts, b.total_insts);
+        for (fa, fb) in a.funcs.iter().zip(&b.funcs) {
+            assert_eq!(fa.func, fb.func);
+            assert_eq!(fa.order, fb.order);
+        }
+    }
+}

@@ -1,0 +1,332 @@
+//! `-ftree-pre`: dominator-based global value numbering for arithmetic.
+//!
+//! The engine here ([`global_value_number`]) eliminates full redundancies:
+//! an expression is replaced by a copy of a dominating, identical
+//! computation. `tree-pre` applies it to arithmetic and comparisons;
+//! `-fgcse` (in [`crate::gcse`]) reuses the same engine with memory loads
+//! enabled, guarded by a path-sensitive store/call barrier check.
+
+use crate::analysis::{single_defs, AliasAnalysis, ExprKey};
+use portopt_ir::{BlockId, Cfg, DomTree, Function, Inst, Operand, reverse_postorder};
+use std::collections::HashMap;
+
+/// Options for the GVN engine.
+#[derive(Debug, Clone, Default)]
+pub struct GvnOptions {
+    /// Also eliminate redundant `Load`s (subject to barrier checks).
+    pub include_loads: bool,
+    /// Global layout `(base, bytes)` for object-based alias analysis.
+    pub globals: Vec<(u32, u32)>,
+}
+
+/// Block-to-block reachability as bitsets (`reach[a]` bit `b` set when a path
+/// a → … → b exists, `a != b` or via a cycle).
+fn reachability(f: &Function, cfg: &Cfg) -> Vec<Vec<u64>> {
+    let n = f.blocks.len();
+    let wn = n.div_ceil(64);
+    let mut reach = vec![vec![0u64; wn]; n];
+    // BFS from each block (functions are small; O(n^2/64) words).
+    for start in 0..n {
+        let mut stack: Vec<usize> = cfg.succs[start].iter().map(|b| b.index()).collect();
+        while let Some(x) = stack.pop() {
+            if reach[start][x / 64] & (1 << (x % 64)) != 0 {
+                continue;
+            }
+            reach[start][x / 64] |= 1 << (x % 64);
+            for s in &cfg.succs[x] {
+                stack.push(s.index());
+            }
+        }
+    }
+    reach
+}
+
+/// Runs GVN over `f`. Returns `true` if any instruction was replaced.
+pub fn global_value_number(f: &mut Function, opts: GvnOptions) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute_with_cfg(f, &cfg);
+    let rpo = reverse_postorder(f);
+    let sd = single_defs(f);
+    let reach = opts.include_loads.then(|| reachability(f, &cfg));
+    let aa = AliasAnalysis::compute(f, &opts.globals);
+
+    // Barrier positions for load elimination: (block, index) of every
+    // store/call, plus the store instruction for alias testing.
+    let barriers: Vec<(BlockId, usize, Inst)> = if opts.include_loads {
+        f.iter_blocks()
+            .flat_map(|(bi, b)| {
+                b.insts.iter().enumerate().filter_map(move |(k, i)| {
+                    matches!(i, Inst::Store { .. } | Inst::Call { .. })
+                        .then(|| (bi, k, i.clone()))
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let blocks_alias = |load: &Inst, store: &Inst| -> bool {
+        match store {
+            Inst::Call { .. } => true, // calls may store anywhere
+            _ => aa.may_alias(load, store),
+        }
+    };
+
+    // provider: key -> (block, index, dst)
+    let mut table: HashMap<ExprKey, (BlockId, usize, portopt_ir::VReg)> = HashMap::new();
+    let mut replacements: Vec<(BlockId, usize, Inst)> = Vec::new();
+
+    for &bi in &rpo {
+        for k in 0..f.block(bi).insts.len() {
+            let inst = &f.block(bi).insts[k];
+            let Some(key) = ExprKey::of(inst, &sd) else {
+                continue;
+            };
+            if matches!(key, ExprKey::Load(..)) && !opts.include_loads {
+                continue;
+            }
+            let Some(dst) = inst.def() else { continue };
+
+            if let Some(&(pb, pk, pdst)) = table.get(&key) {
+                // Provider value must be stable and must dominate this point.
+                let dominates = if pb == bi {
+                    pk < k
+                } else {
+                    dt.dominates(pb, bi)
+                };
+                if dominates && sd[pdst.index()] && pdst != dst {
+                    // For loads: no may-aliasing store/call on any path
+                    // between provider and consumer.
+                    let safe = if let ExprKey::Load(..) = key {
+                        let reach = reach.as_ref().expect("reach computed for loads");
+                        let load = inst.clone();
+                        barriers.iter().all(|(sb, sk, store)| {
+                            if !blocks_alias(&load, store) {
+                                return true;
+                            }
+                            let on_path = if *sb == pb && *sb == bi {
+                                *sk > pk && *sk < k
+                            } else if *sb == pb {
+                                // barrier after provider in provider's block,
+                                // provider block reaches consumer
+                                *sk > pk
+                            } else if *sb == bi {
+                                *sk < k
+                            } else {
+                                // strictly-between block: provider reaches it
+                                // and it reaches the consumer
+                                let r1 = reach[pb.index()][sb.index() / 64]
+                                    & (1 << (sb.index() % 64))
+                                    != 0;
+                                let r2 = reach[sb.index()][bi.index() / 64]
+                                    & (1 << (bi.index() % 64))
+                                    != 0;
+                                r1 && r2
+                            };
+                            !on_path
+                        })
+                    } else {
+                        true
+                    };
+                    if safe {
+                        replacements.push((
+                            bi,
+                            k,
+                            Inst::Copy {
+                                dst,
+                                src: Operand::Reg(pdst),
+                            },
+                        ));
+                        continue;
+                    }
+                }
+            }
+            // Become the provider for this key if stable.
+            if sd[dst.index()] {
+                table.entry(key).or_insert((bi, k, dst));
+            }
+        }
+    }
+
+    let changed = !replacements.is_empty();
+    for (bi, k, copy) in replacements {
+        f.block_mut(bi).insts[k] = copy;
+    }
+    changed
+}
+
+/// `-ftree-pre`: redundancy elimination over arithmetic and comparisons.
+/// Returns `true` if anything changed.
+pub fn tree_pre(f: &mut Function) -> bool {
+    global_value_number(f, GvnOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Pred};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn eliminates_redundant_expression_across_blocks() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let e1 = b.mul(x, y);
+        let c = b.cmp(Pred::Gt, e1, 0);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| {
+                let e2 = b.mul(x, y); // redundant: dominated by e1
+                b.assign(out, e2);
+            },
+            |b| b.assign(out, 0),
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        assert!(tree_pre(&mut f));
+        cleanup(&mut f);
+        let muls = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: portopt_ir::BinOp::Mul, .. }))
+            .count();
+        assert_eq!(muls, 1);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[3, 4]).unwrap().ret, 12);
+        assert_eq!(run_module(&m, &[-3, 4]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn does_not_eliminate_across_non_dominating_paths() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| {
+                let e1 = b.mul(x, y);
+                b.assign(out, e1);
+            },
+            |b| {
+                let e2 = b.mul(x, y); // sibling arm: no dominance
+                b.assign(out, e2);
+            },
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        assert!(!tree_pre(&mut f));
+    }
+
+    #[test]
+    fn commutative_match() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let e1 = b.add(x, y);
+        let e2 = b.add(y, x); // same value, swapped operands
+        let s = b.sub(e1, e2);
+        b.ret(s);
+        let mut f = b.finish();
+        assert!(tree_pre(&mut f));
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[10, 32]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn load_elimination_blocked_by_aliasing_store() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let v1 = b.load(p, 0);
+        b.store(77, p, 0); // overwrites
+        let v2 = b.load(p, 0); // must NOT be replaced by v1
+        let s = b.add(v1, v2);
+        b.ret(s);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[]).unwrap();
+        let f = &mut m.funcs[0];
+        global_value_number(
+            f,
+            GvnOptions { include_loads: true, globals: vec![] },
+        );
+        verify_module(&m).unwrap();
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, 77);
+    }
+
+    #[test]
+    fn load_elimination_with_disjoint_store() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let v1 = b.load(p, 0);
+        b.store(77, p, 4); // different offset: disjoint
+        let v2 = b.load(p, 0); // redundant with v1
+        let s = b.add(v1, v2);
+        b.ret(s);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let f = &mut m.funcs[0];
+        assert!(global_value_number(
+            f,
+            GvnOptions { include_loads: true, globals: vec![] },
+        ));
+        let loads = m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Load { .. }))
+            .count();
+        assert_eq!(loads, 1);
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn call_is_a_load_barrier() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let clobber = {
+            let mut b = FuncBuilder::new("clobber", 0);
+            let p = b.iconst(base as i64);
+            b.store(5, p, 0);
+            b.ret_void();
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let v1 = b.load(p, 0);
+        b.call_void(clobber, &[]);
+        let v2 = b.load(p, 0);
+        let s = b.add(v1, v2);
+        b.ret(s);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        global_value_number(
+            &mut m.funcs[1],
+            GvnOptions { include_loads: true, globals: vec![] },
+        );
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 5); // 0 + 5
+    }
+}

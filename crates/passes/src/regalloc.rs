@@ -1,0 +1,688 @@
+//! Linear-scan register allocation for the XScale-style register file,
+//! with `-fcaller-saves` and `-fregmove`.
+//!
+//! Twelve registers are allocatable (r0–r5 caller-saved, r6–r11
+//! callee-saved); r12/r13 are reserved for spill traffic. Values live
+//! across calls may only sit in callee-saved registers — unless
+//! `-fcaller-saves` permits caller-saved registers with an explicit
+//! save/restore pair around each crossed call, exactly gcc's semantics.
+//! Spills, reloads, and prologue/epilogue callee-save traffic are emitted
+//! as [`Inst::FrameStore`]/[`Inst::FrameLoad`], so the simulator sees every
+//! byte of stack traffic the allocation decision costs.
+
+use portopt_ir::{Function, Inst, Liveness, Operand, VReg};
+
+/// Number of allocatable physical registers.
+pub const NUM_ALLOC: u32 = 12;
+/// First callee-saved register (r6..r11 are callee-saved).
+pub const FIRST_CALLEE_SAVED: u32 = 6;
+/// First scratch register reserved for spill code (r12–r15 are scratch;
+/// a call can need one reload per argument).
+pub const SCRATCH0: u32 = 12;
+/// Second scratch register (also shields return values in epilogues).
+pub const SCRATCH1: u32 = 13;
+/// Total physical registers (vreg_count after allocation) — 16, like ARM.
+pub const NUM_PHYS: u32 = 16;
+
+/// Returns `true` for caller-saved (call-clobbered) registers.
+pub fn is_caller_saved(r: u32) -> bool {
+    r < FIRST_CALLEE_SAVED
+}
+
+/// Statistics from one allocation run (used by tests and experiments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegAllocStats {
+    /// Virtual registers that received a stack slot.
+    pub spilled: u32,
+    /// Coalesced copies removed by `-fregmove`.
+    pub coalesced: u32,
+    /// Save/restore pairs inserted around calls (`-fcaller-saves`).
+    pub caller_save_pairs: u32,
+    /// Callee-saved registers saved in the prologue.
+    pub callee_saved_used: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Interval {
+    start: u32,
+    end: u32,
+    crosses_call: bool,
+}
+
+/// Computes live intervals over the linearised function.
+///
+/// Positions: instruction `i` (global linear index) reads at `2i` and
+/// writes at `2i+1`; a block live-in extends to the block start, live-out
+/// to the block end.
+fn intervals(f: &Function) -> (Vec<Option<Interval>>, Vec<u32>) {
+    let live = Liveness::compute(f);
+    let nv = f.vreg_count as usize;
+    let mut iv: Vec<Option<Interval>> = vec![None; nv];
+    let mut call_positions: Vec<u32> = Vec::new();
+
+    let extend = |iv: &mut Vec<Option<Interval>>, r: usize, pos: u32| {
+        let e = iv[r].get_or_insert(Interval { start: pos, end: pos, crosses_call: false });
+        e.start = e.start.min(pos);
+        e.end = e.end.max(pos);
+    };
+
+    // Params are defined at position 0.
+    for p in &f.params {
+        extend(&mut iv, p.index(), 0);
+    }
+
+    let mut idx: u32 = 0;
+    for (bi, block) in f.iter_blocks() {
+        let block_start = 2 * idx;
+        let block_end = 2 * (idx + block.insts.len() as u32);
+        for r in live.inp(bi).iter() {
+            extend(&mut iv, r, block_start);
+        }
+        for r in live.out(bi).iter() {
+            extend(&mut iv, r, block_end);
+        }
+        for inst in &block.insts {
+            inst.for_each_use(|r| extend(&mut iv, r.index(), 2 * idx));
+            if let Some(d) = inst.def() {
+                extend(&mut iv, d.index(), 2 * idx + 1);
+            }
+            if inst.is_call() {
+                call_positions.push(idx);
+            }
+            idx += 1;
+        }
+    }
+
+    for e in iv.iter_mut().flatten() {
+        e.crosses_call = call_positions
+            .iter()
+            .any(|&c| e.start < 2 * c && e.end > 2 * c + 1);
+    }
+    (iv, call_positions)
+}
+
+/// `-fregmove`: conservative copy coalescing. Returns copies removed.
+pub fn regmove(f: &mut Function) -> u32 {
+    let (iv, _) = intervals(f);
+    let nv = f.vreg_count as usize;
+    // Union-find over registers.
+    let mut parent: Vec<u32> = (0..nv as u32).collect();
+    fn find(parent: &mut [u32], x: u32) -> u32 {
+        let mut r = x;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = x;
+        while parent[c as usize] != r {
+            let n = parent[c as usize];
+            parent[c as usize] = r;
+            c = n;
+        }
+        r
+    }
+    // Merged interval bounds per representative.
+    let mut bounds: Vec<Option<(u32, u32)>> = iv
+        .iter()
+        .map(|o| o.map(|i| (i.start, i.end)))
+        .collect();
+
+    let mut merged = 0u32;
+    for block in &f.blocks {
+        for inst in &block.insts {
+            let Inst::Copy { dst, src: Operand::Reg(src) } = inst else { continue };
+            let (rd, rs) = (find(&mut parent, dst.0), find(&mut parent, src.0));
+            if rd == rs {
+                continue;
+            }
+            let (Some((s1, e1)), Some((s2, e2))) = (bounds[rd as usize], bounds[rs as usize])
+            else {
+                continue;
+            };
+            // Intervals may touch (the copy point) but not overlap.
+            let overlap = s1.max(s2) + 1 < e1.min(e2);
+            if overlap {
+                continue;
+            }
+            parent[rd as usize] = rs;
+            bounds[rs as usize] = Some((s1.min(s2), e1.max(e2)));
+            merged += 1;
+        }
+    }
+    if merged > 0 {
+        for block in &mut f.blocks {
+            for inst in &mut block.insts {
+                inst.map_uses(|r| VReg(find(&mut parent, r.0)));
+                inst.map_def(|r| VReg(find(&mut parent, r.0)));
+            }
+        }
+        for p in &mut f.params {
+            *p = VReg(find(&mut parent, p.0));
+        }
+        crate::util::remove_self_copies(f);
+    }
+    merged
+}
+
+/// Runs register allocation on `f`, rewriting it in place to use physical
+/// registers (`vreg_count` becomes [`NUM_PHYS`]) and stack slots.
+pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegAllocStats {
+    let mut stats = RegAllocStats::default();
+
+    // Shield parameters behind entry copies so their intervals stay short
+    // and are never spill candidates (a spilled parameter has no register
+    // to be stored from).
+    shield_params(f);
+
+    if use_regmove {
+        stats.coalesced = regmove(f);
+    }
+
+    let (iv, call_positions) = intervals(f);
+    let nv = f.vreg_count as usize;
+
+    // Sort interval indices by start position.
+    let mut order: Vec<usize> = (0..nv).filter(|&r| iv[r].is_some()).collect();
+    order.sort_by_key(|&r| iv[r].unwrap().start);
+
+    #[derive(Clone, Copy)]
+    enum Loc {
+        Reg(u32),
+        Slot(u32),
+    }
+    let mut loc: Vec<Option<Loc>> = vec![None; nv];
+    let mut next_slot: u32 = 0;
+    let mut active: Vec<usize> = Vec::new(); // registers currently live, by vreg
+
+    let mut free: Vec<bool> = vec![true; NUM_ALLOC as usize];
+
+    for &r in &order {
+        let cur = iv[r].unwrap();
+        // Expire (strictly before: two intervals meeting at a position,
+        // e.g. two parameters both defined at 0, must not share a register).
+        active.retain(|&a| {
+            if iv[a].unwrap().end < cur.start {
+                if let Some(Loc::Reg(p)) = loc[a] {
+                    free[p as usize] = true;
+                }
+                false
+            } else {
+                true
+            }
+        });
+        // Pick a register honouring the call-crossing rule.
+        let allowed = |p: u32| -> bool {
+            if cur.crosses_call {
+                !is_caller_saved(p) || caller_saves
+            } else {
+                true
+            }
+        };
+        // Preference: non-crossing values take caller-saved first (keeping
+        // callee-saved free avoids prologue cost); crossing values take
+        // callee-saved first (avoiding save/restore pairs).
+        let pref: Vec<u32> = if cur.crosses_call {
+            (FIRST_CALLEE_SAVED..NUM_ALLOC).chain(0..FIRST_CALLEE_SAVED).collect()
+        } else {
+            (0..NUM_ALLOC).collect()
+        };
+        let chosen = pref.iter().copied().find(|&p| free[p as usize] && allowed(p));
+        match chosen {
+            Some(p) => {
+                free[p as usize] = false;
+                loc[r] = Some(Loc::Reg(p));
+                active.push(r);
+            }
+            None => {
+                // Spill the allowed active interval with the furthest end if
+                // it outlives the current one; otherwise spill current.
+                let victim = active
+                    .iter()
+                    .copied()
+                    .filter(|&a| {
+                        matches!(loc[a], Some(Loc::Reg(p))
+                            if allowed(p) && !is_param_shield(f, a))
+                    })
+                    .max_by_key(|&a| iv[a].unwrap().end);
+                match victim {
+                    Some(v) if iv[v].unwrap().end > cur.end => {
+                        let Some(Loc::Reg(p)) = loc[v] else { unreachable!() };
+                        loc[v] = Some(Loc::Slot(next_slot));
+                        next_slot += 1;
+                        stats.spilled += 1;
+                        active.retain(|&a| a != v);
+                        loc[r] = Some(Loc::Reg(p));
+                        active.push(r);
+                    }
+                    _ => {
+                        loc[r] = Some(Loc::Slot(next_slot));
+                        next_slot += 1;
+                        stats.spilled += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // --- rewrite ----------------------------------------------------------
+    let phys = |r: VReg, loc: &[Option<Loc>]| -> Option<u32> {
+        match loc[r.index()] {
+            Some(Loc::Reg(p)) => Some(p),
+            _ => None,
+        }
+    };
+    let slot_of = |r: VReg, loc: &[Option<Loc>]| -> Option<u32> {
+        match loc[r.index()] {
+            Some(Loc::Slot(s)) => Some(s),
+            _ => None,
+        }
+    };
+
+    // Caller-save pairs around calls: find (interval in caller-saved reg)
+    // × (call position inside it).
+    let mut call_saves: Vec<(u32, u32, u32)> = Vec::new(); // (call idx, phys, slot)
+    if caller_saves {
+        for &r in &order {
+            let cur = iv[r].unwrap();
+            if !cur.crosses_call {
+                continue;
+            }
+            if let Some(Loc::Reg(p)) = loc[r] {
+                if is_caller_saved(p) {
+                    let slot = next_slot;
+                    next_slot += 1;
+                    for &c in &call_positions {
+                        if cur.start < 2 * c && cur.end > 2 * c + 1 {
+                            call_saves.push((c, p, slot));
+                            stats.caller_save_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Callee-saved registers actually used.
+    let mut callee_used: Vec<u32> = loc
+        .iter()
+        .filter_map(|l| match l {
+            Some(Loc::Reg(p)) if !is_caller_saved(*p) => Some(*p),
+            _ => None,
+        })
+        .collect();
+    callee_used.sort_unstable();
+    callee_used.dedup();
+    stats.callee_saved_used = callee_used.len() as u32;
+    let callee_slots: Vec<(u32, u32)> = callee_used
+        .iter()
+        .map(|&p| {
+            let s = next_slot;
+            next_slot += 1;
+            (p, s)
+        })
+        .collect();
+
+    // Rewrite instructions block by block, tracking the global index for
+    // caller-save insertion.
+    let mut idx: u32 = 0;
+    for bi in 0..f.blocks.len() {
+        let old = std::mem::take(&mut f.blocks[bi].insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(old.len() + 4);
+        for mut inst in old {
+            // Reloads for spilled uses.
+            let mut scratch_next = SCRATCH0;
+            let mut reload_map: Vec<(VReg, u32)> = Vec::new();
+            inst.for_each_use(|r| {
+                if slot_of(r, &loc).is_some() && !reload_map.iter().any(|(v, _)| *v == r) {
+                    let s = scratch_next;
+                    scratch_next += 1;
+                    reload_map.push((r, s));
+                }
+            });
+            assert!(
+                scratch_next <= NUM_PHYS,
+                "more than four spilled uses in one instruction (max call arity exceeded)"
+            );
+            for (v, s) in &reload_map {
+                new.push(Inst::FrameLoad {
+                    dst: VReg(*s),
+                    slot: slot_of(*v, &loc).unwrap(),
+                });
+            }
+            // Caller-saves: stores before the call. A pair is skipped when
+            // the call's own destination is that register — the call kills
+            // it, and restoring would clobber the return value (this arises
+            // when loop unrolling merges the per-copy call results into one
+            // multi-definition interval).
+            let is_call = inst.is_call();
+            let call_dst_phys = if is_call {
+                inst.def().and_then(|d| phys(d, &loc))
+            } else {
+                None
+            };
+            if is_call {
+                for &(c, p, slot) in &call_saves {
+                    if c == idx && Some(p) != call_dst_phys {
+                        new.push(Inst::FrameStore { src: Operand::Reg(VReg(p)), slot });
+                    }
+                }
+            }
+            // Rename uses.
+            inst.map_uses(|r| {
+                if let Some((_, s)) = reload_map.iter().find(|(v, _)| *v == r) {
+                    VReg(*s)
+                } else {
+                    VReg(phys(r, &loc).expect("use of unallocated register"))
+                }
+            });
+            // Rename or spill the def.
+            let def_spill = inst.def().and_then(|d| slot_of(d, &loc));
+            inst.map_def(|r| match loc[r.index()] {
+                Some(Loc::Reg(p)) => VReg(p),
+                Some(Loc::Slot(_)) => VReg(SCRATCH0),
+                None => VReg(SCRATCH0), // dead def
+            });
+            // Epilogue on returns: restore callee-saved registers; shield
+            // the return value if it sits in one of them.
+            if let Inst::Ret { val } = &mut inst {
+                if let Some(Operand::Reg(rv)) = val {
+                    if callee_slots.iter().any(|(p, _)| *p == rv.0) {
+                        new.push(Inst::Copy { dst: VReg(SCRATCH1), src: Operand::Reg(*rv) });
+                        *rv = VReg(SCRATCH1);
+                    }
+                }
+                for &(p, s) in &callee_slots {
+                    new.push(Inst::FrameLoad { dst: VReg(p), slot: s });
+                }
+            }
+            new.push(inst);
+            if let Some(slot) = def_spill {
+                new.push(Inst::FrameStore { src: Operand::Reg(VReg(SCRATCH0)), slot });
+            }
+            // Caller-saves: reloads after the call.
+            if is_call {
+                for &(c, p, slot) in &call_saves {
+                    if c == idx && Some(p) != call_dst_phys {
+                        new.push(Inst::FrameLoad { dst: VReg(p), slot });
+                    }
+                }
+            }
+            idx += 1;
+        }
+        f.blocks[bi].insts = new;
+    }
+
+    // Prologue: save used callee-saved registers at the entry.
+    for (k, &(p, s)) in callee_slots.iter().enumerate() {
+        f.blocks[0]
+            .insts
+            .insert(k, Inst::FrameStore { src: Operand::Reg(VReg(p)), slot: s });
+    }
+
+    // Params now live in their allocated registers.
+    for p in &mut f.params {
+        *p = VReg(phys(*p, &loc).expect("parameter allocated"));
+    }
+    f.vreg_count = NUM_PHYS;
+    f.frame_slots = next_slot;
+    stats
+}
+
+/// Inserts `v' = copy param` at the entry and rewrites all uses, keeping
+/// parameter intervals minimal.
+fn shield_params(f: &mut Function) {
+    if f.params.is_empty() {
+        return;
+    }
+    let params = f.params.clone();
+    let mut shields = Vec::with_capacity(params.len());
+    for _ in &params {
+        shields.push(f.new_vreg());
+    }
+    // Rewrite every use (and def!) of a param to its shield, then add the
+    // copies at the entry. Defs of params (loop updates of a param) also
+    // move to the shield so the original param register has exactly one
+    // definition: function entry.
+    for block in &mut f.blocks {
+        for inst in &mut block.insts {
+            inst.map_uses(|r| {
+                params
+                    .iter()
+                    .position(|p| *p == r)
+                    .map_or(r, |i| shields[i])
+            });
+            inst.map_def(|r| {
+                params
+                    .iter()
+                    .position(|p| *p == r)
+                    .map_or(r, |i| shields[i])
+            });
+        }
+    }
+    for (i, (&p, &s)) in params.iter().zip(&shields).enumerate() {
+        f.blocks[0]
+            .insts
+            .insert(i, Inst::Copy { dst: s, src: Operand::Reg(p) });
+    }
+}
+
+/// `true` when `r` is one of the original parameter registers after
+/// [`shield_params`] — these must never be spilled.
+fn is_param_shield(f: &Function, r: usize) -> bool {
+    f.params.iter().any(|p| p.index() == r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Pred};
+
+    fn close(m: &Module) {
+        verify_module(m).unwrap();
+    }
+
+    fn check_phys(f: &Function) {
+        assert_eq!(f.vreg_count, NUM_PHYS);
+        for b in &f.blocks {
+            for i in &b.insts {
+                i.for_each_use(|r| assert!(r.0 < NUM_PHYS, "use of {r}"));
+                if let Some(d) = i.def() {
+                    assert!(d.0 < NUM_PHYS, "def of {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simple_function_allocates_without_spills() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 2);
+        let s = b.add(b.param(0), b.param(1));
+        let t = b.mul(s, 3);
+        b.ret(t);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[4, 5]).unwrap();
+        let stats = allocate(&mut m.funcs[0], false, false);
+        close(&m);
+        check_phys(&m.funcs[0]);
+        assert_eq!(stats.spilled, 0);
+        assert_eq!(run_module(&m, &[4, 5]).unwrap().ret, before.ret);
+    }
+
+    #[test]
+    fn high_pressure_spills_and_stays_correct() {
+        // 30 simultaneously-live values force spills with 12 registers.
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let vals: Vec<_> = (0..30).map(|k| b.add(x, k)).collect();
+        // Use them all after all are live.
+        let mut acc = b.iconst(0);
+        for v in &vals {
+            acc = b.add(acc, *v);
+        }
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[100]).unwrap();
+        let stats = allocate(&mut m.funcs[0], false, false);
+        close(&m);
+        check_phys(&m.funcs[0]);
+        assert!(stats.spilled > 0, "expected spills under pressure");
+        assert!(m.funcs[0].frame_slots > 0);
+        let after = run_module(&m, &[100]).unwrap();
+        assert_eq!(after.ret, before.ret);
+        assert!(after.dyn_insts > before.dyn_insts, "spill code executes");
+    }
+
+    #[test]
+    fn loops_with_calls_preserve_semantics() {
+        let mut mb = ModuleBuilder::new("t");
+        let leaf = {
+            let mut b = FuncBuilder::new("leaf", 1);
+            let t = b.mul(b.param(0), 3);
+            b.ret(t);
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        let inv = b.mul(n, 7); // lives across the call
+        b.counted_loop(0, n, 1, |b, i| {
+            let r = b.call(leaf, &[i.into()]);
+            let t = b.add(acc, r);
+            let t2 = b.add(t, inv);
+            b.assign(acc, t2);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[10]).unwrap();
+        for f in &mut m.funcs {
+            allocate(f, false, false);
+        }
+        close(&m);
+        let after = run_module(&m, &[10]).unwrap();
+        assert_eq!(after.ret, before.ret);
+    }
+
+    #[test]
+    fn caller_saves_changes_spill_strategy() {
+        // Many values live across many calls: without caller-saves, only 6
+        // callee-saved registers can hold them.
+        let build = || {
+            let mut mb = ModuleBuilder::new("t");
+            let leaf = {
+                let mut b = FuncBuilder::new("leaf", 1);
+                let t = b.add(b.param(0), 1);
+                b.ret(t);
+                mb.add(b.finish())
+            };
+            let mut b = FuncBuilder::new("main", 1);
+            let x = b.param(0);
+            let vals: Vec<_> = (0..9).map(|k| b.mul(x, k + 2)).collect();
+            let mut acc = b.iconst(0);
+            for v in &vals {
+                let r = b.call(leaf, &[(*v).into()]);
+                acc = b.add(acc, r);
+            }
+            for v in &vals {
+                acc = b.add(acc, *v); // keep them live across all calls
+            }
+            b.ret(acc);
+            let id = mb.add(b.finish());
+            mb.entry(id);
+            mb.finish()
+        };
+        let mut without = build();
+        let s1 = allocate(&mut without.funcs[1], false, false);
+        let mut with = build();
+        let s2 = allocate(&mut with.funcs[1], true, false);
+        close(&without);
+        close(&with);
+        let r1 = run_module(&without, &[3]).unwrap();
+        let r2 = run_module(&with, &[3]).unwrap();
+        assert_eq!(r1.ret, r2.ret);
+        assert!(s1.spilled > 0, "pressure without caller-saves");
+        assert!(
+            s2.caller_save_pairs > 0 || s2.spilled < s1.spilled,
+            "caller-saves must change the allocation: {s2:?} vs {s1:?}"
+        );
+    }
+
+    #[test]
+    fn regmove_removes_copies() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let t = b.add(x, 1);
+        let u = b.fresh();
+        b.assign(u, t); // coalescable copy
+        let v = b.mul(u, 2);
+        b.ret(v);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[5]).unwrap();
+        let merged = regmove(&mut m.funcs[0]);
+        assert!(merged >= 1);
+        close(&m);
+        assert_eq!(run_module(&m, &[5]).unwrap().ret, before.ret);
+    }
+
+    #[test]
+    fn regmove_keeps_overlapping_copies() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let t = b.add(x, 1);
+        let u = b.fresh();
+        b.assign(u, t);
+        let t2 = b.add(t, 10); // t still live after the copy: overlap
+        let s = b.add(u, t2);
+        b.ret(s);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[5]).unwrap();
+        regmove(&mut m.funcs[0]);
+        close(&m);
+        assert_eq!(run_module(&m, &[5]).unwrap().ret, before.ret);
+    }
+
+    #[test]
+    fn recursion_allocates_and_runs() {
+        let mut mb = ModuleBuilder::new("t");
+        let fid = mb.declare("fib", 1);
+        let mut b = FuncBuilder::new("fib", 1);
+        let n = b.param(0);
+        let c = b.cmp(Pred::Lt, n, 2);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| b.assign(out, n),
+            |b| {
+                let n1 = b.sub(n, 1);
+                let a = b.call(fid, &[n1.into()]);
+                let n2 = b.sub(n, 2);
+                let c2 = b.call(fid, &[n2.into()]);
+                let s = b.add(a, c2);
+                b.assign(out, s);
+            },
+        );
+        b.ret(out);
+        mb.define(fid, b.finish());
+        mb.entry(fid);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[12]).unwrap();
+        allocate(&mut m.funcs[0], true, true);
+        close(&m);
+        check_phys(&m.funcs[0]);
+        assert_eq!(run_module(&m, &[12]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 144);
+    }
+}

@@ -1,0 +1,411 @@
+//! `-fschedule-insns` (pre-allocation list scheduling) with
+//! `-fsched-interblock` and `-fsched-spec`.
+//!
+//! The intra-block scheduler reorders instructions to hide load and multiply
+//! latency on the in-order XScale-style pipeline. Interblock scheduling
+//! hoists work from a single-predecessor successor into the branch shadow;
+//! speculative scheduling additionally hoists *loads* above conditional
+//! branches (safe here — loads cannot trap — but it lengthens live ranges
+//! and wastes issue slots on the other path: the classic reason the paper's
+//! model learns to turn it off on small-cache machines).
+
+use crate::analysis::AliasAnalysis;
+use portopt_ir::{BlockId, Cfg, Function, Inst, Liveness};
+
+/// Issue latencies used for scheduling priorities (cycles).
+pub fn latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Load { .. } | Inst::FrameLoad { .. } => 3,
+        Inst::Bin { op, .. } if op.is_long_latency() => 16,
+        Inst::Bin { op, .. } if op.uses_mac() => 2,
+        _ => 1,
+    }
+}
+
+/// Schedules every block of `f`; `interblock`/`spec` enable the extended
+/// modes. Returns `true` if any instruction moved.
+pub fn schedule_insns(
+    f: &mut Function,
+    globals: &[(u32, u32)],
+    interblock: bool,
+    spec: bool,
+) -> bool {
+    let aa = AliasAnalysis::compute(f, globals);
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        changed |= schedule_block(f, BlockId(bi as u32), &aa);
+    }
+    if interblock {
+        changed |= interblock_hoist(f, globals, spec);
+        // Hoisting exposes new intra-block opportunities.
+        let aa = AliasAnalysis::compute(f, globals);
+        for bi in 0..f.blocks.len() {
+            changed |= schedule_block(f, BlockId(bi as u32), &aa);
+        }
+    }
+    changed
+}
+
+/// Dependence-respecting list scheduling of one block. Returns `true` if
+/// the order changed.
+fn schedule_block(f: &mut Function, bi: BlockId, aa: &AliasAnalysis) -> bool {
+    let body_len = f.block(bi).body().len();
+    if body_len < 3 {
+        return false;
+    }
+    let insts: Vec<Inst> = f.block(bi).body().to_vec();
+    let n = insts.len();
+
+    // Build the dependence DAG.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let edge = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+        if !succs[from].contains(&to) {
+            succs[from].push(to);
+            preds[to].push(from);
+        }
+    };
+    for j in 0..n {
+        for i in 0..j {
+            let (a, b) = (&insts[i], &insts[j]);
+            let mut dep = false;
+            // RAW: j reads something i defines.
+            if let Some(d) = a.def() {
+                b.for_each_use(|r| {
+                    if r == d {
+                        dep = true;
+                    }
+                });
+            }
+            // WAR: j defines something i reads.
+            if let Some(d) = b.def() {
+                a.for_each_use(|r| {
+                    if r == d {
+                        dep = true;
+                    }
+                });
+            }
+            // WAW.
+            if a.def().is_some() && a.def() == b.def() {
+                dep = true;
+            }
+            // Memory and call ordering.
+            let mem_a = a.is_memory() || a.is_call();
+            let mem_b = b.is_memory() || b.is_call();
+            if mem_a && mem_b {
+                let store_like = |i: &Inst| {
+                    matches!(i, Inst::Store { .. } | Inst::FrameStore { .. }) || i.is_call()
+                };
+                if store_like(a) || store_like(b) {
+                    // Loads may pass each other; anything involving a store
+                    // or call is ordered unless provably disjoint.
+                    if a.is_call() || b.is_call() || aa.may_alias(a, b) {
+                        dep = true;
+                    }
+                }
+            }
+            if dep {
+                edge(i, j, &mut preds, &mut succs);
+            }
+        }
+    }
+
+    // Priority: longest latency-weighted path to the end of the block.
+    let mut prio = vec![0u32; n];
+    for i in (0..n).rev() {
+        let tail = succs[i].iter().map(|&s| prio[s]).max().unwrap_or(0);
+        prio[i] = latency(&insts[i]) + tail;
+    }
+
+    // Greedy list scheduling; ties broken by original position (stability).
+    let mut indeg: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    while let Some(pos) = ready
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, &i)| (prio[i], std::cmp::Reverse(i)))
+        .map(|(p, _)| p)
+    {
+        let i = ready.swap_remove(pos);
+        order.push(i);
+        for &s in &succs[i] {
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+
+    if order.iter().enumerate().all(|(k, &i)| k == i) {
+        return false;
+    }
+    let terminator = f.block(bi).insts[body_len..].to_vec();
+    let mut new_insts: Vec<Inst> = order.into_iter().map(|i| insts[i].clone()).collect();
+    new_insts.extend(terminator);
+    f.block_mut(bi).insts = new_insts;
+    true
+}
+
+/// Maximum instructions hoisted across one edge.
+const MAX_HOIST: usize = 3;
+
+/// Hoists instructions from single-predecessor successors into the branch
+/// shadow of their predecessor.
+fn interblock_hoist(f: &mut Function, globals: &[(u32, u32)], spec: bool) -> bool {
+    let mut changed = false;
+    loop {
+        let cfg = Cfg::compute(f);
+        let live = Liveness::compute_with_cfg(f, &cfg);
+        let mut moved = false;
+
+        'outer: for bi in 0..f.blocks.len() {
+            let b = BlockId(bi as u32);
+            let Some(Inst::CondBr { cond, then_, else_ }) = f.block(b).insts.last().cloned()
+            else {
+                continue;
+            };
+            if then_ == else_ {
+                continue;
+            }
+            for (s, other) in [(then_, else_), (else_, then_)] {
+                if cfg.preds(s).len() != 1 || s == b {
+                    continue;
+                }
+                // Candidate: an instruction of `s` that is pure (a load only
+                // when speculation is on), whose operands are not defined
+                // earlier in `s`, whose dst is not read earlier in `s` (WAR),
+                // is not the branch condition, and is not live into the
+                // other arm (executing it there must be harmless).
+                let mut defined_in_s: Vec<bool> = vec![false; f.vreg_count as usize];
+                let mut read_in_s: Vec<bool> = vec![false; f.vreg_count as usize];
+                let hoisted = 0usize;
+                for k in 0..f.block(s).body().len() {
+                    if hoisted >= MAX_HOIST {
+                        break;
+                    }
+                    let inst = f.block(s).insts[k].clone();
+                    if let Some(d) = inst.def() {
+                        if defined_in_s[d.index()] {
+                            break;
+                        }
+                    }
+                    let is_load = matches!(inst, Inst::Load { .. } | Inst::FrameLoad { .. });
+                    let eligible = inst.is_pure()
+                        && (!is_load || spec)
+                        && !inst.is_terminator();
+                    if !eligible {
+                        // Stop extending the window past non-hoistable
+                        // instructions.
+                        break;
+                    }
+                    let mut operands_ok = true;
+                    inst.for_each_use(|r| {
+                        if defined_in_s[r.index()] {
+                            operands_ok = false;
+                        }
+                    });
+                    let Some(d) = inst.def() else { break };
+                    let dst_safe = !live.inp(other).contains(d.index())
+                        && d != cond
+                        && !read_in_s[d.index()];
+                    if !operands_ok || !dst_safe {
+                        defined_in_s[d.index()] = true;
+                        inst.for_each_use(|r| read_in_s[r.index()] = true);
+                        continue;
+                    }
+                    // Hoist: remove from s, insert before b's terminator.
+                    let inst = f.block_mut(s).insts.remove(k);
+                    let at = f.block(b).insts.len() - 1;
+                    f.block_mut(b).insts.insert(at, inst);
+                    moved = true;
+                    changed = true;
+                    let _ = hoisted; // one hoist per round: liveness is stale
+                    break 'outer;
+                }
+            }
+        }
+        if !moved {
+            let _ = globals;
+            return changed;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Operand, Pred, VReg};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    /// Position of the first load and its first consumer in a block.
+    fn load_use_gap(f: &Function, b: BlockId) -> Option<usize> {
+        let insts = f.block(b).body();
+        let (li, ld) = insts.iter().enumerate().find_map(|(k, i)| match i {
+            Inst::Load { dst, .. } => Some((k, *dst)),
+            _ => None,
+        })?;
+        let use_at = insts.iter().enumerate().skip(li + 1).find_map(|(k, i)| {
+            let mut hit = false;
+            i.for_each_use(|r| {
+                if r == ld {
+                    hit = true;
+                }
+            });
+            hit.then_some(k)
+        })?;
+        Some(use_at - li)
+    }
+
+    #[test]
+    fn separates_load_from_consumer() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global_init("g", 4, vec![11, 22, 33, 44]);
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let p = b.iconst(base as i64);
+        let v = b.load(p, 0);
+        let w = b.add(v, 1); // consumer right after the load
+        let a1 = b.mul(x, y); // independent work that can fill the gap
+        let a2 = b.add(a1, x);
+        let a3 = b.xor(a2, y);
+        let s1 = b.add(w, a3);
+        b.ret(s1);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[3, 4]).unwrap();
+        let gap_before = load_use_gap(&f, BlockId(0)).unwrap();
+        assert!(schedule_insns(&mut f, &[], false, false));
+        let m = close(f.clone());
+        assert_eq!(run_module(&m, &[3, 4]).unwrap().ret, before.ret);
+        let gap_after = load_use_gap(&f, BlockId(0)).unwrap();
+        assert!(gap_after > gap_before, "{gap_before} -> {gap_after}");
+    }
+
+    #[test]
+    fn respects_store_load_order() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 4);
+        let mut b = FuncBuilder::new("main", 1);
+        let p = b.iconst(base as i64);
+        b.store(b.param(0), p, 0);
+        let v = b.load(p, 0); // must stay after the store
+        let q = b.fresh();
+        b.assign(q, p); // may-alias base
+        b.store(99, q, 0);
+        let v2 = b.load(p, 0); // must stay after the second store
+        let s = b.add(v, v2);
+        b.ret(s);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[5]).unwrap();
+        schedule_insns(&mut f, &[], false, false);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[5]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 5 + 99);
+    }
+
+    #[test]
+    fn interblock_hoists_pure_work() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let c = b.cmp(Pred::Gt, x, 0);
+        let t = b.block();
+        let e = b.block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        let m1 = b.mul(x, y);
+        let m2 = b.mul(m1, y);
+        b.ret(m2);
+        b.switch_to(e);
+        b.ret(0);
+        let mut f = b.finish();
+        let entry_len_before = f.block(BlockId(0)).insts.len();
+        assert!(schedule_insns(&mut f, &[], true, false));
+        // The first mul moved into the entry block.
+        assert!(f.block(BlockId(0)).insts.len() > entry_len_before);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[2, 3]).unwrap().ret, 18);
+        assert_eq!(run_module(&m, &[-2, 3]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn speculative_load_hoist_requires_spec_flag() {
+        let build = || {
+            let mut mb = ModuleBuilder::new("t");
+            let (_, base) = mb.global_init("g", 2, vec![7, 8]);
+            let mut b = FuncBuilder::new("main", 1);
+            let x = b.param(0);
+            let p = b.iconst(base as i64);
+            let c = b.cmp(Pred::Gt, x, 0);
+            let t = b.block();
+            let e = b.block();
+            b.cond_br(c, t, e);
+            b.switch_to(t);
+            let v = b.load(p, 0);
+            let w = b.add(v, x);
+            b.ret(w);
+            b.switch_to(e);
+            b.ret(0);
+            let id = mb.add(b.finish());
+            mb.entry(id);
+            mb.finish()
+        };
+
+        let in_entry = |f: &Function| {
+            f.block(BlockId(0))
+                .insts
+                .iter()
+                .any(|i| matches!(i, Inst::Load { .. }))
+        };
+        let mut m_nospec = build();
+        schedule_insns(&mut m_nospec.funcs[0], &[], true, false);
+        assert!(!in_entry(&m_nospec.funcs[0]), "load hoisted without -fsched-spec");
+
+        let mut m_spec = build();
+        schedule_insns(&mut m_spec.funcs[0], &[], true, true);
+        assert!(in_entry(&m_spec.funcs[0]), "load not hoisted with -fsched-spec");
+        verify_module(&m_spec).unwrap();
+        assert_eq!(run_module(&m_spec, &[1]).unwrap().ret, 8);
+        assert_eq!(run_module(&m_spec, &[-1]).unwrap().ret, 0);
+    }
+
+    #[test]
+    fn does_not_hoist_when_dst_live_on_other_path() {
+        let mut b = FuncBuilder::new("main", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let shared = b.fresh();
+        b.assign(shared, y);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let t = b.block();
+        let e = b.block();
+        b.cond_br(c, t, e);
+        b.switch_to(t);
+        // Redefines `shared`, which the other path returns.
+        b.push(Inst::Bin {
+            op: portopt_ir::BinOp::Mul,
+            dst: shared,
+            a: Operand::Reg(x),
+            b: Operand::Reg(y),
+        });
+        let r = b.add(shared, 1);
+        b.ret(r);
+        b.switch_to(e);
+        b.ret(shared);
+        let mut f = b.finish();
+        schedule_insns(&mut f, &[], true, true);
+        let m = close(f);
+        // If the mul were hoisted, the else path would return x*y.
+        assert_eq!(run_module(&m, &[-1, 9]).unwrap().ret, 9);
+        assert_eq!(run_module(&m, &[2, 9]).unwrap().ret, 19);
+        let _ = VReg(0);
+    }
+}

@@ -1,0 +1,303 @@
+//! `-fstrength-reduce`: induction-variable strength reduction.
+//!
+//! Multiplications (and shifts) of a basic induction variable by a
+//! loop-invariant constant are replaced by an additive recurrence: the
+//! classic `a[i]` addressing pattern `off = i << 2` becomes an address
+//! register bumped by 4 each iteration. This trades MAC/shifter work for
+//! ALU adds and shortens the dependence chain feeding loads.
+
+use crate::analysis::single_defs;
+use portopt_ir::{BinOp, BlockId, Function, Inst, Loop, LoopForest, Operand, VReg};
+
+/// A recognised basic induction variable.
+#[derive(Debug, Clone, Copy)]
+pub struct BasicIv {
+    /// The IV register.
+    pub reg: VReg,
+    /// Per-iteration increment (always an immediate).
+    pub step: i64,
+    /// Location of the in-loop update instruction (block, index of the
+    /// instruction that writes `reg`).
+    pub update_at: (BlockId, usize),
+}
+
+/// Finds the basic induction variables of loop `l`: registers with exactly
+/// one in-loop definition of the form `i = i + imm` or the two-instruction
+/// builder pattern `next = add i, imm; i = next`.
+pub fn find_basic_ivs(f: &Function, l: &Loop) -> Vec<BasicIv> {
+    let mut out = Vec::new();
+    // Count in-loop defs per register.
+    let mut defs: Vec<u32> = vec![0; f.vreg_count as usize];
+    for &b in &l.blocks {
+        for i in &f.block(b).insts {
+            if let Some(d) = i.def() {
+                defs[d.index()] += 1;
+            }
+        }
+    }
+    for &b in &l.blocks {
+        let insts = &f.block(b).insts;
+        for (k, inst) in insts.iter().enumerate() {
+            // Direct form: i = add i, imm.
+            if let Inst::Bin { op: BinOp::Add, dst, a: Operand::Reg(a), b: Operand::Imm(s) } = inst
+            {
+                if dst == a && defs[dst.index()] == 1 {
+                    out.push(BasicIv { reg: *dst, step: *s, update_at: (b, k) });
+                }
+            }
+            // Builder form: i = copy next, where next = add i, imm.
+            if let Inst::Copy { dst, src: Operand::Reg(next) } = inst {
+                if defs[dst.index()] != 1 {
+                    continue;
+                }
+                // `next` must be single-def in the loop and defined as
+                // add(dst, imm) earlier in this block.
+                let def = insts[..k].iter().rev().find(|i| i.def() == Some(*next));
+                if let Some(Inst::Bin {
+                    op: BinOp::Add,
+                    a: Operand::Reg(base),
+                    b: Operand::Imm(s),
+                    ..
+                }) = def
+                {
+                    if base == dst && defs[next.index()] == 1 {
+                        out.push(BasicIv { reg: *dst, step: *s, update_at: (b, k) });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Maximum derived IVs introduced per loop (register-pressure guard, like
+/// gcc's internal limits).
+const MAX_DERIVED_PER_LOOP: usize = 6;
+
+/// Runs strength reduction on `f`. Returns `true` if anything changed.
+pub fn strength_reduce(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let forest = LoopForest::compute(f);
+        let sd = single_defs(f);
+        let mut applied = false;
+
+        'outer: for l in forest.loops.iter().rev() {
+            let ivs = find_basic_ivs(f, l);
+            let introduced = 0usize;
+            for iv in &ivs {
+                if introduced >= MAX_DERIVED_PER_LOOP {
+                    break;
+                }
+                // Find a derived computation t = i * k or t = i << c in-loop.
+                for &b in &l.blocks {
+                    for k in 0..f.block(b).insts.len() {
+                        let inst = &f.block(b).insts[k];
+                        let derived = match *inst {
+                            Inst::Bin {
+                                op: BinOp::Mul,
+                                dst,
+                                a: Operand::Reg(r),
+                                b: Operand::Imm(c),
+                            }
+                            | Inst::Bin {
+                                op: BinOp::Mul,
+                                dst,
+                                a: Operand::Imm(c),
+                                b: Operand::Reg(r),
+                            } if r == iv.reg => Some((dst, BinOp::Mul, c)),
+                            Inst::Bin {
+                                op: BinOp::Shl,
+                                dst,
+                                a: Operand::Reg(r),
+                                b: Operand::Imm(c),
+                            } if r == iv.reg && (0..32).contains(&c) => {
+                                Some((dst, BinOp::Shl, c))
+                            }
+                            _ => None,
+                        };
+                        let Some((t, op, c)) = derived else { continue };
+                        if !sd[t.index()] {
+                            continue;
+                        }
+                        apply_reduction(f, l, *iv, (b, k), t, op, c);
+                        changed = true;
+                        applied = true;
+                        let _ = introduced; // one reduction per round
+                        break 'outer; // analyses stale: restart
+                    }
+                }
+            }
+        }
+        if !applied {
+            return changed;
+        }
+    }
+}
+
+/// Rewires `t = op(iv, c)` at `site` into an additive recurrence.
+fn apply_reduction(
+    f: &mut Function,
+    l: &Loop,
+    iv: BasicIv,
+    site: (BlockId, usize),
+    t: VReg,
+    op: BinOp,
+    c: i64,
+) {
+    let u = f.new_vreg();
+    let u_next = f.new_vreg();
+    let delta = match op {
+        BinOp::Mul => iv.step.wrapping_mul(c),
+        BinOp::Shl => iv.step.wrapping_shl((c & 63) as u32),
+        _ => unreachable!("only mul/shl are reduced"),
+    };
+
+    // Preheader: u = op(iv, c) with the IV's entry value.
+    let pre = crate::analysis::ensure_preheader(f, l);
+    let at = f.block(pre).insts.len() - 1;
+    f.block_mut(pre).insts.insert(
+        at,
+        Inst::Bin { op, dst: u, a: Operand::Reg(iv.reg), b: Operand::Imm(c) },
+    );
+
+    // Replace the derived computation with a copy.
+    f.block_mut(site.0).insts[site.1] = Inst::Copy { dst: t, src: Operand::Reg(u) };
+
+    // Insert the recurrence right after the IV update.
+    let (ub, uk) = iv.update_at;
+    let insts = &mut f.block_mut(ub).insts;
+    insts.insert(
+        uk + 1,
+        Inst::Bin { op: BinOp::Add, dst: u_next, a: Operand::Reg(u), b: Operand::Imm(delta) },
+    );
+    insts.insert(uk + 2, Inst::Copy { dst: u, src: Operand::Reg(u_next) });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn count_op(m: &Module, op: BinOp) -> usize {
+        m.funcs[0]
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Bin { op: o, .. } if *o == op))
+            .count()
+    }
+
+    #[test]
+    fn finds_builder_pattern_iv() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.add(acc, i);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        let f = b.finish();
+        let forest = LoopForest::compute(&f);
+        let ivs = find_basic_ivs(&f, &forest.loops[0]);
+        assert_eq!(ivs.len(), 1);
+        assert_eq!(ivs[0].step, 1);
+    }
+
+    #[test]
+    fn reduces_multiplication_to_addition() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.mul(i, 12); // derived IV
+            let s = b.add(acc, t);
+            b.assign(acc, s);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[50]).unwrap();
+        assert!(strength_reduce(&mut f));
+        cleanup(&mut f);
+        let m = close(f);
+        let after = run_module(&m, &[50]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        // The loop-carried mul is gone (one mul may remain in the preheader,
+        // and cleanup folds it since i=0 there).
+        assert_eq!(count_op(&m, BinOp::Mul), 0);
+    }
+
+    #[test]
+    fn reduces_shift_addressing() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("a", 64);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        b.counted_loop(0, 64, 1, |b, i| {
+            let off = b.shl(i, 2); // reduced to +4 recurrence
+            let addr = b.add(p, off);
+            b.store(i, addr, 0);
+        });
+        let v = b.load(p, 4 * 63);
+        b.ret(v);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        let before = run_module(&m, &[]).unwrap();
+        assert!(strength_reduce(&mut m.funcs[0]));
+        cleanup(&mut m.funcs[0]);
+        verify_module(&m).unwrap();
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, 63);
+        assert_eq!(before.mem_hash, after.mem_hash);
+        assert_eq!(count_op(&m, BinOp::Shl), 0, "shift reduced away");
+    }
+
+    #[test]
+    fn non_constant_multiplier_untouched() {
+        let mut b = FuncBuilder::new("main", 2);
+        let n = b.param(0);
+        let k = b.param(1);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let t = b.mul(i, k); // k is a register: LICM/linear but not SR
+            let s = b.add(acc, t);
+            b.assign(acc, s);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        assert!(!strength_reduce(&mut f));
+    }
+
+    #[test]
+    fn preserves_semantics_with_step_and_large_constants() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(3, n, 5, |b, i| {
+            let t = b.mul(i, -7);
+            let s = b.add(acc, t);
+            b.assign(acc, s);
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[101]).unwrap();
+        strength_reduce(&mut f);
+        cleanup(&mut f);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[101]).unwrap().ret, before.ret);
+    }
+}

@@ -1,0 +1,381 @@
+//! `-funroll-loops` with `--param max-unroll-times` and
+//! `--param max-unrolled-insns`.
+//!
+//! Counted loops in the canonical `i < end, i += step` shape are unrolled
+//! by replicating the body; a guarded main loop runs `u` iterations per
+//! bound check and the original loop remains as the remainder. Works for
+//! runtime trip counts, exactly like gcc's RTL unroller.
+
+use crate::analysis::clone_blocks;
+use crate::config::OptConfig;
+use crate::strength::find_basic_ivs;
+use portopt_ir::{BinOp, BlockId, Cfg, Function, Inst, LoopForest, Operand, Pred, VReg};
+
+/// A counted loop in canonical shape, ready to unroll.
+#[derive(Debug, Clone)]
+struct CountedLoop {
+    header: BlockId,
+    body_entry: BlockId,
+    exit: BlockId,
+    /// Non-header loop blocks.
+    body_blocks: Vec<BlockId>,
+    iv: VReg,
+    step: i64,
+    end: Operand,
+    latch: BlockId,
+}
+
+/// Recognises the canonical counted-loop shape produced by the builder and
+/// preserved by the other passes:
+/// header = `[c = cmp.lt i, end; condbr c, body, exit]`, one latch ending
+/// `br header`, positive immediate step, `end` loop-invariant.
+fn recognise(f: &Function, l: &portopt_ir::Loop) -> Option<CountedLoop> {
+    let h = f.block(l.header);
+    if h.insts.len() != 2 {
+        return None;
+    }
+    let (Inst::Cmp { pred: Pred::Lt, dst: c, a: Operand::Reg(iv), b: end },
+         Inst::CondBr { cond, then_, else_ }) = (&h.insts[0], &h.insts[1])
+    else {
+        return None;
+    };
+    if cond != c || !l.contains(*then_) || l.contains(*else_) {
+        return None;
+    }
+    // Single latch ending in an unconditional branch to the header.
+    if l.latches.len() != 1 {
+        return None;
+    }
+    let latch = l.latches[0];
+    if !matches!(f.block(latch).insts.last(), Some(Inst::Br { target }) if *target == l.header) {
+        return None;
+    }
+    // `end` must be invariant: an immediate, or a register not defined in-loop.
+    if let Operand::Reg(e) = end {
+        for &b in &l.blocks {
+            if f.block(b).insts.iter().any(|i| i.def() == Some(*e)) {
+                return None;
+            }
+        }
+    }
+    // The IV must be a recognised basic IV with positive step.
+    let ivs = find_basic_ivs(f, l);
+    let biv = ivs.iter().find(|b| b.reg == *iv)?;
+    if biv.step <= 0 {
+        return None;
+    }
+    let body_blocks: Vec<BlockId> = l.blocks.iter().copied().filter(|b| *b != l.header).collect();
+    Some(CountedLoop {
+        header: l.header,
+        body_entry: *then_,
+        exit: *else_,
+        body_blocks,
+        iv: *iv,
+        step: biv.step,
+        end: *end,
+        latch,
+    })
+}
+
+/// Runs loop unrolling on `f`. Returns `true` if any loop was unrolled.
+pub fn unroll_loops(f: &mut Function, cfg: &OptConfig) -> bool {
+    if !cfg.unroll_loops {
+        return false;
+    }
+    let max_times = cfg.max_unroll_times_value();
+    let max_insns = cfg.max_unrolled_insns_value();
+    let mut changed = false;
+    // Unroll innermost loops once each (no re-unrolling of the product).
+    let candidates: Vec<CountedLoop> = {
+        let forest = LoopForest::compute(f);
+        forest
+            .loops
+            .iter()
+            .rev()
+            .filter(|l| {
+                // Innermost only: no other loop header inside.
+                !forest
+                    .loops
+                    .iter()
+                    .any(|o| o.header != l.header && l.contains(o.header))
+            })
+            .filter_map(|l| recognise(f, l))
+            .collect()
+    };
+    for cl in candidates {
+        let body_size: usize = cl
+            .body_blocks
+            .iter()
+            .map(|&b| f.block(b).insts.len())
+            .sum();
+        let mut u = max_times;
+        while u > 1 && body_size as u32 * u > max_insns {
+            u /= 2;
+        }
+        if u < 2 {
+            continue;
+        }
+        apply_unroll(f, &cl, u);
+        changed = true;
+    }
+    changed
+}
+
+/// Builds the guarded main loop with `u` body copies; the original loop
+/// stays as the remainder.
+fn apply_unroll(f: &mut Function, cl: &CountedLoop, u: u32) {
+    // limit = end - (u-1)*step, computed in a new guard/preheader block.
+    let pre = f.new_block();
+    let slack = (u as i64 - 1) * cl.step;
+    let limit: Operand = match cl.end {
+        Operand::Imm(e) => Operand::Imm(e - slack),
+        Operand::Reg(e) => {
+            let lim = f.new_vreg();
+            f.block_mut(pre).insts.push(Inst::Bin {
+                op: BinOp::Sub,
+                dst: lim,
+                a: Operand::Reg(e),
+                b: Operand::Imm(slack),
+            });
+            Operand::Reg(lim)
+        }
+    };
+
+    // New main-loop header: `c = cmp.lt i, limit; condbr c, first_copy, rem`.
+    let main_h = f.new_block();
+    let c = f.new_vreg();
+
+    // Retarget all entries into the original header from outside the loop
+    // (and not from our own new blocks) to the guard block.
+    let loop_blocks: Vec<BlockId> = std::iter::once(cl.header)
+        .chain(cl.body_blocks.iter().copied())
+        .collect();
+    for bi in 0..f.blocks.len() {
+        let b = BlockId(bi as u32);
+        if b == pre || b == main_h || loop_blocks.contains(&b) {
+            continue;
+        }
+        if let Some(t) = f.block_mut(b).insts.last_mut() {
+            t.map_targets(|old| if old == cl.header { pre } else { old });
+        }
+    }
+    f.block_mut(pre).insts.push(Inst::Br { target: main_h });
+
+    // u copies of the body. Copy k's back-branch goes to copy k+1's entry;
+    // the last copy branches back to the main header.
+    let mut entries: Vec<BlockId> = Vec::with_capacity(u as usize);
+    let mut all_copy_latches: Vec<(BlockId, usize)> = Vec::new();
+    for _k in 0..u {
+        let map = clone_blocks(f, &cl.body_blocks);
+        let entry = map
+            .iter()
+            .find(|(o, _)| *o == cl.body_entry)
+            .map(|(_, n)| *n)
+            .expect("body entry cloned");
+        let latch = map
+            .iter()
+            .find(|(o, _)| *o == cl.latch)
+            .map(|(_, n)| *n)
+            .expect("latch cloned");
+        entries.push(entry);
+        all_copy_latches.push((latch, 0));
+    }
+    // Wire copy latches: copy k -> entry of copy k+1; last -> main_h.
+    for k in 0..u as usize {
+        let next = if k + 1 < u as usize { entries[k + 1] } else { main_h };
+        let (latch, _) = all_copy_latches[k];
+        if let Some(t) = f.block_mut(latch).insts.last_mut() {
+            t.map_targets(|old| if old == cl.header { next } else { old });
+        }
+    }
+
+    // Main header: test against the slack-adjusted limit.
+    f.block_mut(main_h).insts.push(Inst::Cmp {
+        pred: Pred::Lt,
+        dst: c,
+        a: Operand::Reg(cl.iv),
+        b: limit,
+    });
+    f.block_mut(main_h).insts.push(Inst::CondBr {
+        cond: c,
+        then_: entries[0],
+        else_: cl.header, // fall into the remainder loop
+    });
+    let _ = Cfg::compute(f); // analyses remain computable (debug aid)
+    let _ = cl.exit;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn sum_squares(n_is_param: bool, n: i64) -> Function {
+        let mut b = FuncBuilder::new("main", if n_is_param { 1 } else { 0 });
+        let end: Operand = if n_is_param { b.param(0).into() } else { n.into() };
+        let acc = b.iconst(0);
+        b.counted_loop(0, end, 1, |b, i| {
+            let sq = b.mul(i, i);
+            let t = b.add(acc, sq);
+            b.assign(acc, t);
+        });
+        b.ret(acc);
+        b.finish()
+    }
+
+    fn cfg_unroll(times_idx: u8) -> OptConfig {
+        OptConfig {
+            unroll_loops: true,
+            max_unroll_times: times_idx,
+            max_unrolled_insns: 3, // 400
+            ..OptConfig::o0()
+        }
+    }
+
+    #[test]
+    fn unrolls_runtime_trip_count() {
+        for n in [0i64, 1, 2, 3, 7, 8, 9, 100] {
+            let mut f = sum_squares(true, 0);
+            let before = run_module(&close(f.clone()), &[n]).unwrap();
+            assert!(unroll_loops(&mut f, &cfg_unroll(1))); // 4x
+            cleanup(&mut f);
+            let m = close(f);
+            let after = run_module(&m, &[n]).unwrap();
+            assert_eq!(after.ret, before.ret, "n={n}");
+            if n >= 32 {
+                // Fewer bound checks -> fewer dynamic instructions.
+                assert!(after.dyn_insts < before.dyn_insts, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn unrolls_constant_trip_count() {
+        let mut f = sum_squares(false, 64);
+        let before = run_module(&close(f.clone()), &[]).unwrap();
+        assert!(unroll_loops(&mut f, &cfg_unroll(3))); // 16x
+        cleanup(&mut f);
+        let m = close(f);
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(after.ret, before.ret);
+        assert!(after.dyn_insts < before.dyn_insts);
+    }
+
+    #[test]
+    fn code_growth_bounded_by_max_unrolled_insns() {
+        let mut f = sum_squares(true, 0);
+        let small_budget = OptConfig {
+            unroll_loops: true,
+            max_unroll_times: 3,  // wants 16x
+            max_unrolled_insns: 0, // but only 50 insts allowed
+            ..OptConfig::o0()
+        };
+        let before_size = f.inst_count();
+        assert!(unroll_loops(&mut f, &small_budget));
+        // Body is 6 insts; 16x would need 96 > 50, halved to 8x = 48 <= 50.
+        let growth = f.inst_count() - before_size;
+        assert!(growth < 6 * 9, "unroll factor not clamped: {growth}");
+        let m = close(f);
+        assert_eq!(
+            run_module(&m, &[10]).unwrap().ret,
+            (0..10).map(|i| i * i).sum::<i64>()
+        );
+    }
+
+    #[test]
+    fn flag_off_is_noop() {
+        let mut f = sum_squares(true, 0);
+        assert!(!unroll_loops(&mut f, &OptConfig::o0()));
+    }
+
+    #[test]
+    fn hand_unrolled_source_yields_no_candidate() {
+        // A loop with step 4 and four statements (rijndael-style source):
+        // still recognised, but with a tiny insn budget the factor clamps
+        // below 2 and nothing happens.
+        let mut b = FuncBuilder::new("main", 0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 64, 4, |b, i| {
+            for k in 0..4 {
+                let t = b.add(i, k);
+                let sq = b.mul(t, t);
+                let s = b.add(acc, sq);
+                b.assign(acc, s);
+            }
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let tiny = OptConfig {
+            unroll_loops: true,
+            max_unroll_times: 0,   // 2x
+            max_unrolled_insns: 0, // 50 insts; body is ~18 insts => 2x=36 ok
+            ..OptConfig::o0()
+        };
+        let before = run_module(&close(f.clone()), &[]).unwrap();
+        unroll_loops(&mut f, &tiny);
+        let m = close(f);
+        assert_eq!(run_module(&m, &[]).unwrap().ret, before.ret);
+    }
+
+    #[test]
+    fn nested_loops_unroll_innermost_only() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            b.counted_loop(0, n, 1, |b, j| {
+                let p = b.mul(i, j);
+                let t = b.add(acc, p);
+                b.assign(acc, t);
+            });
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[9]).unwrap();
+        assert!(unroll_loops(&mut f, &cfg_unroll(1)));
+        cleanup(&mut f);
+        let m = close(f);
+        let after = run_module(&m, &[9]).unwrap();
+        assert_eq!(after.ret, before.ret);
+        assert!(after.dyn_insts < before.dyn_insts);
+    }
+
+    #[test]
+    fn early_exit_loops_are_rejected() {
+        // A while-style search loop with a break is not canonical.
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global_init("a", 8, vec![5, 9, 2, 42, 7, 1, 0, 3]);
+        let mut b = FuncBuilder::new("main", 1);
+        let needle = b.param(0);
+        let p = b.iconst(base as i64);
+        let found = b.iconst(-1);
+        b.counted_loop(0, 8, 1, |b, i| {
+            let off = b.shl(i, 2);
+            let addr = b.add(p, off);
+            let v = b.load(addr, 0);
+            let hit = b.cmp(Pred::Eq, v, needle);
+            b.if_then(hit, |b| b.assign(found, i));
+        });
+        b.ret(found);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = mb.finish();
+        // This one IS canonical (if_then, no break) — it unrolls fine.
+        let before = run_module(&m, &[42]).unwrap();
+        unroll_loops(&mut m.funcs[0], &cfg_unroll(1));
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[42]).unwrap().ret, before.ret);
+        assert_eq!(before.ret, 3);
+    }
+}

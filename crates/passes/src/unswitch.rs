@@ -1,0 +1,210 @@
+//! `-funswitch-loops`: hoist loop-invariant conditionals by duplicating
+//! the loop.
+//!
+//! A conditional branch inside a loop whose condition register is defined
+//! outside the loop is resolved once, in the preheader: the loop is cloned,
+//! one version keeps the then-edge hard-wired and the other the else-edge.
+//! Dynamic branch count drops at the cost of doubled code size — exactly
+//! the icache trade-off the paper's model has to learn.
+
+use crate::analysis::{clone_blocks, ensure_preheader};
+use portopt_ir::{Function, Inst, LoopForest};
+
+/// Loops larger than this are not unswitched (code-growth guard).
+const MAX_UNSWITCH_INSTS: usize = 120;
+
+/// Runs loop unswitching on `f`. Returns `true` if any loop was duplicated.
+pub fn unswitch_loops(f: &mut Function) -> bool {
+    let mut changed = false;
+    // At most one unswitch per call per loop nest; iterating more would
+    // double code repeatedly.
+    let candidates: Vec<(portopt_ir::Loop, portopt_ir::BlockId, usize)> = {
+        let forest = LoopForest::compute(f);
+        let mut out = Vec::new();
+        for l in &forest.loops {
+            let size: usize = l.blocks.iter().map(|&b| f.block(b).insts.len()).sum();
+            if size > MAX_UNSWITCH_INSTS {
+                continue;
+            }
+            // Registers defined inside the loop.
+            let mut defined_in = vec![false; f.vreg_count as usize];
+            for &b in &l.blocks {
+                for i in &f.block(b).insts {
+                    if let Some(d) = i.def() {
+                        defined_in[d.index()] = true;
+                    }
+                }
+            }
+            // An invariant CondBr that is not the loop's own exit test.
+            for &b in &l.blocks {
+                if let Some(Inst::CondBr { cond, then_, else_ }) = f.block(b).insts.last() {
+                    if !defined_in[cond.index()]
+                        && l.contains(*then_)
+                        && l.contains(*else_)
+                    {
+                        out.push((l.clone(), b, f.block(b).insts.len() - 1));
+                        break;
+                    }
+                }
+            }
+        }
+        out
+    };
+
+    // Apply one (the first) to keep analyses manageable, then recurse.
+    if let Some((l, branch_block, branch_idx)) = candidates.into_iter().next() {
+        let Inst::CondBr { cond, then_, else_ } = f.block(branch_block).insts[branch_idx].clone()
+        else {
+            unreachable!("candidate vanished");
+        };
+        let pre = ensure_preheader(f, &l);
+
+        // Clone the whole loop: the clone takes the else-edge.
+        let map = clone_blocks(f, &l.blocks);
+        let cloned = |b: portopt_ir::BlockId| {
+            map.iter().find(|(o, _)| *o == b).map(|(_, n)| *n).expect("in map")
+        };
+        let clone_branch_block = cloned(branch_block);
+
+        // Original keeps then; clone keeps else (remapped into clone space).
+        f.block_mut(branch_block).insts[branch_idx] = Inst::Br { target: then_ };
+        let else_in_clone = map
+            .iter()
+            .find(|(o, _)| *o == else_)
+            .map(|(_, n)| *n)
+            .unwrap_or(else_);
+        let idx = f.block(clone_branch_block).insts.len() - 1;
+        f.block_mut(clone_branch_block).insts[idx] = Inst::Br { target: else_in_clone };
+
+        // Preheader now dispatches on the invariant condition.
+        let header_clone = cloned(l.header);
+        let last = f.block_mut(pre).insts.len() - 1;
+        f.block_mut(pre).insts[last] = Inst::CondBr {
+            cond,
+            then_: l.header,
+            else_: header_clone,
+        };
+        changed = true;
+        // Recurse: other loops may still have candidates.
+        unswitch_loops(f);
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Pred};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    fn switchy(n: i64) -> Function {
+        // for i in 0..100 { if (mode) acc+=i else acc+=i*i } — mode invariant.
+        let mut b = FuncBuilder::new("main", 1);
+        let mode = b.param(0);
+        let acc = b.iconst(0);
+        let is_linear = b.cmp(Pred::Ne, mode, 0);
+        b.counted_loop(0, n, 1, |b, i| {
+            b.if_else(
+                is_linear,
+                |b| {
+                    let t = b.add(acc, i);
+                    b.assign(acc, t);
+                },
+                |b| {
+                    let sq = b.mul(i, i);
+                    let t = b.add(acc, sq);
+                    b.assign(acc, t);
+                },
+            );
+        });
+        b.ret(acc);
+        b.finish()
+    }
+
+    #[test]
+    fn unswitches_invariant_branch() {
+        let mut f = switchy(100);
+        let size_before = f.inst_count();
+        let r0 = run_module(&close(f.clone()), &[0]).unwrap();
+        let r1 = run_module(&close(f.clone()), &[1]).unwrap();
+        assert!(unswitch_loops(&mut f));
+        cleanup(&mut f);
+        let m = close(f.clone());
+        // Semantics preserved on both arms.
+        assert_eq!(run_module(&m, &[0]).unwrap().ret, r0.ret);
+        assert_eq!(run_module(&m, &[1]).unwrap().ret, r1.ret);
+        // Code grew (duplication)…
+        assert!(f.inst_count() > size_before);
+        // …but each run executes fewer dynamic instructions (no per-
+        // iteration test of the invariant condition).
+        assert!(run_module(&m, &[1]).unwrap().dyn_insts < r1.dyn_insts);
+    }
+
+    #[test]
+    fn variant_branch_untouched() {
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let odd = b.and(i, 1); // depends on i: variant
+            let c = b.cmp(Pred::Ne, odd, 0);
+            b.if_else(
+                c,
+                |b| {
+                    let t = b.add(acc, i);
+                    b.assign(acc, t);
+                },
+                |b| {
+                    let t = b.sub(acc, i);
+                    b.assign(acc, t);
+                },
+            );
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        assert!(!unswitch_loops(&mut f));
+    }
+
+    #[test]
+    fn large_loops_skipped() {
+        let mut b = FuncBuilder::new("main", 1);
+        let mode = b.param(0);
+        let acc = b.iconst(0);
+        let c = b.cmp(Pred::Ne, mode, 0);
+        b.counted_loop(0, 10, 1, |b, i| {
+            b.if_else(
+                c,
+                |b| {
+                    // Blow past the size limit.
+                    let mut t = i;
+                    for _ in 0..70 {
+                        t = b.add(t, 1);
+                    }
+                    let s = b.add(acc, t);
+                    b.assign(acc, s);
+                },
+                |b| {
+                    let mut t = i;
+                    for _ in 0..70 {
+                        t = b.add(t, 2);
+                    }
+                    let s = b.add(acc, t);
+                    b.assign(acc, s);
+                },
+            );
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        assert!(!unswitch_loops(&mut f));
+    }
+}

@@ -1,0 +1,415 @@
+//! Always-on cleanup transformations.
+//!
+//! These run between the optional passes of the Figure 3 space, mirroring the
+//! parts of gcc's pipeline that are not exposed as `-f` flags: local constant
+//! folding, copy propagation, dead-code elimination and CFG simplification.
+
+use portopt_ir::{reachable, BlockId, Function, Inst, Liveness, Module, Operand, VReg};
+
+/// Folds constant expressions and propagates copies within each block.
+///
+/// Returns `true` if anything changed.
+pub fn fold_and_propagate(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        // Within a block, track registers with a known constant value or a
+        // known register alias. Any redefinition invalidates entries keyed by
+        // or aliased to the redefined register.
+        let mut consts: Vec<Option<i64>> = vec![None; f.vreg_count as usize];
+        let mut alias: Vec<Option<VReg>> = vec![None; f.vreg_count as usize];
+        for inst in &mut block.insts {
+            // Substitute known values into operands.
+            let subst = |o: &mut Operand, consts: &[Option<i64>], alias: &[Option<VReg>]| -> bool {
+                if let Operand::Reg(r) = *o {
+                    if let Some(c) = consts[r.index()] {
+                        *o = Operand::Imm(c);
+                        return true;
+                    }
+                    if let Some(a) = alias[r.index()] {
+                        *o = Operand::Reg(a);
+                        return true;
+                    }
+                }
+                false
+            };
+            match inst {
+                Inst::Bin { a, b, .. } | Inst::Cmp { a, b, .. } => {
+                    changed |= subst(a, &consts, &alias);
+                    changed |= subst(b, &consts, &alias);
+                }
+                Inst::Copy { src, .. } => {
+                    changed |= subst(src, &consts, &alias);
+                }
+                Inst::Store { src, .. } | Inst::FrameStore { src, .. } => {
+                    changed |= subst(src, &consts, &alias);
+                }
+                Inst::Call { args, .. } => {
+                    for a in args {
+                        changed |= subst(a, &consts, &alias);
+                    }
+                }
+                Inst::Ret { val: Some(v) } => {
+                    changed |= subst(v, &consts, &alias);
+                }
+                Inst::CondBr { cond, then_, else_ } => {
+                    // Fold a branch on a compile-time-known condition.
+                    if let Some(c) = consts[cond.index()] {
+                        let target = if c != 0 { *then_ } else { *else_ };
+                        *inst = Inst::Br { target };
+                        changed = true;
+                    } else if let Some(a) = alias[cond.index()] {
+                        *cond = a;
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+            // Fold fully-constant computations into copies.
+            let folded = match inst {
+                Inst::Bin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
+                    Some((*dst, op.eval(*a, *b)))
+                }
+                Inst::Cmp { pred, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
+                    Some((*dst, pred.eval(*a, *b)))
+                }
+                _ => None,
+            };
+            if let Some((dst, v)) = folded {
+                *inst = Inst::Copy { dst, src: Operand::Imm(v) };
+                changed = true;
+            }
+            // Algebraic identities: x+0, x-0, x*1, x*0, x&x, x|0, x^0, x<<0...
+            if let Inst::Bin { op, dst, a, b } = inst.clone() {
+                use portopt_ir::BinOp::*;
+                let ident = match (op, a, b) {
+                    (Add | Sub | Or | Xor | Shl | Shr | Sar, x, Operand::Imm(0)) => Some(x),
+                    (Add | Or | Xor, Operand::Imm(0), x) => Some(x),
+                    (Mul, x, Operand::Imm(1)) | (Mul, Operand::Imm(1), x) => Some(x),
+                    (Mul, _, Operand::Imm(0)) | (Mul, Operand::Imm(0), _) => {
+                        Some(Operand::Imm(0))
+                    }
+                    (And, _, Operand::Imm(0)) | (And, Operand::Imm(0), _) => {
+                        Some(Operand::Imm(0))
+                    }
+                    _ => None,
+                };
+                if let Some(src) = ident {
+                    *inst = Inst::Copy { dst, src };
+                    changed = true;
+                }
+            }
+            // Update the known-value maps.
+            if let Some(d) = inst.def() {
+                // Invalidate aliases pointing at the redefined register.
+                for a in alias.iter_mut() {
+                    if *a == Some(d) {
+                        *a = None;
+                    }
+                }
+                consts[d.index()] = None;
+                alias[d.index()] = None;
+                if let Inst::Copy { dst, src } = inst {
+                    match src {
+                        Operand::Imm(v) => consts[dst.index()] = Some(*v),
+                        Operand::Reg(s) if *s != *dst => alias[dst.index()] = Some(*s),
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Deletes pure instructions whose results are never used (global, liveness
+/// based). Returns `true` if anything was removed.
+pub fn dead_code_elim(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let live = Liveness::compute(f);
+        let mut removed = false;
+        for (bi, _) in f.iter_blocks().map(|(b, _)| (b, ())).collect::<Vec<_>>() {
+            let out = live.out(bi).clone();
+            let block = f.block_mut(bi);
+            // Walk backwards tracking liveness within the block.
+            let mut live_now = out;
+            let mut keep = vec![true; block.insts.len()];
+            for (k, inst) in block.insts.iter().enumerate().rev() {
+                let dead_def = inst
+                    .def()
+                    .is_some_and(|d| !live_now.contains(d.index()));
+                if inst.is_pure() && dead_def {
+                    keep[k] = false;
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    live_now.remove(d.index());
+                }
+                inst.for_each_use(|r| {
+                    live_now.insert(r.index());
+                });
+            }
+            if keep.iter().any(|&k| !k) {
+                let mut i = 0;
+                block.insts.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+                removed = true;
+            }
+        }
+        changed |= removed;
+        if !removed {
+            return changed;
+        }
+    }
+}
+
+/// Removes a `Copy { dst, src: Reg(dst) }` self-move; these arise from
+/// propagation and coalescing. Returns `true` if anything was removed.
+pub fn remove_self_copies(f: &mut Function) -> bool {
+    let mut changed = false;
+    for block in &mut f.blocks {
+        let before = block.insts.len();
+        block
+            .insts
+            .retain(|i| !matches!(i, Inst::Copy { dst, src: Operand::Reg(s) } if dst == s));
+        changed |= block.insts.len() != before;
+    }
+    changed
+}
+
+/// CFG simplification:
+/// * fold `CondBr` on a constant condition into `Br`;
+/// * collapse `CondBr` with identical targets into `Br`;
+/// * merge single-pred/single-succ straight-line pairs;
+/// * delete unreachable blocks (compacting ids).
+///
+/// Returns `true` if anything changed.
+pub fn simplify_cfg(f: &mut Function) -> bool {
+    let mut changed = false;
+    loop {
+        let mut local = false;
+
+        // Fold trivial conditional branches.
+        for block in &mut f.blocks {
+            if let Some(Inst::CondBr { then_, else_, .. }) = block.insts.last().cloned() {
+                if then_ == else_ {
+                    *block.insts.last_mut().unwrap() = Inst::Br { target: then_ };
+                    local = true;
+                }
+            }
+        }
+
+        // Merge b -> c when b ends `br c` and c has exactly one predecessor.
+        let cfg = portopt_ir::Cfg::compute(f);
+        let mut merged = false;
+        for bi in 0..f.blocks.len() {
+            let b = BlockId(bi as u32);
+            if let Some(Inst::Br { target }) = f.block(b).insts.last().cloned() {
+                if target != b
+                    && cfg.preds(target).len() == 1
+                    && target != f.entry()
+                {
+                    let mut tail = std::mem::take(&mut f.block_mut(target).insts);
+                    let bb = f.block_mut(b);
+                    bb.insts.pop(); // drop the br
+                    bb.insts.append(&mut tail);
+                    merged = true;
+                    local = true;
+                    break; // CFG changed; recompute
+                }
+            }
+        }
+        if merged {
+            changed = true;
+            continue;
+        }
+
+        // Delete unreachable blocks, remapping ids.
+        let reach = reachable(f);
+        if reach.iter().any(|&r| !r) {
+            let mut remap: Vec<Option<BlockId>> = vec![None; f.blocks.len()];
+            let mut new_blocks = Vec::new();
+            for (i, r) in reach.iter().enumerate() {
+                if *r {
+                    remap[i] = Some(BlockId(new_blocks.len() as u32));
+                    new_blocks.push(std::mem::take(&mut f.blocks[i]));
+                }
+            }
+            for b in &mut new_blocks {
+                if let Some(t) = b.insts.last_mut() {
+                    t.map_targets(|old| remap[old.index()].expect("reachable target"));
+                }
+            }
+            f.blocks = new_blocks;
+            local = true;
+        }
+
+        changed |= local;
+        if !local {
+            return changed;
+        }
+    }
+}
+
+/// Runs the full cleanup bundle to a fixpoint (bounded).
+pub fn cleanup(f: &mut Function) {
+    for _ in 0..8 {
+        let mut any = fold_and_propagate(f);
+        any |= remove_self_copies(f);
+        any |= dead_code_elim(f);
+        any |= simplify_cfg(f);
+        if !any {
+            break;
+        }
+    }
+}
+
+/// Runs [`cleanup`] on every function of a module.
+pub fn cleanup_module(m: &mut Module) {
+    for f in &mut m.funcs {
+        cleanup(f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Pred};
+
+    fn close(m: Module) -> Module {
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn folds_constants() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 0);
+        let x = b.iconst(6);
+        let y = b.iconst(7);
+        let z = b.mul(x, y);
+        b.ret(z);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        let before = run_module(&m, &[]).unwrap();
+        cleanup_module(&mut m);
+        verify_module(&m).unwrap();
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(after.ret, 42);
+        // Everything folds into `ret 42` — a single instruction.
+        assert_eq!(m.funcs[0].inst_count(), 1);
+    }
+
+    #[test]
+    fn removes_dead_code() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let _dead = b.mul(x, 99);
+        let live = b.add(x, 1);
+        b.ret(live);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        cleanup_module(&mut m);
+        assert_eq!(m.funcs[0].inst_count(), 2); // add + ret
+        assert_eq!(run_module(&m, &[4]).unwrap().ret, 5);
+    }
+
+    #[test]
+    fn dce_keeps_stores_and_calls() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("g", 1);
+        let callee = {
+            let mut b = FuncBuilder::new("side", 1);
+            let p = b.iconst(base as i64);
+            b.store(b.param(0), p, 0);
+            b.ret_void();
+            mb.add(b.finish())
+        };
+        let mut b = FuncBuilder::new("main", 0);
+        b.call_void(callee, &[Operand::Imm(9)]);
+        let p = b.iconst(base as i64);
+        let v = b.load(p, 0);
+        b.ret(v);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        cleanup_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 9);
+    }
+
+    #[test]
+    fn simplifies_constant_branch() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 0);
+        let c = b.cmp(Pred::Lt, 1, 2); // always true
+        let out = b.fresh();
+        b.if_else(c, |b| b.assign(out, 10), |b| b.assign(out, 20));
+        b.ret(out);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        cleanup_module(&mut m);
+        verify_module(&m).unwrap();
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 10);
+        // The else-arm must be gone and the remaining code merged into
+        // a single straight-line block.
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+    }
+
+    #[test]
+    fn merges_straightline_chains() {
+        let mut mb = ModuleBuilder::new("t");
+        let mut b = FuncBuilder::new("main", 0);
+        let next = b.block();
+        let x = b.iconst(3);
+        b.br(next);
+        b.switch_to(next);
+        let y = b.add(x, 4);
+        b.ret(y);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        cleanup_module(&mut m);
+        assert_eq!(m.funcs[0].blocks.len(), 1);
+        assert_eq!(run_module(&m, &[]).unwrap().ret, 7);
+    }
+
+    #[test]
+    fn semantics_preserved_on_loop_program() {
+        let mut mb = ModuleBuilder::new("t");
+        let (_, base) = mb.global("buf", 32);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 32, 1, |b, i| {
+            let t = b.mul(i, 3);
+            let u = b.add(t, 0); // identity, should fold
+            let off = b.shl(i, 2);
+            let addr = b.add(p, off);
+            b.store(u, addr, 0);
+            let v = b.load(addr, 0);
+            let t2 = b.add(acc, v);
+            b.assign(acc, t2);
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let mut m = close(mb.finish());
+        let before = run_module(&m, &[]).unwrap();
+        cleanup_module(&mut m);
+        verify_module(&m).unwrap();
+        let after = run_module(&m, &[]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        assert_eq!(before.mem_hash, after.mem_hash);
+        assert!(after.dyn_insts <= before.dyn_insts);
+    }
+}

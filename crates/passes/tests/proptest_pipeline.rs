@@ -1,0 +1,170 @@
+//! Property-based testing of the compiler: for *any* random program and
+//! *any* point of the 39-dimension optimisation space, compilation must
+//! preserve semantics exactly (return value and final memory), and the
+//! produced image must be structurally sane.
+
+use portopt_ir::interp::{run_module_with, ExecLimits};
+use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Operand, Pred};
+use portopt_passes::{compile, OptConfig, OptSpace};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a random but always-terminating program from a seed: nested
+/// counted loops, data-dependent branches, array reads/writes, helper
+/// calls and mixed arithmetic.
+fn random_program(seed: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mb = ModuleBuilder::new("prop");
+    let words = 256u32;
+    let (_, base) = mb.global_init(
+        "buf",
+        words,
+        (0..words as i64).map(|i| (i * 2654435761) % 1000 - 500).collect(),
+    );
+
+    // Optional helper function (calls exercise inlining/regalloc).
+    let helper = {
+        let mut b = FuncBuilder::new("helper", 2);
+        let (x, y) = (b.param(0), b.param(1));
+        let ops = [
+            |b: &mut FuncBuilder, x, y| b.add(x, y),
+            |b: &mut FuncBuilder, x, y| b.mul(x, y),
+            |b: &mut FuncBuilder, x, y| b.xor(x, y),
+        ];
+        let f = ops[rng.gen_range(0..ops.len())](&mut b, x, y);
+        let masked = b.and(f, 0xFFFF);
+        b.ret(masked);
+        mb.add(b.finish())
+    };
+
+    let mut b = FuncBuilder::new("main", 0);
+    let p = b.iconst(base as i64);
+    let acc = b.iconst(rng.gen_range(-5i64..5));
+    let outer = rng.gen_range(3i64..20);
+    let inner = rng.gen_range(4i64..40);
+    let with_call = rng.gen_bool(0.5);
+    let with_branch = rng.gen_bool(0.7);
+    let with_store = rng.gen_bool(0.7);
+    let stride = rng.gen_range(1i64..9);
+
+    b.counted_loop(0, outer, 1, |b, i| {
+        b.counted_loop(0, inner, 1, |b, j| {
+            let mix0 = b.mul(j, stride);
+            let mix = b.add(mix0, i);
+            let idx = b.and(mix, (words - 1) as i64);
+            let off = b.shl(idx, 2);
+            let addr = b.add(p, off);
+            let v = b.load(addr, 0);
+            let t = if with_call {
+                b.call(helper, &[v.into(), j.into()])
+            } else {
+                b.xor(v, j)
+            };
+            if with_branch {
+                let c = b.cmp(Pred::Gt, t, 100);
+                b.if_else(
+                    c,
+                    |b| {
+                        let u = b.sub(acc, t);
+                        b.assign(acc, u);
+                    },
+                    |b| {
+                        let u = b.add(acc, t);
+                        b.assign(acc, u);
+                    },
+                );
+            } else {
+                let u = b.add(acc, t);
+                b.assign(acc, u);
+            }
+            if with_store {
+                let w = b.and(acc, 0xFFFF);
+                b.store(w, addr, 0);
+            }
+        });
+    });
+    b.ret(acc);
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    let m = mb.finish();
+    verify_module(&m).expect("generator produces valid IR");
+    m
+}
+
+fn random_config(seed: u64) -> OptConfig {
+    let mut rng = StdRng::seed_from_u64(seed);
+    OptConfig::sample(&mut rng)
+}
+
+const LIMITS: ExecLimits = ExecLimits { fuel: 10_000_000, max_depth: 256 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The fundamental compiler property: any config on any program
+    /// computes the same result as the reference interpreter.
+    #[test]
+    fn any_config_preserves_semantics(prog_seed in 0u64..10_000, cfg_seed in 0u64..10_000) {
+        let m = random_program(prog_seed);
+        let reference = run_module_with(&m, &[], LIMITS).expect("source runs");
+        let cfg = random_config(cfg_seed);
+        let img = compile(&m, &cfg);
+        let mut m2 = m.clone();
+        m2.funcs = img.funcs.iter().map(|mf| mf.func.clone()).collect();
+        verify_module(&m2).expect("compiled IR verifies");
+        let got = run_module_with(&m2, &[], LIMITS).expect("compiled runs");
+        prop_assert_eq!(got.ret, reference.ret);
+        prop_assert_eq!(got.mem_hash, reference.mem_hash);
+    }
+
+    /// Presets are semantics-preserving too, and O3 compiles never panic.
+    #[test]
+    fn presets_preserve_semantics(prog_seed in 0u64..10_000) {
+        let m = random_program(prog_seed);
+        let reference = run_module_with(&m, &[], LIMITS).expect("source runs");
+        for cfg in [OptConfig::o0(), OptConfig::o1(), OptConfig::o2(), OptConfig::o3()] {
+            let img = compile(&m, &cfg);
+            let mut m2 = m.clone();
+            m2.funcs = img.funcs.iter().map(|mf| mf.func.clone()).collect();
+            let got = run_module_with(&m2, &[], LIMITS).expect("compiled runs");
+            prop_assert_eq!(got.ret, reference.ret);
+        }
+    }
+
+    /// Layout invariants: block addresses are disjoint, ascending in layout
+    /// order, and padding respects the alignment flags.
+    #[test]
+    fn layout_is_wellformed(prog_seed in 0u64..10_000, cfg_seed in 0u64..10_000) {
+        let m = random_program(prog_seed);
+        let cfg = random_config(cfg_seed);
+        let img = compile(&m, &cfg);
+        for mf in &img.funcs {
+            let mut prev_end = None;
+            for &bid in &mf.order {
+                let l = mf.layout[bid.index()];
+                if let Some(pe) = prev_end {
+                    prop_assert!(l.addr - l.pad >= pe, "blocks overlap");
+                }
+                prop_assert_eq!(l.addr % 4, 0);
+                prev_end = Some(l.addr + l.bytes);
+            }
+        }
+        prop_assert!(img.code_bytes >= img.total_insts * 4);
+    }
+
+    /// Choice-vector round trip over the whole space.
+    #[test]
+    fn config_roundtrip(cfg_seed in 0u64..1_000_000) {
+        let cfg = random_config(cfg_seed);
+        let c = cfg.to_choices();
+        prop_assert_eq!(c.len(), OptSpace::n_dims());
+        prop_assert_eq!(OptConfig::from_choices(&c), cfg);
+    }
+}
+
+/// Operand conversion sanity kept out of proptest (cheap exhaustive checks).
+#[test]
+fn operand_from_impls() {
+    assert_eq!(Operand::from(3i64), Operand::Imm(3));
+}

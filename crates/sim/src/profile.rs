@@ -1,0 +1,119 @@
+//! Execution profiles: everything the fast timing model needs, collected in
+//! a single functional run of a compiled binary.
+//!
+//! A profile is microarchitecture-independent — it depends only on the
+//! program and the optimisation setting that produced the binary — so one
+//! profiling run is reused across all 200 microarchitecture configurations,
+//! exactly the property that makes the paper's 7-million-point design-space
+//! sweep tractable.
+
+use portopt_uarch::{BranchStats, ReuseHistogram};
+use serde::{Deserialize, Serialize};
+
+/// Cache block sizes for which reuse histograms are collected (Table 2's
+/// block-size menu).
+pub const BLOCK_SIZES: [u32; 4] = [8, 16, 32, 64];
+
+/// Index of `bs` in [`BLOCK_SIZES`].
+///
+/// # Panics
+/// Panics if `bs` is not in the menu.
+pub fn block_size_index(bs: u32) -> usize {
+    BLOCK_SIZES
+        .iter()
+        .position(|&b| b == bs)
+        .expect("block size outside Table 2 menu")
+}
+
+/// Dynamic operation counts (for the Table 1 usage counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Plain ALU operations (arithmetic, compares, copies).
+    pub alu: u64,
+    /// Multiply (MAC-unit) operations.
+    pub mac: u64,
+    /// Shifter operations.
+    pub shift: u64,
+    /// Long-latency div/rem operations.
+    pub div: u64,
+    /// Loads (global + frame).
+    pub loads: u64,
+    /// Stores (global + frame).
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub cond_branches: u64,
+    /// Unconditional jumps executed (emitted ones only).
+    pub jumps: u64,
+    /// Calls executed.
+    pub calls: u64,
+    /// Returns executed.
+    pub rets: u64,
+    /// Register-file reads.
+    pub reg_reads: u64,
+    /// Register-file writes.
+    pub reg_writes: u64,
+}
+
+/// The profile of one program run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ExecProfile {
+    /// Executed (emitted) machine instructions.
+    pub dyn_insts: u64,
+    /// Alignment-padding words fetched on fall-through into padded blocks.
+    pub pad_fetches: u64,
+    /// `block_counts[func][block]` execution counts.
+    pub block_counts: Vec<Vec<u64>>,
+    /// Per-branch-site statistics, indexed by global block index (the site
+    /// is the conditional branch ending that block).
+    pub branch_stats: Vec<BranchStats>,
+    /// Reuse distances over branch PCs (BTB residency model).
+    pub branch_pc_reuse: ReuseHistogram,
+    /// Dynamic taken control transfers (cond-taken + jumps + calls + rets).
+    pub taken_transfers: u64,
+    /// Instruction-stream reuse histograms, one per [`BLOCK_SIZES`] entry.
+    pub icache_reuse: Vec<ReuseHistogram>,
+    /// Data-stream reuse histograms, one per [`BLOCK_SIZES`] entry.
+    pub dcache_reuse: Vec<ReuseHistogram>,
+    /// Data accesses (word granularity: loads + stores).
+    pub dcache_word_accesses: u64,
+    /// Dynamic operation mix.
+    pub ops: OpCounts,
+    /// Program result (checksum) — for differential testing.
+    pub ret: i64,
+    /// Hash of final global memory — for differential testing.
+    pub mem_hash: u64,
+}
+
+impl ExecProfile {
+    /// Instruction-cache line accesses at block size `bs`.
+    pub fn icache_accesses(&self, bs: u32) -> u64 {
+        self.icache_reuse[block_size_index(bs)].accesses()
+    }
+
+    /// Expected icache misses for a geometry.
+    pub fn icache_misses(&self, sets: u32, assoc: u32, bs: u32) -> f64 {
+        self.icache_reuse[block_size_index(bs)].expected_misses(sets, assoc)
+    }
+
+    /// Expected dcache misses for a geometry.
+    pub fn dcache_misses(&self, sets: u32, assoc: u32, bs: u32) -> f64 {
+        self.dcache_reuse[block_size_index(bs)].expected_misses(sets, assoc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_size_indexing() {
+        assert_eq!(block_size_index(8), 0);
+        assert_eq!(block_size_index(64), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside Table 2")]
+    fn bad_block_size_panics() {
+        block_size_index(128);
+    }
+}

@@ -1,0 +1,231 @@
+//! The fast first-order timing model (Karkhanis–Smith lineage, which the
+//! paper itself cites as the basis for its counter set).
+//!
+//! `cycles = base issue cycles (from the per-block static schedules)
+//!         + cache miss stalls + branch penalties + padding fetch slots`.
+//!
+//! The model consumes one microarchitecture-independent [`ExecProfile`] and
+//! evaluates any [`MicroArch`] in microseconds, which is what makes the
+//! paper's 7-million-simulation training sweep feasible on a laptop. Its
+//! fidelity against the cycle-level reference is asserted in the
+//! `detailed` module's tests.
+
+use crate::profile::ExecProfile;
+use portopt_passes::{CodeImage, MAX_LAT};
+use portopt_uarch::{estimate_branches, latencies, MicroArch, PerfCounters};
+
+/// Cycle breakdown of one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TimingBreakdown {
+    /// In-order issue cycles from the block schedules (all-hit assumption).
+    pub base: f64,
+    /// Instruction-cache miss stalls.
+    pub icache: f64,
+    /// Data-cache miss stalls.
+    pub dcache: f64,
+    /// Branch misprediction flushes.
+    pub mispredict: f64,
+    /// Fetch-redirect bubbles on correctly-predicted taken transfers.
+    pub taken_bubbles: f64,
+    /// Decode slots burned on alignment padding.
+    pub padding: f64,
+}
+
+/// Result of evaluating one (binary, profile) pair on one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingResult {
+    /// Estimated execution time in cycles.
+    pub cycles: f64,
+    /// Estimated execution time in nanoseconds (cycles × clock period).
+    pub nanos: f64,
+    /// The Table 1 performance counters for this run.
+    pub counters: PerfCounters,
+    /// Where the cycles went.
+    pub breakdown: TimingBreakdown,
+}
+
+/// Evaluates the profile on a microarchitecture.
+pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingResult {
+    let lat = latencies(cfg);
+    let w = (cfg.width.clamp(1, 2) - 1) as usize;
+    let li = (lat.dl1_load_use.clamp(1, MAX_LAT as u32) - 1) as usize;
+
+    // Base: per-block static schedule cycles × execution counts.
+    let mut base = 0.0f64;
+    for (mf, counts) in img.funcs.iter().zip(&prof.block_counts) {
+        for (b, &n) in counts.iter().enumerate() {
+            if n > 0 {
+                base += n as f64 * mf.sched[b].cycles[w][li] as f64;
+            }
+        }
+    }
+
+    // Cache stalls.
+    let ic_misses = prof.icache_misses(cfg.il1_sets(), cfg.il1_assoc, cfg.il1_block);
+    let dc_misses = prof.dcache_misses(cfg.dl1_sets(), cfg.dl1_assoc, cfg.dl1_block);
+    let icache = ic_misses * lat.mem_penalty as f64;
+    let dcache = dc_misses * lat.mem_penalty as f64;
+
+    // Branches.
+    let bm = estimate_branches(
+        &prof.branch_pc_reuse,
+        &prof.branch_stats,
+        cfg.btb_sets(),
+        cfg.btb_assoc,
+    );
+    let mispredict = bm.mispredicts * lat.mispredict as f64;
+    let predicted_taken = (prof.taken_transfers as f64 - bm.mispredicts).max(0.0);
+    let taken_bubbles = predicted_taken * lat.il1_access as f64;
+
+    // Alignment padding consumes fetch/decode slots.
+    let padding = prof.pad_fetches as f64 / cfg.width as f64;
+
+    let cycles = (base + icache + dcache + mispredict + taken_bubbles + padding).max(1.0);
+
+    let ic_accesses = prof.icache_accesses(cfg.il1_block) as f64;
+    let dc_accesses = prof.dcache_word_accesses as f64;
+    let counters = PerfCounters {
+        ipc: prof.dyn_insts as f64 / cycles,
+        decoder_access_rate: (prof.dyn_insts + prof.pad_fetches) as f64 / cycles,
+        regfile_access_rate: (prof.ops.reg_reads + prof.ops.reg_writes) as f64 / cycles,
+        bpred_access_rate: bm.accesses / cycles,
+        icache_access_rate: ic_accesses / cycles,
+        icache_miss_rate: if ic_accesses > 0.0 { ic_misses / ic_accesses } else { 0.0 },
+        dcache_access_rate: dc_accesses / cycles,
+        dcache_miss_rate: if dc_accesses > 0.0 { dc_misses / dc_accesses } else { 0.0 },
+        alu_usage: (prof.ops.alu + prof.ops.div) as f64 / cycles,
+        mac_usage: prof.ops.mac as f64 / cycles,
+        shifter_usage: prof.ops.shift as f64 / cycles,
+    };
+
+    TimingResult {
+        cycles,
+        nanos: cycles * cfg.cycle_ns(),
+        counters,
+        breakdown: TimingBreakdown {
+            base,
+            icache,
+            dcache,
+            mispredict,
+            taken_bubbles,
+            padding,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_ir::interp::ExecLimits;
+    use portopt_ir::{FuncBuilder, Module, ModuleBuilder};
+    use portopt_passes::{compile, OptConfig};
+
+    fn streamer(words: u32, reps: i64) -> (Module, CodeImage, ExecProfile) {
+        let mut mb = ModuleBuilder::new("streamer");
+        let (_, base) = mb.global("buf", words);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, reps, 1, |b, _| {
+            b.counted_loop(0, words as i64, 1, |b, i| {
+                let off = b.shl(i, 2);
+                let a = b.add(p, off);
+                let v = b.load(a, 0);
+                let t = b.add(acc, v);
+                b.assign(acc, t);
+            });
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        let m = mb.finish();
+        let img = compile(&m, &OptConfig::o3());
+        let prof = crate::profiler::profile(&img, &m, &[], ExecLimits::default()).unwrap();
+        (m, img, prof)
+    }
+
+    #[test]
+    fn bigger_dcache_is_faster_for_big_working_set() {
+        // 64KB working set.
+        let (_, img, prof) = streamer(16384, 3);
+        let mut small = MicroArch::xscale();
+        small.dl1_size = 4096;
+        let mut big = MicroArch::xscale();
+        big.dl1_size = 131072;
+        let ts = evaluate(&img, &prof, &small);
+        let tb = evaluate(&img, &prof, &big);
+        assert!(
+            tb.cycles < ts.cycles,
+            "big {} vs small {}",
+            tb.cycles,
+            ts.cycles
+        );
+        assert!(ts.counters.dcache_miss_rate > tb.counters.dcache_miss_rate);
+    }
+
+    #[test]
+    fn frequency_trades_cycles_for_nanos() {
+        let (_, img, prof) = streamer(4096, 3);
+        let mut slow = MicroArch::xscale();
+        slow.freq_mhz = 200;
+        let mut fast = MicroArch::xscale();
+        fast.freq_mhz = 600;
+        let ts = evaluate(&img, &prof, &slow);
+        let tf = evaluate(&img, &prof, &fast);
+        // Higher clock: more cycles lost to memory, but less wall time.
+        assert!(tf.cycles > ts.cycles);
+        assert!(tf.nanos < ts.nanos);
+    }
+
+    #[test]
+    fn dual_issue_helps() {
+        let (_, img, prof) = streamer(256, 10);
+        let mut wide = MicroArch::xscale();
+        wide.width = 2;
+        let t1 = evaluate(&img, &prof, &MicroArch::xscale());
+        let t2 = evaluate(&img, &prof, &wide);
+        assert!(t2.cycles < t1.cycles);
+        assert!(t2.counters.ipc > t1.counters.ipc);
+    }
+
+    #[test]
+    fn counters_are_sane() {
+        let (_, img, prof) = streamer(512, 5);
+        let t = evaluate(&img, &prof, &MicroArch::xscale());
+        let c = t.counters;
+        assert!(c.ipc > 0.05 && c.ipc <= 2.0, "ipc {}", c.ipc);
+        assert!(c.icache_miss_rate >= 0.0 && c.icache_miss_rate <= 1.0);
+        assert!(c.dcache_miss_rate >= 0.0 && c.dcache_miss_rate <= 1.0);
+        assert!(c.alu_usage > 0.0);
+        assert!(c.shifter_usage >= 0.0);
+        assert!(c.bpred_access_rate > 0.0);
+        // Breakdown adds up.
+        let b = t.breakdown;
+        let sum = b.base + b.icache + b.dcache + b.mispredict + b.taken_bubbles + b.padding;
+        assert!((sum - t.cycles).abs() < 1.0);
+    }
+
+    #[test]
+    fn evaluation_is_fast() {
+        // The whole point: a μarch evaluation must be microseconds.
+        let (_, img, prof) = streamer(1024, 3);
+        let cfgs: Vec<MicroArch> = {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            (0..200)
+                .map(|_| portopt_uarch::MicroArchSpace::base().sample(&mut rng))
+                .collect()
+        };
+        let t0 = std::time::Instant::now();
+        let mut acc = 0.0;
+        for c in &cfgs {
+            acc += evaluate(&img, &prof, c).cycles;
+        }
+        let dt = t0.elapsed();
+        assert!(acc > 0.0);
+        assert!(
+            dt.as_millis() < 2_000,
+            "200 evaluations took {dt:?} — model too slow"
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! Branch-target-buffer and direction-prediction models.
+//!
+//! The XScale-style front end predicts with a BTB holding 2-bit counters:
+//! a branch found in the BTB is predicted by its counter; a branch that
+//! misses the BTB is implicitly predicted not-taken (fall-through fetch).
+//! BTB presence is estimated from the reuse-distance histogram of branch
+//! PCs (same set-associative model as the caches); direction accuracy from
+//! per-branch taken/transition statistics.
+
+use crate::cache::ReuseHistogram;
+use serde::{Deserialize, Serialize};
+
+/// Execution statistics for one static branch site.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BranchStats {
+    /// Dynamic executions.
+    pub execs: u64,
+    /// Times the branch was taken.
+    pub taken: u64,
+    /// Direction changes between consecutive executions.
+    pub transitions: u64,
+}
+
+impl BranchStats {
+    /// Records one execution.
+    #[inline]
+    pub fn record(&mut self, taken: bool, prev: Option<bool>) {
+        self.execs += 1;
+        if taken {
+            self.taken += 1;
+        }
+        if let Some(p) = prev {
+            if p != taken {
+                self.transitions += 1;
+            }
+        }
+    }
+
+    /// Expected mispredictions when the branch is resident in the BTB with
+    /// a 2-bit counter: roughly one per direction change (a strongly biased
+    /// branch mispredicts only at transitions; an alternating branch at
+    /// every execution, which `transitions` also captures).
+    pub fn counter_mispredicts(&self) -> f64 {
+        self.transitions as f64
+    }
+
+    /// Expected mispredictions when absent from the BTB: the fall-through
+    /// (not-taken) static prediction fails on taken executions.
+    pub fn static_mispredicts(&self) -> f64 {
+        self.taken as f64
+    }
+}
+
+/// Aggregate branch-prediction estimate for one program run on one BTB
+/// geometry.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BranchModel {
+    /// Predictor (BTB) accesses — one per executed branch.
+    pub accesses: f64,
+    /// Expected BTB misses.
+    pub btb_misses: f64,
+    /// Expected direction/target mispredictions (pipeline flushes).
+    pub mispredicts: f64,
+}
+
+/// Estimates branch behaviour.
+///
+/// `pc_reuse` is the reuse-distance histogram over *branch PCs* (each
+/// executed branch recorded against the stream of branch addresses);
+/// `branches` the per-site statistics; `sets`/`assoc` the BTB geometry.
+pub fn estimate(
+    pc_reuse: &ReuseHistogram,
+    branches: &[BranchStats],
+    sets: u32,
+    assoc: u32,
+) -> BranchModel {
+    let accesses = pc_reuse.accesses() as f64;
+    let btb_misses = pc_reuse.expected_misses(sets, assoc);
+    let hit_rate = if accesses > 0.0 {
+        (1.0 - btb_misses / accesses).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+    // Each branch mispredicts at transitions while resident, and on taken
+    // executions while absent. Weight the two regimes by the global BTB
+    // hit rate (per-branch residency is not tracked separately).
+    let mut mispredicts = 0.0;
+    for b in branches {
+        mispredicts +=
+            hit_rate * b.counter_mispredicts() + (1.0 - hit_rate) * b.static_mispredicts();
+    }
+    BranchModel {
+        accesses,
+        btb_misses,
+        mispredicts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_branch(n: u64, taken_every: u64) -> BranchStats {
+        let mut s = BranchStats::default();
+        let mut prev = None;
+        for i in 0..n {
+            let t = i % taken_every == 0;
+            s.record(t, prev);
+            prev = Some(t);
+        }
+        s
+    }
+
+    /// A loop-style branch: taken except every `not_every`-th execution.
+    fn loopish_branch(n: u64, not_every: u64) -> BranchStats {
+        let mut s = BranchStats::default();
+        let mut prev = None;
+        for i in 0..n {
+            let t = i % not_every != 0;
+            s.record(t, prev);
+            prev = Some(t);
+        }
+        s
+    }
+
+    #[test]
+    fn loop_branch_has_few_transitions() {
+        // A loop back-edge taken 99 times then falling out once.
+        let mut s = BranchStats::default();
+        let mut prev = None;
+        for i in 0..100 {
+            let t = i != 99;
+            s.record(t, prev);
+            prev = Some(t);
+        }
+        assert_eq!(s.execs, 100);
+        assert_eq!(s.taken, 99);
+        assert_eq!(s.transitions, 1);
+        assert_eq!(s.counter_mispredicts(), 1.0);
+        assert_eq!(s.static_mispredicts(), 99.0);
+    }
+
+    #[test]
+    fn alternating_branch_mispredicts_everywhere() {
+        let s = biased_branch(100, 2);
+        assert!(s.transitions >= 98);
+    }
+
+    #[test]
+    fn big_btb_beats_small_btb() {
+        // Many distinct branch PCs cycling: a small BTB thrashes.
+        let mut h = ReuseHistogram::new();
+        for _ in 0..64 {
+            h.record(None);
+        }
+        for _ in 0..10_000 {
+            h.record(Some(63)); // 63 distinct branches between re-visits
+        }
+        // Loop-like branches (mostly taken): losing BTB residency hurts,
+        // because the static not-taken fallback mispredicts the common case.
+        let branches: Vec<BranchStats> = (0..64).map(|_| loopish_branch(157, 8)).collect();
+        let small = estimate(&h, &branches, 16, 1); // 16-entry BTB
+        let big = estimate(&h, &branches, 512, 1);
+        assert!(small.btb_misses > big.btb_misses);
+        assert!(small.mispredicts > big.mispredicts);
+        assert_eq!(small.accesses, big.accesses);
+    }
+
+    #[test]
+    fn assoc_reduces_conflicts() {
+        let mut h = ReuseHistogram::new();
+        for _ in 0..32 {
+            h.record(None);
+        }
+        for _ in 0..10_000 {
+            h.record(Some(20));
+        }
+        let b = vec![BranchStats { execs: 10_032, taken: 5_000, transitions: 100 }];
+        let direct = estimate(&h, &b, 32, 1);
+        let assoc4 = estimate(&h, &b, 8, 4); // same 32 entries, 4-way
+        assert!(assoc4.btb_misses <= direct.btb_misses);
+    }
+
+    #[test]
+    fn perfect_residency_leaves_only_transitions() {
+        let mut h = ReuseHistogram::new();
+        h.record(None);
+        for _ in 0..999 {
+            h.record(Some(0)); // single branch, always distance 0
+        }
+        let b = vec![biased_branch(1000, 1000)];
+        let m = estimate(&h, &b, 512, 1);
+        assert!(m.btb_misses <= 1.0 + 1e-9);
+        assert!(m.mispredicts <= b[0].transitions as f64 + 1.0);
+    }
+}

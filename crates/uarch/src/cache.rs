@@ -1,0 +1,288 @@
+//! Set-associative cache miss estimation from reuse-distance histograms.
+//!
+//! The profiling interpreter records, for each access, the *stack distance*
+//! — the number of distinct blocks touched since the previous access to the
+//! same block. For a fully-associative LRU cache an access misses exactly
+//! when its distance is at least the capacity. For a set-associative cache
+//! we use the standard probabilistic model (Agarwal/Hill lineage): the `D`
+//! intervening blocks scatter uniformly over `S` sets, so the access misses
+//! with probability `P[Binomial(D, 1/S) >= A]`, evaluated via a Poisson
+//! approximation for large `D`.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of quarter-log2 buckets (covers distances up to ~2^30).
+const BUCKETS: usize = 124;
+
+/// A reuse-distance histogram in quarter-log2 buckets, plus cold misses.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseHistogram {
+    counts: Vec<u64>,
+    /// First-touch accesses (infinite distance — always miss).
+    pub cold: u64,
+    /// Total recorded accesses.
+    pub total: u64,
+}
+
+fn bucket_of(d: u64) -> usize {
+    // Exact buckets for small distances, quarter-log2 beyond 16.
+    if d < 16 {
+        d as usize
+    } else {
+        let l = (d as f64).log2();
+        (16 + ((l - 4.0) * 4.0) as usize).min(BUCKETS - 1)
+    }
+}
+
+fn representative(bucket: usize) -> f64 {
+    if bucket < 16 {
+        bucket as f64
+    } else {
+        let l = 4.0 + (bucket - 16) as f64 / 4.0 + 0.125;
+        l.exp2()
+    }
+}
+
+impl ReuseHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        ReuseHistogram {
+            counts: vec![0; BUCKETS],
+            cold: 0,
+            total: 0,
+        }
+    }
+
+    /// Records one access; `dist` is `None` for a first touch.
+    #[inline]
+    pub fn record(&mut self, dist: Option<u64>) {
+        self.total += 1;
+        match dist {
+            None => self.cold += 1,
+            Some(d) => self.counts[bucket_of(d)] += 1,
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ReuseHistogram) {
+        if self.counts.is_empty() {
+            self.counts = vec![0; BUCKETS];
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.cold += other.cold;
+        self.total += other.total;
+    }
+
+    /// Expected misses in a cache with `sets` sets and `assoc` ways.
+    pub fn expected_misses(&self, sets: u32, assoc: u32) -> f64 {
+        let mut misses = self.cold as f64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            misses += c as f64 * miss_probability(representative(b), sets, assoc);
+        }
+        misses
+    }
+
+    /// Total accesses recorded.
+    pub fn accesses(&self) -> u64 {
+        self.total
+    }
+}
+
+/// `P[miss | D distinct intervening blocks]` for an `S`-set, `A`-way LRU
+/// cache under the uniform-scatter model.
+pub fn miss_probability(d: f64, sets: u32, assoc: u32) -> f64 {
+    let a = assoc as f64;
+    if d < a {
+        // Fewer distinct blocks than ways: they fit even in one set.
+        return 0.0;
+    }
+    if sets == 1 {
+        // Fully associative: deterministic LRU.
+        return if d >= a { 1.0 } else { 0.0 };
+    }
+    // Poisson approximation of Binomial(D, 1/S): P[X >= A].
+    let lambda = d / sets as f64;
+    let mut term = (-lambda).exp(); // k = 0
+    let mut cdf = term;
+    for k in 1..assoc {
+        term *= lambda / k as f64;
+        cdf += term;
+        if term < 1e-18 && k as f64 > lambda {
+            break;
+        }
+    }
+    (1.0 - cdf).clamp(0.0, 1.0)
+}
+
+/// An exact LRU stack-distance tracker (Bennett–Kruskal with a Fenwick
+/// tree): `O(log n)` per access.
+#[derive(Debug, Clone, Default)]
+pub struct StackDistance {
+    /// block -> last access time (1-based).
+    last: std::collections::HashMap<u64, usize>,
+    /// Fenwick tree over time slots; 1 while a slot is some block's most
+    /// recent access.
+    tree: Vec<u64>,
+    time: usize,
+}
+
+impl StackDistance {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        StackDistance {
+            last: std::collections::HashMap::new(),
+            tree: vec![0; 1024],
+            time: 0,
+        }
+    }
+
+    fn add(&mut self, mut i: usize, v: i64) {
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + v) as u64;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    fn sum(&self, mut i: usize) -> u64 {
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Records an access to `block`, returning the stack distance
+    /// (`None` on first touch).
+    pub fn access(&mut self, block: u64) -> Option<u64> {
+        self.time += 1;
+        if self.time + 1 >= self.tree.len() {
+            self.tree.resize(self.tree.len() * 2, 0);
+            // Rebuild: Fenwick trees cannot be resized in place.
+            let mut fresh = vec![0u64; self.tree.len()];
+            std::mem::swap(&mut self.tree, &mut fresh);
+            let entries: Vec<usize> = self.last.values().copied().collect();
+            for t in entries {
+                self.add(t, 1);
+            }
+        }
+        let dist = match self.last.insert(block, self.time) {
+            Some(prev) => {
+                // Distinct blocks accessed after `prev`.
+                let d = self.sum(self.time - 1) - self.sum(prev);
+                self.add(prev, -1);
+                Some(d)
+            }
+            None => None,
+        };
+        self.add(self.time, 1);
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stack_distance_classic_sequence() {
+        let mut sd = StackDistance::new();
+        assert_eq!(sd.access(1), None);
+        assert_eq!(sd.access(2), None);
+        assert_eq!(sd.access(3), None);
+        assert_eq!(sd.access(1), Some(2)); // 2 distinct (2,3) in between
+        assert_eq!(sd.access(1), Some(0)); // immediate re-access
+        assert_eq!(sd.access(2), Some(2)); // 3,1 in between
+    }
+
+    #[test]
+    fn stack_distance_survives_resize() {
+        let mut sd = StackDistance::new();
+        for i in 0..5000u64 {
+            assert_eq!(sd.access(i), None);
+        }
+        // All 5000 distinct; re-access block 0: distance 4999.
+        assert_eq!(sd.access(0), Some(4999));
+    }
+
+    #[test]
+    fn miss_probability_edges() {
+        // Distance below associativity: guaranteed hit.
+        assert_eq!(miss_probability(3.0, 64, 4), 0.0);
+        // Fully associative (sets=1): hard threshold.
+        assert_eq!(miss_probability(63.0, 1, 64), 0.0);
+        assert_eq!(miss_probability(64.0, 1, 64), 1.0);
+        // Monotone in distance.
+        let p1 = miss_probability(100.0, 64, 4);
+        let p2 = miss_probability(1000.0, 64, 4);
+        assert!(p2 > p1);
+        // Monotone in sets and assoc (bigger cache, fewer misses).
+        assert!(miss_probability(500.0, 128, 4) < miss_probability(500.0, 64, 4));
+        assert!(miss_probability(500.0, 64, 8) < miss_probability(500.0, 64, 4));
+    }
+
+    #[test]
+    fn histogram_cold_and_capacity_behaviour() {
+        let mut h = ReuseHistogram::new();
+        // 100 first touches, then 1000 short-distance + 1000 long-distance.
+        for _ in 0..100 {
+            h.record(None);
+        }
+        for _ in 0..1000 {
+            h.record(Some(2));
+        }
+        for _ in 0..1000 {
+            h.record(Some(100_000));
+        }
+        assert_eq!(h.accesses(), 2100);
+        // A very big cache keeps everything but cold misses (the
+        // probabilistic model leaves a small residual near capacity).
+        let big = h.expected_misses(16384, 32);
+        assert!((big - 100.0).abs() < 30.0, "big cache ~cold only: {big}");
+        // Near capacity the model tapers rather than cliffs.
+        let nearcap = h.expected_misses(4096, 32);
+        assert!(nearcap > big && nearcap < 400.0, "taper: {nearcap}");
+        // A tiny cache also misses the long-distance accesses.
+        let small = h.expected_misses(16, 4);
+        assert!(small > 1000.0, "small cache thrashes: {small}");
+        // Monotonicity across the menu.
+        let mut prev = f64::MAX;
+        for sets in [16u32, 64, 256, 1024] {
+            let m = h.expected_misses(sets, 4);
+            assert!(m <= prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn histogram_merge_adds() {
+        let mut a = ReuseHistogram::new();
+        let mut b = ReuseHistogram::new();
+        a.record(Some(5));
+        a.record(None);
+        b.record(Some(5));
+        b.record(Some(500));
+        a.merge(&b);
+        assert_eq!(a.accesses(), 4);
+        assert_eq!(a.cold, 1);
+    }
+
+    #[test]
+    fn bucket_representatives_are_close() {
+        for d in [0u64, 1, 5, 15, 16, 100, 1000, 1_000_000] {
+            let r = representative(bucket_of(d));
+            if d < 16 {
+                assert_eq!(r, d as f64);
+            } else {
+                // Quarter-log buckets: representative within ~20%.
+                let ratio = r / d as f64;
+                assert!(ratio > 0.75 && ratio < 1.35, "d={d} rep={r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! The 11 performance counters of Table 1 and the joint feature vector.
+
+use crate::space::MicroArch;
+use serde::{Deserialize, Serialize};
+
+/// The 11 hardware performance counters of Table 1, as rates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct PerfCounters {
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Decoder accesses per cycle.
+    pub decoder_access_rate: f64,
+    /// Register-file accesses (reads+writes) per cycle.
+    pub regfile_access_rate: f64,
+    /// Branch-predictor accesses per cycle.
+    pub bpred_access_rate: f64,
+    /// Instruction-cache accesses per cycle.
+    pub icache_access_rate: f64,
+    /// Instruction-cache misses per access.
+    pub icache_miss_rate: f64,
+    /// Data-cache accesses per cycle.
+    pub dcache_access_rate: f64,
+    /// Data-cache misses per access.
+    pub dcache_miss_rate: f64,
+    /// ALU operations per cycle.
+    pub alu_usage: f64,
+    /// Multiply-accumulate operations per cycle.
+    pub mac_usage: f64,
+    /// Shifter operations per cycle.
+    pub shifter_usage: f64,
+}
+
+impl PerfCounters {
+    /// Counter names in canonical order (Figure 9's feature labels).
+    pub fn names() -> [&'static str; 11] {
+        [
+            "IPC",
+            "dec_acc_rate",
+            "reg_acc_rate",
+            "bpred_acc_rate",
+            "icache_acc_rate",
+            "icache_miss_rate",
+            "dcache_acc_rate",
+            "dcache_miss_rate",
+            "ALU_usg",
+            "MAC_usg",
+            "Shft_usg",
+        ]
+    }
+
+    /// The counter vector `c` in canonical order.
+    pub fn to_vec(&self) -> [f64; 11] {
+        [
+            self.ipc,
+            self.decoder_access_rate,
+            self.regfile_access_rate,
+            self.bpred_access_rate,
+            self.icache_access_rate,
+            self.icache_miss_rate,
+            self.dcache_access_rate,
+            self.dcache_miss_rate,
+            self.alu_usage,
+            self.mac_usage,
+            self.shifter_usage,
+        ]
+    }
+}
+
+/// The joint feature vector `x = (c, d)` of the paper: 11 counters plus
+/// 8 microarchitecture descriptors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeatureVec {
+    /// Raw feature values, counters first.
+    pub values: Vec<f64>,
+}
+
+/// Number of features in `x`.
+pub const N_FEATURES: usize = 19;
+
+impl FeatureVec {
+    /// Builds `x = (c, d)` from counters and a configuration.
+    pub fn new(c: &PerfCounters, d: &MicroArch) -> Self {
+        let mut values = Vec::with_capacity(N_FEATURES);
+        values.extend_from_slice(&c.to_vec());
+        values.extend_from_slice(&d.descriptors());
+        FeatureVec { values }
+    }
+
+    /// All 19 feature names (Figure 9 row labels: descriptors then
+    /// counters in the paper; we keep counters-first consistently).
+    pub fn names() -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = PerfCounters::names().to_vec();
+        v.extend_from_slice(&MicroArch::descriptor_names());
+        v
+    }
+
+    /// Euclidean distance to another vector (used by the KNN model after
+    /// normalisation).
+    pub fn distance(&self, other: &FeatureVec) -> f64 {
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feature_vector_is_19_long() {
+        let f = FeatureVec::new(&PerfCounters::default(), &MicroArch::xscale());
+        assert_eq!(f.values.len(), N_FEATURES);
+        assert_eq!(FeatureVec::names().len(), N_FEATURES);
+    }
+
+    #[test]
+    fn counters_in_canonical_order() {
+        let c = PerfCounters {
+            ipc: 1.0,
+            shifter_usage: 11.0,
+            ..Default::default()
+        };
+        let v = c.to_vec();
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[10], 11.0);
+        assert_eq!(PerfCounters::names()[0], "IPC");
+        assert_eq!(PerfCounters::names()[10], "Shft_usg");
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = FeatureVec { values: vec![0.0; N_FEATURES] };
+        let mut bv = vec![0.0; N_FEATURES];
+        bv[0] = 3.0;
+        bv[1] = 4.0;
+        let b = FeatureVec { values: bv };
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: compile a program, run it on the XScale, read the counters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use portopt::prelude::*;
+
+fn main() {
+    // 1. Write a program in the IR builder DSL: sum of squares over an array.
+    let mut mb = ModuleBuilder::new("quickstart");
+    let (_, data) = mb.global_init("data", 256, (0..256).map(|i| i * 3 % 17).collect());
+    let mut b = FuncBuilder::new("main", 0);
+    let p = b.iconst(data as i64);
+    let acc = b.iconst(0);
+    b.counted_loop(0, 256, 1, |b, i| {
+        let off = b.shl(i, 2);
+        let addr = b.add(p, off);
+        let v = b.load(addr, 0);
+        let sq = b.mul(v, v);
+        let t = b.add(acc, sq);
+        b.assign(acc, t);
+    });
+    b.ret(acc);
+    let id = mb.add(b.finish());
+    mb.entry(id);
+    let module = mb.finish();
+
+    // 2. Compile at two optimisation levels.
+    let img_o0 = compile(&module, &OptConfig::o0());
+    let img_o3 = compile(&module, &OptConfig::o3());
+    println!("code size: O0 = {} bytes, O3 = {} bytes", img_o0.code_bytes, img_o3.code_bytes);
+
+    // 3. Profile one run each (microarchitecture-independent)…
+    let prof_o0 = profile(&img_o0, &module, &[], Default::default()).unwrap();
+    let prof_o3 = profile(&img_o3, &module, &[], Default::default()).unwrap();
+    assert_eq!(prof_o0.ret, prof_o3.ret, "optimisation must not change results");
+    println!(
+        "dynamic instructions: O0 = {}, O3 = {}",
+        prof_o0.dyn_insts, prof_o3.dyn_insts
+    );
+
+    // 4. …and price them on the XScale.
+    let x = MicroArch::xscale();
+    let t0 = evaluate(&img_o0, &prof_o0, &x);
+    let t3 = evaluate(&img_o3, &prof_o3, &x);
+    println!(
+        "cycles on XScale: O0 = {:.0}, O3 = {:.0}  (O3 speedup {:.2}x)",
+        t0.cycles,
+        t3.cycles,
+        t0.cycles / t3.cycles
+    );
+    println!(
+        "O3 counters: IPC {:.2}, dcache miss rate {:.4}, icache miss rate {:.4}",
+        t3.counters.ipc, t3.counters.dcache_miss_rate, t3.counters.icache_miss_rate
+    );
+}
