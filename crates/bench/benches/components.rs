@@ -36,7 +36,9 @@ fn bench_simulation(c: &mut Criterion) {
     g.bench_function("profile_crc", |b| {
         b.iter(|| profile(&img, &p.module, &[], Default::default()).unwrap())
     });
-    g.bench_function("fast_timing_model", |b| b.iter(|| evaluate(&img, &prof, &x)));
+    g.bench_function("fast_timing_model", |b| {
+        b.iter(|| evaluate(&img, &prof, &x))
+    });
     g.bench_function("detailed_sim_crc", |b| {
         b.iter(|| simulate(&img, &p.module, &x, &[], Default::default()).unwrap())
     });
@@ -53,7 +55,10 @@ fn bench_model(c: &mut Criterion) {
     let ds = generate(
         &pairs,
         &GenOptions {
-            scale: SweepScale { n_uarch: 4, n_opts: 24 },
+            scale: SweepScale {
+                n_uarch: 4,
+                n_opts: 24,
+            },
             seed: 1,
             extended_space: false,
             threads: 2,
@@ -80,7 +85,10 @@ fn bench_search(c: &mut Criterion) {
     let ds = generate(
         &pairs,
         &GenOptions {
-            scale: SweepScale { n_uarch: 1, n_opts: 8 },
+            scale: SweepScale {
+                n_uarch: 1,
+                n_opts: 8,
+            },
             seed: 2,
             extended_space: false,
             threads: 2,
@@ -107,5 +115,11 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_simulation, bench_model, bench_search);
+criterion_group!(
+    benches,
+    bench_compile,
+    bench_simulation,
+    bench_model,
+    bench_search
+);
 criterion_main!(benches);

@@ -25,7 +25,11 @@ fn main() {
     let mut small_id = small_i;
     small_id.dl1_size = 4096;
     let uarchs = [MicroArch::xscale(), small_i, small_id];
-    let labels = ["A: XScale", "B: small insn cache", "C: small insn+data cache"];
+    let labels = [
+        "A: XScale",
+        "B: small insn cache",
+        "C: small insn+data cache",
+    ];
 
     // Generate a dataset with the right setting sample, then re-price every
     // (program, setting) on the three *named* configurations instead of the
@@ -34,7 +38,10 @@ fn main() {
     opts.scale.n_uarch = 3;
     let mut ds = generate(&pairs, &opts);
     ds.uarchs = uarchs.to_vec();
-    let lim = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+    let lim = ExecLimits {
+        fuel: 100_000_000,
+        max_depth: 2048,
+    };
     for (p, (_, module)) in pairs.iter().enumerate() {
         let img3 = compile(module, &portopt_passes::OptConfig::o3());
         let prof3 = profile(&img3, module, &[], lim).unwrap();

@@ -2,8 +2,10 @@
 use portopt_uarch::*;
 
 fn main() {
-    println!("Table 2: microarchitectural parameters (total configs: {})",
-        MicroArchSpace::base().total_configs());
+    println!(
+        "Table 2: microarchitectural parameters (total configs: {})",
+        MicroArchSpace::base().total_configs()
+    );
     let x = MicroArch::xscale();
     println!("  {:<12} {:?}  XScale={}", "IL1 size", SIZES, x.il1_size);
     println!("  {:<12} {:?}  XScale={}", "IL1 assoc", ASSOCS, x.il1_assoc);
@@ -11,8 +13,18 @@ fn main() {
     println!("  {:<12} {:?}  XScale={}", "DL1 size", SIZES, x.dl1_size);
     println!("  {:<12} {:?}  XScale={}", "DL1 assoc", ASSOCS, x.dl1_assoc);
     println!("  {:<12} {:?}  XScale={}", "DL1 block", BLOCKS, x.dl1_block);
-    println!("  {:<12} {:?}  XScale={}", "BTB entries", BTB_ENTRIES, x.btb_entries);
-    println!("  {:<12} {:?}  XScale={}", "BTB assoc", BTB_ASSOCS, x.btb_assoc);
-    println!("extended space (§7): freq {:?} MHz, width {:?} -> {} configs",
-        FREQS, WIDTHS, MicroArchSpace::extended().total_configs());
+    println!(
+        "  {:<12} {:?}  XScale={}",
+        "BTB entries", BTB_ENTRIES, x.btb_entries
+    );
+    println!(
+        "  {:<12} {:?}  XScale={}",
+        "BTB assoc", BTB_ASSOCS, x.btb_assoc
+    );
+    println!(
+        "extended space (§7): freq {:?} MHz, width {:?} -> {} configs",
+        FREQS,
+        WIDTHS,
+        MicroArchSpace::extended().total_configs()
+    );
 }

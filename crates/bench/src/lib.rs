@@ -50,9 +50,17 @@ impl BinArgs {
             "default" => SweepScale::default_scale(),
             "smoke" => SweepScale::smoke(),
             // `quick`: the scale used for the recorded EXPERIMENTS.md run.
-            _ => SweepScale { n_uarch: 10, n_opts: 60 },
+            _ => SweepScale {
+                n_uarch: 10,
+                n_opts: 60,
+            },
         };
-        BinArgs { scale, scale_name, extended, no_cache }
+        BinArgs {
+            scale,
+            scale_name,
+            extended,
+            no_cache,
+        }
     }
 
     /// Generation options for this run.

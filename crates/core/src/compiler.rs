@@ -94,8 +94,15 @@ impl PortableCompiler {
     ///
     /// Returns the optimised image, the predicted setting, and the timing
     /// of the profiling run (whose counters fed the prediction).
-    pub fn optimise(&self, module: &Module, target: &MicroArch) -> (CodeImage, OptConfig, TimingResult) {
-        let limits = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+    pub fn optimise(
+        &self,
+        module: &Module,
+        target: &MicroArch,
+    ) -> (CodeImage, OptConfig, TimingResult) {
+        let limits = ExecLimits {
+            fuel: 100_000_000,
+            max_depth: 2048,
+        };
         let img3 = compile(module, &OptConfig::o3());
         let prof3 = profile(&img3, module, &[], limits).expect("O3 run");
         let t3 = evaluate(&img3, &prof3, target);
@@ -156,7 +163,10 @@ mod tests {
         generate(
             &programs,
             &GenOptions {
-                scale: SweepScale { n_uarch: 5, n_opts: 30 },
+                scale: SweepScale {
+                    n_uarch: 5,
+                    n_opts: 30,
+                },
                 seed: 11,
                 extended_space: false,
                 threads: 2,
@@ -200,7 +210,10 @@ mod tests {
             &img,
             &module,
             &[],
-            ExecLimits { fuel: 100_000_000, max_depth: 2048 },
+            ExecLimits {
+                fuel: 100_000_000,
+                max_depth: 2048,
+            },
         )
         .unwrap();
         let t = evaluate(&img, &prof, &target);

@@ -30,17 +30,26 @@ pub struct SweepScale {
 impl SweepScale {
     /// The paper's full scale (very slow on a laptop; hours).
     pub fn paper() -> Self {
-        SweepScale { n_uarch: 200, n_opts: 1000 }
+        SweepScale {
+            n_uarch: 200,
+            n_opts: 1000,
+        }
     }
 
     /// A laptop-friendly default preserving the experiment's shape.
     pub fn default_scale() -> Self {
-        SweepScale { n_uarch: 24, n_opts: 160 }
+        SweepScale {
+            n_uarch: 24,
+            n_opts: 160,
+        }
     }
 
     /// A CI-friendly smoke scale.
     pub fn smoke() -> Self {
-        SweepScale { n_uarch: 6, n_opts: 40 }
+        SweepScale {
+            n_uarch: 6,
+            n_opts: 40,
+        }
     }
 }
 
@@ -128,7 +137,10 @@ impl Default for GenOptions {
     }
 }
 
-const PROFILE_LIMITS: ExecLimits = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+const PROFILE_LIMITS: ExecLimits = ExecLimits {
+    fuel: 100_000_000,
+    max_depth: 2048,
+};
 
 /// Evaluates one program: compiles and profiles each setting once, prices
 /// it on every configuration. Returns `(cycles[u][c], o3_cycles[u],
@@ -169,9 +181,11 @@ fn sweep_program(
                         return out;
                     }
                     let img = compile(module, &configs[c]);
-                    let per_uarch: Vec<f64> = match profile(&img, module, &[], PROFILE_LIMITS)
-                    {
-                        Ok(prof) => uarchs.iter().map(|u| evaluate(&img, &prof, u).cycles).collect(),
+                    let per_uarch: Vec<f64> = match profile(&img, module, &[], PROFILE_LIMITS) {
+                        Ok(prof) => uarchs
+                            .iter()
+                            .map(|u| evaluate(&img, &prof, u).cycles)
+                            .collect(),
                         // A setting that fails to run (fuel blow-up from a
                         // pathological unroll, say) is priced as unusable.
                         Err(_) => vec![f64::INFINITY; uarchs.len()],
@@ -180,7 +194,10 @@ fn sweep_program(
                 }
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
     });
     for (c, per_uarch) in results {
         for (u, cy) in per_uarch.into_iter().enumerate() {
@@ -254,7 +271,10 @@ mod tests {
         generate(
             &programs,
             &GenOptions {
-                scale: SweepScale { n_uarch: 4, n_opts: 12 },
+                scale: SweepScale {
+                    n_uarch: 4,
+                    n_opts: 12,
+                },
                 seed: 5,
                 extended_space: false,
                 threads: 2,
@@ -294,7 +314,7 @@ mod tests {
         let ds = tiny_dataset();
         let gs = ds.good_set(0, 0, 0.25);
         assert_eq!(gs.len(), 3); // ceil(12 * 0.25)
-        // The first element is the single best setting.
+                                 // The first element is the single best setting.
         let best_c = (0..12)
             .min_by(|&a, &b| ds.cycles[0][0][a].partial_cmp(&ds.cycles[0][0][b]).unwrap())
             .unwrap();

@@ -8,7 +8,7 @@ use crate::loo::LooResult;
 use crate::stats::{five_num, mean, FiveNum};
 use portopt_core::Dataset;
 use portopt_ml::{bin_equal_frequency, normalized_mutual_information};
-use portopt_passes::{OptSpace};
+use portopt_passes::OptSpace;
 use portopt_uarch::FeatureVec;
 use std::fmt::Write as _;
 
@@ -56,8 +56,15 @@ pub fn fig4(ds: &Dataset) -> Fig4 {
 
 impl std::fmt::Display for Fig4 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 4: distribution of max speedup per program (across uarchs)")?;
-        writeln!(f, "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6}", "program", "min", "q25", "med", "q75", "max")?;
+        writeln!(
+            f,
+            "Figure 4: distribution of max speedup per program (across uarchs)"
+        )?;
+        writeln!(
+            f,
+            "{:<12} {:>6} {:>6} {:>6} {:>6} {:>6}",
+            "program", "min", "q25", "med", "q75", "max"
+        )?;
         for (name, fv) in &self.rows {
             writeln!(
                 f,
@@ -65,7 +72,11 @@ impl std::fmt::Display for Fig4 {
                 name, fv.min, fv.q25, fv.median, fv.q75, fv.max
             )?;
         }
-        writeln!(f, "AVERAGE best speedup: {:.3}x (paper: 1.23x)", self.average_best)?;
+        writeln!(
+            f,
+            "AVERAGE best speedup: {:.3}x (paper: 1.23x)",
+            self.average_best
+        )?;
         writeln!(
             f,
             "wrong passes: avg {:.2}x, worst {:.2}x (paper: 0.7x / 0.2x)",
@@ -104,10 +115,20 @@ impl std::fmt::Display for Fig5 {
             writeln!(f, "{which}: per-program mean / max across uarchs")?;
             for (p, row) in m.iter().enumerate() {
                 let mx = row.iter().copied().fold(0.0f64, f64::max);
-                writeln!(f, "  {:<12} mean {:>5.2} max {:>5.2}", self.programs[p], mean(row), mx)?;
+                writeln!(
+                    f,
+                    "  {:<12} mean {:>5.2} max {:>5.2}",
+                    self.programs[p],
+                    mean(row),
+                    mx
+                )?;
             }
         }
-        writeln!(f, "correlation(best, model) = {:.3} (paper: 0.93)", self.correlation)
+        writeln!(
+            f,
+            "correlation(best, model) = {:.3} (paper: 0.93)",
+            self.correlation
+        )
     }
 }
 
@@ -145,7 +166,10 @@ pub fn fig6(ds: &Dataset, loo: &LooResult) -> Fig6 {
 
 impl std::fmt::Display for Fig6 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 6: per-program speedup over O3 (mean across uarchs)")?;
+        writeln!(
+            f,
+            "Figure 6: per-program speedup over O3 (mean across uarchs)"
+        )?;
         writeln!(f, "{:<12} {:>8} {:>8}", "program", "model", "best")?;
         for (name, m, b) in &self.rows {
             writeln!(f, "{:<12} {:>8.3} {:>8.3}", name, m, b)?;
@@ -172,8 +196,12 @@ pub fn fig7(ds: &Dataset, loo: &LooResult) -> Fig7 {
     let nu = ds.n_uarchs();
     let mut rows: Vec<(usize, f64, f64)> = (0..nu)
         .map(|u| {
-            let m: Vec<f64> = (0..ds.n_programs()).map(|p| loo.model_speedup[p][u]).collect();
-            let b: Vec<f64> = (0..ds.n_programs()).map(|p| loo.best_speedup[p][u]).collect();
+            let m: Vec<f64> = (0..ds.n_programs())
+                .map(|p| loo.model_speedup[p][u])
+                .collect();
+            let b: Vec<f64> = (0..ds.n_programs())
+                .map(|p| loo.best_speedup[p][u])
+                .collect();
             (u, mean(&m), mean(&b))
         })
         .collect();
@@ -183,7 +211,10 @@ pub fn fig7(ds: &Dataset, loo: &LooResult) -> Fig7 {
 
 impl std::fmt::Display for Fig7 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 7: per-uarch speedup over O3 (mean across programs, sorted by best)")?;
+        writeln!(
+            f,
+            "Figure 7: per-uarch speedup over O3 (mean across programs, sorted by best)"
+        )?;
         writeln!(f, "{:<6} {:>8} {:>8}", "uarch", "model", "best")?;
         for (u, m, b) in &self.rows {
             writeln!(f, "{:<6} {:>8.3} {:>8.3}", u, m, b)?;
@@ -192,7 +223,7 @@ impl std::fmt::Display for Fig7 {
     }
 }
 
-/// A Hinton diagram: row labels × column labels with [0,1] magnitudes.
+/// A Hinton diagram: row labels × column labels with `[0,1]` magnitudes.
 #[derive(Debug, Clone)]
 pub struct Hinton {
     /// Row labels.
@@ -255,7 +286,11 @@ pub fn fig8(ds: &Dataset) -> Hinton {
             }
             let bins = bin_equal_frequency(&speeds, nbins);
             let pairs: Vec<(usize, usize)> = xs.into_iter().zip(bins).collect();
-            row.push(normalized_mutual_information(&pairs, dims[d].cardinality, nbins));
+            row.push(normalized_mutual_information(
+                &pairs,
+                dims[d].cardinality,
+                nbins,
+            ));
         }
         values.push(row);
     }
@@ -297,7 +332,11 @@ pub fn fig9(ds: &Dataset) -> Hinton {
             }
             let bins = bin_equal_frequency(&fvals, nbins);
             let pairs: Vec<(usize, usize)> = bins.into_iter().zip(choices).collect();
-            row.push(normalized_mutual_information(&pairs, nbins, dims[d].cardinality));
+            row.push(normalized_mutual_information(
+                &pairs,
+                nbins,
+                dims[d].cardinality,
+            ));
         }
         values.push(row);
     }
@@ -359,12 +398,19 @@ pub fn fig1(ds: &Dataset, progs: &[usize], uarchs: &[usize], labels: &[String]) 
 
 impl std::fmt::Display for Fig1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Figure 1: best passes per program/uarch (filled = enable)")?;
+        writeln!(
+            f,
+            "Figure 1: best passes per program/uarch (filled = enable)"
+        )?;
         writeln!(f, "passes: {:?}", Fig1::PASSES)?;
         for (u, row) in self.enabled.iter().enumerate() {
             for (p, seg) in row.iter().enumerate() {
                 let marks: String = seg.iter().map(|&e| if e { '#' } else { '.' }).collect();
-                writeln!(f, "  {:<28} {:<12} [{}]", self.uarchs[u], self.programs[p], marks)?;
+                writeln!(
+                    f,
+                    "  {:<28} {:<12} [{}]",
+                    self.uarchs[u], self.programs[p], marks
+                )?;
             }
         }
         Ok(())
@@ -405,12 +451,18 @@ pub fn iters_to_match(ds: &Dataset, loo: &LooResult) -> ItersToMatch {
         all.extend(per_pair);
         rows.push((ds.programs[p].clone(), m));
     }
-    ItersToMatch { rows, average: mean(&all) }
+    ItersToMatch {
+        rows,
+        average: mean(&all),
+    }
 }
 
 impl std::fmt::Display for ItersToMatch {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Iterative compilation evaluations to match the model (§5.3)")?;
+        writeln!(
+            f,
+            "Iterative compilation evaluations to match the model (§5.3)"
+        )?;
         for (name, n) in &self.rows {
             writeln!(f, "  {:<12} {:>6.1}", name, n)?;
         }
@@ -433,7 +485,10 @@ mod tests {
         let ds = generate(
             &pairs,
             &GenOptions {
-                scale: SweepScale { n_uarch: 3, n_opts: 20 },
+                scale: SweepScale {
+                    n_uarch: 3,
+                    n_opts: 20,
+                },
                 seed: 42,
                 extended_space: false,
                 threads: 2,
@@ -494,6 +549,11 @@ mod tests {
         }
         let it = iters_to_match(&ds, &loo);
         assert!(it.average >= 1.0);
-        let _ = (f5.to_string(), f6.to_string(), f7.to_string(), it.to_string());
+        let _ = (
+            f5.to_string(),
+            f6.to_string(),
+            f7.to_string(),
+            it.to_string(),
+        );
     }
 }

@@ -29,12 +29,26 @@ pub struct LooResult {
 impl LooResult {
     /// Mean model speedup across the whole space.
     pub fn mean_model(&self) -> f64 {
-        crate::stats::mean(&self.model_speedup.iter().flatten().copied().collect::<Vec<_>>())
+        crate::stats::mean(
+            &self
+                .model_speedup
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Mean best speedup across the whole space.
     pub fn mean_best(&self) -> f64 {
-        crate::stats::mean(&self.best_speedup.iter().flatten().copied().collect::<Vec<_>>())
+        crate::stats::mean(
+            &self
+                .best_speedup
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<Vec<_>>(),
+        )
     }
 
     /// Fraction of the available improvement captured by the model — the
@@ -68,7 +82,11 @@ struct FoldNormalizer {
 impl FoldNormalizer {
     fn over(ds: &Dataset) -> Self {
         let d = ds.features[0][0].values.len();
-        let mut s = FoldNormalizer { sum: vec![0.0; d], sumsq: vec![0.0; d], count: 0.0 };
+        let mut s = FoldNormalizer {
+            sum: vec![0.0; d],
+            sumsq: vec![0.0; d],
+            count: 0.0,
+        };
         for row in &ds.features {
             for f in row {
                 for (i, v) in f.values.iter().enumerate() {
@@ -189,7 +207,10 @@ pub fn run_loo(ds: &Dataset, modules: &[Module], threads: usize) -> LooResult {
 
     // Price each predicted setting: compile+profile once per distinct
     // (program, setting), then evaluate per configuration.
-    let limits = ExecLimits { fuel: 100_000_000, max_depth: 2048 };
+    let limits = ExecLimits {
+        fuel: 100_000_000,
+        max_depth: 2048,
+    };
     let mut model_speedup = vec![vec![0.0; nu]; np];
     let jobs: Vec<usize> = (0..np).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
@@ -228,7 +249,10 @@ pub fn run_loo(ds: &Dataset, modules: &[Module], threads: usize) -> LooResult {
                 }
             }));
         }
-        handles.into_iter().flat_map(|h| h.join().expect("worker")).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker"))
+            .collect()
     });
     for (p, row) in rows {
         model_speedup[p] = row;
@@ -238,7 +262,11 @@ pub fn run_loo(ds: &Dataset, modules: &[Module], threads: usize) -> LooResult {
         .map(|p| (0..nu).map(|u| ds.best_speedup(p, u)).collect())
         .collect();
 
-    LooResult { model_speedup, best_speedup, predicted }
+    LooResult {
+        model_speedup,
+        best_speedup,
+        predicted,
+    }
 }
 
 #[cfg(test)]
@@ -259,7 +287,10 @@ mod tests {
         let ds = generate(
             &pairs,
             &GenOptions {
-                scale: SweepScale { n_uarch: 4, n_opts: 24 },
+                scale: SweepScale {
+                    n_uarch: 4,
+                    n_opts: 24,
+                },
                 seed: 3,
                 extended_space: false,
                 threads: 2,

@@ -375,8 +375,16 @@ impl ModuleBuilder {
     }
 
     /// Adds a global with a static initialiser; returns `(index, base)`.
-    pub fn global_init(&mut self, name: impl Into<String>, words: u32, init: Vec<i64>) -> (usize, u32) {
-        assert!(init.len() <= words as usize, "initialiser longer than global");
+    pub fn global_init(
+        &mut self,
+        name: impl Into<String>,
+        words: u32,
+        init: Vec<i64>,
+    ) -> (usize, u32) {
+        assert!(
+            init.len() <= words as usize,
+            "initialiser longer than global"
+        );
         let idx = self.m.add_global(name, words);
         self.m.globals[idx] = Global {
             name: self.m.globals[idx].name.clone(),
@@ -427,11 +435,7 @@ mod tests {
         let x = b.param(0);
         let c = b.cmp(Pred::Gt, x, 0);
         let out = b.iconst(0);
-        b.if_else(
-            c,
-            |b| b.assign(out, 1),
-            |b| b.assign(out, -1),
-        );
+        b.if_else(c, |b| b.assign(out, 1), |b| b.assign(out, -1));
         b.ret(out);
         let f = b.finish();
         assert_eq!(f.blocks.len(), 4);

@@ -109,7 +109,10 @@ impl Inst {
     /// Returns `true` for block terminators.
     #[inline]
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Returns the register defined by this instruction, if any.
@@ -427,10 +430,7 @@ mod tests {
             let s = i.to_string();
             assert!(!s.is_empty());
         }
-        assert_eq!(
-            sample()[0].to_string(),
-            "v2 = add v0, v1".to_string()
-        );
+        assert_eq!(sample()[0].to_string(), "v2 = add v0, v1".to_string());
         assert_eq!(sample()[4].to_string(), "store [v4+12], v5");
     }
 }

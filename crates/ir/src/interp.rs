@@ -146,7 +146,11 @@ pub fn run_module(m: &Module, args: &[i64]) -> Result<ExecResult, ExecError> {
 ///
 /// # Errors
 /// Propagates any [`ExecError`] raised during execution.
-pub fn run_module_with(m: &Module, args: &[i64], limits: ExecLimits) -> Result<ExecResult, ExecError> {
+pub fn run_module_with(
+    m: &Module,
+    args: &[i64],
+    limits: ExecLimits,
+) -> Result<ExecResult, ExecError> {
     let mut mem = Memory::for_module(m);
     let mut fuel = limits.fuel;
     let ret = call(
@@ -230,7 +234,11 @@ fn call(
                     let v = val(src, &regs);
                     mem.store(fp + (*slot as i64) * 4, v)?;
                 }
-                Inst::Call { func, args: cargs, dst } => {
+                Inst::Call {
+                    func,
+                    args: cargs,
+                    dst,
+                } => {
                     let argv: Vec<i64> = cargs.iter().map(|a| val(a, &regs)).collect();
                     let r = call(m, *func, &argv, mem, fp, depth + 1, max_depth, fuel)?;
                     if let Some(d) = dst {
@@ -242,7 +250,11 @@ fn call(
                     break;
                 }
                 Inst::CondBr { cond, then_, else_ } => {
-                    next = Some(if regs[cond.index()] != 0 { *then_ } else { *else_ });
+                    next = Some(if regs[cond.index()] != 0 {
+                        *then_
+                    } else {
+                        *else_
+                    });
                     break;
                 }
                 Inst::Ret { val: v } => {

@@ -92,7 +92,11 @@ pub fn verify_function(f: &Function, module: &Module) -> Result<(), VerifyError>
             match inst {
                 Inst::Br { target } => {
                     if target.0 >= nblocks {
-                        return Err(err(&f.name, Some(bi), format!("branch to missing {target}")));
+                        return Err(err(
+                            &f.name,
+                            Some(bi),
+                            format!("branch to missing {target}"),
+                        ));
                     }
                 }
                 Inst::CondBr { then_, else_, .. } => {

@@ -240,11 +240,7 @@ pub fn tiffdither(seed: u64) -> Module {
             let old = load_idx(b, pi, idx);
             let is_white = b.cmp(Pred::Gt, old, 127);
             let newv = b.fresh();
-            b.if_else(
-                is_white,
-                |b| b.assign(newv, 255),
-                |b| b.assign(newv, 0),
-            );
+            b.if_else(is_white, |b| b.assign(newv, 255), |b| b.assign(newv, 0));
             let err = b.sub(old, newv);
             store_idx(b, pi, idx, newv);
             // Diffuse 7/16 right, 5/16 below.
@@ -350,7 +346,7 @@ pub fn gs(seed: u64) -> Module {
     b.counted_loop(0, n, 1, |b, pc| {
         let op = load_idx(b, pp, pc);
         let spmask = b.and(sp, 62); // keep in range, leave slot for +1
-        // Opcode dispatch ladder.
+                                    // Opcode dispatch ladder.
         let is_push = b.cmp(Pred::Eq, op, 0);
         b.if_else(
             is_push,

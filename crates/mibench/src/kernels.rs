@@ -94,7 +94,9 @@ mod tests {
     fn input_words_deterministic() {
         assert_eq!(input_words(7, 16, 0, 100), input_words(7, 16, 0, 100));
         assert_ne!(input_words(7, 16, 0, 100), input_words(8, 16, 0, 100));
-        assert!(input_words(1, 64, -5, 5).iter().all(|&v| (-5..5).contains(&v)));
+        assert!(input_words(1, 64, -5, 5)
+            .iter()
+            .all(|&v| (-5..5).contains(&v)));
     }
 
     #[test]

@@ -189,7 +189,10 @@ mod tests {
             let r = run_module_with(
                 &p.module,
                 &[],
-                ExecLimits { fuel: 20_000_000, max_depth: 512 },
+                ExecLimits {
+                    fuel: 20_000_000,
+                    max_depth: 512,
+                },
             )
             .unwrap_or_else(|e| panic!("{}: {e}", p.name));
             assert!(
@@ -223,7 +226,10 @@ mod tests {
             let r = run_module_with(
                 &p.module,
                 &[],
-                ExecLimits { fuel: 20_000_000, max_depth: 512 },
+                ExecLimits {
+                    fuel: 20_000_000,
+                    max_depth: 512,
+                },
             )
             .unwrap();
             if r.ret != 0 {

@@ -28,7 +28,11 @@ fn blowfish(name: &str, seed: u64, decrypt: bool) -> Module {
         b.assign(r, r0);
         b.counted_loop(0, 16, 1, |b, round| {
             // P-box xor (decrypt walks the schedule backwards).
-            let pidx = if decrypt { b.sub(17, round) } else { b.add(round, 0) };
+            let pidx = if decrypt {
+                b.sub(17, round)
+            } else {
+                b.add(round, 0)
+            };
             let pk = load_idx(b, pp, pidx);
             let lx = b.xor(l, pk);
             b.assign(l, lx);
@@ -81,12 +85,7 @@ pub fn bf_d(seed: u64) -> Module {
 /// code is big and loop-free — `-funroll-loops` is useless on it (the
 /// paper's own explanation for its Figure 5 outlier) and small instruction
 /// caches punish any further code growth.
-fn rijndael_round(
-    b: &mut FuncBuilder,
-    tbox: VReg,
-    state: &[VReg; 4],
-    round_key: i64,
-) {
+fn rijndael_round(b: &mut FuncBuilder, tbox: VReg, state: &[VReg; 4], round_key: i64) {
     let old = [state[0], state[1], state[2], state[3]];
     let olds: Vec<VReg> = old
         .iter()

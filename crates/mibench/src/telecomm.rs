@@ -23,7 +23,11 @@ pub fn crc(seed: u64) -> Module {
         for i in 0..256u64 {
             let mut c = i;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             t.push(c as i64);
         }
@@ -187,9 +191,7 @@ pub fn fft_i(seed: u64) -> Module {
 
 /// Shared ADPCM step tables.
 fn adpcm_tables(mb: &mut ModuleBuilder) -> (u32, u32) {
-    let steps: Vec<i64> = (0..89)
-        .map(|i| (7.0 * 1.1f64.powi(i)) as i64)
-        .collect();
+    let steps: Vec<i64> = (0..89).map(|i| (7.0 * 1.1f64.powi(i)) as i64).collect();
     let (_, step_base) = mb.global_init("steps", 89, steps);
     let idx_adj: Vec<i64> = vec![-1, -1, -1, -1, 2, 4, 6, 8];
     let (_, adj_base) = mb.global_init("idxadj", 8, idx_adj);

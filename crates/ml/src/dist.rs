@@ -156,12 +156,7 @@ mod tests {
 
     #[test]
     fn fit_recovers_frequencies() {
-        let good = vec![
-            vec![1, 0, 3],
-            vec![1, 0, 3],
-            vec![1, 1, 2],
-            vec![1, 0, 3],
-        ];
+        let good = vec![vec![1, 0, 3], vec![1, 0, 3], vec![1, 1, 2], vec![1, 0, 3]];
         let g = IidDistribution::fit(&dims(), &good);
         // Dimension 0: always 1.
         assert!(g.prob(0, 1) > 0.9);

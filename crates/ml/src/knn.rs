@@ -83,8 +83,17 @@ impl KnnModel {
     ///
     /// # Panics
     /// Panics if the inputs are empty or of mismatched length.
-    pub fn train(features: Vec<Vec<f64>>, dists: Vec<IidDistribution>, k: usize, beta: f64) -> Self {
-        assert_eq!(features.len(), dists.len(), "features/distributions mismatch");
+    pub fn train(
+        features: Vec<Vec<f64>>,
+        dists: Vec<IidDistribution>,
+        k: usize,
+        beta: f64,
+    ) -> Self {
+        assert_eq!(
+            features.len(),
+            dists.len(),
+            "features/distributions mismatch"
+        );
         assert!(!features.is_empty(), "empty training set");
         let normalizer = Normalizer::fit(&features);
         let points = features

@@ -89,8 +89,7 @@ mod tests {
     #[test]
     fn independent_variables_have_zero_mi() {
         // x cycles 0..4, y constant-ish pattern independent of x.
-        let pairs: Vec<(usize, usize)> =
-            (0..4000).map(|i| (i % 4, (i / 4) % 3)).collect();
+        let pairs: Vec<(usize, usize)> = (0..4000).map(|i| (i % 4, (i / 4) % 3)).collect();
         let mi = mutual_information(&pairs, 4, 3);
         assert!(mi < 0.01, "mi = {mi}");
     }

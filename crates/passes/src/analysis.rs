@@ -154,8 +154,26 @@ pub fn may_alias(a: &Inst, b: &Inst) -> bool {
     use Inst::*;
     match (a, b) {
         (
-            Load { addr: a1, offset: o1, .. } | Store { addr: a1, offset: o1, .. },
-            Load { addr: a2, offset: o2, .. } | Store { addr: a2, offset: o2, .. },
+            Load {
+                addr: a1,
+                offset: o1,
+                ..
+            }
+            | Store {
+                addr: a1,
+                offset: o1,
+                ..
+            },
+            Load {
+                addr: a2,
+                offset: o2,
+                ..
+            }
+            | Store {
+                addr: a2,
+                offset: o2,
+                ..
+            },
         ) => {
             if a1 == a2 {
                 o1 == o2
@@ -163,8 +181,10 @@ pub fn may_alias(a: &Inst, b: &Inst) -> bool {
                 true
             }
         }
-        (FrameLoad { slot: s1, .. } | FrameStore { slot: s1, .. },
-         FrameLoad { slot: s2, .. } | FrameStore { slot: s2, .. }) => s1 == s2,
+        (
+            FrameLoad { slot: s1, .. } | FrameStore { slot: s1, .. },
+            FrameLoad { slot: s2, .. } | FrameStore { slot: s2, .. },
+        ) => s1 == s2,
         // Frame vs global memory: disjoint regions.
         (Load { .. } | Store { .. }, FrameLoad { .. } | FrameStore { .. }) => false,
         (FrameLoad { .. } | FrameStore { .. }, Load { .. } | Store { .. }) => false,
@@ -219,11 +239,20 @@ impl AliasAnalysis {
                 for inst in &b.insts {
                     let Some(d) = inst.def() else { continue };
                     let new = match inst {
-                        Inst::Copy { src: Operand::Imm(v), .. } => of_const(*v),
-                        Inst::Copy { src: Operand::Reg(s), .. } => {
-                            region[s.index()].unwrap_or(Region::Unknown)
-                        }
-                        Inst::Bin { op: BinOp::Add | BinOp::Sub, a, b, .. } => {
+                        Inst::Copy {
+                            src: Operand::Imm(v),
+                            ..
+                        } => of_const(*v),
+                        Inst::Copy {
+                            src: Operand::Reg(s),
+                            ..
+                        } => region[s.index()].unwrap_or(Region::Unknown),
+                        Inst::Bin {
+                            op: BinOp::Add | BinOp::Sub,
+                            a,
+                            b,
+                            ..
+                        } => {
                             let ra = match a {
                                 Operand::Reg(r) => region[r.index()].unwrap_or(Region::Unknown),
                                 Operand::Imm(v) => of_const(*v),
@@ -266,7 +295,10 @@ impl AliasAnalysis {
 
     /// Region of register `r`.
     pub fn region(&self, r: VReg) -> Region {
-        self.region.get(r.index()).copied().unwrap_or(Region::Unknown)
+        self.region
+            .get(r.index())
+            .copied()
+            .unwrap_or(Region::Unknown)
     }
 
     /// May the two memory instructions touch the same word?
@@ -372,12 +404,34 @@ mod tests {
 
     #[test]
     fn may_alias_rules() {
-        let l1 = Inst::Load { dst: VReg(1), addr: VReg(0), offset: 0 };
-        let l2 = Inst::Load { dst: VReg(2), addr: VReg(0), offset: 4 };
-        let s1 = Inst::Store { src: Operand::Imm(0), addr: VReg(0), offset: 0 };
-        let s2 = Inst::Store { src: Operand::Imm(0), addr: VReg(9), offset: 0 };
-        let fl = Inst::FrameLoad { dst: VReg(3), slot: 0 };
-        let fs = Inst::FrameStore { src: Operand::Imm(1), slot: 0 };
+        let l1 = Inst::Load {
+            dst: VReg(1),
+            addr: VReg(0),
+            offset: 0,
+        };
+        let l2 = Inst::Load {
+            dst: VReg(2),
+            addr: VReg(0),
+            offset: 4,
+        };
+        let s1 = Inst::Store {
+            src: Operand::Imm(0),
+            addr: VReg(0),
+            offset: 0,
+        };
+        let s2 = Inst::Store {
+            src: Operand::Imm(0),
+            addr: VReg(9),
+            offset: 0,
+        };
+        let fl = Inst::FrameLoad {
+            dst: VReg(3),
+            slot: 0,
+        };
+        let fs = Inst::FrameStore {
+            src: Operand::Imm(1),
+            slot: 0,
+        };
         assert!(!may_alias(&l1, &l2)); // same base, different offsets
         assert!(may_alias(&l1, &s1)); // same base, same offset
         assert!(may_alias(&l1, &s2)); // different bases: conservative

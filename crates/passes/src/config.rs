@@ -380,45 +380,162 @@ impl OptSpace {
     pub fn dims() -> Vec<OptDim> {
         use menus::*;
         vec![
-            OptDim { name: "fthread_jumps", cardinality: 2 },
-            OptDim { name: "fcrossjumping", cardinality: 2 },
-            OptDim { name: "foptimize_sibling_calls", cardinality: 2 },
-            OptDim { name: "fcse_follow_jumps", cardinality: 2 },
-            OptDim { name: "fcse_skip_blocks", cardinality: 2 },
-            OptDim { name: "fexpensive_optimizations", cardinality: 2 },
-            OptDim { name: "fstrength_reduce", cardinality: 2 },
-            OptDim { name: "fre_run_cse_after_loop", cardinality: 2 },
-            OptDim { name: "frerun_loop_opt", cardinality: 2 },
-            OptDim { name: "fcaller_saves", cardinality: 2 },
-            OptDim { name: "fpeephole2", cardinality: 2 },
-            OptDim { name: "fregmove", cardinality: 2 },
-            OptDim { name: "freorder_blocks", cardinality: 2 },
-            OptDim { name: "falign_functions", cardinality: 2 },
-            OptDim { name: "falign_jumps", cardinality: 2 },
-            OptDim { name: "falign_loops", cardinality: 2 },
-            OptDim { name: "falign_labels", cardinality: 2 },
-            OptDim { name: "ftree_vrp", cardinality: 2 },
-            OptDim { name: "ftree_pre", cardinality: 2 },
-            OptDim { name: "funswitch_loops", cardinality: 2 },
-            OptDim { name: "fgcse", cardinality: 2 },
-            OptDim { name: "fno_gcse_lm", cardinality: 2 },
-            OptDim { name: "fgcse_sm", cardinality: 2 },
-            OptDim { name: "fgcse_las", cardinality: 2 },
-            OptDim { name: "fgcse_after_reload", cardinality: 2 },
-            OptDim { name: "param_max_gcse_passes", cardinality: MAX_GCSE_PASSES.len() },
-            OptDim { name: "fschedule_insns", cardinality: 2 },
-            OptDim { name: "fno_sched_interblock", cardinality: 2 },
-            OptDim { name: "fno_sched_spec", cardinality: 2 },
-            OptDim { name: "finline_functions", cardinality: 2 },
-            OptDim { name: "param_max_inline_insns_auto", cardinality: MAX_INLINE_INSNS_AUTO.len() },
-            OptDim { name: "param_large_function_insns", cardinality: LARGE_FUNCTION_INSNS.len() },
-            OptDim { name: "param_large_function_growth", cardinality: LARGE_FUNCTION_GROWTH.len() },
-            OptDim { name: "param_large_unit_insns", cardinality: LARGE_UNIT_INSNS.len() },
-            OptDim { name: "param_inline_unit_growth", cardinality: INLINE_UNIT_GROWTH.len() },
-            OptDim { name: "param_inline_call_cost", cardinality: INLINE_CALL_COST.len() },
-            OptDim { name: "funroll_loops", cardinality: 2 },
-            OptDim { name: "param_max_unroll_times", cardinality: MAX_UNROLL_TIMES.len() },
-            OptDim { name: "param_max_unrolled_insns", cardinality: MAX_UNROLLED_INSNS.len() },
+            OptDim {
+                name: "fthread_jumps",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fcrossjumping",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "foptimize_sibling_calls",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fcse_follow_jumps",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fcse_skip_blocks",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fexpensive_optimizations",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fstrength_reduce",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fre_run_cse_after_loop",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "frerun_loop_opt",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fcaller_saves",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fpeephole2",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fregmove",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "freorder_blocks",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "falign_functions",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "falign_jumps",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "falign_loops",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "falign_labels",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "ftree_vrp",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "ftree_pre",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "funswitch_loops",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fgcse",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fno_gcse_lm",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fgcse_sm",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fgcse_las",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fgcse_after_reload",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "param_max_gcse_passes",
+                cardinality: MAX_GCSE_PASSES.len(),
+            },
+            OptDim {
+                name: "fschedule_insns",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fno_sched_interblock",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "fno_sched_spec",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "finline_functions",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "param_max_inline_insns_auto",
+                cardinality: MAX_INLINE_INSNS_AUTO.len(),
+            },
+            OptDim {
+                name: "param_large_function_insns",
+                cardinality: LARGE_FUNCTION_INSNS.len(),
+            },
+            OptDim {
+                name: "param_large_function_growth",
+                cardinality: LARGE_FUNCTION_GROWTH.len(),
+            },
+            OptDim {
+                name: "param_large_unit_insns",
+                cardinality: LARGE_UNIT_INSNS.len(),
+            },
+            OptDim {
+                name: "param_inline_unit_growth",
+                cardinality: INLINE_UNIT_GROWTH.len(),
+            },
+            OptDim {
+                name: "param_inline_call_cost",
+                cardinality: INLINE_CALL_COST.len(),
+            },
+            OptDim {
+                name: "funroll_loops",
+                cardinality: 2,
+            },
+            OptDim {
+                name: "param_max_unroll_times",
+                cardinality: MAX_UNROLL_TIMES.len(),
+            },
+            OptDim {
+                name: "param_max_unrolled_insns",
+                cardinality: MAX_UNROLLED_INSNS.len(),
+            },
         ]
     }
 
@@ -451,7 +568,12 @@ mod tests {
 
     #[test]
     fn choices_round_trip_for_presets() {
-        for cfg in [OptConfig::o0(), OptConfig::o1(), OptConfig::o2(), OptConfig::o3()] {
+        for cfg in [
+            OptConfig::o0(),
+            OptConfig::o1(),
+            OptConfig::o2(),
+            OptConfig::o3(),
+        ] {
             let c = cfg.to_choices();
             assert_eq!(OptConfig::from_choices(&c), cfg);
             assert_eq!(c.len(), OptSpace::n_dims());

@@ -145,7 +145,10 @@ fn cse_block(f: &mut Function, bi: BlockId, t: &mut Table) -> bool {
                 }
                 let key = (ExprOp::Bin(op), va, vb);
                 if let Some(&(vn, holder)) = t.expr.get(&key) {
-                    *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                    *inst = Inst::Copy {
+                        dst,
+                        src: Operand::Reg(holder),
+                    };
                     changed = true;
                     t.clobber_holder(dst);
                     t.reg_vn.insert(dst, vn);
@@ -161,7 +164,10 @@ fn cse_block(f: &mut Function, bi: BlockId, t: &mut Table) -> bool {
                 let vb = t.vn_of_operand(&b);
                 let key = (ExprOp::Cmp(pred), va, vb);
                 if let Some(&(vn, holder)) = t.expr.get(&key) {
-                    *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                    *inst = Inst::Copy {
+                        dst,
+                        src: Operand::Reg(holder),
+                    };
                     changed = true;
                     t.clobber_holder(dst);
                     t.reg_vn.insert(dst, vn);
@@ -181,7 +187,10 @@ fn cse_block(f: &mut Function, bi: BlockId, t: &mut Table) -> bool {
                 let va = t.vn_of_reg(addr);
                 if let Some(&(vn, holder)) = t.mem.get(&(va, offset)) {
                     if holder != dst {
-                        *inst = Inst::Copy { dst, src: Operand::Reg(holder) };
+                        *inst = Inst::Copy {
+                            dst,
+                            src: Operand::Reg(holder),
+                        };
                         changed = true;
                     }
                     t.clobber_holder(dst);

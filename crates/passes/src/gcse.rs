@@ -27,7 +27,10 @@ pub fn gcse(f: &mut Function, globals: &[(u32, u32)], cfg: &OptConfig) -> bool {
         }
         pass_changed |= global_value_number(
             f,
-            GvnOptions { include_loads: true, globals: globals.to_vec() },
+            GvnOptions {
+                include_loads: true,
+                globals: globals.to_vec(),
+            },
         );
         if cfg.gcse_lm {
             pass_changed |= loop_load_motion(f, globals, cfg.gcse_sm);
@@ -57,9 +60,8 @@ pub fn load_after_store(f: &mut Function) -> bool {
                     avail.push((addr, offset, src));
                 }
                 Inst::Load { dst, addr, offset } => {
-                    if let Some((_, _, val)) = avail
-                        .iter()
-                        .find(|(a, o, _)| a == addr && o == offset)
+                    if let Some((_, _, val)) =
+                        avail.iter().find(|(a, o, _)| a == addr && o == offset)
                     {
                         let (dst, val) = (*dst, *val);
                         *inst = Inst::Copy { dst, src: val };
@@ -143,17 +145,19 @@ pub fn loop_load_motion(f: &mut Function, globals: &[(u32, u32)], enable_sm: boo
                     continue;
                 }
                 // The base must be defined outside the loop.
-                let defined_in_loop = l.blocks.iter().any(|&b| {
-                    f.block(b)
-                        .insts
-                        .iter()
-                        .any(|i| i.def() == Some(base))
-                });
+                let defined_in_loop = l
+                    .blocks
+                    .iter()
+                    .any(|&b| f.block(b).insts.iter().any(|i| i.def() == Some(base)));
                 if defined_in_loop {
                     continue;
                 }
                 // Every other memory op in the loop must be provably disjoint.
-                let probe = Inst::Load { dst: VReg(0), addr: base, offset: off };
+                let probe = Inst::Load {
+                    dst: VReg(0),
+                    addr: base,
+                    offset: off,
+                };
                 let mut safe = true;
                 for &b in &l.blocks {
                     for inst in &f.block(b).insts {
@@ -192,27 +196,31 @@ pub fn loop_load_motion(f: &mut Function, globals: &[(u32, u32)], enable_sm: boo
 }
 
 /// Rewrites all `(base, off)` accesses in loop `l` through a fresh register.
-fn apply_promotion(
-    f: &mut Function,
-    l: &portopt_ir::Loop,
-    base: VReg,
-    off: i64,
-    has_stores: bool,
-) {
+fn apply_promotion(f: &mut Function, l: &portopt_ir::Loop, base: VReg, off: i64, has_stores: bool) {
     let pre = ensure_preheader(f, l);
     let reg = f.new_vreg();
 
     // Preheader: initial load before the branch into the loop.
     let pre_insts = &mut f.block_mut(pre).insts;
     let at = pre_insts.len() - 1;
-    pre_insts.insert(at, Inst::Load { dst: reg, addr: base, offset: off });
+    pre_insts.insert(
+        at,
+        Inst::Load {
+            dst: reg,
+            addr: base,
+            offset: off,
+        },
+    );
 
     // Rewrite in-loop accesses.
     for &b in &l.blocks {
         for inst in &mut f.block_mut(b).insts {
             match inst.clone() {
                 Inst::Load { dst, addr, offset } if (addr, offset) == (base, off) => {
-                    *inst = Inst::Copy { dst, src: Operand::Reg(reg) };
+                    *inst = Inst::Copy {
+                        dst,
+                        src: Operand::Reg(reg),
+                    };
                 }
                 Inst::Store { src, addr, offset } if (addr, offset) == (base, off) => {
                     *inst = Inst::Copy { dst: reg, src };

@@ -32,7 +32,9 @@ pub fn inline_functions(m: &mut Module, cfg: &OptConfig) -> bool {
             loop {
                 // Find the next inlinable call site in this caller.
                 let site = find_site(m, caller_id, call_cost, auto_limit);
-                let Some((block, idx, callee_id)) = site else { break };
+                let Some((block, idx, callee_id)) = site else {
+                    break;
+                };
 
                 // Budgets.
                 let caller_size = m.funcs[caller_id].inst_count();
@@ -69,7 +71,9 @@ fn find_site(
     let f = &m.funcs[caller];
     for (bi, block) in f.iter_blocks() {
         for (k, inst) in block.insts.iter().enumerate() {
-            let Inst::Call { func, .. } = inst else { continue };
+            let Inst::Call { func, .. } = inst else {
+                continue;
+            };
             if func.index() == caller {
                 continue; // direct recursion: never inlined
             }
@@ -126,7 +130,10 @@ fn inline_one(m: &mut Module, caller_id: usize, block: BlockId, idx: usize, call
     caller.block_mut(block).insts.truncate(idx);
     for (p, a) in callee.params.iter().zip(&args) {
         let dst = portopt_ir::VReg(p.0 + reg_base);
-        caller.block_mut(block).insts.push(Inst::Copy { dst, src: *a });
+        caller
+            .block_mut(block)
+            .insts
+            .push(Inst::Copy { dst, src: *a });
     }
     caller.block_mut(block).insts.push(Inst::Br {
         target: BlockId(block_base),

@@ -40,7 +40,11 @@ pub fn thread_jumps(f: &mut Function) -> bool {
         if let Inst::CondBr { cond, then_, else_ } = term {
             let thread = |target: BlockId, take_then: bool| -> BlockId {
                 match f.blocks[target.index()].insts.as_slice() {
-                    [Inst::CondBr { cond: c2, then_: t2, else_: e2 }] if *c2 == cond => {
+                    [Inst::CondBr {
+                        cond: c2,
+                        then_: t2,
+                        else_: e2,
+                    }] if *c2 == cond => {
                         if take_then {
                             *t2
                         } else {
@@ -52,7 +56,11 @@ pub fn thread_jumps(f: &mut Function) -> bool {
             };
             let nt = thread(then_, true);
             let ne = thread(else_, false);
-            term = Inst::CondBr { cond, then_: nt, else_: ne };
+            term = Inst::CondBr {
+                cond,
+                then_: nt,
+                else_: ne,
+            };
         }
         if term != before {
             *f.blocks[bi].insts.last_mut().unwrap() = term;
@@ -122,7 +130,7 @@ pub fn crossjumping(f: &mut Function) -> bool {
 mod tests {
     use super::*;
     use portopt_ir::interp::run_module;
-    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Module, Pred};
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder, Pred};
 
     fn finish(f: portopt_ir::Function) -> Module {
         let mut mb = ModuleBuilder::new("t");

@@ -186,7 +186,10 @@ pub fn block_order(f: &Function, reorder: bool) -> Vec<BlockId> {
 }
 
 /// Lowers the terminator of `b` given the block laid out after it.
-fn lower_term(block: &portopt_ir::Block, next: Option<BlockId>) -> (TermKind, Option<BlockId>, u32) {
+fn lower_term(
+    block: &portopt_ir::Block,
+    next: Option<BlockId>,
+) -> (TermKind, Option<BlockId>, u32) {
     match block.insts.last() {
         Some(Inst::Br { target }) => {
             if next == Some(*target) {
@@ -371,7 +374,13 @@ pub fn layout_module(m: &Module, cfg: &OptConfig) -> CodeImage {
 
             let body_insts = block.body().len() as u32;
             let bytes = (body_insts + term_insts) * INST_BYTES;
-            layout[b.index()] = BlockLayout { addr, bytes, pad, fallthrough, term };
+            layout[b.index()] = BlockLayout {
+                addr,
+                bytes,
+                pad,
+                fallthrough,
+                term,
+            };
             sched[b.index()] = block_sched(block, term, nregs);
             total_insts += body_insts + term_insts;
             addr += bytes;

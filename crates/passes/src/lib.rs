@@ -50,5 +50,7 @@ pub mod util;
 pub mod vrp;
 
 pub use config::{menus, OptConfig, OptDim, OptSpace};
-pub use layout::{BlockLayout, BlockSched, CodeImage, MachineFunc, TermKind, CODE_BASE, INST_BYTES, MAX_LAT};
+pub use layout::{
+    BlockLayout, BlockSched, CodeImage, MachineFunc, TermKind, CODE_BASE, INST_BYTES, MAX_LAT,
+};
 pub use pipeline::{compile, compile_with_stats, CompileStats};

@@ -133,7 +133,13 @@ mod tests {
             for &bk in &l.blocks {
                 for i in &f.block(bk).insts {
                     assert!(
-                        !matches!(i, Inst::Bin { op: portopt_ir::BinOp::Mul, .. }),
+                        !matches!(
+                            i,
+                            Inst::Bin {
+                                op: portopt_ir::BinOp::Mul,
+                                ..
+                            }
+                        ),
                         "mul still in loop"
                     );
                 }

@@ -30,13 +30,14 @@ pub fn peephole2(f: &mut Function) -> bool {
         while k + 1 < insts.len() {
             let (a, b) = (insts[k].clone(), insts[k + 1].clone());
             // store-to-load forwarding.
-            if let (
-                Inst::FrameStore { src, slot: s1 },
-                Inst::FrameLoad { dst, slot: s2 },
-            ) = (&a, &b)
+            if let (Inst::FrameStore { src, slot: s1 }, Inst::FrameLoad { dst, slot: s2 }) =
+                (&a, &b)
             {
                 if s1 == s2 {
-                    insts[k + 1] = Inst::Copy { dst: *dst, src: *src };
+                    insts[k + 1] = Inst::Copy {
+                        dst: *dst,
+                        src: *src,
+                    };
                     changed = true;
                     k += 1;
                     continue;
@@ -44,8 +45,18 @@ pub fn peephole2(f: &mut Function) -> bool {
             }
             // increment fusion: r = r op c1 ; r = r op c2.
             if let (
-                Inst::Bin { op: BinOp::Add, dst: d1, a: Operand::Reg(a1), b: Operand::Imm(c1) },
-                Inst::Bin { op: BinOp::Add, dst: d2, a: Operand::Reg(a2), b: Operand::Imm(c2) },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    dst: d1,
+                    a: Operand::Reg(a1),
+                    b: Operand::Imm(c1),
+                },
+                Inst::Bin {
+                    op: BinOp::Add,
+                    dst: d2,
+                    a: Operand::Reg(a2),
+                    b: Operand::Imm(c2),
+                },
             ) = (&a, &b)
             {
                 if d1 == a1 && d2 == a2 && d1 == d2 {
@@ -98,7 +109,10 @@ pub fn gcse_after_reload(f: &mut Function) -> bool {
         let mut holder: Vec<(u32, VReg)> = Vec::new();
         for inst in &mut block.insts {
             match inst.clone() {
-                Inst::FrameStore { src: Operand::Reg(r), slot } => {
+                Inst::FrameStore {
+                    src: Operand::Reg(r),
+                    slot,
+                } => {
                     holder.retain(|(s, _)| *s != slot);
                     holder.push((slot, r));
                 }
@@ -108,7 +122,10 @@ pub fn gcse_after_reload(f: &mut Function) -> bool {
                 Inst::FrameLoad { dst, slot } => {
                     if let Some((_, r)) = holder.iter().find(|(s, _)| *s == slot) {
                         if *r != dst {
-                            *inst = Inst::Copy { dst, src: Operand::Reg(*r) };
+                            *inst = Inst::Copy {
+                                dst,
+                                src: Operand::Reg(*r),
+                            };
                             changed = true;
                         }
                         let r = *r;
@@ -168,7 +185,10 @@ mod tests {
     fn forwards_store_to_adjacent_load() {
         let mut m = frame_module(|b| {
             let x = b.param(0);
-            b.push(Inst::FrameStore { src: x.into(), slot: 0 });
+            b.push(Inst::FrameStore {
+                src: x.into(),
+                slot: 0,
+            });
             let y = b.fresh();
             b.push(Inst::FrameLoad { dst: y, slot: 0 });
             let z = b.add(y, 1);
@@ -194,8 +214,18 @@ mod tests {
     fn fuses_adjacent_increments() {
         let mut m = frame_module(|b| {
             let x = b.param(0);
-            b.push(Inst::Bin { op: BinOp::Add, dst: x, a: x.into(), b: 4.into() });
-            b.push(Inst::Bin { op: BinOp::Add, dst: x, a: x.into(), b: 8.into() });
+            b.push(Inst::Bin {
+                op: BinOp::Add,
+                dst: x,
+                a: x.into(),
+                b: 4.into(),
+            });
+            b.push(Inst::Bin {
+                op: BinOp::Add,
+                dst: x,
+                a: x.into(),
+                b: 8.into(),
+            });
             b.ret(x);
         });
         assert!(peephole2(&mut m.funcs[0]));
@@ -207,8 +237,14 @@ mod tests {
     fn removes_dead_frame_store() {
         let mut m = frame_module(|b| {
             let x = b.param(0);
-            b.push(Inst::FrameStore { src: x.into(), slot: 3 }); // dead
-            b.push(Inst::FrameStore { src: Operand::Imm(5), slot: 3 });
+            b.push(Inst::FrameStore {
+                src: x.into(),
+                slot: 3,
+            }); // dead
+            b.push(Inst::FrameStore {
+                src: Operand::Imm(5),
+                slot: 3,
+            });
             let y = b.fresh();
             b.push(Inst::FrameLoad { dst: y, slot: 3 });
             b.ret(y);
@@ -221,7 +257,10 @@ mod tests {
     fn after_reload_kills_distant_reload() {
         let mut m = frame_module(|b| {
             let x = b.param(0);
-            b.push(Inst::FrameStore { src: x.into(), slot: 2 });
+            b.push(Inst::FrameStore {
+                src: x.into(),
+                slot: 2,
+            });
             // Unrelated work in between.
             let a = b.mul(x, 3);
             let c = b.add(a, 7);
@@ -251,7 +290,10 @@ mod tests {
     fn after_reload_respects_holder_clobber() {
         let mut m = frame_module(|b| {
             let x = b.param(0);
-            b.push(Inst::FrameStore { src: x.into(), slot: 2 });
+            b.push(Inst::FrameStore {
+                src: x.into(),
+                slot: 2,
+            });
             // x is redefined: it no longer holds slot 2's value.
             b.assign(x, 1000);
             let y = b.fresh();

@@ -175,7 +175,12 @@ mod tests {
     fn o0_through_o3_all_compile_and_agree() {
         let m = kitchen_sink();
         let reference = run_module(&m, &[]).unwrap();
-        for cfg in [OptConfig::o0(), OptConfig::o1(), OptConfig::o2(), OptConfig::o3()] {
+        for cfg in [
+            OptConfig::o0(),
+            OptConfig::o1(),
+            OptConfig::o2(),
+            OptConfig::o3(),
+        ] {
             let (img, _) = compile_with_stats(&m, &cfg);
             // The compiled image embeds runnable IR; execute each function
             // image directly.

@@ -7,7 +7,7 @@
 //! enabled, guarded by a path-sensitive store/call barrier check.
 
 use crate::analysis::{single_defs, AliasAnalysis, ExprKey};
-use portopt_ir::{BlockId, Cfg, DomTree, Function, Inst, Operand, reverse_postorder};
+use portopt_ir::{reverse_postorder, BlockId, Cfg, DomTree, Function, Inst, Operand};
 use std::collections::HashMap;
 
 /// Options for the GVN engine.
@@ -56,8 +56,7 @@ pub fn global_value_number(f: &mut Function, opts: GvnOptions) -> bool {
         f.iter_blocks()
             .flat_map(|(bi, b)| {
                 b.insts.iter().enumerate().filter_map(move |(k, i)| {
-                    matches!(i, Inst::Store { .. } | Inst::Call { .. })
-                        .then(|| (bi, k, i.clone()))
+                    matches!(i, Inst::Store { .. } | Inst::Call { .. }).then(|| (bi, k, i.clone()))
                 })
             })
             .collect()
@@ -200,7 +199,15 @@ mod tests {
             .blocks
             .iter()
             .flat_map(|b| &b.insts)
-            .filter(|i| matches!(i, Inst::Bin { op: portopt_ir::BinOp::Mul, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    Inst::Bin {
+                        op: portopt_ir::BinOp::Mul,
+                        ..
+                    }
+                )
+            })
             .count();
         assert_eq!(muls, 1);
         let m = close(f);
@@ -263,7 +270,10 @@ mod tests {
         let f = &mut m.funcs[0];
         global_value_number(
             f,
-            GvnOptions { include_loads: true, globals: vec![] },
+            GvnOptions {
+                include_loads: true,
+                globals: vec![],
+            },
         );
         verify_module(&m).unwrap();
         let after = run_module(&m, &[]).unwrap();
@@ -288,7 +298,10 @@ mod tests {
         let f = &mut m.funcs[0];
         assert!(global_value_number(
             f,
-            GvnOptions { include_loads: true, globals: vec![] },
+            GvnOptions {
+                include_loads: true,
+                globals: vec![]
+            },
         ));
         let loads = m.funcs[0]
             .blocks
@@ -324,7 +337,10 @@ mod tests {
         let mut m = mb.finish();
         global_value_number(
             &mut m.funcs[1],
-            GvnOptions { include_loads: true, globals: vec![] },
+            GvnOptions {
+                include_loads: true,
+                globals: vec![],
+            },
         );
         verify_module(&m).unwrap();
         assert_eq!(run_module(&m, &[]).unwrap().ret, 5); // 0 + 5

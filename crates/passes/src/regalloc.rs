@@ -61,7 +61,11 @@ fn intervals(f: &Function) -> (Vec<Option<Interval>>, Vec<u32>) {
     let mut call_positions: Vec<u32> = Vec::new();
 
     let extend = |iv: &mut Vec<Option<Interval>>, r: usize, pos: u32| {
-        let e = iv[r].get_or_insert(Interval { start: pos, end: pos, crosses_call: false });
+        let e = iv[r].get_or_insert(Interval {
+            start: pos,
+            end: pos,
+            crosses_call: false,
+        });
         e.start = e.start.min(pos);
         e.end = e.end.max(pos);
     };
@@ -121,15 +125,19 @@ pub fn regmove(f: &mut Function) -> u32 {
         r
     }
     // Merged interval bounds per representative.
-    let mut bounds: Vec<Option<(u32, u32)>> = iv
-        .iter()
-        .map(|o| o.map(|i| (i.start, i.end)))
-        .collect();
+    let mut bounds: Vec<Option<(u32, u32)>> =
+        iv.iter().map(|o| o.map(|i| (i.start, i.end))).collect();
 
     let mut merged = 0u32;
     for block in &f.blocks {
         for inst in &block.insts {
-            let Inst::Copy { dst, src: Operand::Reg(src) } = inst else { continue };
+            let Inst::Copy {
+                dst,
+                src: Operand::Reg(src),
+            } = inst
+            else {
+                continue;
+            };
             let (rd, rs) = (find(&mut parent, dst.0), find(&mut parent, src.0));
             if rd == rs {
                 continue;
@@ -221,11 +229,16 @@ pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegA
         // callee-saved free avoids prologue cost); crossing values take
         // callee-saved first (avoiding save/restore pairs).
         let pref: Vec<u32> = if cur.crosses_call {
-            (FIRST_CALLEE_SAVED..NUM_ALLOC).chain(0..FIRST_CALLEE_SAVED).collect()
+            (FIRST_CALLEE_SAVED..NUM_ALLOC)
+                .chain(0..FIRST_CALLEE_SAVED)
+                .collect()
         } else {
             (0..NUM_ALLOC).collect()
         };
-        let chosen = pref.iter().copied().find(|&p| free[p as usize] && allowed(p));
+        let chosen = pref
+            .iter()
+            .copied()
+            .find(|&p| free[p as usize] && allowed(p));
         match chosen {
             Some(p) => {
                 free[p as usize] = false;
@@ -245,7 +258,9 @@ pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegA
                     .max_by_key(|&a| iv[a].unwrap().end);
                 match victim {
                     Some(v) if iv[v].unwrap().end > cur.end => {
-                        let Some(Loc::Reg(p)) = loc[v] else { unreachable!() };
+                        let Some(Loc::Reg(p)) = loc[v] else {
+                            unreachable!()
+                        };
                         loc[v] = Some(Loc::Slot(next_slot));
                         next_slot += 1;
                         stats.spilled += 1;
@@ -362,7 +377,10 @@ pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegA
             if is_call {
                 for &(c, p, slot) in &call_saves {
                     if c == idx && Some(p) != call_dst_phys {
-                        new.push(Inst::FrameStore { src: Operand::Reg(VReg(p)), slot });
+                        new.push(Inst::FrameStore {
+                            src: Operand::Reg(VReg(p)),
+                            slot,
+                        });
                     }
                 }
             }
@@ -386,17 +404,26 @@ pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegA
             if let Inst::Ret { val } = &mut inst {
                 if let Some(Operand::Reg(rv)) = val {
                     if callee_slots.iter().any(|(p, _)| *p == rv.0) {
-                        new.push(Inst::Copy { dst: VReg(SCRATCH1), src: Operand::Reg(*rv) });
+                        new.push(Inst::Copy {
+                            dst: VReg(SCRATCH1),
+                            src: Operand::Reg(*rv),
+                        });
                         *rv = VReg(SCRATCH1);
                     }
                 }
                 for &(p, s) in &callee_slots {
-                    new.push(Inst::FrameLoad { dst: VReg(p), slot: s });
+                    new.push(Inst::FrameLoad {
+                        dst: VReg(p),
+                        slot: s,
+                    });
                 }
             }
             new.push(inst);
             if let Some(slot) = def_spill {
-                new.push(Inst::FrameStore { src: Operand::Reg(VReg(SCRATCH0)), slot });
+                new.push(Inst::FrameStore {
+                    src: Operand::Reg(VReg(SCRATCH0)),
+                    slot,
+                });
             }
             // Caller-saves: reloads after the call.
             if is_call {
@@ -413,9 +440,13 @@ pub fn allocate(f: &mut Function, caller_saves: bool, use_regmove: bool) -> RegA
 
     // Prologue: save used callee-saved registers at the entry.
     for (k, &(p, s)) in callee_slots.iter().enumerate() {
-        f.blocks[0]
-            .insts
-            .insert(k, Inst::FrameStore { src: Operand::Reg(VReg(p)), slot: s });
+        f.blocks[0].insts.insert(
+            k,
+            Inst::FrameStore {
+                src: Operand::Reg(VReg(p)),
+                slot: s,
+            },
+        );
     }
 
     // Params now live in their allocated registers.
@@ -459,9 +490,13 @@ fn shield_params(f: &mut Function) {
         }
     }
     for (i, (&p, &s)) in params.iter().zip(&shields).enumerate() {
-        f.blocks[0]
-            .insts
-            .insert(i, Inst::Copy { dst: s, src: Operand::Reg(p) });
+        f.blocks[0].insts.insert(
+            i,
+            Inst::Copy {
+                dst: s,
+                src: Operand::Reg(p),
+            },
+        );
     }
 }
 

@@ -59,12 +59,13 @@ fn schedule_block(f: &mut Function, bi: BlockId, aa: &AliasAnalysis) -> bool {
     // Build the dependence DAG.
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let edge = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-        if !succs[from].contains(&to) {
-            succs[from].push(to);
-            preds[to].push(from);
-        }
-    };
+    let edge =
+        |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+            if !succs[from].contains(&to) {
+                succs[from].push(to);
+                preds[to].push(from);
+            }
+        };
     for j in 0..n {
         for i in 0..j {
             let (a, b) = (&insts[i], &insts[j]);
@@ -162,8 +163,7 @@ fn interblock_hoist(f: &mut Function, globals: &[(u32, u32)], spec: bool) -> boo
 
         'outer: for bi in 0..f.blocks.len() {
             let b = BlockId(bi as u32);
-            let Some(Inst::CondBr { cond, then_, else_ }) = f.block(b).insts.last().cloned()
-            else {
+            let Some(Inst::CondBr { cond, then_, else_ }) = f.block(b).insts.last().cloned() else {
                 continue;
             };
             if then_ == else_ {
@@ -192,9 +192,7 @@ fn interblock_hoist(f: &mut Function, globals: &[(u32, u32)], spec: bool) -> boo
                         }
                     }
                     let is_load = matches!(inst, Inst::Load { .. } | Inst::FrameLoad { .. });
-                    let eligible = inst.is_pure()
-                        && (!is_load || spec)
-                        && !inst.is_terminator();
+                    let eligible = inst.is_pure() && (!is_load || spec) && !inst.is_terminator();
                     if !eligible {
                         // Stop extending the window past non-hoistable
                         // instructions.
@@ -207,9 +205,8 @@ fn interblock_hoist(f: &mut Function, globals: &[(u32, u32)], spec: bool) -> boo
                         }
                     });
                     let Some(d) = inst.def() else { break };
-                    let dst_safe = !live.inp(other).contains(d.index())
-                        && d != cond
-                        && !read_in_s[d.index()];
+                    let dst_safe =
+                        !live.inp(other).contains(d.index()) && d != cond && !read_in_s[d.index()];
                     if !operands_ok || !dst_safe {
                         defined_in_s[d.index()] = true;
                         inst.for_each_use(|r| read_in_s[r.index()] = true);
@@ -368,11 +365,17 @@ mod tests {
         };
         let mut m_nospec = build();
         schedule_insns(&mut m_nospec.funcs[0], &[], true, false);
-        assert!(!in_entry(&m_nospec.funcs[0]), "load hoisted without -fsched-spec");
+        assert!(
+            !in_entry(&m_nospec.funcs[0]),
+            "load hoisted without -fsched-spec"
+        );
 
         let mut m_spec = build();
         schedule_insns(&mut m_spec.funcs[0], &[], true, true);
-        assert!(in_entry(&m_spec.funcs[0]), "load not hoisted with -fsched-spec");
+        assert!(
+            in_entry(&m_spec.funcs[0]),
+            "load not hoisted with -fsched-spec"
+        );
         verify_module(&m_spec).unwrap();
         assert_eq!(run_module(&m_spec, &[1]).unwrap().ret, 8);
         assert_eq!(run_module(&m_spec, &[-1]).unwrap().ret, 0);

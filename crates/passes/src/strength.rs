@@ -39,14 +39,27 @@ pub fn find_basic_ivs(f: &Function, l: &Loop) -> Vec<BasicIv> {
         let insts = &f.block(b).insts;
         for (k, inst) in insts.iter().enumerate() {
             // Direct form: i = add i, imm.
-            if let Inst::Bin { op: BinOp::Add, dst, a: Operand::Reg(a), b: Operand::Imm(s) } = inst
+            if let Inst::Bin {
+                op: BinOp::Add,
+                dst,
+                a: Operand::Reg(a),
+                b: Operand::Imm(s),
+            } = inst
             {
                 if dst == a && defs[dst.index()] == 1 {
-                    out.push(BasicIv { reg: *dst, step: *s, update_at: (b, k) });
+                    out.push(BasicIv {
+                        reg: *dst,
+                        step: *s,
+                        update_at: (b, k),
+                    });
                 }
             }
             // Builder form: i = copy next, where next = add i, imm.
-            if let Inst::Copy { dst, src: Operand::Reg(next) } = inst {
+            if let Inst::Copy {
+                dst,
+                src: Operand::Reg(next),
+            } = inst
+            {
                 if defs[dst.index()] != 1 {
                     continue;
                 }
@@ -61,7 +74,11 @@ pub fn find_basic_ivs(f: &Function, l: &Loop) -> Vec<BasicIv> {
                 }) = def
                 {
                     if base == dst && defs[next.index()] == 1 {
-                        out.push(BasicIv { reg: *dst, step: *s, update_at: (b, k) });
+                        out.push(BasicIv {
+                            reg: *dst,
+                            step: *s,
+                            update_at: (b, k),
+                        });
                     }
                 }
             }
@@ -111,9 +128,7 @@ pub fn strength_reduce(f: &mut Function) -> bool {
                                 dst,
                                 a: Operand::Reg(r),
                                 b: Operand::Imm(c),
-                            } if r == iv.reg && (0..32).contains(&c) => {
-                                Some((dst, BinOp::Shl, c))
-                            }
+                            } if r == iv.reg && (0..32).contains(&c) => Some((dst, BinOp::Shl, c)),
                             _ => None,
                         };
                         let Some((t, op, c)) = derived else { continue };
@@ -158,20 +173,39 @@ fn apply_reduction(
     let at = f.block(pre).insts.len() - 1;
     f.block_mut(pre).insts.insert(
         at,
-        Inst::Bin { op, dst: u, a: Operand::Reg(iv.reg), b: Operand::Imm(c) },
+        Inst::Bin {
+            op,
+            dst: u,
+            a: Operand::Reg(iv.reg),
+            b: Operand::Imm(c),
+        },
     );
 
     // Replace the derived computation with a copy.
-    f.block_mut(site.0).insts[site.1] = Inst::Copy { dst: t, src: Operand::Reg(u) };
+    f.block_mut(site.0).insts[site.1] = Inst::Copy {
+        dst: t,
+        src: Operand::Reg(u),
+    };
 
     // Insert the recurrence right after the IV update.
     let (ub, uk) = iv.update_at;
     let insts = &mut f.block_mut(ub).insts;
     insts.insert(
         uk + 1,
-        Inst::Bin { op: BinOp::Add, dst: u_next, a: Operand::Reg(u), b: Operand::Imm(delta) },
+        Inst::Bin {
+            op: BinOp::Add,
+            dst: u_next,
+            a: Operand::Reg(u),
+            b: Operand::Imm(delta),
+        },
     );
-    insts.insert(uk + 2, Inst::Copy { dst: u, src: Operand::Reg(u_next) });
+    insts.insert(
+        uk + 2,
+        Inst::Copy {
+            dst: u,
+            src: Operand::Reg(u_next),
+        },
+    );
 }
 
 #[cfg(test)]

@@ -53,7 +53,10 @@ pub fn optimize_sibling_calls(f: &mut Function, self_id: portopt_ir::FuncId) -> 
             new_tail.push(Inst::Copy { dst: t, src: *a });
         }
         for (p, t) in params.iter().zip(&temps) {
-            new_tail.push(Inst::Copy { dst: *p, src: Operand::Reg(*t) });
+            new_tail.push(Inst::Copy {
+                dst: *p,
+                src: Operand::Reg(*t),
+            });
         }
         new_tail.push(Inst::Br { target: BlockId(0) });
 
@@ -118,7 +121,10 @@ mod tests {
         let r = run_module_with(
             &m,
             &[832_040, 514_229],
-            ExecLimits { fuel: 10_000_000, max_depth: 4 },
+            ExecLimits {
+                fuel: 10_000_000,
+                max_depth: 4,
+            },
         )
         .unwrap();
         assert_eq!(r.ret, 1);

@@ -34,8 +34,15 @@ fn recognise(f: &Function, l: &portopt_ir::Loop) -> Option<CountedLoop> {
     if h.insts.len() != 2 {
         return None;
     }
-    let (Inst::Cmp { pred: Pred::Lt, dst: c, a: Operand::Reg(iv), b: end },
-         Inst::CondBr { cond, then_, else_ }) = (&h.insts[0], &h.insts[1])
+    let (
+        Inst::Cmp {
+            pred: Pred::Lt,
+            dst: c,
+            a: Operand::Reg(iv),
+            b: end,
+        },
+        Inst::CondBr { cond, then_, else_ },
+    ) = (&h.insts[0], &h.insts[1])
     else {
         return None;
     };
@@ -64,7 +71,12 @@ fn recognise(f: &Function, l: &portopt_ir::Loop) -> Option<CountedLoop> {
     if biv.step <= 0 {
         return None;
     }
-    let body_blocks: Vec<BlockId> = l.blocks.iter().copied().filter(|b| *b != l.header).collect();
+    let body_blocks: Vec<BlockId> = l
+        .blocks
+        .iter()
+        .copied()
+        .filter(|b| *b != l.header)
+        .collect();
     Some(CountedLoop {
         header: l.header,
         body_entry: *then_,
@@ -103,11 +115,7 @@ pub fn unroll_loops(f: &mut Function, cfg: &OptConfig) -> bool {
             .collect()
     };
     for cl in candidates {
-        let body_size: usize = cl
-            .body_blocks
-            .iter()
-            .map(|&b| f.block(b).insts.len())
-            .sum();
+        let body_size: usize = cl.body_blocks.iter().map(|&b| f.block(b).insts.len()).sum();
         let mut u = max_times;
         while u > 1 && body_size as u32 * u > max_insns {
             u /= 2;
@@ -182,7 +190,11 @@ fn apply_unroll(f: &mut Function, cl: &CountedLoop, u: u32) {
     }
     // Wire copy latches: copy k -> entry of copy k+1; last -> main_h.
     for k in 0..u as usize {
-        let next = if k + 1 < u as usize { entries[k + 1] } else { main_h };
+        let next = if k + 1 < u as usize {
+            entries[k + 1]
+        } else {
+            main_h
+        };
         let (latch, _) = all_copy_latches[k];
         if let Some(t) = f.block_mut(latch).insts.last_mut() {
             t.map_targets(|old| if old == cl.header { next } else { old });
@@ -223,7 +235,11 @@ mod tests {
 
     fn sum_squares(n_is_param: bool, n: i64) -> Function {
         let mut b = FuncBuilder::new("main", if n_is_param { 1 } else { 0 });
-        let end: Operand = if n_is_param { b.param(0).into() } else { n.into() };
+        let end: Operand = if n_is_param {
+            b.param(0).into()
+        } else {
+            n.into()
+        };
         let acc = b.iconst(0);
         b.counted_loop(0, end, 1, |b, i| {
             let sq = b.mul(i, i);
@@ -277,7 +293,7 @@ mod tests {
         let mut f = sum_squares(true, 0);
         let small_budget = OptConfig {
             unroll_loops: true,
-            max_unroll_times: 3,  // wants 16x
+            max_unroll_times: 3,   // wants 16x
             max_unrolled_insns: 0, // but only 50 insts allowed
             ..OptConfig::o0()
         };

@@ -38,10 +38,7 @@ pub fn unswitch_loops(f: &mut Function) -> bool {
             // An invariant CondBr that is not the loop's own exit test.
             for &b in &l.blocks {
                 if let Some(Inst::CondBr { cond, then_, else_ }) = f.block(b).insts.last() {
-                    if !defined_in[cond.index()]
-                        && l.contains(*then_)
-                        && l.contains(*else_)
-                    {
+                    if !defined_in[cond.index()] && l.contains(*then_) && l.contains(*else_) {
                         out.push((l.clone(), b, f.block(b).insts.len() - 1));
                         break;
                     }
@@ -62,7 +59,10 @@ pub fn unswitch_loops(f: &mut Function) -> bool {
         // Clone the whole loop: the clone takes the else-edge.
         let map = clone_blocks(f, &l.blocks);
         let cloned = |b: portopt_ir::BlockId| {
-            map.iter().find(|(o, _)| *o == b).map(|(_, n)| *n).expect("in map")
+            map.iter()
+                .find(|(o, _)| *o == b)
+                .map(|(_, n)| *n)
+                .expect("in map")
         };
         let clone_branch_block = cloned(branch_block);
 
@@ -74,7 +74,9 @@ pub fn unswitch_loops(f: &mut Function) -> bool {
             .map(|(_, n)| *n)
             .unwrap_or(else_);
         let idx = f.block(clone_branch_block).insts.len() - 1;
-        f.block_mut(clone_branch_block).insts[idx] = Inst::Br { target: else_in_clone };
+        f.block_mut(clone_branch_block).insts[idx] = Inst::Br {
+            target: else_in_clone,
+        };
 
         // Preheader now dispatches on the invariant condition.
         let header_clone = cloned(l.header);

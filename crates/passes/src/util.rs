@@ -66,16 +66,25 @@ pub fn fold_and_propagate(f: &mut Function) -> bool {
             }
             // Fold fully-constant computations into copies.
             let folded = match inst {
-                Inst::Bin { op, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
-                    Some((*dst, op.eval(*a, *b)))
-                }
-                Inst::Cmp { pred, dst, a: Operand::Imm(a), b: Operand::Imm(b) } => {
-                    Some((*dst, pred.eval(*a, *b)))
-                }
+                Inst::Bin {
+                    op,
+                    dst,
+                    a: Operand::Imm(a),
+                    b: Operand::Imm(b),
+                } => Some((*dst, op.eval(*a, *b))),
+                Inst::Cmp {
+                    pred,
+                    dst,
+                    a: Operand::Imm(a),
+                    b: Operand::Imm(b),
+                } => Some((*dst, pred.eval(*a, *b))),
                 _ => None,
             };
             if let Some((dst, v)) = folded {
-                *inst = Inst::Copy { dst, src: Operand::Imm(v) };
+                *inst = Inst::Copy {
+                    dst,
+                    src: Operand::Imm(v),
+                };
                 changed = true;
             }
             // Algebraic identities: x+0, x-0, x*1, x*0, x&x, x|0, x^0, x<<0...
@@ -85,12 +94,8 @@ pub fn fold_and_propagate(f: &mut Function) -> bool {
                     (Add | Sub | Or | Xor | Shl | Shr | Sar, x, Operand::Imm(0)) => Some(x),
                     (Add | Or | Xor, Operand::Imm(0), x) => Some(x),
                     (Mul, x, Operand::Imm(1)) | (Mul, Operand::Imm(1), x) => Some(x),
-                    (Mul, _, Operand::Imm(0)) | (Mul, Operand::Imm(0), _) => {
-                        Some(Operand::Imm(0))
-                    }
-                    (And, _, Operand::Imm(0)) | (And, Operand::Imm(0), _) => {
-                        Some(Operand::Imm(0))
-                    }
+                    (Mul, _, Operand::Imm(0)) | (Mul, Operand::Imm(0), _) => Some(Operand::Imm(0)),
+                    (And, _, Operand::Imm(0)) | (And, Operand::Imm(0), _) => Some(Operand::Imm(0)),
                     _ => None,
                 };
                 if let Some(src) = ident {
@@ -135,9 +140,7 @@ pub fn dead_code_elim(f: &mut Function) -> bool {
             let mut live_now = out;
             let mut keep = vec![true; block.insts.len()];
             for (k, inst) in block.insts.iter().enumerate().rev() {
-                let dead_def = inst
-                    .def()
-                    .is_some_and(|d| !live_now.contains(d.index()));
+                let dead_def = inst.def().is_some_and(|d| !live_now.contains(d.index()));
                 if inst.is_pure() && dead_def {
                     keep[k] = false;
                     continue;
@@ -208,10 +211,7 @@ pub fn simplify_cfg(f: &mut Function) -> bool {
         for bi in 0..f.blocks.len() {
             let b = BlockId(bi as u32);
             if let Some(Inst::Br { target }) = f.block(b).insts.last().cloned() {
-                if target != b
-                    && cfg.preds(target).len() == 1
-                    && target != f.entry()
-                {
+                if target != b && cfg.preds(target).len() == 1 && target != f.entry() {
                     let mut tail = std::mem::take(&mut f.block_mut(target).insts);
                     let bb = f.block_mut(b);
                     bb.insts.pop(); // drop the br

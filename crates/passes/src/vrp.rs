@@ -152,7 +152,7 @@ mod tests {
     use super::*;
     use crate::util::cleanup;
     use portopt_ir::interp::run_module;
-    use portopt_ir::{verify_module, FuncBuilder, ModuleBuilder, Module};
+    use portopt_ir::{verify_module, FuncBuilder, Module, ModuleBuilder};
 
     fn close(f: Function) -> Module {
         let mut mb = ModuleBuilder::new("t");

@@ -20,7 +20,9 @@ fn random_program(seed: u64) -> Module {
     let (_, base) = mb.global_init(
         "buf",
         words,
-        (0..words as i64).map(|i| (i * 2654435761) % 1000 - 500).collect(),
+        (0..words as i64)
+            .map(|i| (i * 2654435761) % 1000 - 500)
+            .collect(),
     );
 
     // Optional helper function (calls exercise inlining/regalloc).
@@ -97,7 +99,10 @@ fn random_config(seed: u64) -> OptConfig {
     OptConfig::sample(&mut rng)
 }
 
-const LIMITS: ExecLimits = ExecLimits { fuel: 10_000_000, max_depth: 256 };
+const LIMITS: ExecLimits = ExecLimits {
+    fuel: 10_000_000,
+    max_depth: 256,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

@@ -4,7 +4,7 @@
 //! space. The paper's "Best" upper bound is [`random_search`] with 1000
 //! uniform-random evaluations (§4.3); [`genetic_search`],
 //! [`hill_climb`] and [`combined_elimination`] reproduce the related-work
-//! baselines ([24], [2] and Pan & Eigenmann [30]).
+//! baselines (refs.\[24\], \[2\] and Pan & Eigenmann \[30\] of the paper).
 //!
 //! All searches work against an opaque cost function (lower is better —
 //! cycles, in the experiments) so they are reusable for any objective, and
@@ -60,16 +60,15 @@ impl Trace {
     /// Number of evaluations needed to reach a cost of at most `target`,
     /// if ever.
     pub fn evals_to_reach(&self, target: f64) -> Option<usize> {
-        self.convergence().iter().position(|&c| c <= target).map(|i| i + 1)
+        self.convergence()
+            .iter()
+            .position(|&c| c <= target)
+            .map(|i| i + 1)
     }
 }
 
 /// Uniform-random iterative search: the paper's 1000-evaluation "Best".
-pub fn random_search(
-    evals: usize,
-    seed: u64,
-    mut cost: impl FnMut(&OptConfig) -> f64,
-) -> Trace {
+pub fn random_search(evals: usize, seed: u64, mut cost: impl FnMut(&OptConfig) -> f64) -> Trace {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::default();
     for _ in 0..evals {
@@ -107,17 +106,16 @@ fn crossover(a: &OptConfig, b: &OptConfig, rng: &mut StdRng) -> OptConfig {
 /// Genetic-algorithm search (Cooper/Kulkarni-style): tournament selection,
 /// uniform crossover, per-gene mutation. `evals` bounds total cost-function
 /// calls.
-pub fn genetic_search(
-    evals: usize,
-    seed: u64,
-    mut cost: impl FnMut(&OptConfig) -> f64,
-) -> Trace {
+pub fn genetic_search(evals: usize, seed: u64, mut cost: impl FnMut(&OptConfig) -> f64) -> Trace {
     const POP: usize = 20;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::default();
     let eval = |cfg: OptConfig, trace: &mut Trace, cost: &mut dyn FnMut(&OptConfig) -> f64| {
         let c = cost(&cfg);
-        trace.samples.push(Sample { config: cfg, cost: c });
+        trace.samples.push(Sample {
+            config: cfg,
+            cost: c,
+        });
         c
     };
 
@@ -159,11 +157,7 @@ pub fn genetic_search(
 
 /// Random-restart hill climbing (Almagor et al. style): first-improvement
 /// over single-dimension moves.
-pub fn hill_climb(
-    evals: usize,
-    seed: u64,
-    mut cost: impl FnMut(&OptConfig) -> f64,
-) -> Trace {
+pub fn hill_climb(evals: usize, seed: u64, mut cost: impl FnMut(&OptConfig) -> f64) -> Trace {
     let dims = OptSpace::dims();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut trace = Trace::default();
@@ -172,7 +166,10 @@ pub fn hill_climb(
         // Restart.
         let mut cur = OptConfig::sample(&mut rng);
         let mut cur_cost = cost(&cur);
-        trace.samples.push(Sample { config: cur, cost: cur_cost });
+        trace.samples.push(Sample {
+            config: cur,
+            cost: cur_cost,
+        });
         let mut improved = true;
         while improved && trace.samples.len() < evals {
             improved = false;
@@ -191,7 +188,10 @@ pub fn hill_climb(
                     cand[d] = v;
                     let cand_cfg = OptConfig::from_choices(&cand);
                     let c = cost(&cand_cfg);
-                    trace.samples.push(Sample { config: cand_cfg, cost: c });
+                    trace.samples.push(Sample {
+                        config: cand_cfg,
+                        cost: c,
+                    });
                     if c < cur_cost {
                         cur = cand_cfg;
                         cur_cost = c;
@@ -211,16 +211,16 @@ pub fn hill_climb(
 /// Combined elimination (Pan & Eigenmann, CGO 2006): start from everything
 /// on, repeatedly measure each flag's relative improvement when turned off,
 /// and greedily disable the ones with negative effect.
-pub fn combined_elimination(
-    seed: u64,
-    mut cost: impl FnMut(&OptConfig) -> f64,
-) -> Trace {
+pub fn combined_elimination(seed: u64, mut cost: impl FnMut(&OptConfig) -> f64) -> Trace {
     let _ = seed; // deterministic; kept for signature uniformity
     let dims = OptSpace::dims();
     let mut trace = Trace::default();
     let eval = |cfg: OptConfig, trace: &mut Trace, cost: &mut dyn FnMut(&OptConfig) -> f64| {
         let c = cost(&cfg);
-        trace.samples.push(Sample { config: cfg, cost: c });
+        trace.samples.push(Sample {
+            config: cfg,
+            cost: c,
+        });
         c
     };
 

@@ -192,7 +192,13 @@ impl<'a> Machine<'a> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn call(&mut self, fid: FuncId, args: &[i64], sp: i64, depth: usize) -> Result<Option<i64>, ExecError> {
+    fn call(
+        &mut self,
+        fid: FuncId,
+        args: &[i64],
+        sp: i64,
+        depth: usize,
+    ) -> Result<Option<i64>, ExecError> {
         if depth >= self.max_depth {
             return Err(ExecError::StackOverflow);
         }
@@ -328,7 +334,11 @@ impl<'a> Machine<'a> {
                         let idx = self.mem_access(a, true)?.expect("store checked");
                         self.mem[idx] = v;
                     }
-                    Inst::Call { func, args: cargs, dst } => {
+                    Inst::Call {
+                        func,
+                        args: cargs,
+                        dst,
+                    } => {
                         self.taken += 1;
                         self.bpred_accesses += 1;
                         self.cycles += self.lat.il1_access as u64; // redirect
@@ -543,7 +553,11 @@ mod tests {
         let mut slow: Vec<f64> = Vec::new();
         for c in &cfgs {
             fast.push(evaluate(&img, &prof, c).cycles);
-            slow.push(simulate(&img, &m, c, &[], Default::default()).unwrap().cycles as f64);
+            slow.push(
+                simulate(&img, &m, c, &[], Default::default())
+                    .unwrap()
+                    .cycles as f64,
+            );
         }
         // Within a factor of 2 pointwise…
         for (f, s) in fast.iter().zip(&slow) {
@@ -581,7 +595,7 @@ mod tests {
     #[test]
     fn cache_lru_behaviour() {
         let mut c = Cache::new(64, 2, 8); // 4 sets x 2 ways
-        // Fill one set with 2 blocks, then a third evicts the LRU.
+                                          // Fill one set with 2 blocks, then a third evicts the LRU.
         assert!(!c.access(0)); // set 0
         assert!(!c.access(32)); // set 0 (4 sets * 8B = 32 stride)
         assert!(c.access(0)); // hit, refreshes 0

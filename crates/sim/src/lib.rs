@@ -8,9 +8,9 @@
 //! The intended flow is two-phase, mirroring how the paper amortises its
 //! 7-million-simulation sweep:
 //!
-//! 1. [`profile`] runs a compiled binary **once**, producing a
+//! 1. [`profile()`] runs a compiled binary **once**, producing a
 //!    microarchitecture-independent [`ExecProfile`];
-//! 2. [`evaluate`] prices that profile on any [`MicroArch`] in microseconds.
+//! 2. [`evaluate`] prices that profile on any [`MicroArch`](portopt_uarch::MicroArch) in microseconds.
 //!
 //! ```
 //! use portopt_ir::{FuncBuilder, ModuleBuilder};

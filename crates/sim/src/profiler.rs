@@ -202,7 +202,11 @@ impl<'a> ProfState<'a> {
             // when entered by fall-through (sequential fetch rolls through
             // the padding nops).
             if lay.bytes > 0 || (by_fallthrough && lay.pad > 0) {
-                let start = if by_fallthrough { lay.addr - lay.pad } else { lay.addr };
+                let start = if by_fallthrough {
+                    lay.addr - lay.pad
+                } else {
+                    lay.addr
+                };
                 let end = (lay.addr + lay.bytes).max(start + 1);
                 self.fetch_range(start, end);
             }
@@ -272,7 +276,11 @@ impl<'a> ProfState<'a> {
                         let v = val(src, &regs);
                         self.store(fp + (*slot as i64) * 4, v)?;
                     }
-                    Inst::Call { func, args: cargs, dst } => {
+                    Inst::Call {
+                        func,
+                        args: cargs,
+                        dst,
+                    } => {
                         self.prof.ops.calls += 1;
                         self.prof.taken_transfers += 1;
                         // The call instruction's PC: position within the
@@ -415,8 +423,7 @@ mod tests {
         assert_eq!(p.ops.loads, 64 * 3);
         assert_eq!(p.ops.stores, 64 * 3);
         // Branch sites: inner and outer loop headers execute.
-        let hot: Vec<&BranchStats> =
-            p.branch_stats.iter().filter(|s| s.execs > 0).collect();
+        let hot: Vec<&BranchStats> = p.branch_stats.iter().filter(|s| s.execs > 0).collect();
         assert!(hot.len() >= 2);
         // The inner loop header runs (64+1)*3 times. Its machine branch is
         // lowered as CondFlip (body is the fall-through), so it is *taken*
@@ -454,7 +461,10 @@ mod tests {
             &img,
             &m,
             &[],
-            ExecLimits { fuel: 10_000, max_depth: 16 },
+            ExecLimits {
+                fuel: 10_000,
+                max_depth: 16,
+            },
         )
         .unwrap_err();
         assert_eq!(e, ExecError::FuelExhausted);

@@ -90,9 +90,17 @@ pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingR
         regfile_access_rate: (prof.ops.reg_reads + prof.ops.reg_writes) as f64 / cycles,
         bpred_access_rate: bm.accesses / cycles,
         icache_access_rate: ic_accesses / cycles,
-        icache_miss_rate: if ic_accesses > 0.0 { ic_misses / ic_accesses } else { 0.0 },
+        icache_miss_rate: if ic_accesses > 0.0 {
+            ic_misses / ic_accesses
+        } else {
+            0.0
+        },
         dcache_access_rate: dc_accesses / cycles,
-        dcache_miss_rate: if dc_accesses > 0.0 { dc_misses / dc_accesses } else { 0.0 },
+        dcache_miss_rate: if dc_accesses > 0.0 {
+            dc_misses / dc_accesses
+        } else {
+            0.0
+        },
         alu_usage: (prof.ops.alu + prof.ops.div) as f64 / cycles,
         mac_usage: prof.ops.mac as f64 / cycles,
         shifter_usage: prof.ops.shift as f64 / cycles,

@@ -175,7 +175,11 @@ mod tests {
         for _ in 0..10_000 {
             h.record(Some(20));
         }
-        let b = vec![BranchStats { execs: 10_032, taken: 5_000, transitions: 100 }];
+        let b = vec![BranchStats {
+            execs: 10_032,
+            taken: 5_000,
+            transitions: 100,
+        }];
         let direct = estimate(&h, &b, 32, 1);
         let assoc4 = estimate(&h, &b, 8, 4); // same 32 entries, 4-way
         assert!(assoc4.btb_misses <= direct.btb_misses);

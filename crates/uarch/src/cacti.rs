@@ -21,7 +21,9 @@ pub fn access_ns(size_bytes: u32, assoc: u32, block_bytes: u32) -> f64 {
 
 /// Cache access latency in whole cycles at the given clock.
 pub fn access_cycles(size_bytes: u32, assoc: u32, block_bytes: u32, cycle_ns: f64) -> u32 {
-    (access_ns(size_bytes, assoc, block_bytes) / cycle_ns).ceil().max(1.0) as u32
+    (access_ns(size_bytes, assoc, block_bytes) / cycle_ns)
+        .ceil()
+        .max(1.0) as u32
 }
 
 /// Derived latencies (in cycles) for one configuration.

@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn distance_is_metric_like() {
-        let a = FeatureVec { values: vec![0.0; N_FEATURES] };
+        let a = FeatureVec {
+            values: vec![0.0; N_FEATURES],
+        };
         let mut bv = vec![0.0; N_FEATURES];
         bv[0] = 3.0;
         bv[1] = 4.0;

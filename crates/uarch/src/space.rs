@@ -103,7 +103,13 @@ impl MicroArch {
     /// Descriptor names, for the Figure 9 Hinton diagram.
     pub fn descriptor_names() -> [&'static str; 8] {
         [
-            "i_size", "i_assoc", "i_block", "d_size", "d_assoc", "d_block", "btb_size",
+            "i_size",
+            "i_assoc",
+            "i_block",
+            "d_size",
+            "d_assoc",
+            "d_block",
+            "btb_size",
             "btb_assoc",
         ]
     }
@@ -156,7 +162,11 @@ impl MicroArchSpace {
             dl1_block: pick(rng, &BLOCKS),
             btb_entries: pick(rng, &BTB_ENTRIES),
             btb_assoc: pick(rng, &BTB_ASSOCS),
-            freq_mhz: if self.extended { pick(rng, &FREQS) } else { 400 },
+            freq_mhz: if self.extended {
+                pick(rng, &FREQS)
+            } else {
+                400
+            },
             width: if self.extended { pick(rng, &WIDTHS) } else { 1 },
         }
     }

@@ -16,7 +16,10 @@ use portopt_search::random_search;
 
 fn main() {
     let prog = by_name("rijndael_e", Workload::default()).unwrap();
-    println!("design-space sweep: {} across instruction-cache sizes\n", prog.name);
+    println!(
+        "design-space sweep: {} across instruction-cache sizes\n",
+        prog.name
+    );
     println!(
         "{:>9} {:>12} {:>12} {:>8}  {}",
         "IL1", "O3 cycles", "best cycles", "speedup", "best setting differs in"

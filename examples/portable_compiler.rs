@@ -27,7 +27,10 @@ fn main() {
     let ds = generate(
         &training,
         &GenOptions {
-            scale: SweepScale { n_uarch: 8, n_opts: 60 },
+            scale: SweepScale {
+                n_uarch: 8,
+                n_opts: 60,
+            },
             seed: 42,
             extended_space: false,
             threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
@@ -48,7 +51,10 @@ fn main() {
     let prof = profile(&img, &test.module, &[], Default::default()).unwrap();
     let t_pred = evaluate(&img, &prof, &target);
 
-    println!("\ndeploying on unseen program `{}` / unseen uarch (8K caches):", test.name);
+    println!(
+        "\ndeploying on unseen program `{}` / unseen uarch (8K caches):",
+        test.name
+    );
     println!("  O3 cycles:        {:.0}", t_o3.cycles);
     println!("  predicted cycles: {:.0}", t_pred.cycles);
     println!("  speedup over O3:  {:.3}x", t_o3.cycles / t_pred.cycles);

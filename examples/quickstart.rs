@@ -29,12 +29,18 @@ fn main() {
     // 2. Compile at two optimisation levels.
     let img_o0 = compile(&module, &OptConfig::o0());
     let img_o3 = compile(&module, &OptConfig::o3());
-    println!("code size: O0 = {} bytes, O3 = {} bytes", img_o0.code_bytes, img_o3.code_bytes);
+    println!(
+        "code size: O0 = {} bytes, O3 = {} bytes",
+        img_o0.code_bytes, img_o3.code_bytes
+    );
 
     // 3. Profile one run each (microarchitecture-independent)…
     let prof_o0 = profile(&img_o0, &module, &[], Default::default()).unwrap();
     let prof_o3 = profile(&img_o3, &module, &[], Default::default()).unwrap();
-    assert_eq!(prof_o0.ret, prof_o3.ret, "optimisation must not change results");
+    assert_eq!(
+        prof_o0.ret, prof_o3.ret,
+        "optimisation must not change results"
+    );
     println!(
         "dynamic instructions: O0 = {}, O3 = {}",
         prof_o0.dyn_insts, prof_o3.dyn_insts

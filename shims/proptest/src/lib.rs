@@ -1,0 +1,296 @@
+//! Offline, API-compatible subset of [`proptest`](https://proptest-rs.github.io),
+//! vendored so the workspace tests run with no network access.
+//!
+//! Supported surface — exactly what this workspace's property tests use:
+//!
+//! * the [`proptest!`] macro with `fn name(arg in strategy, ...) { .. }`
+//!   items and an optional `#![proptest_config(..)]` inner attribute;
+//! * range strategies (`0u64..100_000`, `0.01f64..10.0`, `0..=n`) and
+//!   [`any`]`::<T>()`;
+//! * [`prop_assert!`], [`prop_assert_eq!`] and [`prop_assume!`].
+//!
+//! No shrinking is performed on failure; the failing case's seed index is
+//! reported instead. Case count defaults to 64 (upstream: 256) and honours
+//! the `PROPTEST_CASES` environment variable, so CI can dial coverage up.
+
+#![warn(missing_docs)]
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng, Standard};
+
+/// Everything a `proptest!` test module needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Harness configuration (only the case count is honoured).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases each test must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is retried, not failed.
+    Reject(String),
+    /// A `prop_assert*!` failed: the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds the rejection variant.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// A source of generated values for one strategy binding.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut dyn RngCore) -> Self::Value;
+}
+
+impl<T> Strategy for std::ops::Range<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+    std::ops::Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut dyn RngCore) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for std::ops::RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Copy,
+    std::ops::RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut dyn RngCore) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for "any value of `T`", mirroring `proptest::arbitrary::any`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Returns the [`Any`] strategy for `T` (e.g. `any::<bool>()`).
+pub fn any<T: Standard>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Standard> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut dyn RngCore) -> T {
+        T::sample(rng)
+    }
+}
+
+/// Runs one test's cases. Used by the [`proptest!`] expansion; not public API.
+#[doc(hidden)]
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+) {
+    // Deterministic per-test seed so failures are reproducible by name.
+    let mut seed = 0xBAD5_EEDu64;
+    for b in test_name.bytes() {
+        seed = seed.wrapping_mul(0x100000001B3).wrapping_add(b as u64);
+    }
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(16).max(1024);
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let mut rng = StdRng::seed_from_u64(seed ^ case_index);
+        case_index += 1;
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest {test_name}: too many prop_assume! rejections \
+                         ({rejected} rejects for {passed} passes)"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {test_name}: case #{case} (seed {seed:#x} ^ {idx}) failed:\n{msg}",
+                    case = passed + 1,
+                    idx = case_index - 1,
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs ($cfg) $($rest)*);
+    };
+    (@funcs ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(
+                stringify!($name),
+                &config,
+                |__proptest_rng| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng);)*
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs (::core::default::Default::default()) $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body, failing the case (not panicking
+/// directly) so the harness can report the generating seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} ({})",
+                    stringify!($cond),
+                    ::std::format!($($fmt)+),
+                ),
+            ));
+        }
+    };
+}
+
+/// Equality assertion counterpart of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right), l, r,
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                    stringify!($left), stringify!($right),
+                    ::std::format!($($fmt)+), l, r,
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discards the current case (retried with fresh inputs) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(::std::format!(
+                "assumption failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use rand::SeedableRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respected(a in 3u64..10, b in -2i64..=2, f in 0.5f64..1.5) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((-2..=2).contains(&b));
+            prop_assert!((0.5..1.5).contains(&f), "f = {}", f);
+        }
+
+        #[test]
+        fn any_bool_generates_both(_dummy in 0u32..1) {
+            // Statistical smoke: over 64 draws both values appear.
+            let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+            let draws: Vec<bool> = (0..64).map(|_| {
+                crate::Strategy::generate(&crate::any::<bool>(), &mut rng)
+            }).collect();
+            prop_assert!(draws.iter().any(|&x| x));
+            prop_assert!(draws.iter().any(|&x| !x));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_seed() {
+        crate::run_cases("failing_property", &ProptestConfig::with_cases(4), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

@@ -1,0 +1,437 @@
+//! Offline shim of `serde_derive`: implements `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` against the `serde` shim's `to_value`/`from_value`
+//! traits, using only the compiler-provided `proc_macro` API (the real
+//! `syn`/`quote` stack is unavailable without network access).
+//!
+//! Supported input shapes — exactly what this workspace uses:
+//! unit/tuple/named structs and enums with unit, tuple and struct variants,
+//! all without generic parameters and without `#[serde(...)]` attributes.
+//! Anything else panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim version: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` (shim version: `fn from_value(&Value) -> Result<Self, Error>`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    emit_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny shape model of the input item
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (token-tree walk; types are never interpreted, only skipped)
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match kw.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_struct_fields(&toks, &mut i),
+        },
+        "enum" => {
+            let body = expect_group(&toks, &mut i, Delimiter::Brace);
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive shim: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_struct_fields(toks: &[TokenTree], i: &mut usize) -> Fields {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Named(parse_named_field_names(&inner))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Fields::Tuple(count_top_level_items(&inner))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+        other => panic!("serde_derive shim: unexpected struct body {other:?}"),
+    }
+}
+
+/// Extracts field names from the inside of a named-field brace group.
+/// Commas inside generic argument lists (`Vec<f64>`, `HashMap<K, V>`) are
+/// skipped by tracking angle-bracket depth; grouped tokens are atomic.
+fn parse_named_field_names(toks: &[TokenTree]) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        names.push(expect_ident(toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field name, got {other:?}"),
+        }
+        skip_type_until_comma(toks, &mut i);
+    }
+    names
+}
+
+fn parse_variants(body: proc_macro::Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Tuple(count_top_level_items(&inner))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                Fields::Named(parse_named_field_names(&inner))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&toks, &mut i);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // `#`
+                *i += 1; // `[...]`
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past tokens until (and including) a comma at angle-bracket depth
+/// zero, so commas inside `HashMap<K, V>`-style generic arguments don't split
+/// a field. `->`, `<<` and `>>` never appear in the types this repo derives.
+fn skip_type_until_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tok) = toks.get(*i) {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn count_top_level_items(toks: &[TokenTree]) -> usize {
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tok in toks {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one; detect it.
+    if matches!(toks.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive shim: expected identifier, got {other:?}"),
+    }
+}
+
+fn expect_group(toks: &[TokenTree], i: &mut usize, delim: Delimiter) -> proc_macro::Group {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => {
+            *i += 1;
+            g.clone()
+        }
+        other => panic!("serde_derive shim: expected {delim:?} group, got {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (source strings, then `.parse()`)
+// ---------------------------------------------------------------------------
+
+fn emit_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                }
+                Fields::Named(names) => object_expr(
+                    names
+                        .iter()
+                        .map(|f| (f.clone(), format!("&self.{f}")))
+                        .collect(),
+                ),
+            };
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binders
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), {payload})]),",
+                                binds = binders.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let payload = object_expr(
+                                fields.iter().map(|f| (f.clone(), f.clone())).collect(),
+                            );
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(::std::vec![\
+                                 (\"{vn}\".to_string(), {payload})]),",
+                                binds = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "#[automatically_derived]\n\
+                 impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn object_expr(fields: Vec<(String, String)>) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|(name, expr)| {
+            format!("(\"{name}\".to_string(), ::serde::Serialize::to_value({expr}))")
+        })
+        .collect();
+    format!("::serde::Value::Object(::std::vec![{}])", items.join(", "))
+}
+
+fn emit_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::Struct { name, fields } => match fields {
+            Fields::Unit => format!("::core::result::Result::Ok({name})"),
+            Fields::Tuple(1) => {
+                format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                    .collect();
+                format!(
+                    "let items = v.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}\"))?;\n\
+                     if items.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::new(\"wrong tuple arity for {name}\")); }}\n\
+                     ::core::result::Result::Ok({name}({}))",
+                    items.join(", ")
+                )
+            }
+            Fields::Named(names) => {
+                format!(
+                    "::core::result::Result::Ok({name} {{ {} }})",
+                    named_field_inits(names, "v")
+                )
+            }
+        },
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),",
+                        vn = v.name
+                    )
+                })
+                .collect();
+            let payload_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => unreachable!(),
+                        Fields::Tuple(1) => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}(\
+                             ::serde::Deserialize::from_value(payload)?)),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|k| format!("::serde::Deserialize::from_value(&items[{k}])?"))
+                                .collect();
+                            format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = payload.as_array().ok_or_else(|| ::serde::Error::new(\"expected array for {name}::{vn}\"))?;\n\
+                                     if items.len() != {n} {{ return ::core::result::Result::Err(::serde::Error::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                                     ::core::result::Result::Ok({name}::{vn}({}))\n\
+                                 }}",
+                                items.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => format!(
+                            "\"{vn}\" => ::core::result::Result::Ok({name}::{vn} {{ {} }}),",
+                            named_field_inits(fields, "payload")
+                        ),
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => ::core::result::Result::Err(::serde::Error::new(\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, payload) = &fields[0];\n\
+                         match tag.as_str() {{\n\
+                             {payloads}\n\
+                             other => ::core::result::Result::Err(::serde::Error::new(\
+                                 ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::core::result::Result::Err(::serde::Error::new(\"expected enum value for {name}\")),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                payloads = payload_arms.join("\n"),
+            )
+        }
+    };
+    let name = match item {
+        Item::Struct { name, .. } | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn named_field_inits(names: &[String], source: &str) -> String {
+    names
+        .iter()
+        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field(\"{f}\")?)?,"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}

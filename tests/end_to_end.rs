@@ -25,7 +25,11 @@ fn whole_suite_differential_o3_and_random() {
             let img = compile(&p.module, &cfg);
             let prof = profile(&img, &p.module, &[], Default::default())
                 .unwrap_or_else(|e| panic!("{} cfg#{k} failed: {e} ({cfg:?})", p.name));
-            assert_eq!(prof.ret, reference.ret, "{} cfg#{k} result ({cfg:?})", p.name);
+            assert_eq!(
+                prof.ret, reference.ret,
+                "{} cfg#{k} result ({cfg:?})",
+                p.name
+            );
         }
     }
 }
@@ -76,7 +80,9 @@ fn fast_model_tracks_detailed_sim() {
 /// the available improvement.
 #[test]
 fn mini_reproduction_beats_o3() {
-    let names = ["search", "crc", "sha", "dijkstra", "tiff2bw", "gs", "madplay", "bf_e"];
+    let names = [
+        "search", "crc", "sha", "dijkstra", "tiff2bw", "gs", "madplay", "bf_e",
+    ];
     let pairs: Vec<(String, portopt_ir::Module)> = names
         .iter()
         .map(|n| {
@@ -87,7 +93,10 @@ fn mini_reproduction_beats_o3() {
     let ds = generate(
         &pairs,
         &GenOptions {
-            scale: SweepScale { n_uarch: 5, n_opts: 40 },
+            scale: SweepScale {
+                n_uarch: 5,
+                n_opts: 40,
+            },
             seed: 7,
             extended_space: false,
             threads: 2,
@@ -122,7 +131,10 @@ fn deployment_flow_unseen_program_and_uarch() {
     let ds = generate(
         &pairs,
         &GenOptions {
-            scale: SweepScale { n_uarch: 4, n_opts: 30 },
+            scale: SweepScale {
+                n_uarch: 4,
+                n_opts: 30,
+            },
             seed: 13,
             extended_space: false,
             threads: 2,
@@ -158,7 +170,10 @@ fn pipeline_is_deterministic() {
         })
         .collect();
     let opts = GenOptions {
-        scale: SweepScale { n_uarch: 3, n_opts: 15 },
+        scale: SweepScale {
+            n_uarch: 3,
+            n_opts: 15,
+        },
         seed: 99,
         extended_space: false,
         threads: 2,
@@ -167,7 +182,17 @@ fn pipeline_is_deterministic() {
     let b = generate(&pairs, &opts);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.o3_cycles, b.o3_cycles);
-    let fa: Vec<Vec<f64>> = a.features.iter().flatten().map(|f| f.values.clone()).collect();
-    let fb: Vec<Vec<f64>> = b.features.iter().flatten().map(|f| f.values.clone()).collect();
+    let fa: Vec<Vec<f64>> = a
+        .features
+        .iter()
+        .flatten()
+        .map(|f| f.values.clone())
+        .collect();
+    let fb: Vec<Vec<f64>> = b
+        .features
+        .iter()
+        .flatten()
+        .map(|f| f.values.clone())
+        .collect();
     assert_eq!(fa, fb);
 }
