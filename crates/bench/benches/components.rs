@@ -3,11 +3,16 @@
 //! search baselines. (Figure regeneration lives in the `--bin` targets.)
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use portopt_core::{generate, GenOptions, PortableCompiler, SweepScale, TrainOptions};
+use portopt_core::{
+    generate, sweep_program, GenOptions, PortableCompiler, SweepScale, TrainOptions,
+};
+use portopt_exec::Executor;
 use portopt_mibench::{by_name, suite, Workload};
 use portopt_passes::{compile, OptConfig};
-use portopt_sim::{evaluate, profile, simulate};
-use portopt_uarch::MicroArch;
+use portopt_sim::{evaluate, profile, simulate, PreparedEval};
+use portopt_uarch::{MicroArch, MicroArchSpace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 fn bench_compile(c: &mut Criterion) {
     let p = by_name("crc", Workload::default()).unwrap();
@@ -39,6 +44,10 @@ fn bench_simulation(c: &mut Criterion) {
     g.bench_function("fast_timing_model", |b| {
         b.iter(|| evaluate(&img, &prof, &x))
     });
+    g.bench_function("fast_timing_model_prepared", |b| {
+        let pe = PreparedEval::new(&img, &prof);
+        b.iter(|| pe.evaluate(&x))
+    });
     g.bench_function("detailed_sim_crc", |b| {
         b.iter(|| simulate(&img, &p.module, &x, &[], Default::default()).unwrap())
     });
@@ -61,7 +70,7 @@ fn bench_model(c: &mut Criterion) {
             },
             seed: 1,
             extended_space: false,
-            threads: 2,
+            threads: 0,
         },
     );
     let mut g = c.benchmark_group("model");
@@ -71,6 +80,26 @@ fn bench_model(c: &mut Criterion) {
     });
     let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
     g.bench_function("predict", |b| b.iter(|| pc.predict(&ds.features[0][0])));
+    g.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    // The smoke-scale per-program sweep (6 uarchs × 40 settings) through
+    // the work-stealing executor — the unit of dataset-generation
+    // throughput that `BENCH_*.json` tracks across PRs.
+    let p = by_name("crc", Workload::default()).unwrap();
+    let scale = SweepScale::smoke();
+    let mut rng = StdRng::seed_from_u64(2009);
+    let uarchs = MicroArchSpace::base().sample_n(scale.n_uarch, &mut rng);
+    // The exact setting sample generate() would draw at this seed, so the
+    // tracked number measures the real workload.
+    let configs = portopt_core::dataset::sample_configs(scale.n_opts, 2009);
+    let exec = Executor::new(0);
+    let mut g = c.benchmark_group("sweep");
+    g.sample_size(10);
+    g.bench_function("sweep_program_crc_smoke", |b| {
+        b.iter(|| sweep_program(&p.module, &uarchs, &configs, &exec))
+    });
     g.finish();
 }
 
@@ -91,7 +120,7 @@ fn bench_search(c: &mut Criterion) {
             },
             seed: 2,
             extended_space: false,
-            threads: 2,
+            threads: 0,
         },
     );
     let base = ds.o3_cycles[0][0];
@@ -120,6 +149,7 @@ criterion_group!(
     bench_compile,
     bench_simulation,
     bench_model,
+    bench_sweep,
     bench_search
 );
 criterion_main!(benches);

@@ -2,12 +2,9 @@
 //! microarchitectures (XScale; small icache; small icache + small dcache).
 
 use portopt_bench::BinArgs;
-use portopt_core::generate;
+use portopt_core::generate_with_uarchs;
 use portopt_experiments::figures::fig1;
-use portopt_ir::interp::ExecLimits;
 use portopt_mibench::{by_name, Workload};
-use portopt_passes::compile;
-use portopt_sim::{evaluate, profile};
 use portopt_uarch::MicroArch;
 
 fn main() {
@@ -31,39 +28,11 @@ fn main() {
         "C: small insn+data cache",
     ];
 
-    // Generate a dataset with the right setting sample, then re-price every
-    // (program, setting) on the three *named* configurations instead of the
-    // sampled ones.
-    let mut opts = args.gen_options();
-    opts.scale.n_uarch = 3;
-    let mut ds = generate(&pairs, &opts);
-    ds.uarchs = uarchs.to_vec();
-    let lim = ExecLimits {
-        fuel: 100_000_000,
-        max_depth: 2048,
-    };
-    for (p, (_, module)) in pairs.iter().enumerate() {
-        let img3 = compile(module, &portopt_passes::OptConfig::o3());
-        let prof3 = profile(&img3, module, &[], lim).unwrap();
-        for (u, ua) in uarchs.iter().enumerate() {
-            ds.o3_cycles[p][u] = evaluate(&img3, &prof3, ua).cycles;
-        }
-        for (c, cfg) in ds.configs.clone().iter().enumerate() {
-            let img = compile(module, cfg);
-            match profile(&img, module, &[], lim) {
-                Ok(prof) => {
-                    for (u, ua) in uarchs.iter().enumerate() {
-                        ds.cycles[p][u][c] = evaluate(&img, &prof, ua).cycles;
-                    }
-                }
-                Err(_) => {
-                    for u in 0..3 {
-                        ds.cycles[p][u][c] = f64::INFINITY;
-                    }
-                }
-            }
-        }
-    }
+    // Price the usual setting sample directly on the three *named*
+    // configurations (same settings as the sampled-space dataset for this
+    // seed, but each binary is compiled and profiled exactly once).
+    let (ds, report) = generate_with_uarchs(&pairs, &uarchs, &args.gen_options());
+    args.write_report(&report);
 
     let f = fig1(&ds, &[0, 1, 2], &[0, 1, 2], &labels.map(String::from));
     println!("{f}");

@@ -6,7 +6,7 @@
 
 #![warn(missing_docs)]
 
-use portopt_core::{Dataset, GenOptions, SweepScale};
+use portopt_core::{Dataset, GenOptions, SweepReport, SweepScale};
 use portopt_experiments::loo::{run_loo, LooResult};
 use portopt_experiments::{dataset_cached, suite_modules};
 use portopt_ir::Module;
@@ -22,15 +22,18 @@ pub struct BinArgs {
     pub extended: bool,
     /// Disable the dataset cache.
     pub no_cache: bool,
+    /// Worker threads (`0` = all available cores).
+    pub threads: usize,
 }
 
 impl BinArgs {
     /// Parses `--scale smoke|default|paper|quick`, `--extended`,
-    /// `--no-cache` from `std::env::args`.
+    /// `--no-cache`, `--threads N` from `std::env::args`.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
         let mut extended = false;
         let mut no_cache = false;
+        let mut threads = 0usize;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -41,6 +44,14 @@ impl BinArgs {
                 }
                 "--extended" => extended = true,
                 "--no-cache" => no_cache = true,
+                "--threads" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        threads = n;
+                        i += 1;
+                    }
+                    // Don't consume the next token: it may be another flag.
+                    None => eprintln!("--threads expects a number (0 = auto); using auto"),
+                },
                 other => eprintln!("ignoring unknown argument {other}"),
             }
             i += 1;
@@ -60,6 +71,7 @@ impl BinArgs {
             scale_name,
             extended,
             no_cache,
+            threads,
         }
     }
 
@@ -69,11 +81,44 @@ impl BinArgs {
             scale: self.scale,
             seed: 2009,
             extended_space: self.extended,
-            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            threads: self.threads,
         }
     }
 
-    /// Loads or generates the dataset (cached under `target/`).
+    /// Where this run's throughput report lands.
+    fn report_path(&self) -> String {
+        format!(
+            "target/BENCH_sweep-{}{}.json",
+            self.scale_name,
+            if self.extended { "-ext" } else { "" }
+        )
+    }
+
+    /// Writes the machine-readable sweep throughput report (settings/sec,
+    /// wall time) next to the dataset cache and echoes it to stderr, so
+    /// every figure run leaves a perf data point behind.
+    pub fn write_report(&self, report: &SweepReport) {
+        eprintln!(
+            "sweep: {} programs x {} settings x {} uarchs in {:.2}s \
+             ({:.1} settings/sec, {} threads, {} unique settings)",
+            report.programs,
+            report.settings,
+            report.uarchs,
+            report.wall_secs,
+            report.settings_per_sec,
+            report.threads,
+            report.unique_settings,
+        );
+        if let Ok(bytes) = serde_json::to_vec(report) {
+            let path = self.report_path();
+            if let Err(e) = std::fs::write(&path, bytes) {
+                eprintln!("could not write {path}: {e}");
+            }
+        }
+    }
+
+    /// Loads or generates the dataset (cached under `target/`). A fresh
+    /// generation also records its throughput report.
     pub fn dataset(&self) -> Dataset {
         let cache = format!(
             "target/portopt-ds-{}{}.json",
@@ -84,6 +129,7 @@ impl BinArgs {
         dataset_cached(
             &self.gen_options(),
             if self.no_cache { None } else { Some(&path) },
+            |report| self.write_report(report),
         )
     }
 
@@ -105,8 +151,7 @@ impl BinArgs {
                 }
             }
         }
-        let threads = std::thread::available_parallelism().map_or(2, |n| n.get());
-        let loo = run_loo(&ds, &modules, threads);
+        let loo = run_loo(&ds, &modules, self.threads);
         if !self.no_cache {
             if let Ok(bytes) = serde_json::to_vec(&loo) {
                 let _ = std::fs::write(&cache, bytes);

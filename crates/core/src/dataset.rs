@@ -9,14 +9,17 @@
 //! sweep into `programs × settings` profiler runs plus 7 million
 //! microsecond-scale model evaluations.
 
+use portopt_exec::Executor;
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
 use portopt_passes::{compile, OptConfig};
-use portopt_sim::{evaluate, profile};
+use portopt_sim::{profile, PreparedEval};
 use portopt_uarch::{FeatureVec, MicroArch, MicroArchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// Scale of a sweep (paper scale: 35 programs × 200 μarchs × 1000 settings).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,7 +125,9 @@ pub struct GenOptions {
     pub seed: u64,
     /// Use the extended (§7) space with frequency/width.
     pub extended_space: bool,
-    /// Worker threads for the per-setting compile+profile loop.
+    /// Worker threads for the sweep (`0` = all available cores). The
+    /// dataset is byte-identical for every thread count — see
+    /// [`portopt_exec`]'s determinism contract.
     pub threads: usize,
 }
 
@@ -132,9 +137,31 @@ impl Default for GenOptions {
             scale: SweepScale::default_scale(),
             seed: 2009,
             extended_space: false,
-            threads: 2,
+            threads: 0,
         }
     }
+}
+
+/// Machine-readable throughput record of one generation sweep, for the
+/// `BENCH_*.json` perf trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Programs swept.
+    pub programs: usize,
+    /// Microarchitectures priced per setting.
+    pub uarchs: usize,
+    /// Sampled optimisation settings per program.
+    pub settings: usize,
+    /// Distinct settings after dedup (duplicates reuse compile artifacts).
+    pub unique_settings: usize,
+    /// `(program, setting)` grid tasks dispatched to the executor.
+    pub grid_tasks: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole sweep (baselines included).
+    pub wall_secs: f64,
+    /// `programs × settings / wall_secs`: the headline throughput.
+    pub settings_per_sec: f64,
 }
 
 const PROFILE_LIMITS: ExecLimits = ExecLimits {
@@ -147,79 +174,150 @@ const PROFILE_LIMITS: ExecLimits = ExecLimits {
 /// features[u])`.
 type ProgramSweep = (Vec<Vec<f64>>, Vec<f64>, Vec<FeatureVec>);
 
-fn sweep_program(
+/// Per-program cache of evaluation rows, keyed by compiled-image
+/// fingerprint: distinct settings that lower a program to the same machine
+/// code share one profiling run (the expensive step).
+type ProfileCache = Mutex<HashMap<u64, Arc<Vec<f64>>>>;
+
+/// Profiles one compiled image and prices it on every configuration —
+/// the per-task kernel shared by dataset generation and the LOO pricing
+/// loop in `portopt-experiments`. A binary that fails to run (fuel
+/// blow-up from a pathological unroll, say) is priced as unusable
+/// (`INFINITY` everywhere).
+pub fn price_image(
+    img: &portopt_passes::CodeImage,
     module: &Module,
     uarchs: &[MicroArch],
-    configs: &[OptConfig],
-    threads: usize,
-) -> ProgramSweep {
-    // O3 baseline run: cycles + counters per configuration.
+) -> Vec<f64> {
+    match profile(img, module, &[], PROFILE_LIMITS) {
+        Ok(prof) => {
+            let pe = PreparedEval::new(img, &prof);
+            uarchs.iter().map(|u| pe.evaluate(u).cycles).collect()
+        }
+        Err(_) => vec![f64::INFINITY; uarchs.len()],
+    }
+}
+
+/// Compiles one setting, profiles it (or reuses a cached profile of an
+/// identical binary) and prices it on every configuration. Pure in
+/// `(module, cfg, uarchs)` — the cache only short-circuits recomputation,
+/// which is what keeps the sweep deterministic under any scheduling.
+fn eval_setting(
+    module: &Module,
+    uarchs: &[MicroArch],
+    cfg: &OptConfig,
+    cache: &ProfileCache,
+) -> Arc<Vec<f64>> {
+    let img = compile(module, cfg);
+    let fp = img.fingerprint();
+    if let Some(hit) = cache.lock().expect("profile cache").get(&fp) {
+        return hit.clone();
+    }
+    let row = Arc::new(price_image(&img, module, uarchs));
+    cache
+        .lock()
+        .expect("profile cache")
+        .entry(fp)
+        .or_insert_with(|| row.clone())
+        .clone()
+}
+
+/// `-O3` baseline for one program: cycles + counter features per
+/// configuration.
+fn o3_baseline(module: &Module, uarchs: &[MicroArch]) -> (Vec<f64>, Vec<FeatureVec>) {
     let img3 = compile(module, &OptConfig::o3());
     let prof3 = profile(&img3, module, &[], PROFILE_LIMITS)
         .expect("O3 binary must run (checked by the mibench tests)");
+    let pe = PreparedEval::new(&img3, &prof3);
     let mut o3_cycles = Vec::with_capacity(uarchs.len());
     let mut features = Vec::with_capacity(uarchs.len());
     for u in uarchs {
-        let t = evaluate(&img3, &prof3, u);
+        let t = pe.evaluate(u);
         o3_cycles.push(t.cycles);
         features.push(FeatureVec::new(&t.counters, u));
     }
+    (o3_cycles, features)
+}
 
-    // Per-setting sweeps, parallelised over settings.
-    let n = configs.len();
-    let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; n]; uarchs.len()];
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<(usize, Vec<f64>)> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.max(1) {
-            let next = &next;
-            handles.push(s.spawn(move || {
-                let mut out = Vec::new();
-                loop {
-                    let c = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if c >= n {
-                        return out;
-                    }
-                    let img = compile(module, &configs[c]);
-                    let per_uarch: Vec<f64> = match profile(&img, module, &[], PROFILE_LIMITS) {
-                        Ok(prof) => uarchs
-                            .iter()
-                            .map(|u| evaluate(&img, &prof, u).cycles)
-                            .collect(),
-                        // A setting that fails to run (fuel blow-up from a
-                        // pathological unroll, say) is priced as unusable.
-                        Err(_) => vec![f64::INFINITY; uarchs.len()],
-                    };
-                    out.push((c, per_uarch));
-                }
-            }));
+/// Deduplicates sampled settings: returns `(unique-task → config index,
+/// config index → unique task)`. Random 39-dimension samples rarely
+/// collide, but figure sweeps and searches revisit settings freely, and a
+/// duplicate costs a whole compile+profile run.
+fn dedup_configs(configs: &[OptConfig]) -> (Vec<usize>, Vec<usize>) {
+    let mut first: HashMap<Vec<u8>, usize> = HashMap::new();
+    let mut uniques: Vec<usize> = Vec::new();
+    let mut to_unique: Vec<usize> = Vec::with_capacity(configs.len());
+    for (c, cfg) in configs.iter().enumerate() {
+        let key = cfg.to_choices();
+        match first.get(&key) {
+            Some(&u) => to_unique.push(u),
+            None => {
+                first.insert(key, uniques.len());
+                to_unique.push(uniques.len());
+                uniques.push(c);
+            }
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker"))
-            .collect()
+    }
+    (uniques, to_unique)
+}
+
+/// Sweeps one program over the settings on the given executor: the unit of
+/// work behind [`generate`], exposed for benchmarking (`cargo bench`).
+pub fn sweep_program(
+    module: &Module,
+    uarchs: &[MicroArch],
+    configs: &[OptConfig],
+    exec: &Executor,
+) -> ProgramSweep {
+    let (o3_cycles, features) = o3_baseline(module, uarchs);
+    let (uniques, to_unique) = dedup_configs(configs);
+    let cache: ProfileCache = Mutex::new(HashMap::new());
+    let rows = exec.map_indexed(uniques.len(), |t| {
+        eval_setting(module, uarchs, &configs[uniques[t]], &cache)
     });
-    for (c, per_uarch) in results {
-        for (u, cy) in per_uarch.into_iter().enumerate() {
-            cycles[u][c] = cy;
+    let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; configs.len()]; uarchs.len()];
+    for (c, &t) in to_unique.iter().enumerate() {
+        for (u, cy) in rows[t].iter().enumerate() {
+            cycles[u][c] = *cy;
         }
     }
     (cycles, o3_cycles, features)
 }
 
-/// Generates a full dataset for the given programs.
-pub fn generate(programs: &[(String, Module)], opts: &GenOptions) -> Dataset {
-    let space = if opts.extended_space {
-        MicroArchSpace::extended()
-    } else {
-        MicroArchSpace::base()
-    };
-    let mut rng = StdRng::seed_from_u64(opts.seed);
-    let uarchs = space.sample_n(opts.scale.n_uarch, &mut rng);
-    let mut rng2 = StdRng::seed_from_u64(opts.seed ^ 0xC0FFEE);
-    let configs: Vec<OptConfig> = (0..opts.scale.n_opts)
-        .map(|_| OptConfig::sample(&mut rng2))
-        .collect();
+/// Samples the setting list for a seed — the one sampling recipe shared by
+/// every generation entry point (and the sweep benchmarks), so figure
+/// sweeps and tracked throughput numbers see the same settings as
+/// [`generate`].
+pub fn sample_configs(n_opts: usize, seed: u64) -> Vec<OptConfig> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0FFEE);
+    (0..n_opts).map(|_| OptConfig::sample(&mut rng)).collect()
+}
+
+/// The flattened-grid sweep shared by [`generate`] and
+/// [`generate_with_uarchs`]: one executor pass over every
+/// `(program, unique setting)` task, so stragglers in one program overlap
+/// with work from the next.
+fn sweep_grid(
+    programs: &[(String, Module)],
+    uarchs: Vec<MicroArch>,
+    configs: Vec<OptConfig>,
+    threads: usize,
+) -> (Dataset, SweepReport) {
+    let start = std::time::Instant::now();
+    let exec = Executor::new(threads);
+    let np = programs.len();
+
+    // `-O3` baselines, parallel over programs.
+    let baselines = exec.map_indexed(np, |p| o3_baseline(&programs[p].1, &uarchs));
+
+    // The flattened (program, unique-setting) grid in one executor pass.
+    let (uniques, to_unique) = dedup_configs(&configs);
+    let nu = uniques.len();
+    let caches: Vec<ProfileCache> = (0..np).map(|_| Mutex::new(HashMap::new())).collect();
+    let rows = exec.map_indexed(np * nu, |i| {
+        let (p, t) = (i / nu, i % nu);
+        eval_setting(&programs[p].1, &uarchs, &configs[uniques[t]], &caches[p])
+    });
 
     let mut ds = Dataset {
         programs: programs.iter().map(|(n, _)| n.clone()).collect(),
@@ -229,13 +327,70 @@ pub fn generate(programs: &[(String, Module)], opts: &GenOptions) -> Dataset {
         o3_cycles: Vec::new(),
         features: Vec::new(),
     };
-    for (_, module) in programs {
-        let (cycles, o3, feats) = sweep_program(module, &ds.uarchs, &ds.configs, opts.threads);
+    for (p, (o3, feats)) in baselines.into_iter().enumerate() {
+        let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; ds.configs.len()]; ds.uarchs.len()];
+        for (c, &t) in to_unique.iter().enumerate() {
+            for (u, cy) in rows[p * nu + t].iter().enumerate() {
+                cycles[u][c] = *cy;
+            }
+        }
         ds.cycles.push(cycles);
         ds.o3_cycles.push(o3);
         ds.features.push(feats);
     }
-    ds
+
+    let wall_secs = start.elapsed().as_secs_f64();
+    let swept = ds.programs.len() * ds.configs.len();
+    let report = SweepReport {
+        programs: ds.programs.len(),
+        uarchs: ds.uarchs.len(),
+        settings: ds.configs.len(),
+        unique_settings: nu,
+        grid_tasks: np * nu,
+        threads: exec.threads(),
+        wall_secs,
+        settings_per_sec: if wall_secs > 0.0 {
+            swept as f64 / wall_secs
+        } else {
+            0.0
+        },
+    };
+    (ds, report)
+}
+
+/// Generates a full dataset for the given programs.
+pub fn generate(programs: &[(String, Module)], opts: &GenOptions) -> Dataset {
+    generate_with_report(programs, opts).0
+}
+
+/// [`generate`] plus the sweep's [`SweepReport`].
+pub fn generate_with_report(
+    programs: &[(String, Module)],
+    opts: &GenOptions,
+) -> (Dataset, SweepReport) {
+    let space = if opts.extended_space {
+        MicroArchSpace::extended()
+    } else {
+        MicroArchSpace::base()
+    };
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let uarchs = space.sample_n(opts.scale.n_uarch, &mut rng);
+    let configs = sample_configs(opts.scale.n_opts, opts.seed);
+    sweep_grid(programs, uarchs, configs, opts.threads)
+}
+
+/// Generates a dataset priced on the given (named) microarchitectures
+/// instead of sampling `opts.scale.n_uarch` from the design space. The
+/// setting sample is identical to [`generate`]'s for the same seed, so
+/// figure sweeps that pin their configurations (Figure 1's three named
+/// machines, say) see the same settings without pricing everything twice.
+pub fn generate_with_uarchs(
+    programs: &[(String, Module)],
+    uarchs: &[MicroArch],
+    opts: &GenOptions,
+) -> (Dataset, SweepReport) {
+    let configs = sample_configs(opts.scale.n_opts, opts.seed);
+    sweep_grid(programs, uarchs.to_vec(), configs, opts.threads)
 }
 
 #[cfg(test)]
@@ -328,5 +483,110 @@ mod tests {
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(a.o3_cycles, b.o3_cycles);
         assert_eq!(a.uarchs, b.uarchs);
+    }
+
+    #[test]
+    fn byte_identical_across_thread_counts() {
+        let programs = vec![tiny_program("p1", 1), tiny_program("p2", 7)];
+        let gen_at = |threads: usize| {
+            generate(
+                &programs,
+                &GenOptions {
+                    scale: SweepScale {
+                        n_uarch: 3,
+                        n_opts: 10,
+                    },
+                    seed: 41,
+                    extended_space: false,
+                    threads,
+                },
+            )
+        };
+        let reference = gen_at(1);
+        for threads in [2, 8] {
+            let ds = gen_at(threads);
+            assert_eq!(ds.cycles, reference.cycles, "threads = {threads}");
+            assert_eq!(ds.o3_cycles, reference.o3_cycles, "threads = {threads}");
+            let f = |d: &Dataset| -> Vec<Vec<f64>> {
+                d.features
+                    .iter()
+                    .flatten()
+                    .map(|v| v.values.clone())
+                    .collect()
+            };
+            assert_eq!(f(&ds), f(&reference), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn duplicate_settings_share_results() {
+        // A config list with explicit duplicates: the sweep must price the
+        // duplicates identically to their first occurrence (and the dedup
+        // means they cost nothing extra).
+        let (_, module) = tiny_program("p", 3);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let mut configs = vec![
+            OptConfig::o3(),
+            OptConfig::sample(&mut rng),
+            OptConfig::o0(),
+        ];
+        configs.push(configs[1]); // duplicate of the sampled setting
+        configs.push(OptConfig::o3()); // duplicate of index 0
+        let space = portopt_uarch::MicroArchSpace::base();
+        let mut urng = rand::rngs::StdRng::seed_from_u64(5);
+        let uarchs = space.sample_n(2, &mut urng);
+        let (cycles, o3, _) =
+            sweep_program(&module, &uarchs, &configs, &portopt_exec::Executor::new(2));
+        for u in 0..uarchs.len() {
+            assert_eq!(cycles[u][1], cycles[u][3], "duplicate sampled setting");
+            assert_eq!(cycles[u][0], cycles[u][4], "duplicate O3 setting");
+            assert!(o3[u] > 0.0);
+        }
+    }
+
+    #[test]
+    fn report_counts_match() {
+        let programs = vec![tiny_program("p1", 1)];
+        let (ds, report) = generate_with_report(
+            &programs,
+            &GenOptions {
+                scale: SweepScale {
+                    n_uarch: 2,
+                    n_opts: 8,
+                },
+                seed: 11,
+                extended_space: false,
+                threads: 1,
+            },
+        );
+        assert_eq!(report.programs, 1);
+        assert_eq!(report.uarchs, 2);
+        assert_eq!(report.settings, 8);
+        assert!(report.unique_settings <= 8 && report.unique_settings >= 1);
+        assert_eq!(report.grid_tasks, report.unique_settings);
+        assert!(report.wall_secs > 0.0);
+        assert!(report.settings_per_sec > 0.0);
+        assert_eq!(ds.configs.len(), 8);
+    }
+
+    #[test]
+    fn named_uarch_generation_matches_setting_sample() {
+        let programs = vec![tiny_program("p1", 2)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed: 23,
+            extended_space: false,
+            threads: 1,
+        };
+        let sampled = generate(&programs, &opts);
+        let named = [portopt_uarch::MicroArch::xscale()];
+        let (ds, _) = generate_with_uarchs(&programs, &named, &opts);
+        assert_eq!(ds.configs, sampled.configs, "same seed, same settings");
+        assert_eq!(ds.uarchs, named.to_vec());
+        assert_eq!(ds.cycles[0].len(), 1);
+        assert_eq!(ds.cycles[0][0].len(), 6);
     }
 }

@@ -22,4 +22,7 @@ pub mod compiler;
 pub mod dataset;
 
 pub use compiler::{PortableCompiler, TrainOptions, GOOD_FRACTION};
-pub use dataset::{generate, Dataset, GenOptions, SweepScale};
+pub use dataset::{
+    generate, generate_with_report, generate_with_uarchs, sweep_program, Dataset, GenOptions,
+    SweepReport, SweepScale,
+};

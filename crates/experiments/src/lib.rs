@@ -19,7 +19,7 @@ pub mod figures;
 pub mod loo;
 pub mod stats;
 
-use portopt_core::{Dataset, GenOptions};
+use portopt_core::{Dataset, GenOptions, SweepReport};
 use portopt_ir::Module;
 use portopt_mibench::{suite, Workload};
 
@@ -36,8 +36,13 @@ pub fn suite_modules(seed: u64) -> (Vec<(String, Module)>, Vec<Module>) {
 }
 
 /// Generates (or loads from `cache_path`, saving on miss) a dataset for the
-/// full suite under the given options.
-pub fn dataset_cached(opts: &GenOptions, cache_path: Option<&std::path::Path>) -> Dataset {
+/// full suite under the given options. On a fresh generation,
+/// `on_generate` receives the sweep's throughput report.
+pub fn dataset_cached(
+    opts: &GenOptions,
+    cache_path: Option<&std::path::Path>,
+    on_generate: impl FnOnce(&SweepReport),
+) -> Dataset {
     if let Some(path) = cache_path {
         if let Ok(bytes) = std::fs::read(path) {
             if let Ok(ds) = serde_json::from_slice::<Dataset>(&bytes) {
@@ -46,7 +51,8 @@ pub fn dataset_cached(opts: &GenOptions, cache_path: Option<&std::path::Path>) -
         }
     }
     let (pairs, _) = suite_modules(2009);
-    let ds = portopt_core::generate(&pairs, opts);
+    let (ds, report) = portopt_core::generate_with_report(&pairs, opts);
+    on_generate(&report);
     if let Some(path) = cache_path {
         if let Ok(bytes) = serde_json::to_vec(&ds) {
             let _ = std::fs::write(path, bytes);

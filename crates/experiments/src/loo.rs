@@ -7,13 +7,13 @@
 //! recompiled with the prediction and priced on the test configuration.
 
 use portopt_core::Dataset;
-use portopt_ir::interp::ExecLimits;
+use portopt_exec::Executor;
 use portopt_ir::Module;
 use portopt_ml::{IidDistribution, DEFAULT_BETA, DEFAULT_K};
 use portopt_passes::{compile, OptConfig, OptSpace};
-use portopt_sim::{evaluate, profile};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Leave-one-out evaluation output.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -138,7 +138,8 @@ impl FoldNormalizer {
 /// Runs the full leave-one-out evaluation.
 ///
 /// `modules` must parallel `ds.programs`. `threads` parallelises the
-/// compile+profile work for predicted settings.
+/// compile+profile work for predicted settings (`0` = all available
+/// cores).
 pub fn run_loo(ds: &Dataset, modules: &[Module], threads: usize) -> LooResult {
     let np = ds.n_programs();
     let nu = ds.n_uarchs();
@@ -205,58 +206,46 @@ pub fn run_loo(ds: &Dataset, modules: &[Module], threads: usize) -> LooResult {
         }
     }
 
-    // Price each predicted setting: compile+profile once per distinct
-    // (program, setting), then evaluate per configuration.
-    let limits = ExecLimits {
-        fuel: 100_000_000,
-        max_depth: 2048,
-    };
-    let mut model_speedup = vec![vec![0.0; nu]; np];
-    let jobs: Vec<usize> = (0..np).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let rows: Vec<(usize, Vec<f64>)> = std::thread::scope(|s| {
-        let mut handles = Vec::new();
-        for _ in 0..threads.max(1) {
-            let next = &next;
-            let jobs = &jobs;
-            let predicted = &predicted;
-            handles.push(s.spawn(move || {
-                let mut out = Vec::new();
-                loop {
-                    let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if j >= jobs.len() {
-                        return out;
-                    }
-                    let p = jobs[j];
-                    let module = &modules[p];
-                    let mut cache: HashMap<Vec<u8>, _> = HashMap::new();
-                    let mut row = vec![0.0; nu];
-                    for u in 0..nu {
-                        let cfg = predicted[p][u];
-                        let key = cfg.to_choices();
-                        let entry = cache.entry(key).or_insert_with(|| {
-                            let img = compile(module, &cfg);
-                            let prof = profile(&img, module, &[], limits).ok();
-                            (img, prof)
-                        });
-                        let cycles = match &entry.1 {
-                            Some(prof) => evaluate(&entry.0, prof, &ds.uarchs[u]).cycles,
-                            None => f64::INFINITY,
-                        };
-                        row[u] = ds.o3_cycles[p][u] / cycles;
-                    }
-                    out.push((p, row));
+    // Price each predicted setting on the work-stealing executor:
+    // compile+profile once per distinct (program, setting), evaluate per
+    // configuration with the per-profile tables prepared once
+    // (`portopt_core::dataset::price_image`, the same kernel dataset
+    // generation uses).
+    let model_speedup: Vec<Vec<f64>> = Executor::new(threads).map_indexed(np, |p| {
+        let module = &modules[p];
+        // Two-level cache, as in dataset generation: by setting (a
+        // prediction repeated across configurations is compiled once) and
+        // by compiled-image fingerprint (distinct predictions that lower
+        // to the same binary share one profiling run).
+        let mut by_cfg: HashMap<Vec<u8>, Arc<Vec<f64>>> = HashMap::new();
+        let mut by_img: HashMap<u64, Arc<Vec<f64>>> = HashMap::new();
+        let mut row = vec![0.0; nu];
+        for u in 0..nu {
+            let cfg = predicted[p][u];
+            let key = cfg.to_choices();
+            let per_uarch = match by_cfg.get(&key) {
+                Some(hit) => hit.clone(),
+                None => {
+                    let img = compile(module, &cfg);
+                    let fp = img.fingerprint();
+                    let per_uarch = match by_img.get(&fp) {
+                        Some(hit) => hit.clone(),
+                        None => {
+                            let shared = Arc::new(portopt_core::dataset::price_image(
+                                &img, module, &ds.uarchs,
+                            ));
+                            by_img.insert(fp, shared.clone());
+                            shared
+                        }
+                    };
+                    by_cfg.insert(key, per_uarch.clone());
+                    per_uarch
                 }
-            }));
+            };
+            row[u] = ds.o3_cycles[p][u] / per_uarch[u];
         }
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("worker"))
-            .collect()
+        row
     });
-    for (p, row) in rows {
-        model_speedup[p] = row;
-    }
 
     let best_speedup: Vec<Vec<f64>> = (0..np)
         .map(|p| (0..nu).map(|u| ds.best_speedup(p, u)).collect())

@@ -125,6 +125,35 @@ impl CodeImage {
     pub fn block_layout(&self, f: FuncId, b: BlockId) -> &BlockLayout {
         &self.funcs[f.index()].layout[b.index()]
     }
+
+    /// A structural fingerprint of the image: equal for images whose every
+    /// field (code, layout, schedules) is equal.
+    ///
+    /// Distinct optimisation settings frequently lower a small program to
+    /// the *same* machine code; since profiling and timing depend only on
+    /// the image (and the module's globals), sweeps key their
+    /// profile/evaluation caches on this value to run each distinct binary
+    /// once. The hash is stable within a process, which is all an in-memory
+    /// cache needs.
+    pub fn fingerprint(&self) -> u64 {
+        use std::fmt::Write as _;
+        use std::hash::Hasher as _;
+
+        // Hash the derived `Debug` rendering: it covers every field of the
+        // image (including the embedded IR) without requiring `Hash`
+        // impls across the IR tree, and streams through the hasher without
+        // materialising the string.
+        struct HashWriter(std::collections::hash_map::DefaultHasher);
+        impl std::fmt::Write for HashWriter {
+            fn write_str(&mut self, s: &str) -> std::fmt::Result {
+                self.0.write(s.as_bytes());
+                Ok(())
+            }
+        }
+        let mut w = HashWriter(std::collections::hash_map::DefaultHasher::new());
+        let _ = write!(w, "{self:?}");
+        w.0.finish()
+    }
 }
 
 /// Computes the block order for a function.

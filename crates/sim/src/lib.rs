@@ -49,4 +49,4 @@ pub use detailed::{simulate, DetailedResult};
 pub use flatsd::FlatStackDistance;
 pub use profile::{block_size_index, ExecProfile, OpCounts, BLOCK_SIZES};
 pub use profiler::profile;
-pub use timing::{evaluate, TimingBreakdown, TimingResult};
+pub use timing::{evaluate, PreparedEval, TimingBreakdown, TimingResult};

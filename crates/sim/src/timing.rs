@@ -12,7 +12,9 @@
 
 use crate::profile::ExecProfile;
 use portopt_passes::{CodeImage, MAX_LAT};
-use portopt_uarch::{estimate_branches, latencies, MicroArch, PerfCounters};
+use portopt_uarch::{
+    estimate_branches_from_totals, latencies, BranchTotals, MicroArch, PerfCounters,
+};
 
 /// Cycle breakdown of one evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -44,21 +46,72 @@ pub struct TimingResult {
     pub breakdown: TimingBreakdown,
 }
 
-/// Evaluates the profile on a microarchitecture.
-pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingResult {
+/// A `(binary, profile)` pair prepared for repeated evaluation across the
+/// microarchitecture dimension of a sweep.
+///
+/// Construction hoists everything that does not depend on the
+/// configuration — the per-(width, load-use-latency) base-cycle table
+/// (`O(blocks)` per entry) and the branch mispredict totals (`O(sites)`) —
+/// so each [`evaluate`](PreparedEval::evaluate) call touches only the
+/// reuse histograms: `O(histogram buckets)` instead of
+/// `O(blocks + sites)`. Sweeps price one profile on hundreds of
+/// configurations, which makes this the innermost loop of dataset
+/// generation.
+#[derive(Debug, Clone)]
+pub struct PreparedEval<'a> {
+    prof: &'a ExecProfile,
+    /// `base[w][li]`: schedule cycles × execution counts, pre-summed.
+    base: [[f64; MAX_LAT]; 2],
+    branch_totals: BranchTotals,
+}
+
+impl<'a> PreparedEval<'a> {
+    /// Prepares `(img, prof)` for repeated evaluation.
+    pub fn new(img: &CodeImage, prof: &'a ExecProfile) -> Self {
+        let mut base = [[0.0f64; MAX_LAT]; 2];
+        for (mf, counts) in img.funcs.iter().zip(&prof.block_counts) {
+            for (b, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    let sched = &mf.sched[b].cycles;
+                    for (w, row) in base.iter_mut().enumerate() {
+                        for (li, slot) in row.iter_mut().enumerate() {
+                            *slot += n as f64 * sched[w][li] as f64;
+                        }
+                    }
+                }
+            }
+        }
+        PreparedEval {
+            prof,
+            base,
+            branch_totals: BranchTotals::over(&prof.branch_stats),
+        }
+    }
+
+    /// Evaluates the prepared profile on one microarchitecture.
+    pub fn evaluate(&self, cfg: &MicroArch) -> TimingResult {
+        eval_with(self.prof, &self.branch_totals, cfg, |w, li| {
+            self.base[w][li]
+        })
+    }
+}
+
+/// The configuration-dependent tail of an evaluation. `base_of(w, li)`
+/// supplies the schedule-cycles × execution-counts sum for the selected
+/// (width, load-use latency) point — pre-summed by [`PreparedEval`], or
+/// computed on the spot by the one-shot [`evaluate`].
+fn eval_with(
+    prof: &ExecProfile,
+    branch_totals: &BranchTotals,
+    cfg: &MicroArch,
+    base_of: impl FnOnce(usize, usize) -> f64,
+) -> TimingResult {
     let lat = latencies(cfg);
     let w = (cfg.width.clamp(1, 2) - 1) as usize;
     let li = (lat.dl1_load_use.clamp(1, MAX_LAT as u32) - 1) as usize;
 
     // Base: per-block static schedule cycles × execution counts.
-    let mut base = 0.0f64;
-    for (mf, counts) in img.funcs.iter().zip(&prof.block_counts) {
-        for (b, &n) in counts.iter().enumerate() {
-            if n > 0 {
-                base += n as f64 * mf.sched[b].cycles[w][li] as f64;
-            }
-        }
-    }
+    let base = base_of(w, li);
 
     // Cache stalls.
     let ic_misses = prof.icache_misses(cfg.il1_sets(), cfg.il1_assoc, cfg.il1_block);
@@ -67,9 +120,9 @@ pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingR
     let dcache = dc_misses * lat.mem_penalty as f64;
 
     // Branches.
-    let bm = estimate_branches(
+    let bm = estimate_branches_from_totals(
         &prof.branch_pc_reuse,
-        &prof.branch_stats,
+        branch_totals,
         cfg.btb_sets(),
         cfg.btb_assoc,
     );
@@ -119,6 +172,27 @@ pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingR
             padding,
         },
     }
+}
+
+/// Evaluates the profile on a microarchitecture.
+///
+/// One-shot: sums only the selected (width, latency) base entry, so a
+/// single call costs what it did before [`PreparedEval`] existed. When
+/// pricing the same profile on many configurations, build the
+/// `PreparedEval` once and reuse it across the μarch dimension instead.
+pub fn evaluate(img: &CodeImage, prof: &ExecProfile, cfg: &MicroArch) -> TimingResult {
+    let totals = BranchTotals::over(&prof.branch_stats);
+    eval_with(prof, &totals, cfg, |w, li| {
+        let mut base = 0.0f64;
+        for (mf, counts) in img.funcs.iter().zip(&prof.block_counts) {
+            for (b, &n) in counts.iter().enumerate() {
+                if n > 0 {
+                    base += n as f64 * mf.sched[b].cycles[w][li] as f64;
+                }
+            }
+        }
+        base
+    })
 }
 
 #[cfg(test)]

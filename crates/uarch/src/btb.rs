@@ -63,6 +63,31 @@ pub struct BranchModel {
     pub mispredicts: f64,
 }
 
+/// Geometry-independent mispredict totals over all branch sites, the part
+/// of [`estimate`] that does not depend on the BTB. Computing these once
+/// per profile turns each per-microarchitecture estimate from `O(sites)`
+/// into `O(1)` — the hot loop of a sweep evaluates one profile on hundreds
+/// of configurations.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BranchTotals {
+    /// Σ expected mispredictions while BTB-resident (transition counts).
+    pub counter: f64,
+    /// Σ expected mispredictions while BTB-absent (taken counts).
+    pub fallthrough: f64,
+}
+
+impl BranchTotals {
+    /// Aggregates the per-site statistics.
+    pub fn over(branches: &[BranchStats]) -> Self {
+        let mut t = BranchTotals::default();
+        for b in branches {
+            t.counter += b.counter_mispredicts();
+            t.fallthrough += b.static_mispredicts();
+        }
+        t
+    }
+}
+
 /// Estimates branch behaviour.
 ///
 /// `pc_reuse` is the reuse-distance histogram over *branch PCs* (each
@@ -71,6 +96,17 @@ pub struct BranchModel {
 pub fn estimate(
     pc_reuse: &ReuseHistogram,
     branches: &[BranchStats],
+    sets: u32,
+    assoc: u32,
+) -> BranchModel {
+    estimate_from_totals(pc_reuse, &BranchTotals::over(branches), sets, assoc)
+}
+
+/// [`estimate`] with the site totals already aggregated (see
+/// [`BranchTotals`]).
+pub fn estimate_from_totals(
+    pc_reuse: &ReuseHistogram,
+    totals: &BranchTotals,
     sets: u32,
     assoc: u32,
 ) -> BranchModel {
@@ -84,11 +120,7 @@ pub fn estimate(
     // Each branch mispredicts at transitions while resident, and on taken
     // executions while absent. Weight the two regimes by the global BTB
     // hit rate (per-branch residency is not tracked separately).
-    let mut mispredicts = 0.0;
-    for b in branches {
-        mispredicts +=
-            hit_rate * b.counter_mispredicts() + (1.0 - hit_rate) * b.static_mispredicts();
-    }
+    let mispredicts = hit_rate * totals.counter + (1.0 - hit_rate) * totals.fallthrough;
     BranchModel {
         accesses,
         btb_misses,

@@ -27,7 +27,10 @@ pub mod cacti;
 pub mod counters;
 pub mod space;
 
-pub use btb::{estimate as estimate_branches, BranchModel, BranchStats};
+pub use btb::{
+    estimate as estimate_branches, estimate_from_totals as estimate_branches_from_totals,
+    BranchModel, BranchStats, BranchTotals,
+};
 pub use cache::{miss_probability, ReuseHistogram, StackDistance};
 pub use cacti::{access_cycles, access_ns, latencies, Latencies, MEM_NS};
 pub use counters::{FeatureVec, PerfCounters, N_FEATURES};

@@ -33,7 +33,7 @@ fn main() {
             },
             seed: 42,
             extended_space: false,
-            threads: std::thread::available_parallelism().map_or(2, |n| n.get()),
+            threads: 0, // auto: all available cores
         },
     );
     let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());

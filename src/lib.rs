@@ -10,6 +10,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`portopt_exec`] | deterministic work-stealing executor behind every sweep |
 //! | [`portopt_ir`] | IR, builder DSL, analyses, reference interpreter |
 //! | [`portopt_passes`] | the Figure 3 pass space, register allocation, layout |
 //! | [`portopt_uarch`] | Table 2 design space, Cacti/cache/BTB models, counters |
@@ -26,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub use portopt_core;
+pub use portopt_exec;
 pub use portopt_experiments;
 pub use portopt_ir;
 pub use portopt_mibench;

@@ -99,11 +99,11 @@ fn mini_reproduction_beats_o3() {
             },
             seed: 7,
             extended_space: false,
-            threads: 2,
+            threads: 0,
         },
     );
     let modules: Vec<portopt_ir::Module> = pairs.iter().map(|(_, m)| m.clone()).collect();
-    let loo = portopt_experiments::loo::run_loo(&ds, &modules, 2);
+    let loo = portopt_experiments::loo::run_loo(&ds, &modules, 0);
 
     let best = loo.mean_best();
     let model = loo.mean_model();
@@ -137,7 +137,7 @@ fn deployment_flow_unseen_program_and_uarch() {
             },
             seed: 13,
             extended_space: false,
-            threads: 2,
+            threads: 0,
         },
     );
     let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
@@ -176,7 +176,7 @@ fn pipeline_is_deterministic() {
         },
         seed: 99,
         extended_space: false,
-        threads: 2,
+        threads: 0,
     };
     let a = generate(&pairs, &opts);
     let b = generate(&pairs, &opts);
