@@ -144,12 +144,64 @@ fn bench_search(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_serve(c: &mut Criterion) {
+    // Batched predictions through the full serving path — JSON parse,
+    // queue, executor drain, reply struct — at smoke scale. The
+    // `serve_predict` predictions/sec number is tracked in
+    // BENCH_sweep.json alongside the sweep trajectory.
+    use portopt_serve::{PredictionService, RequestInput, ServeRequest, ServiceStats, Snapshot};
+
+    let progs: Vec<_> = suite(Workload::default()).into_iter().take(4).collect();
+    let pairs: Vec<_> = progs
+        .iter()
+        .map(|p| (p.name.to_string(), p.module.clone()))
+        .collect();
+    let ds = generate(
+        &pairs,
+        &GenOptions {
+            scale: SweepScale {
+                n_uarch: 6,
+                n_opts: 40,
+            },
+            seed: 2009,
+            extended_space: false,
+            threads: 0,
+        },
+    );
+    let service = PredictionService::new(Snapshot::train(&ds, &TrainOptions::default()), 0);
+    let lines: Vec<String> = (0..64)
+        .map(|i| {
+            let (p, u) = (i % ds.n_programs(), i % ds.n_uarchs());
+            let req = ServeRequest {
+                id: Some(i as u64),
+                input: RequestInput::Features(ds.features[p][u].values.clone()),
+                uarch: ds.uarchs[u],
+                apply: false,
+            };
+            serde_json::to_string(&req).unwrap()
+        })
+        .collect();
+    let mut g = c.benchmark_group("serve");
+    g.sample_size(20);
+    g.bench_function("serve_predict_batch64", |b| {
+        b.iter(|| {
+            let mut stats = ServiceStats::default();
+            for line in &lines {
+                service.submit_line(line);
+            }
+            service.drain(&mut stats)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_compile,
     bench_simulation,
     bench_model,
     bench_sweep,
-    bench_search
+    bench_search,
+    bench_serve
 );
 criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Serves predictions from a model snapshot — the online half of the
+//! serving path. Loads the artifact written by the `snapshot` bin (no
+//! dataset regeneration, no retraining) and answers JSON-lines requests,
+//! batched onto the executor.
+//!
+//! ```text
+//! # stdin/stdout, for piping and tests
+//! echo '{"features": [...], "uarch": "xscale"}' \
+//!   | cargo run --release -p portopt-bench --bin serve -- \
+//!       --snapshot target/portopt-model-smoke.snap --stdio
+//!
+//! # TCP socket
+//! cargo run --release -p portopt-bench --bin serve -- \
+//!     --snapshot target/portopt-model-smoke.snap --port 7209
+//! ```
+//!
+//! Shuts down on stdin EOF (stdio mode) or a `{"shutdown": true}` request
+//! (either mode), then reports latency/throughput counters on stderr.
+
+use portopt_bench::BinArgs;
+use portopt_serve::{PredictionService, ServiceStats, Snapshot};
+
+fn main() {
+    let args = BinArgs::parse();
+    let path = args.snapshot.clone().unwrap_or_else(|| {
+        eprintln!("serve needs --snapshot <file> (write one with the `snapshot` bin)");
+        std::process::exit(2);
+    });
+    let snap = Snapshot::load(&path).unwrap_or_else(|e| {
+        eprintln!("cannot serve {path}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "serving {path}: {} training pairs, format v{}",
+        snap.compiler.model().len(),
+        snap.meta.format_version
+    );
+    let service = PredictionService::new(snap, args.threads);
+    let stats = if args.stdio {
+        let mut stats = ServiceStats::default();
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        if let Err(e) = service.run_lines(stdin.lock(), stdout.lock(), args.batch, &mut stats) {
+            eprintln!("i/o error: {e}");
+            std::process::exit(1);
+        }
+        stats
+    } else {
+        let addr = format!("127.0.0.1:{}", args.port);
+        let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("listening on {addr} (stop with a {{\"shutdown\": true}} request)");
+        match service.run_tcp(listener, args.batch) {
+            Ok(stats) => stats,
+            Err(e) => {
+                eprintln!("accept error: {e}");
+                std::process::exit(1);
+            }
+        }
+    };
+    eprintln!("{}", stats.report());
+}

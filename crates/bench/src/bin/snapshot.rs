@@ -1,0 +1,61 @@
+//! Trains a `PortableCompiler` and writes a versioned model snapshot —
+//! the offline half of the serving path. Serving then never regenerates
+//! the dataset: `serve --snapshot <file>` answers predictions from this
+//! artifact alone.
+//!
+//! ```text
+//! # train at smoke scale (cached dataset) and write target/portopt-model-smoke.snap
+//! cargo run --release -p portopt-bench --bin snapshot -- --scale smoke
+//!
+//! # train from pre-swept dataset shards (e.g. one per rig) instead
+//! cargo run --release -p portopt-bench --bin snapshot -- \
+//!     --shard rig0.json --shard rig1.json --out model.snap
+//! ```
+
+use portopt_bench::BinArgs;
+use portopt_core::{Dataset, TrainOptions};
+use portopt_serve::Snapshot;
+
+fn load_shard(path: &str) -> Dataset {
+    let bytes = std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read shard {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_slice(&bytes).unwrap_or_else(|e| {
+        eprintln!("shard {path} is not a dataset: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args = BinArgs::parse();
+    let ds = if args.shards.is_empty() {
+        args.dataset()
+    } else {
+        let shards: Vec<Dataset> = args.shards.iter().map(|p| load_shard(p)).collect();
+        Dataset::merge(shards).unwrap_or_else(|e| {
+            eprintln!("cannot merge shards: {e}");
+            std::process::exit(2);
+        })
+    };
+    let snap = Snapshot::train(&ds, &TrainOptions::default());
+    let path = args.snapshot_path();
+    if let Err(e) = snap.save(&path) {
+        eprintln!("cannot write snapshot {path}: {e}");
+        std::process::exit(2);
+    }
+    let m = &snap.meta;
+    println!(
+        "wrote {path}: format v{}, {} training pairs ({} programs x {} uarchs, \
+         {} settings each), {} features, {}-dim pass space, k={}, beta={}",
+        m.format_version,
+        snap.compiler.model().len(),
+        m.programs,
+        m.uarchs,
+        m.settings,
+        m.feature_dim,
+        m.pass_space.len(),
+        m.k,
+        m.beta,
+    );
+}

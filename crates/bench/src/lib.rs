@@ -24,16 +24,37 @@ pub struct BinArgs {
     pub no_cache: bool,
     /// Worker threads (`0` = all available cores).
     pub threads: usize,
+    /// `snapshot` bin: where to write the model artifact (default under
+    /// `target/`).
+    pub out: Option<String>,
+    /// `serve` bin: the model artifact to load.
+    pub snapshot: Option<String>,
+    /// `snapshot` bin: dataset shard files to merge instead of sweeping.
+    pub shards: Vec<String>,
+    /// `serve` bin: serve stdin/stdout instead of a TCP socket.
+    pub stdio: bool,
+    /// `serve` bin: TCP port for socket mode.
+    pub port: u16,
+    /// `serve` bin: requests per executor batch.
+    pub batch: usize,
 }
 
 impl BinArgs {
     /// Parses `--scale smoke|default|paper|quick`, `--extended`,
-    /// `--no-cache`, `--threads N` from `std::env::args`.
+    /// `--no-cache`, `--threads N` from `std::env::args`, plus the
+    /// `snapshot`/`serve` flags `--out PATH`, `--snapshot PATH`,
+    /// `--shard PATH` (repeatable), `--stdio`, `--port N`, `--batch N`.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
         let mut extended = false;
         let mut no_cache = false;
         let mut threads = 0usize;
+        let mut out = None;
+        let mut snapshot = None;
+        let mut shards = Vec::new();
+        let mut stdio = false;
+        let mut port = 7209u16;
+        let mut batch = 32usize;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -51,6 +72,45 @@ impl BinArgs {
                     }
                     // Don't consume the next token: it may be another flag.
                     None => eprintln!("--threads expects a number (0 = auto); using auto"),
+                },
+                // Path flags don't consume a following flag token: `serve
+                // --snapshot --stdio` should complain about the missing
+                // path, not try to open a file named `--stdio`.
+                "--out" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        out = Some(p.clone());
+                        i += 1;
+                    }
+                    None => eprintln!("--out expects a file path; using the default"),
+                },
+                "--snapshot" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        snapshot = Some(p.clone());
+                        i += 1;
+                    }
+                    None => eprintln!("--snapshot expects a file path"),
+                },
+                "--shard" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        shards.push(p.clone());
+                        i += 1;
+                    }
+                    None => eprintln!("--shard expects a dataset file path"),
+                },
+                "--stdio" => stdio = true,
+                "--port" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        port = n;
+                        i += 1;
+                    }
+                    None => eprintln!("--port expects a port number; using {port}"),
+                },
+                "--batch" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => {
+                        batch = n;
+                        i += 1;
+                    }
+                    _ => eprintln!("--batch expects a positive number; using {batch}"),
                 },
                 other => eprintln!("ignoring unknown argument {other}"),
             }
@@ -72,7 +132,25 @@ impl BinArgs {
             extended,
             no_cache,
             threads,
+            out,
+            snapshot,
+            shards,
+            stdio,
+            port,
+            batch,
         }
+    }
+
+    /// Default model-artifact path for this scale (the `snapshot` bin's
+    /// `--out` default and the natural `serve --snapshot` argument).
+    pub fn snapshot_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            format!(
+                "target/portopt-model-{}{}.snap",
+                self.scale_name,
+                if self.extended { "-ext" } else { "" }
+            )
+        })
     }
 
     /// Generation options for this run.

@@ -114,7 +114,157 @@ impl Dataset {
     pub fn n_uarchs(&self) -> usize {
         self.uarchs.len()
     }
+
+    /// Merges per-rig shards of one logical sweep into a single dataset by
+    /// concatenating their program axes. Every shard must have been swept
+    /// over the *same* microarchitecture and setting samples (same
+    /// `GenOptions` seed and scale on every rig) — mismatched axes or a
+    /// program appearing in two shards are rejected, since silently mixing
+    /// them would corrupt the good-sets the model trains on.
+    pub fn merge(shards: Vec<Dataset>) -> Result<Dataset, MergeError> {
+        for (i, shard) in shards.iter().enumerate() {
+            if let Some(detail) = shard.shape_defect() {
+                return Err(MergeError::MalformedShard { shard: i, detail });
+            }
+        }
+        let mut iter = shards.into_iter();
+        let mut merged = iter.next().ok_or(MergeError::NoShards)?;
+        for (i, shard) in iter.enumerate() {
+            let shard_idx = i + 1;
+            if shard.uarchs != merged.uarchs {
+                return Err(MergeError::UarchMismatch { shard: shard_idx });
+            }
+            if shard.configs != merged.configs {
+                return Err(MergeError::ConfigMismatch { shard: shard_idx });
+            }
+            if let Some(dup) = shard.programs.iter().find(|p| merged.programs.contains(p)) {
+                return Err(MergeError::DuplicateProgram {
+                    shard: shard_idx,
+                    name: dup.clone(),
+                });
+            }
+            merged.programs.extend(shard.programs);
+            merged.cycles.extend(shard.cycles);
+            merged.o3_cycles.extend(shard.o3_cycles);
+            merged.features.extend(shard.features);
+        }
+        Ok(merged)
+    }
+
+    /// Describes the first internal-shape inconsistency of this dataset,
+    /// or `None` if every per-program table matches the axis lengths.
+    /// Generated datasets are always consistent; deserialized shard files
+    /// are not guaranteed to be, and an inconsistent one must be rejected
+    /// at [`Dataset::merge`] time (with the offending shard named) rather
+    /// than panic deep inside training.
+    fn shape_defect(&self) -> Option<String> {
+        let (np, nu, nc) = (self.programs.len(), self.uarchs.len(), self.configs.len());
+        for (name, len) in [
+            ("cycles", self.cycles.len()),
+            ("o3_cycles", self.o3_cycles.len()),
+            ("features", self.features.len()),
+        ] {
+            if len != np {
+                return Some(format!("{name} has {len} rows for {np} programs"));
+            }
+        }
+        for p in 0..np {
+            if self.cycles[p].len() != nu {
+                return Some(format!(
+                    "cycles[{p}] has {} rows for {nu} uarchs",
+                    self.cycles[p].len()
+                ));
+            }
+            if let Some(c) = self.cycles[p].iter().find(|c| c.len() != nc) {
+                return Some(format!(
+                    "cycles[{p}] row has {} settings, axis has {nc}",
+                    c.len()
+                ));
+            }
+            if self.o3_cycles[p].len() != nu {
+                return Some(format!(
+                    "o3_cycles[{p}] has {} entries for {nu} uarchs",
+                    self.o3_cycles[p].len()
+                ));
+            }
+            if self.features[p].len() != nu {
+                return Some(format!(
+                    "features[{p}] has {} entries for {nu} uarchs",
+                    self.features[p].len()
+                ));
+            }
+            if let Some(f) = self.features[p]
+                .iter()
+                .find(|f| f.values.len() != portopt_uarch::N_FEATURES)
+            {
+                return Some(format!(
+                    "features[{p}] vector has {} values, expected {}",
+                    f.values.len(),
+                    portopt_uarch::N_FEATURES
+                ));
+            }
+        }
+        None
+    }
 }
+
+/// Why [`Dataset::merge`] refused to combine a set of shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No shards were given.
+    NoShards,
+    /// A shard sampled different microarchitectures than the first shard.
+    UarchMismatch {
+        /// Index of the offending shard in the input order.
+        shard: usize,
+    },
+    /// A shard sampled different optimisation settings than the first shard.
+    ConfigMismatch {
+        /// Index of the offending shard in the input order.
+        shard: usize,
+    },
+    /// Two shards both swept the same program.
+    DuplicateProgram {
+        /// Index of the offending shard in the input order.
+        shard: usize,
+        /// The program present in both shards.
+        name: String,
+    },
+    /// A shard's internal tables disagree with its own axis lengths (a
+    /// hand-edited or truncated shard file).
+    MalformedShard {
+        /// Index of the offending shard in the input order.
+        shard: usize,
+        /// The first inconsistency found.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::NoShards => write!(f, "no shards to merge"),
+            MergeError::UarchMismatch { shard } => write!(
+                f,
+                "shard {shard} sampled different microarchitectures than shard 0 \
+                 (all rigs must sweep with the same seed and scale)"
+            ),
+            MergeError::ConfigMismatch { shard } => write!(
+                f,
+                "shard {shard} sampled different optimisation settings than shard 0 \
+                 (all rigs must sweep with the same seed and scale)"
+            ),
+            MergeError::DuplicateProgram { shard, name } => {
+                write!(f, "shard {shard} re-sweeps program `{name}`")
+            }
+            MergeError::MalformedShard { shard, detail } => {
+                write!(f, "shard {shard} is internally inconsistent: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Options for dataset generation.
 #[derive(Debug, Clone, Copy)]
@@ -567,6 +717,105 @@ mod tests {
         assert!(report.wall_secs > 0.0);
         assert!(report.settings_per_sec > 0.0);
         assert_eq!(ds.configs.len(), 8);
+    }
+
+    #[test]
+    fn merge_concatenates_matching_shards() {
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 3,
+                n_opts: 8,
+            },
+            seed: 77,
+            extended_space: false,
+            threads: 2,
+        };
+        let a = generate(&[tiny_program("p1", 1)], &opts);
+        let b = generate(&[tiny_program("p2", 7), tiny_program("p3", 3)], &opts);
+        let whole = generate(
+            &[
+                tiny_program("p1", 1),
+                tiny_program("p2", 7),
+                tiny_program("p3", 3),
+            ],
+            &opts,
+        );
+        let merged = Dataset::merge(vec![a, b]).expect("axes match");
+        assert_eq!(merged.programs, vec!["p1", "p2", "p3"]);
+        assert_eq!(merged.cycles, whole.cycles);
+        assert_eq!(merged.o3_cycles, whole.o3_cycles);
+        assert_eq!(merged.uarchs, whole.uarchs);
+        assert_eq!(merged.configs, whole.configs);
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_axes_and_duplicates() {
+        let opts = |seed| GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed,
+            extended_space: false,
+            threads: 1,
+        };
+        let base = generate(&[tiny_program("p1", 1)], &opts(1));
+        let other_seed = generate(&[tiny_program("p2", 7)], &opts(2));
+        assert!(matches!(
+            Dataset::merge(vec![base.clone(), other_seed]),
+            Err(MergeError::UarchMismatch { shard: 1 })
+        ));
+        // Same uarch sample, different settings: swap in a fresh config list.
+        let mut bad_cfgs = generate(&[tiny_program("p2", 7)], &opts(1));
+        bad_cfgs.configs[0] = OptConfig::o0();
+        assert!(matches!(
+            Dataset::merge(vec![base.clone(), bad_cfgs]),
+            Err(MergeError::ConfigMismatch { shard: 1 })
+        ));
+        let dup = generate(&[tiny_program("p1", 1)], &opts(1));
+        match Dataset::merge(vec![base.clone(), dup]) {
+            Err(MergeError::DuplicateProgram { shard: 1, name }) => assert_eq!(name, "p1"),
+            other => panic!("expected duplicate-program error, got {other:?}"),
+        }
+        assert!(matches!(
+            Dataset::merge(Vec::new()),
+            Err(MergeError::NoShards)
+        ));
+        // A single shard merges to itself.
+        let solo = Dataset::merge(vec![base.clone()]).unwrap();
+        assert_eq!(solo.cycles, base.cycles);
+    }
+
+    #[test]
+    fn merge_rejects_internally_inconsistent_shards() {
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed: 1,
+            extended_space: false,
+            threads: 1,
+        };
+        let base = generate(&[tiny_program("p1", 1)], &opts);
+        // A truncated per-uarch cycles table (as a hand-edited or cut-off
+        // shard file could produce) must be rejected with the defect named,
+        // not panic later inside training.
+        let mut truncated = generate(&[tiny_program("p2", 7)], &opts);
+        truncated.cycles[0].pop();
+        match Dataset::merge(vec![base.clone(), truncated]) {
+            Err(MergeError::MalformedShard { shard: 1, detail }) => {
+                assert!(detail.contains("cycles"), "{detail}")
+            }
+            other => panic!("expected MalformedShard, got {other:?}"),
+        }
+        // A feature vector of the wrong width is equally fatal.
+        let mut bad_feats = generate(&[tiny_program("p3", 3)], &opts);
+        bad_feats.features[0][0].values.pop();
+        assert!(matches!(
+            Dataset::merge(vec![base, bad_feats]),
+            Err(MergeError::MalformedShard { shard: 1, .. })
+        ));
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod dataset;
 pub use compiler::{PortableCompiler, TrainOptions, GOOD_FRACTION};
 pub use dataset::{
     generate, generate_with_report, generate_with_uarchs, sweep_program, Dataset, GenOptions,
-    SweepReport, SweepScale,
+    MergeError, SweepReport, SweepScale,
 };

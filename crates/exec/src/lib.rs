@@ -30,8 +30,16 @@
 //! A panic in any task is re-raised to the caller; sibling workers stop at
 //! their next idle point rather than spinning on work that can no longer
 //! complete.
+//!
+//! For workloads that arrive one item at a time instead of as a grid (the
+//! `portopt-serve` prediction service), [`queue::ServiceQueue`] accumulates
+//! submissions and drains them as batches onto the same executor.
 
 #![warn(missing_docs)]
+
+pub mod queue;
+
+pub use queue::{ServiceQueue, Ticket};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,169 @@
+//! A submit/drain queue for service workloads.
+//!
+//! [`Executor::map_indexed`](crate::Executor::map_indexed) wants the whole
+//! task grid up front — the right shape for sweeps, the wrong one for a
+//! server that receives requests one at a time. [`ServiceQueue`] bridges
+//! the two: producers [`submit`](ServiceQueue::submit) items as they
+//! arrive (each gets a monotonically increasing ticket), and a consumer
+//! periodically [`drain`](ServiceQueue::drain_with)s everything pending as
+//! one batch onto the executor. Results come back in submission order, so
+//! a caller matching responses to requests only needs the batch offset.
+//!
+//! The queue is `Sync`: any number of threads may submit concurrently
+//! while another drains. Draining takes the entire pending batch
+//! atomically — items submitted mid-drain land in the *next* batch, which
+//! is what keeps ticket order and result order identical within a batch.
+
+use crate::Executor;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A monotonically increasing identifier handed out by
+/// [`ServiceQueue::submit`], unique within one queue's lifetime.
+pub type Ticket = u64;
+
+/// Lock-protected queue state. The ticket counter lives *inside* the
+/// mutex: assigning tickets outside it would let a preempted submitter
+/// push a lower ticket after a higher one, breaking the "tickets ascend
+/// within a batch" contract drain_with's callers rely on.
+#[derive(Debug)]
+struct Inner<T> {
+    items: VecDeque<(Ticket, T)>,
+    next: Ticket,
+}
+
+/// A thread-safe accumulate-then-batch queue over an [`Executor`].
+#[derive(Debug)]
+pub struct ServiceQueue<T> {
+    state: Mutex<Inner<T>>,
+}
+
+impl<T> Default for ServiceQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> ServiceQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        ServiceQueue {
+            state: Mutex::new(Inner {
+                items: VecDeque::new(),
+                next: 0,
+            }),
+        }
+    }
+
+    /// Enqueues one item; returns its ticket.
+    pub fn submit(&self, item: T) -> Ticket {
+        let mut g = self.state.lock().expect("queue lock");
+        let t = g.next;
+        g.next += 1;
+        g.items.push_back((t, item));
+        t
+    }
+
+    /// Number of items waiting to be drained.
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes every pending item (in submission order), leaving the queue
+    /// empty. Items submitted after this call land in the next batch.
+    pub fn take_batch(&self) -> Vec<(Ticket, T)> {
+        self.state
+            .lock()
+            .expect("queue lock")
+            .items
+            .drain(..)
+            .collect()
+    }
+
+    /// Drains the pending batch through `f` on the executor and returns
+    /// `(ticket, result)` pairs in submission order. The executor's
+    /// determinism contract carries over: for a given batch the output is
+    /// independent of the worker-thread count.
+    pub fn drain_with<R, F>(&self, exec: &Executor, f: F) -> Vec<(Ticket, R)>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        let batch = self.take_batch();
+        let results = exec.map_indexed(batch.len(), |i| f(&batch[i].1));
+        batch
+            .into_iter()
+            .zip(results)
+            .map(|((t, _), r)| (t, r))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tickets_are_sequential_and_results_ordered() {
+        let q: ServiceQueue<u64> = ServiceQueue::new();
+        let tickets: Vec<Ticket> = (0..100).map(|i| q.submit(i)).collect();
+        assert_eq!(tickets, (0..100).collect::<Vec<_>>());
+        assert_eq!(q.len(), 100);
+        let out = q.drain_with(&Executor::new(4), |&x| x * 3);
+        assert!(q.is_empty());
+        assert_eq!(out.len(), 100);
+        for (i, (t, r)) in out.iter().enumerate() {
+            assert_eq!(*t, i as u64);
+            assert_eq!(*r, i as u64 * 3);
+        }
+    }
+
+    #[test]
+    fn drain_of_empty_queue_is_empty() {
+        let q: ServiceQueue<u8> = ServiceQueue::new();
+        let out = q.drain_with(&Executor::new(2), |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn items_submitted_after_drain_form_the_next_batch() {
+        let q: ServiceQueue<&'static str> = ServiceQueue::new();
+        q.submit("a");
+        let first = q.take_batch();
+        let t = q.submit("b");
+        assert_eq!(first.len(), 1);
+        assert_eq!(first[0].1, "a");
+        assert_eq!(t, 1);
+        let second = q.take_batch();
+        assert_eq!(second, vec![(1, "b")]);
+    }
+
+    #[test]
+    fn concurrent_submitters_lose_nothing() {
+        let q: ServiceQueue<usize> = ServiceQueue::new();
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = &q;
+                s.spawn(move || {
+                    for i in 0..250 {
+                        q.submit(w * 250 + i);
+                    }
+                });
+            }
+        });
+        let drained = q.drain_with(&Executor::new(2), |&x| x);
+        // Tickets ascend within the batch even under concurrent submission.
+        for pair in drained.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "{:?} !< {:?}", pair[0].0, pair[1].0);
+        }
+        let mut out: Vec<usize> = drained.into_iter().map(|(_, r)| r).collect();
+        out.sort_unstable();
+        assert_eq!(out, (0..1000).collect::<Vec<_>>());
+    }
+}

@@ -51,6 +51,11 @@ impl Normalizer {
         Normalizer { mean, std }
     }
 
+    /// Dimensionality of the feature vectors this normalizer was fitted on.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
     /// Normalises one feature vector.
     pub fn apply(&self, x: &[f64]) -> Vec<f64> {
         x.iter()
@@ -62,7 +67,11 @@ impl Normalizer {
 }
 
 /// The trained model `M : x → q(y|x)`.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+///
+/// `PartialEq` compares the full trained state (normalizer, training
+/// points, hyper-parameters) — it is what snapshot round-trip tests assert
+/// on, so it must stay in sync with the serialized field set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct KnnModel {
     normalizer: Normalizer,
     /// Normalised features and fitted distribution per training pair.
@@ -112,6 +121,12 @@ impl KnnModel {
     /// Number of training points.
     pub fn len(&self) -> usize {
         self.points.len()
+    }
+
+    /// Dimensionality of the feature vectors this model was trained on
+    /// (19 for the paper's counter + descriptor features).
+    pub fn feature_dim(&self) -> usize {
+        self.normalizer.dim()
     }
 
     /// Returns `true` when the model holds no training points (never true

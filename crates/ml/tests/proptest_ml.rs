@@ -116,6 +116,41 @@ proptest! {
         prop_assert!((0.0..=1.0).contains(&nmi));
     }
 
+    /// A trained model survives JSON serialization completely: the
+    /// deserialized model equals the original, re-serializing it is
+    /// byte-identical, and predictions on fresh feature vectors agree —
+    /// the contract `portopt-serve` snapshots rely on.
+    #[test]
+    fn model_roundtrips_through_json(seed in 0u64..100_000, npts in 2usize..20) {
+        let dims = vec![2usize, 3, 4, 2];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push(vec![
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-1e3..1e3),
+                rng.gen_range(0.0..1.0),
+            ]);
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 6)));
+        }
+        let model = KnnModel::train(feats, dists, 7, 1.0);
+        let json = serde_json::to_string(&model).unwrap();
+        let back: KnnModel = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &model, "deserialized model differs");
+        let json2 = serde_json::to_string(&back).unwrap();
+        prop_assert_eq!(&json2, &json, "re-serialization not byte-identical");
+        for _ in 0..4 {
+            let q = vec![
+                rng.gen_range(-5.0..5.0),
+                rng.gen_range(-1e3..1e3),
+                rng.gen_range(0.0..1.0),
+            ];
+            prop_assert_eq!(model.predict_mode(&q), back.predict_mode(&q));
+        }
+        prop_assert_eq!(back.feature_dim(), 3);
+    }
+
     /// Equal-frequency binning is order-preserving and balanced within 1.
     #[test]
     fn binning_properties(seed in 0u64..100_000, n in 8usize..400, nbins in 2usize..8) {

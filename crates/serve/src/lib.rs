@@ -1,0 +1,451 @@
+//! # portopt-serve
+//!
+//! The deployment half the paper promises (§3.4, Figure 2): train once
+//! off-line, then answer "which optimisation setting for *this* program on
+//! *this* microarchitecture?" in milliseconds, for traffic, without ever
+//! touching the training sweep again.
+//!
+//! Two pieces:
+//!
+//! * [`Snapshot`] — a versioned on-disk artifact holding a trained
+//!   [`portopt_core::PortableCompiler`] plus the metadata needed to refuse
+//!   incompatible files loudly (format version, feature dimensionality,
+//!   the exact optimisation pass space).
+//! * [`PredictionService`] — a batched JSON-lines request/response server
+//!   over the [`portopt_exec`] executor: stdin/stdout for piping and
+//!   tests, `std::net::TcpListener` for sockets. Requests carry either a
+//!   precomputed feature vector or a raw `portopt-ir` module (the service
+//!   then runs the one `-O3` profiling pass itself).
+//!
+//! The `snapshot` and `serve` binaries in `portopt-bench` wrap these:
+//!
+//! ```text
+//! cargo run --release -p portopt-bench --bin snapshot -- --scale smoke --out model.snap
+//! echo '{"module": {...}, "uarch": "xscale"}' \
+//!   | cargo run --release -p portopt-bench --bin serve -- --snapshot model.snap --stdio
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod service;
+pub mod snapshot;
+
+pub use service::{
+    ApplyStats, PredictionService, RequestInput, ServeRequest, ServeResponse, ServiceStats,
+    DEFAULT_BATCH,
+};
+pub use snapshot::{
+    current_pass_space, Snapshot, SnapshotError, SnapshotMeta, FORMAT_VERSION, SNAPSHOT_MAGIC,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use portopt_core::{generate, Dataset, GenOptions, SweepScale, TrainOptions};
+    use portopt_ir::{FuncBuilder, Module, ModuleBuilder};
+    use portopt_passes::OptSpace;
+    use portopt_uarch::MicroArch;
+    use std::io::Cursor;
+
+    fn program(name: &str, mem_heavy: bool) -> (String, Module) {
+        let mut mb = ModuleBuilder::new(name);
+        let (_, base) = mb.global("buf", 1024);
+        let mut b = FuncBuilder::new("main", 0);
+        let p = b.iconst(base as i64);
+        let acc = b.iconst(0);
+        b.counted_loop(0, 300, 1, |b, i| {
+            if mem_heavy {
+                let off0 = b.mul(i, 13);
+                let off = b.and(off0, 1023);
+                let sh = b.shl(off, 2);
+                let a = b.add(p, sh);
+                let v = b.load(a, 0);
+                let w = b.add(v, i);
+                b.store(w, a, 0);
+                let t = b.add(acc, w);
+                b.assign(acc, t);
+            } else {
+                let sq = b.mul(i, i);
+                let x = b.xor(acc, sq);
+                b.assign(acc, x);
+            }
+        });
+        b.ret(acc);
+        let id = mb.add(b.finish());
+        mb.entry(id);
+        (name.to_string(), mb.finish())
+    }
+
+    fn tiny_dataset() -> Dataset {
+        generate(
+            &[
+                program("mem1", true),
+                program("alu1", false),
+                program("mem2", true),
+            ],
+            &GenOptions {
+                scale: SweepScale {
+                    n_uarch: 4,
+                    n_opts: 16,
+                },
+                seed: 7,
+                extended_space: false,
+                threads: 2,
+            },
+        )
+    }
+
+    fn tiny_snapshot() -> Snapshot {
+        Snapshot::train(&tiny_dataset(), &TrainOptions::default())
+    }
+
+    #[test]
+    fn snapshot_roundtrips_byte_identically() {
+        let snap = tiny_snapshot();
+        let dir = std::env::temp_dir().join("portopt-serve-test-roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.compiler.model(), snap.compiler.model());
+        assert_eq!(back.to_bytes().unwrap(), snap.to_bytes().unwrap());
+        let ds = tiny_dataset();
+        let x = &ds.features[0][0];
+        assert_eq!(back.compiler.predict(x), snap.compiler.predict(x));
+    }
+
+    #[test]
+    fn snapshot_meta_describes_the_model() {
+        let snap = tiny_snapshot();
+        assert_eq!(snap.meta.magic, SNAPSHOT_MAGIC);
+        assert_eq!(snap.meta.format_version, FORMAT_VERSION);
+        assert_eq!(snap.meta.feature_dim, portopt_uarch::N_FEATURES);
+        assert_eq!(snap.meta.pass_space.len(), OptSpace::n_dims());
+        assert_eq!(snap.meta.programs, 3);
+        assert_eq!(snap.meta.uarchs, 4);
+        assert_eq!(snap.meta.settings, 16);
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_snapshots_are_rejected() {
+        let snap = tiny_snapshot();
+        // Truncated file: corrupt.
+        let bytes = snap.to_bytes().unwrap();
+        let err = Snapshot::from_bytes(&bytes[..bytes.len() / 2]).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt(_)), "{err}");
+        // Not JSON at all.
+        assert!(matches!(
+            Snapshot::from_bytes(b"\x00\x01binary junk").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        // Some other JSON document.
+        assert!(matches!(
+            Snapshot::from_bytes(b"{\"hello\": 1}").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        // Wrong magic.
+        let mut other = snap.clone();
+        other.meta.magic = "something-else".into();
+        match Snapshot::from_bytes(&other.to_bytes().unwrap()).unwrap_err() {
+            SnapshotError::NotASnapshot { found } => assert_eq!(found, "something-else"),
+            e => panic!("expected NotASnapshot, got {e}"),
+        }
+        // Future format version.
+        let mut newer = snap.clone();
+        newer.meta.format_version = FORMAT_VERSION + 1;
+        match Snapshot::from_bytes(&newer.to_bytes().unwrap()).unwrap_err() {
+            SnapshotError::VersionMismatch { found, supported } => {
+                assert_eq!(found, FORMAT_VERSION + 1);
+                assert_eq!(supported, FORMAT_VERSION);
+            }
+            e => panic!("expected VersionMismatch, got {e}"),
+        }
+        // A pass space with one dimension renamed.
+        let mut wrong_space = snap.clone();
+        wrong_space.meta.pass_space[0].0 = "fsome_new_pass".into();
+        let err = Snapshot::from_bytes(&wrong_space.to_bytes().unwrap()).unwrap_err();
+        match &err {
+            SnapshotError::PassSpaceMismatch { detail } => {
+                assert!(detail.contains("fsome_new_pass"), "{detail}")
+            }
+            e => panic!("expected PassSpaceMismatch, got {e}"),
+        }
+        // A pass space with a different shape.
+        let mut short_space = snap.clone();
+        short_space.meta.pass_space.pop();
+        assert!(matches!(
+            Snapshot::from_bytes(&short_space.to_bytes().unwrap()).unwrap_err(),
+            SnapshotError::PassSpaceMismatch { .. }
+        ));
+        // Wrong feature dimensionality.
+        let mut wrong_dim = snap.clone();
+        wrong_dim.meta.feature_dim = 7;
+        match Snapshot::from_bytes(&wrong_dim.to_bytes().unwrap()).unwrap_err() {
+            SnapshotError::FeatureDimMismatch { found, expected } => {
+                assert_eq!(found, 7);
+                assert_eq!(expected, portopt_uarch::N_FEATURES);
+            }
+            e => panic!("expected FeatureDimMismatch, got {e}"),
+        }
+        // Missing file.
+        assert!(matches!(
+            Snapshot::load("/nonexistent/portopt.snap").unwrap_err(),
+            SnapshotError::Io(_)
+        ));
+    }
+
+    #[test]
+    fn service_answers_feature_requests_in_order() {
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let service = PredictionService::new(snap, 2);
+        let mut input = String::new();
+        for (i, u) in [(0usize, 0usize), (1, 1), (2, 2), (0, 3)] {
+            let req = ServeRequest {
+                id: Some(100 + input.lines().count() as u64),
+                input: RequestInput::Features(ds.features[i][u].values.clone()),
+                uarch: ds.uarchs[u],
+                apply: false,
+            };
+            input.push_str(&serde_json::to_string(&req).unwrap());
+            input.push('\n');
+        }
+        let mut out = Vec::new();
+        let mut stats = ServiceStats::default();
+        let shutdown = service
+            .run_lines(Cursor::new(input), &mut out, 2, &mut stats)
+            .unwrap();
+        assert!(!shutdown, "EOF, not shutdown");
+        let replies: Vec<ServeResponse> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 4);
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.id, 100 + i as u64, "in-order echo of client ids");
+            assert!(r.error.is_none(), "{:?}", r.error);
+            assert_eq!(r.choices.len(), OptSpace::n_dims());
+            let cfg = r.config.expect("config present");
+            assert_eq!(cfg.to_choices(), r.choices);
+            assert!(r.latency_ms >= 0.0);
+        }
+        // The drain really batched: 4 requests at batch=2 → 2 batches.
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.max_batch, 2);
+        assert!(stats.predictions_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn service_handles_module_requests_and_applies() {
+        let snap = tiny_snapshot();
+        let service = PredictionService::new(snap, 2);
+        let (_, module) = program("fresh", true);
+        let req = ServeRequest {
+            id: None,
+            input: RequestInput::Module(Box::new(module)),
+            uarch: MicroArch::xscale(),
+            apply: true,
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let mut out = Vec::new();
+        let mut stats = ServiceStats::default();
+        service
+            .run_lines(Cursor::new(line), &mut out, 8, &mut stats)
+            .unwrap();
+        let reply: ServeResponse =
+            serde_json::from_str(String::from_utf8(out).unwrap().lines().next().unwrap()).unwrap();
+        assert!(reply.error.is_none(), "{:?}", reply.error);
+        assert!(reply.config.is_some());
+        let apply = reply.stats.expect("apply stats");
+        assert!(apply.o3_cycles > 0.0);
+        assert!(apply.predicted_cycles > 0.0);
+        assert!(
+            apply.speedup > 0.3,
+            "predicted config catastrophic: {apply:?}"
+        );
+    }
+
+    #[test]
+    fn bad_requests_get_error_replies_not_disconnects() {
+        let snap = tiny_snapshot();
+        let n_features = snap.meta.feature_dim;
+        let service = PredictionService::new(snap, 1);
+        let good = ServeRequest {
+            id: Some(9),
+            input: RequestInput::Features(vec![0.5; n_features]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        let input = format!(
+            "not json at all\n\
+             {{\"id\": 77, \"features\": [1.0, 2.0], \"uarch\": \"xscale\"}}\n\
+             {{\"features\": [1.0], \"uarch\": \"warp-core\"}}\n\
+             {{\"uarch\": \"xscale\"}}\n\
+             {}\n",
+            serde_json::to_string(&good).unwrap()
+        );
+        let mut out = Vec::new();
+        let mut stats = ServiceStats::default();
+        service
+            .run_lines(Cursor::new(input), &mut out, 64, &mut stats)
+            .unwrap();
+        let replies: Vec<ServeResponse> = String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| serde_json::from_str(l).unwrap())
+            .collect();
+        assert_eq!(replies.len(), 5);
+        assert!(replies[0].error.as_deref().unwrap().contains("bad request"));
+        assert_eq!(replies[0].id, 0, "unparseable line falls back to ticket");
+        assert!(replies[1]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("model expects"));
+        assert_eq!(replies[1].id, 77, "error replies echo the client id");
+        assert!(replies[2].error.as_deref().unwrap().contains("warp-core"));
+        assert!(replies[3].error.as_deref().unwrap().contains("features"));
+        assert!(replies[4].error.is_none());
+        assert_eq!(replies[4].id, 9);
+        assert_eq!(stats.requests, 5);
+        assert_eq!(stats.errors, 4);
+    }
+
+    #[test]
+    fn shutdown_request_flushes_and_stops() {
+        let snap = tiny_snapshot();
+        let n = snap.meta.feature_dim;
+        let service = PredictionService::new(snap, 1);
+        let req = ServeRequest {
+            id: Some(1),
+            input: RequestInput::Features(vec![1.0; n]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        let input = format!(
+            "{}\n{{\"shutdown\": true}}\n{}\n",
+            serde_json::to_string(&req).unwrap(),
+            serde_json::to_string(&req).unwrap(),
+        );
+        let mut out = Vec::new();
+        let mut stats = ServiceStats::default();
+        let shutdown = service
+            .run_lines(Cursor::new(input), &mut out, 1000, &mut stats)
+            .unwrap();
+        assert!(shutdown);
+        // The pending request before the sentinel was answered; the one
+        // after it was never read.
+        assert_eq!(stats.requests, 1);
+        assert_eq!(String::from_utf8(out).unwrap().lines().count(), 1);
+        assert!(!stats.report().is_empty());
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let snap = tiny_snapshot();
+        let n = snap.meta.feature_dim;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(snap, 2);
+            service.run_tcp(listener, 4).unwrap()
+        });
+
+        // First connection: two requests closed by EOF — the second
+        // deliberately without a trailing newline, which must still be
+        // answered (stdio's BufRead::lines semantics).
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = ServeRequest {
+                id: Some(42),
+                input: RequestInput::Features(vec![0.25; n]),
+                uarch: MicroArch::xscale(),
+                apply: false,
+            };
+            let line = serde_json::to_string(&req).unwrap();
+            stream
+                .write_all(format!("{line}\n{line}").as_bytes())
+                .unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+            assert_eq!(r.id, 42);
+            assert!(r.error.is_none());
+        }
+        // Second connection: shutdown sentinel stops the listener.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.write_all(b"{\"shutdown\": true}\n").unwrap();
+        }
+        let stats = server.join().unwrap();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn tcp_idle_client_is_flushed_not_deadlocked() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let snap = tiny_snapshot();
+        let n = snap.meta.feature_dim;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(snap, 1);
+            // batch is far larger than what the client sends: only the
+            // idle flush can answer it.
+            service.run_tcp(listener, 1000).unwrap()
+        });
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = ServeRequest {
+                id: Some(5),
+                input: RequestInput::Features(vec![0.5; n]),
+                uarch: MicroArch::xscale(),
+                apply: false,
+            };
+            stream
+                .write_all(format!("{}\n", serde_json::to_string(&req).unwrap()).as_bytes())
+                .unwrap();
+            // Write side stays open — a blocking client waiting for its
+            // reply. The 20 ms idle flush must answer it anyway.
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+            assert_eq!(r.id, 5);
+            assert!(r.error.is_none());
+            stream.write_all(b"{\"shutdown\": true}\n").unwrap();
+        }
+        let stats = server.join().unwrap();
+        assert_eq!(stats.requests, 1);
+    }
+
+    #[test]
+    fn request_json_is_hand_writable() {
+        // The lenient parser accepts the minimal hand-written form the
+        // README quickstart shows.
+        let line = r#"{"features": [0,0,0,0,0,0,0,0,0,0,0, 32768,32,32768,32,512,1,400,1], "uarch": "xscale"}"#;
+        let req: ServeRequest = serde_json::from_str(line).unwrap();
+        assert_eq!(req.id, None);
+        assert!(!req.apply);
+        assert_eq!(req.uarch, MicroArch::xscale());
+        match &req.input {
+            RequestInput::Features(f) => assert_eq!(f.len(), portopt_uarch::N_FEATURES),
+            other => panic!("wrong input: {other:?}"),
+        }
+        // Both features and module present is ambiguous.
+        let both = r#"{"features": [1.0], "module": {}, "uarch": "xscale"}"#;
+        assert!(serde_json::from_str::<ServeRequest>(both).is_err());
+    }
+}

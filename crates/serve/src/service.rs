@@ -1,0 +1,540 @@
+//! The batched prediction service.
+//!
+//! A JSON-lines protocol over any line-oriented byte stream: each request
+//! is one JSON object, each reply is one JSON object, in request order.
+//! [`PredictionService::run_lines`] drives a `BufRead`/`Write` pair (stdin
+//! /stdout for piping and tests); [`PredictionService::run_tcp`] serves
+//! the same protocol over `std::net::TcpListener`.
+//!
+//! Requests accumulate in a [`ServiceQueue`] and are drained as batches
+//! onto the [`Executor`], so a burst of predictions from one client uses
+//! every core — the deployment-time mirror of the training sweep.
+//!
+//! ## Request format
+//!
+//! ```json
+//! {"features": [/* 19 numbers */], "uarch": "xscale"}
+//! {"module": {/* portopt-ir Module */}, "uarch": {/* MicroArch */}, "apply": true}
+//! {"shutdown": true}
+//! ```
+//!
+//! * `features` — a feature vector as produced by `FeatureVec` (counters
+//!   from one `-O3` run plus microarchitecture descriptors), *or*
+//! * `module` — a serialized `portopt-ir` module; the service runs the
+//!   `-O3` profiling itself (the full Figure 2 deployment flow);
+//! * `uarch` — the target: `"xscale"` or an explicit configuration object;
+//! * `apply` (optional, module requests) — also compile with the predicted
+//!   setting and report predicted-vs-`-O3` cycle counts;
+//! * `id` (optional) — echoed in the reply; defaults to the submission
+//!   index.
+//!
+//! A reply carries the predicted [`OptConfig`] both structurally
+//! (`config`) and as the canonical choice vector (`choices`), plus the
+//! per-request service latency in milliseconds. Malformed requests get
+//! `{"id": …, "error": "…"}` replies in-order rather than tearing down the
+//! connection.
+
+use crate::snapshot::Snapshot;
+use portopt_exec::{Executor, ServiceQueue};
+use portopt_ir::interp::ExecLimits;
+use portopt_ir::Module;
+use portopt_passes::{compile, OptConfig};
+use portopt_sim::{evaluate, profile};
+use portopt_uarch::{FeatureVec, MicroArch};
+use serde::{Deserialize, Serialize, Value};
+use std::io::{BufRead, Write};
+use std::net::TcpListener;
+use std::time::Instant;
+
+/// Execution limits for service-side profiling runs (same budget as the
+/// training sweep).
+const PROFILE_LIMITS: ExecLimits = ExecLimits {
+    fuel: 100_000_000,
+    max_depth: 2048,
+};
+
+/// Default number of requests drained per executor batch.
+pub const DEFAULT_BATCH: usize = 32;
+
+/// What a request asks the model to predict from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestInput {
+    /// A precomputed feature vector (counters + descriptors).
+    Features(Vec<f64>),
+    /// A raw module; the service profiles it at `-O3` first.
+    Module(Box<Module>),
+}
+
+/// One parsed prediction request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRequest {
+    /// Client-chosen reply id; defaults to the submission index.
+    pub id: Option<u64>,
+    /// Feature vector or raw module.
+    pub input: RequestInput,
+    /// Target microarchitecture.
+    pub uarch: MicroArch,
+    /// For module requests: compile with the prediction and report stats.
+    pub apply: bool,
+}
+
+impl Serialize for ServeRequest {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        if let Some(id) = self.id {
+            fields.push(("id".to_string(), id.to_value()));
+        }
+        match &self.input {
+            RequestInput::Features(f) => fields.push(("features".to_string(), f.to_value())),
+            RequestInput::Module(m) => fields.push(("module".to_string(), m.to_value())),
+        }
+        fields.push(("uarch".to_string(), self.uarch.to_value()));
+        if self.apply {
+            fields.push(("apply".to_string(), true.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ServeRequest {
+    /// Lenient by hand (the derive requires every field): absent `id` and
+    /// `apply` default, `uarch` accepts a name or a full object.
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::new("request must be a JSON object"))?;
+        let get = |name: &str| obj.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+        let id = match get("id") {
+            Some(v) => Some(u64::from_value(v)?),
+            None => None,
+        };
+        let apply = match get("apply") {
+            Some(v) => bool::from_value(v)?,
+            None => false,
+        };
+        let input = match (get("features"), get("module")) {
+            (Some(_), Some(_)) => {
+                return Err(serde::Error::new(
+                    "request has both `features` and `module`; send one",
+                ))
+            }
+            (Some(f), None) => RequestInput::Features(Vec::<f64>::from_value(f)?),
+            (None, Some(m)) => RequestInput::Module(Box::new(Module::from_value(m)?)),
+            (None, None) => {
+                return Err(serde::Error::new(
+                    "request needs `features` (a feature vector) or `module` (a program)",
+                ))
+            }
+        };
+        let uarch = match get("uarch") {
+            Some(Value::Str(name)) => match name.as_str() {
+                "xscale" => MicroArch::xscale(),
+                other => {
+                    return Err(serde::Error::new(format!(
+                        "unknown microarchitecture name `{other}` (known: \"xscale\"); \
+                         or pass a full configuration object"
+                    )))
+                }
+            },
+            Some(v) => MicroArch::from_value(v)?,
+            None => {
+                return Err(serde::Error::new(
+                    "request needs `uarch` (\"xscale\" or a configuration object)",
+                ))
+            }
+        };
+        Ok(ServeRequest {
+            id,
+            input,
+            uarch,
+            apply,
+        })
+    }
+}
+
+/// Cycle counts from an `apply: true` module request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ApplyStats {
+    /// Cycles of the `-O3` profiling run on the target.
+    pub o3_cycles: f64,
+    /// Cycles of the predicted setting's binary on the target.
+    pub predicted_cycles: f64,
+    /// `o3_cycles / predicted_cycles`.
+    pub speedup: f64,
+}
+
+/// One reply line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeResponse {
+    /// Echo of the request id (or the submission index).
+    pub id: u64,
+    /// The predicted setting, `None` on error.
+    pub config: Option<OptConfig>,
+    /// The predicted setting as the canonical choice vector, empty on
+    /// error.
+    pub choices: Vec<u8>,
+    /// Service-side latency for this request in milliseconds (profiling
+    /// included for module requests).
+    pub latency_ms: f64,
+    /// Cycle counts when the request asked to `apply` the prediction.
+    pub stats: Option<ApplyStats>,
+    /// What went wrong, if anything.
+    pub error: Option<String>,
+}
+
+/// Running totals, reported when the service shuts down.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct ServiceStats {
+    /// Requests answered (including error replies).
+    pub requests: u64,
+    /// Requests answered with an error reply.
+    pub errors: u64,
+    /// Executor batches drained.
+    pub batches: u64,
+    /// Largest single batch.
+    pub max_batch: usize,
+    /// Sum of per-request latencies (ms).
+    pub total_latency_ms: f64,
+    /// Worst single-request latency (ms).
+    pub max_latency_ms: f64,
+    /// Wall-clock seconds spent draining batches.
+    pub busy_secs: f64,
+}
+
+impl ServiceStats {
+    /// Mean per-request latency in milliseconds.
+    pub fn mean_latency_ms(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.total_latency_ms / self.requests as f64
+        }
+    }
+
+    /// Predictions per second of busy (batch-draining) time.
+    pub fn predictions_per_sec(&self) -> f64 {
+        if self.busy_secs > 0.0 {
+            self.requests as f64 / self.busy_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The human-readable shutdown report.
+    pub fn report(&self) -> String {
+        format!(
+            "served {} requests ({} errors) in {} batches (max {}): \
+             mean latency {:.3} ms, max {:.3} ms, {:.0} predictions/sec",
+            self.requests,
+            self.errors,
+            self.batches,
+            self.max_batch,
+            self.mean_latency_ms(),
+            self.max_latency_ms,
+            self.predictions_per_sec(),
+        )
+    }
+}
+
+/// A loaded snapshot serving predictions over an [`Executor`].
+#[derive(Debug)]
+pub struct PredictionService {
+    snapshot: Snapshot,
+    exec: Executor,
+    queue: ServiceQueue<Result<ServeRequest, String>>,
+}
+
+impl PredictionService {
+    /// Wraps a loaded snapshot; `threads == 0` uses all cores.
+    pub fn new(snapshot: Snapshot, threads: usize) -> Self {
+        PredictionService {
+            snapshot,
+            exec: Executor::new(threads),
+            queue: ServiceQueue::new(),
+        }
+    }
+
+    /// The snapshot being served.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
+    /// Answers one request (the per-task kernel of a batch drain).
+    fn predict_one(&self, req: &ServeRequest) -> Result<(OptConfig, Option<ApplyStats>), String> {
+        match &req.input {
+            RequestInput::Features(values) => {
+                let want = self.snapshot.meta.feature_dim;
+                if values.len() != want {
+                    return Err(format!(
+                        "feature vector has {} values, model expects {want}",
+                        values.len()
+                    ));
+                }
+                let x = FeatureVec {
+                    values: values.clone(),
+                };
+                Ok((self.snapshot.compiler.predict(&x), None))
+            }
+            RequestInput::Module(module) => {
+                let img3 = compile(module, &OptConfig::o3());
+                let prof3 = profile(&img3, module, &[], PROFILE_LIMITS)
+                    .map_err(|e| format!("-O3 profiling run failed: {e:?}"))?;
+                let t3 = evaluate(&img3, &prof3, &req.uarch);
+                let cfg = self
+                    .snapshot
+                    .compiler
+                    .predict_from_counters(&t3.counters, &req.uarch);
+                let stats = if req.apply {
+                    let img = compile(module, &cfg);
+                    let prof = profile(&img, module, &[], PROFILE_LIMITS)
+                        .map_err(|e| format!("predicted binary failed to run: {e:?}"))?;
+                    let t = evaluate(&img, &prof, &req.uarch);
+                    Some(ApplyStats {
+                        o3_cycles: t3.cycles,
+                        predicted_cycles: t.cycles,
+                        speedup: t3.cycles / t.cycles,
+                    })
+                } else {
+                    None
+                };
+                Ok((cfg, stats))
+            }
+        }
+    }
+
+    /// Parses one request line and enqueues it (one parse: the document
+    /// tree is probed for the shutdown sentinel and then decoded as a
+    /// request). Unparseable lines enqueue their error so the reply
+    /// stream stays in request order. Returns `true` for the
+    /// `{"shutdown": true}` sentinel, which is not enqueued.
+    pub fn submit_line(&self, line: &str) -> bool {
+        match serde_json::from_str::<Value>(line) {
+            Ok(doc) => {
+                if let Ok(f) = doc.field("shutdown") {
+                    if matches!(bool::from_value(f), Ok(true)) {
+                        return true;
+                    }
+                }
+                self.queue
+                    .submit(ServeRequest::from_value(&doc).map_err(|e| e.to_string()));
+            }
+            Err(e) => {
+                self.queue.submit(Err(e.to_string()));
+            }
+        }
+        false
+    }
+
+    /// Number of requests waiting for the next batch drain.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Throws away everything pending, unanswered; returns how many.
+    /// Used when the connection that submitted the requests died — their
+    /// replies must not leak into the next client's stream.
+    fn discard_pending(&self) -> usize {
+        self.queue.take_batch().len()
+    }
+
+    /// Drains everything pending through the executor; returns replies in
+    /// submission order and folds timings into `stats`.
+    pub fn drain(&self, stats: &mut ServiceStats) -> Vec<ServeResponse> {
+        let batch_started = Instant::now();
+        let answered = self.queue.drain_with(&self.exec, |parsed| {
+            let started = Instant::now();
+            // The client id must survive the error path too: a reply the
+            // client cannot correlate is as bad as no reply.
+            let (id, outcome) = match parsed {
+                Ok(req) => (req.id, self.predict_one(req)),
+                Err(e) => (None, Err(format!("bad request: {e}"))),
+            };
+            (id, outcome, started.elapsed().as_secs_f64() * 1e3)
+        });
+        if answered.is_empty() {
+            return Vec::new();
+        }
+        stats.batches += 1;
+        stats.max_batch = stats.max_batch.max(answered.len());
+        stats.busy_secs += batch_started.elapsed().as_secs_f64();
+        answered
+            .into_iter()
+            .map(|(ticket, (id, outcome, latency_ms))| {
+                stats.requests += 1;
+                stats.total_latency_ms += latency_ms;
+                stats.max_latency_ms = stats.max_latency_ms.max(latency_ms);
+                let id = id.unwrap_or(ticket);
+                match outcome {
+                    Ok((cfg, apply)) => ServeResponse {
+                        id,
+                        choices: cfg.to_choices(),
+                        config: Some(cfg),
+                        latency_ms,
+                        stats: apply,
+                        error: None,
+                    },
+                    Err(e) => {
+                        stats.errors += 1;
+                        ServeResponse {
+                            id,
+                            config: None,
+                            choices: Vec::new(),
+                            latency_ms,
+                            stats: None,
+                            error: Some(e),
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Writes replies as JSON lines.
+    fn write_replies(
+        &self,
+        replies: &[ServeResponse],
+        writer: &mut impl Write,
+    ) -> std::io::Result<()> {
+        for r in replies {
+            let line = serde_json::to_string(r)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+            writeln!(writer, "{line}")?;
+        }
+        writer.flush()
+    }
+
+    /// Serves a line stream until EOF or a `{"shutdown": true}` line:
+    /// requests accumulate until `batch` are pending (or input ends) and
+    /// drain as one executor pass. Returns `true` when stopped by a
+    /// shutdown request rather than EOF.
+    pub fn run_lines(
+        &self,
+        reader: impl BufRead,
+        mut writer: impl Write,
+        batch: usize,
+        stats: &mut ServiceStats,
+    ) -> std::io::Result<bool> {
+        let batch = batch.max(1);
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if self.submit_line(&line) {
+                let replies = self.drain(stats);
+                self.write_replies(&replies, &mut writer)?;
+                return Ok(true);
+            }
+            if self.pending() >= batch {
+                let replies = self.drain(stats);
+                self.write_replies(&replies, &mut writer)?;
+            }
+        }
+        let replies = self.drain(stats);
+        self.write_replies(&replies, &mut writer)?;
+        Ok(false)
+    }
+
+    /// One TCP connection with the line protocol of
+    /// [`run_lines`](Self::run_lines), plus an idle flush: a short read
+    /// timeout drains whatever is pending, so a client that sends fewer
+    /// than `batch` requests and blocks on the reply is answered within
+    /// ~20 ms instead of deadlocking the connection.
+    fn serve_connection(
+        &self,
+        mut stream: std::net::TcpStream,
+        batch: usize,
+        stats: &mut ServiceStats,
+    ) -> std::io::Result<bool> {
+        use std::io::Read;
+        stream.set_read_timeout(Some(std::time::Duration::from_millis(20)))?;
+        let mut writer = stream.try_clone()?;
+        let batch = batch.max(1);
+        let mut chunk = [0u8; 4096];
+        let mut acc: Vec<u8> = Vec::new();
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    acc.extend_from_slice(&chunk[..n]);
+                    while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+                        let raw: Vec<u8> = acc.drain(..=pos).collect();
+                        let text = String::from_utf8_lossy(&raw);
+                        let line = text.trim();
+                        if line.is_empty() {
+                            continue;
+                        }
+                        if self.submit_line(line) {
+                            let replies = self.drain(stats);
+                            self.write_replies(&replies, &mut writer)?;
+                            return Ok(true);
+                        }
+                        if self.pending() >= batch {
+                            let replies = self.drain(stats);
+                            self.write_replies(&replies, &mut writer)?;
+                        }
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    // Read timeout: the client is idle, not gone. Answer
+                    // what it has sent so far.
+                    if self.pending() > 0 {
+                        let replies = self.drain(stats);
+                        self.write_replies(&replies, &mut writer)?;
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // A final line without a trailing newline is still a request —
+        // stdio mode (BufRead::lines) answers it, so TCP must too.
+        let text = String::from_utf8_lossy(&acc);
+        let tail = text.trim();
+        if !tail.is_empty() && self.submit_line(tail) {
+            let replies = self.drain(stats);
+            self.write_replies(&replies, &mut writer)?;
+            return Ok(true);
+        }
+        let replies = self.drain(stats);
+        self.write_replies(&replies, &mut writer)?;
+        Ok(false)
+    }
+
+    /// Serves connections off a TCP listener, one at a time, each with the
+    /// line protocol of [`run_lines`](Self::run_lines) plus an idle-flush
+    /// read timeout. A `{"shutdown": true}` request closes its connection
+    /// *and* stops the listener; the accumulated stats are returned.
+    pub fn run_tcp(&self, listener: TcpListener, batch: usize) -> std::io::Result<ServiceStats> {
+        let mut stats = ServiceStats::default();
+        for stream in listener.incoming() {
+            // A failed or dropped client is that connection's problem, not
+            // the server's: log and keep accepting. (accept() can fail
+            // transiently — a client resetting before we accept, fd
+            // pressure — and must not take the service down.)
+            let stream = match stream {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("accept error: {e}");
+                    continue;
+                }
+            };
+            match self.serve_connection(stream, batch, &mut stats) {
+                Ok(true) => break,
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("connection error: {e}");
+                    // Unanswered requests from the dead connection must
+                    // not leak into the next client's reply stream.
+                    let dropped = self.discard_pending();
+                    if dropped > 0 {
+                        eprintln!("dropped {dropped} unanswered requests from that connection");
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+}

@@ -1,0 +1,254 @@
+//! Versioned on-disk model artifacts.
+//!
+//! A [`Snapshot`] is everything the serving path needs to answer
+//! predictions without touching the training pipeline: the trained
+//! [`PortableCompiler`] plus enough metadata to refuse, loudly, any
+//! artifact the running binary cannot honour — a different serialization
+//! format, a different feature dimensionality, or a different optimisation
+//! pass space (a model trained over 39 dimensions is meaningless if the
+//! compiler has since grown a 40th).
+//!
+//! The format is the workspace's JSON (via the serde shims), one object:
+//! `{"meta": {...}, "compiler": {...}}`. The `meta` header is parsed and
+//! validated *before* the model payload, so a mismatched snapshot fails
+//! with a precise reason instead of a deep deserialization error.
+
+use portopt_core::{Dataset, PortableCompiler, TrainOptions};
+use portopt_passes::OptSpace;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// First bytes of the `magic` field of every portopt snapshot.
+pub const SNAPSHOT_MAGIC: &str = "portopt-snapshot";
+
+/// Current snapshot format version. Bump on any change to the serialized
+/// layout of [`Snapshot`] or the model types it embeds.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The current pass space as `(dimension name, cardinality)` pairs — the
+/// fingerprint stored in a snapshot and checked at load time.
+pub fn current_pass_space() -> Vec<(String, usize)> {
+    OptSpace::dims()
+        .iter()
+        .map(|d| (d.name.to_string(), d.cardinality))
+        .collect()
+}
+
+/// Self-describing header of a [`Snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotMeta {
+    /// Always [`SNAPSHOT_MAGIC`]; anything else is not a snapshot.
+    pub magic: String,
+    /// Serialized-layout version ([`FORMAT_VERSION`] at write time).
+    pub format_version: u32,
+    /// Feature-vector dimensionality the model was trained on.
+    pub feature_dim: usize,
+    /// The optimisation space at training time, as name/cardinality pairs.
+    pub pass_space: Vec<(String, usize)>,
+    /// Programs in the training dataset.
+    pub programs: usize,
+    /// Microarchitectures in the training dataset.
+    pub uarchs: usize,
+    /// Optimisation settings sampled per program.
+    pub settings: usize,
+    /// Neighbour count the model was trained with.
+    pub k: usize,
+    /// Softmax inverse temperature the model was trained with.
+    pub beta: f64,
+}
+
+/// A trained [`PortableCompiler`] plus its validation metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Self-describing, load-time-validated header.
+    pub meta: SnapshotMeta,
+    /// The trained model.
+    pub compiler: PortableCompiler,
+}
+
+/// Why a snapshot could not be written or loaded.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The file is not parseable as a snapshot at all.
+    Corrupt(String),
+    /// The file parses but its `magic` field is wrong — it is some other
+    /// JSON document.
+    NotASnapshot {
+        /// The magic actually found.
+        found: String,
+    },
+    /// The snapshot was written by an incompatible format version.
+    VersionMismatch {
+        /// Version in the file.
+        found: u32,
+        /// Version this binary supports.
+        supported: u32,
+    },
+    /// The snapshot's model was trained over a different optimisation
+    /// space than this binary compiles with.
+    PassSpaceMismatch {
+        /// Human-readable description of the first difference.
+        detail: String,
+    },
+    /// The snapshot's model expects a different feature dimensionality.
+    FeatureDimMismatch {
+        /// Dimensionality in the file.
+        found: usize,
+        /// Dimensionality this binary produces.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::NotASnapshot { found } => {
+                write!(f, "not a portopt snapshot (magic `{found}`)")
+            }
+            SnapshotError::VersionMismatch { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported \
+                 (this binary reads version {supported}); re-run `snapshot` to retrain"
+            ),
+            SnapshotError::PassSpaceMismatch { detail } => write!(
+                f,
+                "snapshot was trained over a different optimisation space: {detail}; \
+                 re-run `snapshot` to retrain"
+            ),
+            SnapshotError::FeatureDimMismatch { found, expected } => write!(
+                f,
+                "snapshot expects {found}-dimensional features, this binary \
+                 produces {expected}; re-run `snapshot` to retrain"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// Describes the first difference between two pass spaces, or `None` if
+/// they are identical.
+fn pass_space_diff(found: &[(String, usize)], current: &[(String, usize)]) -> Option<String> {
+    if found.len() != current.len() {
+        return Some(format!(
+            "{} dimensions in snapshot vs {} in this binary",
+            found.len(),
+            current.len()
+        ));
+    }
+    for ((fname, fcard), (cname, ccard)) in found.iter().zip(current) {
+        if fname != cname {
+            return Some(format!("dimension `{fname}` vs `{cname}`"));
+        }
+        if fcard != ccard {
+            return Some(format!(
+                "dimension `{fname}` has {fcard} choices in snapshot vs {ccard}"
+            ));
+        }
+    }
+    None
+}
+
+impl Snapshot {
+    /// Trains a [`PortableCompiler`] on the full dataset (no leave-one-out
+    /// holdouts — a deployment model uses everything) and wraps it with
+    /// the metadata a loader will validate.
+    pub fn train(ds: &Dataset, opts: &TrainOptions) -> Self {
+        let compiler = PortableCompiler::train(ds, None, None, opts);
+        Snapshot {
+            meta: SnapshotMeta {
+                magic: SNAPSHOT_MAGIC.to_string(),
+                format_version: FORMAT_VERSION,
+                feature_dim: compiler.model().feature_dim(),
+                pass_space: current_pass_space(),
+                programs: ds.n_programs(),
+                uarchs: ds.n_uarchs(),
+                settings: ds.configs.len(),
+                k: opts.k,
+                beta: opts.beta,
+            },
+            compiler,
+        }
+    }
+
+    /// Serializes the snapshot to bytes (the exact bytes [`Snapshot::save`]
+    /// writes).
+    pub fn to_bytes(&self) -> Result<Vec<u8>, SnapshotError> {
+        serde_json::to_vec(self).map_err(|e| SnapshotError::Corrupt(e.to_string()))
+    }
+
+    /// Writes the snapshot to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        std::fs::write(path, self.to_bytes()?)?;
+        Ok(())
+    }
+
+    /// Parses and validates a snapshot from bytes. The header is checked
+    /// (magic, format version, pass space, feature dimensionality) before
+    /// the model payload is deserialized, so every rejection carries the
+    /// specific mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        // One parse to the document tree; the header is validated off the
+        // tree before the (much larger) model payload is decoded, so a
+        // mismatched file is rejected with its specific reason and a
+        // multi-megabyte artifact is not lexed twice.
+        let doc: serde::Value =
+            serde_json::from_slice(bytes).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        let meta = doc
+            .field("meta")
+            .and_then(SnapshotMeta::from_value)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        if meta.magic != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::NotASnapshot { found: meta.magic });
+        }
+        if meta.format_version != FORMAT_VERSION {
+            return Err(SnapshotError::VersionMismatch {
+                found: meta.format_version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        if let Some(detail) = pass_space_diff(&meta.pass_space, &current_pass_space()) {
+            return Err(SnapshotError::PassSpaceMismatch { detail });
+        }
+        let expected = portopt_uarch::N_FEATURES;
+        if meta.feature_dim != expected {
+            return Err(SnapshotError::FeatureDimMismatch {
+                found: meta.feature_dim,
+                expected,
+            });
+        }
+        let snap = Snapshot::from_value(&doc).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        // The header said the right thing; make sure the payload agrees
+        // (a hand-edited file could pair a valid header with a stale model).
+        let model_dim = snap.compiler.model().feature_dim();
+        if model_dim != expected {
+            return Err(SnapshotError::FeatureDimMismatch {
+                found: model_dim,
+                expected,
+            });
+        }
+        Ok(snap)
+    }
+
+    /// Loads and validates a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}

@@ -226,6 +226,20 @@ impl Serialize for str {
     }
 }
 
+// A `Value` (de)serializes as itself, so documents can be parsed to a tree
+// once, inspected, and only then decoded into a concrete type — mirroring
+// upstream `serde_json::Value`.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Container impls
 // ---------------------------------------------------------------------------
@@ -391,6 +405,16 @@ mod tests {
         assert_eq!(got, v);
         let o: Option<u32> = None;
         assert_eq!(Option::<u32>::from_value(&o.to_value()).unwrap(), None);
+    }
+
+    #[test]
+    fn value_roundtrips_as_itself() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::I64(1)),
+            ("b".to_string(), Value::Array(vec![Value::Bool(true)])),
+        ]);
+        assert_eq!(v.to_value(), v);
+        assert_eq!(Value::from_value(&v).unwrap(), v);
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! | [`portopt_ml`] | IID distributions, KNN predictor, mutual information |
 //! | [`portopt_search`] | iterative-compilation baselines |
 //! | [`portopt_core`] | dataset generation + the [`portopt_core::PortableCompiler`] |
+//! | [`portopt_serve`] | model snapshots + the batched JSON-lines prediction service |
 //! | [`portopt_experiments`] | leave-one-out harness + figure generators |
 //!
 //! See `examples/quickstart.rs` for the 60-second tour and
@@ -34,6 +35,7 @@ pub use portopt_mibench;
 pub use portopt_ml;
 pub use portopt_passes;
 pub use portopt_search;
+pub use portopt_serve;
 pub use portopt_sim;
 pub use portopt_uarch;
 
