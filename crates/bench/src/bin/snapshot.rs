@@ -38,6 +38,12 @@ fn main() {
             std::process::exit(2);
         })
     };
+    // `--dataset-out`: persist the exact (merged) dataset this snapshot
+    // trains on — the artifact the sharded-sweep CI job diffs against an
+    // unsharded sweep's output.
+    if let Some(path) = &args.dataset_out {
+        BinArgs::write_dataset(path, &ds);
+    }
     let snap = Snapshot::train(&ds, &TrainOptions::default());
     let path = args.snapshot_path();
     if let Err(e) = snap.save(&path) {

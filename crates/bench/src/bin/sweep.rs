@@ -1,0 +1,71 @@
+//! The multi-rig sweep driver: sweeps this rig's shard of the
+//! `(program, setting)` training grid and writes a `Dataset` shard file
+//! that `snapshot --shard` merges for training.
+//!
+//! ```text
+//! # rig 0 and rig 1 each sweep half the programs, sharing nothing but
+//! # the seed; --profile-cache makes re-runs reuse profiling on disk
+//! cargo run --release -p portopt-bench --bin sweep -- \
+//!     --scale smoke --shard-index 0 --shard-count 2 \
+//!     --profile-cache target/pcache --out rig0.json
+//! cargo run --release -p portopt-bench --bin sweep -- \
+//!     --scale smoke --shard-index 1 --shard-count 2 \
+//!     --profile-cache target/pcache --out rig1.json
+//!
+//! # then merge-train on any one machine
+//! cargo run --release -p portopt-bench --bin snapshot -- \
+//!     --shard rig0.json --shard rig1.json --out model.snap
+//! ```
+//!
+//! Without shard flags (`--shard-count 1`, the default) this is a plain
+//! whole-suite sweep to an explicit dataset file. Sharding is contiguous
+//! and deterministic ([`portopt_core::shard::ShardSpec`]), so merging the
+//! shards in index order is byte-identical to the unsharded sweep — CI
+//! asserts exactly that.
+
+use portopt_bench::BinArgs;
+use portopt_core::{generate_with_cache, open_profile_cache, ShardSpec};
+use portopt_experiments::suite_modules;
+
+fn main() {
+    let args = BinArgs::parse();
+    let spec = ShardSpec::new(args.shard_index, args.shard_count).unwrap_or_else(|e| {
+        eprintln!("bad shard spec: {e}");
+        std::process::exit(2);
+    });
+    let (pairs, _) = suite_modules(2009);
+    let range = spec.range(pairs.len());
+    let mine = spec.slice(&pairs);
+    println!(
+        "sweep shard {}/{}: programs [{}..{}) of {} ({} uarchs x {} settings, scale {})",
+        spec.index(),
+        spec.count(),
+        range.start,
+        range.end,
+        pairs.len(),
+        args.scale.n_uarch,
+        args.scale.n_opts,
+        args.scale_name,
+    );
+
+    let cache = args.profile_cache.as_ref().map(|dir| {
+        open_profile_cache(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open profile cache {dir}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let (ds, report) = generate_with_cache(mine, &args.gen_options(), cache.as_ref());
+    args.write_report(&report);
+    if let Some(c) = &cache {
+        let s = c.stats();
+        println!(
+            "profile cache: {} hits, {} misses, {} rejected ({})",
+            s.hits,
+            s.misses,
+            s.rejected,
+            c.dir().display(),
+        );
+    }
+
+    BinArgs::write_dataset(&args.shard_path(), &ds);
+}

@@ -37,13 +37,23 @@ pub struct BinArgs {
     pub port: u16,
     /// `serve` bin: requests per executor batch.
     pub batch: usize,
+    /// `sweep` bin: this rig's shard index (`0..shard_count`).
+    pub shard_index: usize,
+    /// `sweep` bin: total number of shards the program grid is split into.
+    pub shard_count: usize,
+    /// `sweep` bin: directory of the on-disk profile cache, if any.
+    pub profile_cache: Option<String>,
+    /// `snapshot` bin: also write the (merged) training dataset here.
+    pub dataset_out: Option<String>,
 }
 
 impl BinArgs {
     /// Parses `--scale smoke|default|paper|quick`, `--extended`,
     /// `--no-cache`, `--threads N` from `std::env::args`, plus the
     /// `snapshot`/`serve` flags `--out PATH`, `--snapshot PATH`,
-    /// `--shard PATH` (repeatable), `--stdio`, `--port N`, `--batch N`.
+    /// `--shard PATH` (repeatable), `--dataset-out PATH`, `--stdio`,
+    /// `--port N`, `--batch N`, and the `sweep` flags `--shard-index N`,
+    /// `--shard-count N`, `--profile-cache DIR`.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
         let mut extended = false;
@@ -55,6 +65,10 @@ impl BinArgs {
         let mut stdio = false;
         let mut port = 7209u16;
         let mut batch = 32usize;
+        let mut shard_index = 0usize;
+        let mut shard_count = 1usize;
+        let mut profile_cache = None;
+        let mut dataset_out = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -97,6 +111,44 @@ impl BinArgs {
                     }
                     None => eprintln!("--shard expects a dataset file path"),
                 },
+                // Shard flags are fatal on a bad value, unlike the
+                // warn-and-default flags above: silently falling back to
+                // `0 of 1` would make a typo'd rig sweep the wrong slice
+                // of the grid (hours of compute labeled as another rig's).
+                "--shard-index" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        shard_index = n;
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("--shard-index expects a number, got {:?}", args.get(i + 1));
+                        std::process::exit(2);
+                    }
+                },
+                "--shard-count" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        shard_count = n;
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("--shard-count expects a number, got {:?}", args.get(i + 1));
+                        std::process::exit(2);
+                    }
+                },
+                "--profile-cache" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        profile_cache = Some(p.clone());
+                        i += 1;
+                    }
+                    None => eprintln!("--profile-cache expects a directory path"),
+                },
+                "--dataset-out" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        dataset_out = Some(p.clone());
+                        i += 1;
+                    }
+                    None => eprintln!("--dataset-out expects a file path"),
+                },
                 "--stdio" => stdio = true,
                 "--port" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                     Some(n) => {
@@ -138,7 +190,43 @@ impl BinArgs {
             stdio,
             port,
             batch,
+            shard_index,
+            shard_count,
+            profile_cache,
+            dataset_out,
         }
+    }
+
+    /// Writes a dataset as JSON and reports the artifact, exiting with
+    /// status 2 on failure — the shared output path of the `sweep` bin
+    /// (shard files) and `snapshot --dataset-out` (the merged dataset).
+    pub fn write_dataset(path: &str, ds: &Dataset) {
+        let bytes = serde_json::to_vec(ds).unwrap_or_else(|e| {
+            eprintln!("cannot serialize dataset: {e}");
+            std::process::exit(2);
+        });
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("cannot write dataset {path}: {e}");
+            std::process::exit(2);
+        }
+        println!(
+            "wrote {path}: {} programs, {} bytes",
+            ds.n_programs(),
+            bytes.len()
+        );
+    }
+
+    /// Default shard-dataset path for the `sweep` bin's `--out`.
+    pub fn shard_path(&self) -> String {
+        self.out.clone().unwrap_or_else(|| {
+            format!(
+                "target/portopt-shard-{}{}-{}of{}.json",
+                self.scale_name,
+                if self.extended { "-ext" } else { "" },
+                self.shard_index,
+                self.shard_count,
+            )
+        })
     }
 
     /// Default model-artifact path for this scale (the `snapshot` bin's

@@ -9,11 +9,12 @@
 //! sweep into `programs × settings` profiler runs plus 7 million
 //! microsecond-scale model evaluations.
 
+use portopt_exec::cache::{CacheError, DiskCache};
 use portopt_exec::Executor;
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
 use portopt_passes::{compile, OptConfig};
-use portopt_sim::{profile, PreparedEval};
+use portopt_sim::{profile, ExecProfile, PreparedEval};
 use portopt_uarch::{FeatureVec, MicroArch, MicroArchSpace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -121,6 +122,47 @@ impl Dataset {
     /// `GenOptions` seed and scale on every rig) — mismatched axes or a
     /// program appearing in two shards are rejected, since silently mixing
     /// them would corrupt the good-sets the model trains on.
+    ///
+    /// With the contiguous splits of [`crate::shard::ShardSpec`], merging
+    /// shards in index order reproduces the unsharded sweep byte for byte.
+    ///
+    /// ```
+    /// use portopt_core::{generate, Dataset, GenOptions, MergeError, SweepScale};
+    /// use portopt_ir::{FuncBuilder, Module, ModuleBuilder};
+    ///
+    /// fn toy(name: &str, start: i64) -> (String, Module) {
+    ///     let mut mb = ModuleBuilder::new(name);
+    ///     let mut b = FuncBuilder::new("main", 0);
+    ///     let acc = b.iconst(start);
+    ///     b.counted_loop(0, 16, 1, |b, i| {
+    ///         let t = b.add(acc, i);
+    ///         b.assign(acc, t);
+    ///     });
+    ///     b.ret(acc);
+    ///     let id = mb.add(b.finish());
+    ///     mb.entry(id);
+    ///     (name.to_string(), mb.finish())
+    /// }
+    ///
+    /// // Two rigs sweep disjoint programs under identical options...
+    /// let opts = GenOptions {
+    ///     scale: SweepScale { n_uarch: 2, n_opts: 3 },
+    ///     threads: 1,
+    ///     ..GenOptions::default()
+    /// };
+    /// let rig0 = generate(&[toy("a", 1)], &opts);
+    /// let rig1 = generate(&[toy("b", 2)], &opts);
+    /// // ...and their shards concatenate into one training dataset.
+    /// let merged = Dataset::merge(vec![rig0, rig1]).unwrap();
+    /// assert_eq!(merged.programs, vec!["a", "b"]);
+    ///
+    /// // A shard swept under a different seed is refused, not mixed in.
+    /// let foreign = generate(&[toy("c", 3)], &GenOptions { seed: 1, ..opts });
+    /// assert!(matches!(
+    ///     Dataset::merge(vec![merged, foreign]),
+    ///     Err(MergeError::UarchMismatch { shard: 1 })
+    /// ));
+    /// ```
     pub fn merge(shards: Vec<Dataset>) -> Result<Dataset, MergeError> {
         for (i, shard) in shards.iter().enumerate() {
             if let Some(detail) = shard.shape_defect() {
@@ -319,6 +361,36 @@ const PROFILE_LIMITS: ExecLimits = ExecLimits {
     max_depth: 2048,
 };
 
+/// Payload kind of the sweep's on-disk profile cache (the namespace tag
+/// every entry carries and [`DiskCache::get`] validates).
+pub const PROFILE_CACHE_KIND: &str = "exec-profile";
+
+/// Version of the profile-cache payload encoding. Bump whenever
+/// [`ExecProfile`]'s serialized shape changes **or** the cache key stops
+/// covering something it used to (an IR or layout encoding change, a new
+/// profiling input outside the image + globals + limits the key hashes):
+/// a cache written under the old meaning is then rejected loudly instead
+/// of silently pricing from the wrong profile.
+pub const PROFILE_CACHE_PAYLOAD_VERSION: u32 = 1;
+
+/// One persisted profiling outcome, keyed on disk by a structural hash of
+/// everything the profile depends on: the compiled image
+/// ([`portopt_passes::CodeImage::fingerprint`]'s coverage), the module's
+/// global initialiser data, and the profiling limits.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CachedProfile {
+    /// The functional profile, or `None` when the binary failed to run
+    /// (fuel blow-up from a pathological setting). Failures are cached
+    /// too — re-discovering one costs a full interpreter budget.
+    pub profile: Option<ExecProfile>,
+}
+
+/// Opens (creating if needed) an on-disk profile cache for sweeps —
+/// a [`DiskCache`] bound to this crate's payload kind and version.
+pub fn open_profile_cache(dir: impl AsRef<std::path::Path>) -> Result<DiskCache, CacheError> {
+    DiskCache::open(dir, PROFILE_CACHE_KIND, PROFILE_CACHE_PAYLOAD_VERSION)
+}
+
 /// Evaluates one program: compiles and profiles each setting once, prices
 /// it on every configuration. Returns `(cycles[u][c], o3_cycles[u],
 /// features[u])`.
@@ -328,6 +400,59 @@ type ProgramSweep = (Vec<Vec<f64>>, Vec<f64>, Vec<FeatureVec>);
 /// fingerprint: distinct settings that lower a program to the same machine
 /// code share one profiling run (the expensive step).
 type ProfileCache = Mutex<HashMap<u64, Arc<Vec<f64>>>>;
+
+/// The persistent cache key for one profiling run: everything the
+/// profile is a function of. The image fingerprint alone is *not* enough
+/// for a cache that outlives the process — `profile` also seeds memory
+/// from the module's global initializers (which the image only records as
+/// `(base, bytes)`) and stops at [`PROFILE_LIMITS`], so both are folded
+/// into the key. A suite-data edit or a limits bump then misses cleanly
+/// instead of silently serving a profile of the old inputs.
+fn profile_disk_key(img: &portopt_passes::CodeImage, module: &Module) -> u64 {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = portopt_ir::StableHasher::new();
+    img.hash(&mut h);
+    // Name, size and the initialiser words of every global (derived
+    // structural Hash, like the image itself).
+    module.globals.hash(&mut h);
+    (PROFILE_LIMITS.fuel, PROFILE_LIMITS.max_depth).hash(&mut h);
+    h.finish()
+}
+
+/// Collects the functional profile of one compiled image — the expensive,
+/// microarchitecture-independent step — consulting the on-disk cache
+/// first when one is given. `None` means the binary failed to run.
+///
+/// A cache entry that exists but is refused (corrupt, written by a stale
+/// payload encoding, wrong kind) is **not** fatal: the sweep logs the
+/// specific rejection, re-profiles, and overwrites the entry, so a bad
+/// cache costs throughput, never correctness.
+fn profile_for(
+    img: &portopt_passes::CodeImage,
+    module: &Module,
+    disk: Option<&DiskCache>,
+) -> Option<ExecProfile> {
+    let keyed = disk.map(|d| (d, profile_disk_key(img, module)));
+    if let Some((d, fp)) = keyed {
+        match d.get::<CachedProfile>(fp) {
+            Ok(Some(entry)) => return entry.profile,
+            Ok(None) => {}
+            Err(e) => eprintln!("profile cache entry {fp:016x} rejected: {e}; re-profiling"),
+        }
+    }
+    let prof = profile(img, module, &[], PROFILE_LIMITS).ok();
+    if let Some((d, fp)) = keyed {
+        if let Err(e) = d.put(
+            fp,
+            &CachedProfile {
+                profile: prof.clone(),
+            },
+        ) {
+            eprintln!("profile cache write for {fp:016x} failed: {e}");
+        }
+    }
+    prof
+}
 
 /// Profiles one compiled image and prices it on every configuration —
 /// the per-task kernel shared by dataset generation and the LOO pricing
@@ -339,31 +464,43 @@ pub fn price_image(
     module: &Module,
     uarchs: &[MicroArch],
 ) -> Vec<f64> {
-    match profile(img, module, &[], PROFILE_LIMITS) {
-        Ok(prof) => {
+    price_image_with(img, module, uarchs, None)
+}
+
+/// [`price_image`] with an optional on-disk profile cache.
+fn price_image_with(
+    img: &portopt_passes::CodeImage,
+    module: &Module,
+    uarchs: &[MicroArch],
+    disk: Option<&DiskCache>,
+) -> Vec<f64> {
+    match profile_for(img, module, disk) {
+        Some(prof) => {
             let pe = PreparedEval::new(img, &prof);
             uarchs.iter().map(|u| pe.evaluate(u).cycles).collect()
         }
-        Err(_) => vec![f64::INFINITY; uarchs.len()],
+        None => vec![f64::INFINITY; uarchs.len()],
     }
 }
 
 /// Compiles one setting, profiles it (or reuses a cached profile of an
-/// identical binary) and prices it on every configuration. Pure in
-/// `(module, cfg, uarchs)` — the cache only short-circuits recomputation,
-/// which is what keeps the sweep deterministic under any scheduling.
+/// identical binary — in-memory within this sweep, on disk across sweeps)
+/// and prices it on every configuration. Pure in `(module, cfg, uarchs)`
+/// — both caches only short-circuit recomputation, which is what keeps
+/// the sweep deterministic under any scheduling.
 fn eval_setting(
     module: &Module,
     uarchs: &[MicroArch],
     cfg: &OptConfig,
     cache: &ProfileCache,
+    disk: Option<&DiskCache>,
 ) -> Arc<Vec<f64>> {
     let img = compile(module, cfg);
     let fp = img.fingerprint();
     if let Some(hit) = cache.lock().expect("profile cache").get(&fp) {
         return hit.clone();
     }
-    let row = Arc::new(price_image(&img, module, uarchs));
+    let row = Arc::new(price_image_with(&img, module, uarchs, disk));
     cache
         .lock()
         .expect("profile cache")
@@ -373,10 +510,15 @@ fn eval_setting(
 }
 
 /// `-O3` baseline for one program: cycles + counter features per
-/// configuration.
-fn o3_baseline(module: &Module, uarchs: &[MicroArch]) -> (Vec<f64>, Vec<FeatureVec>) {
+/// configuration. The `-O3` profiling run goes through the same on-disk
+/// cache as the setting sweep.
+fn o3_baseline(
+    module: &Module,
+    uarchs: &[MicroArch],
+    disk: Option<&DiskCache>,
+) -> (Vec<f64>, Vec<FeatureVec>) {
     let img3 = compile(module, &OptConfig::o3());
-    let prof3 = profile(&img3, module, &[], PROFILE_LIMITS)
+    let prof3 = profile_for(&img3, module, disk)
         .expect("O3 binary must run (checked by the mibench tests)");
     let pe = PreparedEval::new(&img3, &prof3);
     let mut o3_cycles = Vec::with_capacity(uarchs.len());
@@ -419,11 +561,11 @@ pub fn sweep_program(
     configs: &[OptConfig],
     exec: &Executor,
 ) -> ProgramSweep {
-    let (o3_cycles, features) = o3_baseline(module, uarchs);
+    let (o3_cycles, features) = o3_baseline(module, uarchs, None);
     let (uniques, to_unique) = dedup_configs(configs);
     let cache: ProfileCache = Mutex::new(HashMap::new());
     let rows = exec.map_indexed(uniques.len(), |t| {
-        eval_setting(module, uarchs, &configs[uniques[t]], &cache)
+        eval_setting(module, uarchs, &configs[uniques[t]], &cache, None)
     });
     let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; configs.len()]; uarchs.len()];
     for (c, &t) in to_unique.iter().enumerate() {
@@ -452,13 +594,14 @@ fn sweep_grid(
     uarchs: Vec<MicroArch>,
     configs: Vec<OptConfig>,
     threads: usize,
+    disk: Option<&DiskCache>,
 ) -> (Dataset, SweepReport) {
     let start = std::time::Instant::now();
     let exec = Executor::new(threads);
     let np = programs.len();
 
     // `-O3` baselines, parallel over programs.
-    let baselines = exec.map_indexed(np, |p| o3_baseline(&programs[p].1, &uarchs));
+    let baselines = exec.map_indexed(np, |p| o3_baseline(&programs[p].1, &uarchs, disk));
 
     // The flattened (program, unique-setting) grid in one executor pass.
     let (uniques, to_unique) = dedup_configs(&configs);
@@ -466,7 +609,13 @@ fn sweep_grid(
     let caches: Vec<ProfileCache> = (0..np).map(|_| Mutex::new(HashMap::new())).collect();
     let rows = exec.map_indexed(np * nu, |i| {
         let (p, t) = (i / nu, i % nu);
-        eval_setting(&programs[p].1, &uarchs, &configs[uniques[t]], &caches[p])
+        eval_setting(
+            &programs[p].1,
+            &uarchs,
+            &configs[uniques[t]],
+            &caches[p],
+            disk,
+        )
     });
 
     let mut ds = Dataset {
@@ -518,6 +667,25 @@ pub fn generate_with_report(
     programs: &[(String, Module)],
     opts: &GenOptions,
 ) -> (Dataset, SweepReport) {
+    generate_with_cache(programs, opts, None)
+}
+
+/// [`generate_with_report`] with an optional on-disk profile cache
+/// (opened via [`open_profile_cache`]): every compile's profiling run is
+/// first looked up by the image's structural fingerprint and persisted on
+/// miss, so repeated sweeps — including each rig of a sharded sweep
+/// re-run after a crash or a scale change that shares settings — reuse
+/// profiling runs *across process invocations*, not just within one.
+///
+/// The cache never changes the result: a sweep with a warm, cold, or
+/// partially-corrupted cache produces a byte-identical dataset to one
+/// with no cache at all (rejected entries are logged, recomputed and
+/// overwritten). `cargo test -p portopt-core` asserts this.
+pub fn generate_with_cache(
+    programs: &[(String, Module)],
+    opts: &GenOptions,
+    disk: Option<&DiskCache>,
+) -> (Dataset, SweepReport) {
     let space = if opts.extended_space {
         MicroArchSpace::extended()
     } else {
@@ -526,7 +694,7 @@ pub fn generate_with_report(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let uarchs = space.sample_n(opts.scale.n_uarch, &mut rng);
     let configs = sample_configs(opts.scale.n_opts, opts.seed);
-    sweep_grid(programs, uarchs, configs, opts.threads)
+    sweep_grid(programs, uarchs, configs, opts.threads, disk)
 }
 
 /// Generates a dataset priced on the given (named) microarchitectures
@@ -540,7 +708,7 @@ pub fn generate_with_uarchs(
     opts: &GenOptions,
 ) -> (Dataset, SweepReport) {
     let configs = sample_configs(opts.scale.n_opts, opts.seed);
-    sweep_grid(programs, uarchs.to_vec(), configs, opts.threads)
+    sweep_grid(programs, uarchs.to_vec(), configs, opts.threads, None)
 }
 
 #[cfg(test)]
@@ -816,6 +984,188 @@ mod tests {
             Dataset::merge(vec![base, bad_feats]),
             Err(MergeError::MalformedShard { shard: 1, .. })
         ));
+    }
+
+    fn cache_scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "portopt-profile-cache-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn warm_disk_cache_reproduces_the_cold_sweep_exactly() {
+        let dir = cache_scratch_dir("warm");
+        let programs = vec![tiny_program("p1", 1), tiny_program("p2", 7)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 3,
+                n_opts: 10,
+            },
+            seed: 99,
+            extended_space: false,
+            threads: 2,
+        };
+        let baseline = generate(&programs, &opts);
+
+        let cold_cache = open_profile_cache(&dir).unwrap();
+        let (cold, _) = generate_with_cache(&programs, &opts, Some(&cold_cache));
+        let cold_stats = cold_cache.stats();
+        assert_eq!(cold_stats.hits, 0, "first run must be all misses");
+        assert!(cold_stats.misses > 0);
+
+        let warm_cache = open_profile_cache(&dir).unwrap();
+        let (warm, _) = generate_with_cache(&programs, &opts, Some(&warm_cache));
+        let warm_stats = warm_cache.stats();
+        assert!(warm_stats.hits > 0, "second run must hit: {warm_stats:?}");
+        assert_eq!(warm_stats.misses, 0, "{warm_stats:?}");
+        assert_eq!(warm_stats.rejected, 0, "{warm_stats:?}");
+
+        // The cache must never change the result: no-cache, cold and warm
+        // sweeps serialize byte-identically.
+        let bytes = |ds: &Dataset| serde_json::to_vec(ds).unwrap();
+        assert_eq!(bytes(&cold), bytes(&baseline));
+        assert_eq!(bytes(&warm), bytes(&baseline));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_and_stale_cache_entries_fall_back_to_reprofiling() {
+        let dir = cache_scratch_dir("corrupt");
+        let programs = vec![tiny_program("p1", 3)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 8,
+            },
+            seed: 123,
+            extended_space: false,
+            threads: 1,
+        };
+        let cold_cache = open_profile_cache(&dir).unwrap();
+        let (cold, _) = generate_with_cache(&programs, &opts, Some(&cold_cache));
+
+        // Vandalise every entry: truncated JSON in one, a stale payload
+        // version in the rest (as an old-IR-encoding cache would hold).
+        let mut entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        entries.sort();
+        assert!(entries.len() > 1, "expected several cache entries");
+        std::fs::write(&entries[0], b"{ truncated").unwrap();
+        for path in &entries[1..] {
+            let stale = std::fs::read_to_string(path)
+                .unwrap()
+                .replace("\"payload_version\":1", "\"payload_version\":0");
+            std::fs::write(path, stale).unwrap();
+        }
+
+        // The sweep must reject every entry (named errors on stderr),
+        // re-profile, produce identical output, and repair the cache.
+        let vandalised = open_profile_cache(&dir).unwrap();
+        let (redone, _) = generate_with_cache(&programs, &opts, Some(&vandalised));
+        let stats = vandalised.stats();
+        assert_eq!(stats.hits, 0, "{stats:?}");
+        assert_eq!(stats.rejected as usize, entries.len(), "{stats:?}");
+        let bytes = |ds: &Dataset| serde_json::to_vec(ds).unwrap();
+        assert_eq!(bytes(&redone), bytes(&cold));
+
+        // Overwritten entries serve the next run normally.
+        let repaired = open_profile_cache(&dir).unwrap();
+        let (again, _) = generate_with_cache(&programs, &opts, Some(&repaired));
+        assert_eq!(repaired.stats().rejected, 0);
+        assert!(repaired.stats().hits > 0);
+        assert_eq!(bytes(&again), bytes(&cold));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn changed_global_data_misses_the_disk_cache() {
+        // Two modules with identical code (identical image fingerprints)
+        // but different global initialiser data: profiles differ, so the
+        // second sweep must MISS the first's entries, not reuse them.
+        let dir = cache_scratch_dir("globals");
+        let variant = |init: i64| -> (String, Module) {
+            let mut mb = ModuleBuilder::new("p");
+            let (_, base) = mb.global_init("buf", 64, vec![init; 64]);
+            let mut b = FuncBuilder::new("main", 0);
+            let p = b.iconst(base as i64);
+            let acc = b.iconst(0);
+            b.counted_loop(0, 40, 1, |b, i| {
+                let off = b.and(i, 63);
+                let sh = b.shl(off, 2);
+                let a = b.add(p, sh);
+                let v = b.load(a, 0);
+                let t = b.add(acc, v);
+                b.assign(acc, t);
+            });
+            b.ret(acc);
+            let id = mb.add(b.finish());
+            mb.entry(id);
+            ("p".to_string(), mb.finish())
+        };
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed: 31,
+            extended_space: false,
+            threads: 1,
+        };
+        let cold = open_profile_cache(&dir).unwrap();
+        generate_with_cache(&[variant(1)], &opts, Some(&cold));
+        let other_data = open_profile_cache(&dir).unwrap();
+        generate_with_cache(&[variant(2)], &opts, Some(&other_data));
+        let s = other_data.stats();
+        assert_eq!(
+            s.hits, 0,
+            "stale profiles served across a data change: {s:?}"
+        );
+        assert!(s.misses > 0);
+        // Same data again: now everything hits.
+        let warm = open_profile_cache(&dir).unwrap();
+        generate_with_cache(&[variant(2)], &opts, Some(&warm));
+        assert!(warm.stats().hits > 0);
+        assert_eq!(warm.stats().misses, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_sweep_merges_byte_identically_to_unsharded() {
+        use crate::shard::ShardSpec;
+        let programs = vec![
+            tiny_program("p1", 1),
+            tiny_program("p2", 7),
+            tiny_program("p3", 3),
+            tiny_program("p4", 5),
+            tiny_program("p5", 2),
+        ];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed: 7,
+            extended_space: false,
+            threads: 2,
+        };
+        let whole = generate(&programs, &opts);
+        let shards: Vec<Dataset> = (0..3)
+            .map(|i| {
+                let spec = ShardSpec::new(i, 3).unwrap();
+                generate(spec.slice(&programs), &opts)
+            })
+            .collect();
+        let merged = Dataset::merge(shards).unwrap();
+        assert_eq!(
+            serde_json::to_vec(&merged).unwrap(),
+            serde_json::to_vec(&whole).unwrap(),
+            "contiguous shards must merge back to the unsharded sweep"
+        );
     }
 
     #[test]

@@ -7,7 +7,12 @@
 //! programs *and* microarchitectures never seen in training.
 //!
 //! * [`dataset`] — training-data generation (§3.2): the
-//!   programs × settings × microarchitectures sweep.
+//!   programs × settings × microarchitectures sweep, optionally backed by
+//!   an on-disk profile cache (`portopt_exec::cache`) so repeated sweeps
+//!   reuse profiling runs across process invocations.
+//! * [`shard`] — deterministic multi-rig sweep planning: contiguous
+//!   program slices whose per-rig datasets recombine, byte-identically,
+//!   with [`Dataset::merge`].
 //! * [`compiler`] — model building (§3.3) and deployment (§3.4):
 //!   [`PortableCompiler`] wraps good-set extraction, per-pair IID
 //!   distribution fitting, and the KNN predictive distribution, decoded at
@@ -20,9 +25,12 @@
 
 pub mod compiler;
 pub mod dataset;
+pub mod shard;
 
 pub use compiler::{PortableCompiler, TrainOptions, GOOD_FRACTION};
 pub use dataset::{
-    generate, generate_with_report, generate_with_uarchs, sweep_program, Dataset, GenOptions,
-    MergeError, SweepReport, SweepScale,
+    generate, generate_with_cache, generate_with_report, generate_with_uarchs, open_profile_cache,
+    sweep_program, CachedProfile, Dataset, GenOptions, MergeError, SweepReport, SweepScale,
+    PROFILE_CACHE_KIND, PROFILE_CACHE_PAYLOAD_VERSION,
 };
+pub use shard::{ShardError, ShardSpec};

@@ -1,0 +1,174 @@
+//! Deterministic shard planning for multi-rig sweeps.
+//!
+//! The training sweep is embarrassingly parallel across *programs*: every
+//! shard samples the same microarchitectures and settings (same seed, same
+//! scale), sweeps its own slice of the program list, and the per-rig
+//! [`Dataset`](crate::Dataset) files are recombined with
+//! [`Dataset::merge`](crate::Dataset::merge).
+//!
+//! A [`ShardSpec`] assigns **contiguous** program ranges (the same split
+//! rule the executor uses for its work shards). Contiguity is what makes
+//! the merge exact: concatenating shard `0..count` in index order
+//! reproduces the unsharded program order, so the merged dataset is
+//! byte-identical to a single-rig sweep — the invariant the CI smoke job
+//! asserts end to end.
+//!
+//! ```
+//! use portopt_core::shard::ShardSpec;
+//!
+//! let programs = ["a", "b", "c", "d", "e"];
+//! let s0 = ShardSpec::new(0, 2).unwrap();
+//! let s1 = ShardSpec::new(1, 2).unwrap();
+//! assert_eq!(s0.slice(&programs), &["a", "b"]);
+//! assert_eq!(s1.slice(&programs), &["c", "d", "e"]);
+//! // Every shard index outside 0..count is refused up front.
+//! assert!(ShardSpec::new(2, 2).is_err());
+//! ```
+
+use std::ops::Range;
+
+/// One rig's slot in an `index`-of-`count` sweep split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    count: usize,
+}
+
+impl ShardSpec {
+    /// Validates an `index`-of-`count` spec.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardError> {
+        if count == 0 {
+            return Err(ShardError::ZeroShards);
+        }
+        if index >= count {
+            return Err(ShardError::IndexOutOfRange { index, count });
+        }
+        Ok(ShardSpec { index, count })
+    }
+
+    /// The whole-grid spec (`0 of 1`): a single-rig sweep.
+    pub fn whole() -> Self {
+        ShardSpec { index: 0, count: 1 }
+    }
+
+    /// This shard's index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the plan.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Whether this spec covers the whole grid.
+    pub fn is_whole(&self) -> bool {
+        self.count == 1
+    }
+
+    /// The contiguous index range this shard owns out of `n` items.
+    /// Ranges over all shards partition `0..n` exactly, in index order,
+    /// with sizes differing by at most one.
+    pub fn range(&self, n: usize) -> Range<usize> {
+        let lo = n * self.index / self.count;
+        let hi = n * (self.index + 1) / self.count;
+        lo..hi
+    }
+
+    /// This shard's slice of `items` (possibly empty, when there are more
+    /// shards than items).
+    pub fn slice<'a, T>(&self, items: &'a [T]) -> &'a [T] {
+        &items[self.range(items.len())]
+    }
+}
+
+/// Why a [`ShardSpec`] was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardError {
+    /// `count` was zero — there is no zero-way split.
+    ZeroShards,
+    /// `index` was not below `count`.
+    IndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The shard count it had to be below.
+        count: usize,
+    },
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::ZeroShards => write!(f, "shard count must be at least 1"),
+            ShardError::IndexOutOfRange { index, count } => write!(
+                f,
+                "shard index {index} out of range for {count} shard(s) \
+                 (valid: 0..{count})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_are_validated() {
+        assert!(matches!(ShardSpec::new(0, 0), Err(ShardError::ZeroShards)));
+        assert!(matches!(
+            ShardSpec::new(3, 3),
+            Err(ShardError::IndexOutOfRange { index: 3, count: 3 })
+        ));
+        assert!(ShardSpec::new(2, 3).is_ok());
+        assert!(ShardSpec::whole().is_whole());
+        assert!(!ShardSpec::new(0, 2).unwrap().is_whole());
+    }
+
+    #[test]
+    fn ranges_partition_in_order_for_any_split() {
+        for n in [0usize, 1, 2, 5, 7, 35, 100] {
+            for count in 1..=8 {
+                let mut covered = Vec::new();
+                let mut sizes = Vec::new();
+                for index in 0..count {
+                    let r = ShardSpec::new(index, count).unwrap().range(n);
+                    sizes.push(r.len());
+                    covered.extend(r);
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} count={count}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced: n={n} count={count} {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn slices_concatenate_to_the_original() {
+        let items: Vec<u32> = (0..35).collect();
+        let mut rebuilt = Vec::new();
+        for index in 0..4 {
+            rebuilt.extend_from_slice(ShardSpec::new(index, 4).unwrap().slice(&items));
+        }
+        assert_eq!(rebuilt, items);
+    }
+
+    #[test]
+    fn more_shards_than_items_gives_empty_slices() {
+        let items = [1u8, 2];
+        let counts: usize = (0..5)
+            .map(|i| ShardSpec::new(i, 5).unwrap().slice(&items).len())
+            .sum();
+        assert_eq!(counts, items.len());
+    }
+
+    #[test]
+    fn errors_display_usefully() {
+        assert!(ShardError::ZeroShards.to_string().contains("at least 1"));
+        let e = ShardError::IndexOutOfRange { index: 4, count: 2 };
+        assert!(e.to_string().contains("index 4"), "{e}");
+        assert!(e.to_string().contains("2 shard"), "{e}");
+    }
+}

@@ -1,0 +1,469 @@
+//! A versioned on-disk result cache, keyed by 64-bit structural
+//! fingerprints.
+//!
+//! Sweeps already share work *within* one process (duplicate settings are
+//! deduplicated, identical compiled images share a profiling run). A
+//! [`DiskCache`] extends that sharing **across process invocations and
+//! rigs**: each entry is one JSON file named by its fingerprint, so a
+//! repeated or re-sharded sweep reuses every profiling run it has already
+//! paid for instead of re-simulating it.
+//!
+//! ## Versioning
+//!
+//! Cache entries are versioned exactly like `portopt-serve` snapshots: a
+//! self-describing `meta` header (magic, cache format version, payload
+//! kind + payload version, and the entry's own key) is validated *before*
+//! the payload is decoded, and every rejection is a loud, specific
+//! [`CacheError`] — a cache written by an older IR encoding is refused,
+//! never silently reused. Callers are expected to treat a rejected entry
+//! as a miss (recompute and overwrite), so a stale or corrupted cache
+//! degrades throughput, not correctness.
+//!
+//! ## Concurrency
+//!
+//! A `DiskCache` is `Sync`: sweep workers read and write entries
+//! concurrently. Writes go to a uniquely-named temp file in the cache
+//! directory and are published with an atomic rename, so a reader never
+//! observes a half-written entry and concurrent writers of the same key
+//! simply race to publish identical bytes.
+//!
+//! ```
+//! use portopt_exec::cache::DiskCache;
+//!
+//! let dir = std::env::temp_dir().join(format!("portopt-cache-doc-{}", std::process::id()));
+//! let cache = DiskCache::open(&dir, "doc-example", 1).unwrap();
+//! assert_eq!(cache.get::<Vec<u64>>(0xfeed).unwrap(), None); // cold
+//! cache.put(0xfeed, &vec![1u64, 2, 3]).unwrap();
+//! assert_eq!(cache.get::<Vec<u64>>(0xfeed).unwrap(), Some(vec![1, 2, 3]));
+//! let stats = cache.stats();
+//! assert_eq!((stats.hits, stats.misses, stats.rejected), (1, 1, 0));
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use serde::{Deserialize, Serialize, Value};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The `magic` field of every cache entry; anything else is not one.
+pub const CACHE_MAGIC: &str = "portopt-cache-entry";
+
+/// Current entry-envelope format version. Bump on any change to the
+/// envelope layout (the `meta`/`payload` framing itself).
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// Self-describing header written before every payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct EntryMeta {
+    /// Always [`CACHE_MAGIC`].
+    magic: String,
+    /// Envelope version ([`CACHE_FORMAT_VERSION`] at write time).
+    format_version: u32,
+    /// What the payload is (caller-chosen namespace, e.g. `exec-profile`).
+    kind: String,
+    /// Caller-chosen payload encoding version; bump when the payload type
+    /// (or anything its fingerprint key covers, like the IR encoding)
+    /// changes shape.
+    payload_version: u32,
+    /// The entry's own key, hex-encoded — catches files copied or renamed
+    /// to the wrong fingerprint.
+    key: String,
+}
+
+/// Cumulative outcome counters for one [`DiskCache`] handle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries found, validated and decoded.
+    pub hits: u64,
+    /// Keys with no entry on disk.
+    pub misses: u64,
+    /// Entries present but refused (corrupt, stale version, wrong kind…).
+    pub rejected: u64,
+}
+
+/// Why a cache entry (or the cache directory) was refused.
+#[derive(Debug)]
+pub enum CacheError {
+    /// The entry or directory could not be read or written.
+    Io(std::io::Error),
+    /// The entry file is not parseable as a cache entry at all.
+    Corrupt(String),
+    /// The file parses but its `magic` field is wrong — some other JSON
+    /// document landed in the cache directory.
+    NotACacheEntry {
+        /// The magic actually found.
+        found: String,
+    },
+    /// The entry was written by an incompatible envelope format version.
+    VersionMismatch {
+        /// Version in the file.
+        found: u32,
+        /// Version this binary supports.
+        supported: u32,
+    },
+    /// The entry holds a different payload kind than this cache serves.
+    KindMismatch {
+        /// Kind in the file.
+        found: String,
+        /// Kind this cache was opened with.
+        expected: String,
+    },
+    /// The payload was encoded under a different payload version (for the
+    /// profile cache: an older IR/profile encoding).
+    PayloadVersionMismatch {
+        /// Payload version in the file.
+        found: u32,
+        /// Payload version this cache was opened with.
+        supported: u32,
+    },
+    /// The entry's recorded key does not match the file it was read from.
+    KeyMismatch {
+        /// Key recorded inside the entry.
+        found: String,
+        /// Key derived from the file name.
+        expected: String,
+    },
+}
+
+impl std::fmt::Display for CacheError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CacheError::Io(e) => write!(f, "cache i/o error: {e}"),
+            CacheError::Corrupt(msg) => write!(f, "corrupt cache entry: {msg}"),
+            CacheError::NotACacheEntry { found } => {
+                write!(f, "not a portopt cache entry (magic `{found}`)")
+            }
+            CacheError::VersionMismatch { found, supported } => write!(
+                f,
+                "cache entry format version {found} is not supported \
+                 (this binary reads version {supported})"
+            ),
+            CacheError::KindMismatch { found, expected } => {
+                write!(f, "cache entry holds `{found}`, expected `{expected}`")
+            }
+            CacheError::PayloadVersionMismatch { found, supported } => write!(
+                f,
+                "cache entry payload version {found} is stale \
+                 (this binary writes version {supported})"
+            ),
+            CacheError::KeyMismatch { found, expected } => write!(
+                f,
+                "cache entry records key {found} but was read as {expected} \
+                 (file renamed or copied?)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CacheError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CacheError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CacheError {
+    fn from(e: std::io::Error) -> Self {
+        CacheError::Io(e)
+    }
+}
+
+/// A directory of fingerprint-keyed, version-checked JSON entries.
+///
+/// See the [module docs](self) for the format and concurrency story.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    kind: String,
+    payload_version: u32,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    rejected: AtomicU64,
+    tmp_seq: AtomicU64,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) a cache directory serving payloads of
+    /// `kind` at `payload_version`.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        kind: impl Into<String>,
+        payload_version: u32,
+    ) -> Result<Self, CacheError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(DiskCache {
+            dir,
+            kind: kind.into(),
+            payload_version,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            tmp_seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Counters accumulated by this handle (not persisted).
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    fn entry_path(&self, key: u64) -> PathBuf {
+        self.dir.join(format!("{key:016x}.json"))
+    }
+
+    /// Looks up `key`. `Ok(None)` means "no entry" (a plain miss);
+    /// `Err(_)` means an entry exists but was refused, with the specific
+    /// reason — callers should log it, recompute, and overwrite via
+    /// [`put`](DiskCache::put).
+    pub fn get<T: Deserialize>(&self, key: u64) -> Result<Option<T>, CacheError> {
+        match self.read_entry(key) {
+            Ok(Some(v)) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(Some(v))
+            }
+            Ok(None) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                Ok(None)
+            }
+            Err(e) => {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    fn read_entry<T: Deserialize>(&self, key: u64) -> Result<Option<T>, CacheError> {
+        let bytes = match std::fs::read(self.entry_path(key)) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(CacheError::Io(e)),
+        };
+        // Header first, payload second — a stale entry is rejected with
+        // its precise mismatch before the (much larger) payload is decoded.
+        let doc: serde::Value =
+            serde_json::from_slice(&bytes).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        let meta = doc
+            .field("meta")
+            .and_then(EntryMeta::from_value)
+            .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        if meta.magic != CACHE_MAGIC {
+            return Err(CacheError::NotACacheEntry { found: meta.magic });
+        }
+        if meta.format_version != CACHE_FORMAT_VERSION {
+            return Err(CacheError::VersionMismatch {
+                found: meta.format_version,
+                supported: CACHE_FORMAT_VERSION,
+            });
+        }
+        if meta.kind != self.kind {
+            return Err(CacheError::KindMismatch {
+                found: meta.kind,
+                expected: self.kind.clone(),
+            });
+        }
+        if meta.payload_version != self.payload_version {
+            return Err(CacheError::PayloadVersionMismatch {
+                found: meta.payload_version,
+                supported: self.payload_version,
+            });
+        }
+        let expected_key = format!("{key:016x}");
+        if meta.key != expected_key {
+            return Err(CacheError::KeyMismatch {
+                found: meta.key,
+                expected: expected_key,
+            });
+        }
+        let payload = doc
+            .field("payload")
+            .and_then(T::from_value)
+            .map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        Ok(Some(payload))
+    }
+
+    /// Writes (or overwrites) the entry for `key`. Publication is atomic:
+    /// concurrent readers see either the old entry or the new one, never a
+    /// partial file.
+    pub fn put<T: Serialize>(&self, key: u64, payload: &T) -> Result<(), CacheError> {
+        let meta = EntryMeta {
+            magic: CACHE_MAGIC.to_string(),
+            format_version: CACHE_FORMAT_VERSION,
+            kind: self.kind.clone(),
+            payload_version: self.payload_version,
+            key: format!("{key:016x}"),
+        };
+        let doc = Value::Object(vec![
+            ("meta".to_string(), meta.to_value()),
+            ("payload".to_string(), payload.to_value()),
+        ]);
+        let bytes = serde_json::to_vec(&doc).map_err(|e| CacheError::Corrupt(e.to_string()))?;
+        // Unique temp name per (process, write): renames within a
+        // directory are atomic, so the entry appears fully-formed.
+        let seq = self.tmp_seq.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .dir
+            .join(format!(".{key:016x}.{}.{seq}.tmp", std::process::id()));
+        std::fs::write(&tmp, &bytes)?;
+        match std::fs::rename(&tmp, self.entry_path(key)) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(CacheError::Io(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("portopt-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_hit_and_miss_counting() {
+        let dir = scratch_dir("roundtrip");
+        let cache = DiskCache::open(&dir, "test-payload", 3).unwrap();
+        assert_eq!(cache.get::<Vec<u64>>(42).unwrap(), None);
+        cache.put(42, &vec![9u64, 8, 7]).unwrap();
+        assert_eq!(cache.get::<Vec<u64>>(42).unwrap(), Some(vec![9, 8, 7]));
+        cache.put(42, &vec![1u64]).unwrap(); // overwrite
+        assert_eq!(cache.get::<Vec<u64>>(42).unwrap(), Some(vec![1]));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.rejected), (2, 1, 0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entry_is_rejected_with_corrupt_error() {
+        let dir = scratch_dir("corrupt");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        std::fs::write(cache.entry_path(7), b"{ not json").unwrap();
+        match cache.get::<u32>(7) {
+            Err(CacheError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        assert_eq!(cache.stats().rejected, 1);
+        // A rejected entry is recoverable: overwrite and read back.
+        cache.put(7, &5u32).unwrap();
+        assert_eq!(cache.get::<u32>(7).unwrap(), Some(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_json_is_not_a_cache_entry() {
+        let dir = scratch_dir("foreign");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        std::fs::write(
+            cache.entry_path(9),
+            br#"{"meta": {"magic": "something-else", "format_version": 1, "kind": "test-payload", "payload_version": 1, "key": "0000000000000009"}, "payload": 1}"#,
+        )
+        .unwrap();
+        match cache.get::<u32>(9) {
+            Err(CacheError::NotACacheEntry { found }) => assert_eq!(found, "something-else"),
+            other => panic!("expected NotACacheEntry, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_versions_and_kinds_are_named() {
+        let dir = scratch_dir("stale");
+        let writer = DiskCache::open(&dir, "test-payload", 2).unwrap();
+        writer.put(1, &11u32).unwrap();
+
+        // Same dir opened expecting a newer payload encoding: stale entry.
+        let newer = DiskCache::open(&dir, "test-payload", 3).unwrap();
+        match newer.get::<u32>(1) {
+            Err(CacheError::PayloadVersionMismatch {
+                found: 2,
+                supported: 3,
+            }) => {}
+            other => panic!("expected PayloadVersionMismatch, got {other:?}"),
+        }
+
+        // Same dir opened for a different payload kind entirely.
+        let other_kind = DiskCache::open(&dir, "other-things", 2).unwrap();
+        match other_kind.get::<u32>(1) {
+            Err(CacheError::KindMismatch { found, expected }) => {
+                assert_eq!(found, "test-payload");
+                assert_eq!(expected, "other-things");
+            }
+            other => panic!("expected KindMismatch, got {other:?}"),
+        }
+
+        // An envelope from a future format version.
+        std::fs::write(
+            writer.entry_path(2),
+            br#"{"meta": {"magic": "portopt-cache-entry", "format_version": 99, "kind": "test-payload", "payload_version": 2, "key": "0000000000000002"}, "payload": 1}"#,
+        )
+        .unwrap();
+        match writer.get::<u32>(2) {
+            Err(CacheError::VersionMismatch {
+                found: 99,
+                supported: CACHE_FORMAT_VERSION,
+            }) => {}
+            other => panic!("expected VersionMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn renamed_entry_is_caught_by_key_check() {
+        let dir = scratch_dir("renamed");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        cache.put(0xAA, &1u32).unwrap();
+        std::fs::copy(cache.entry_path(0xAA), cache.entry_path(0xBB)).unwrap();
+        match cache.get::<u32>(0xBB) {
+            Err(CacheError::KeyMismatch { found, expected }) => {
+                assert_eq!(found, format!("{:016x}", 0xAA));
+                assert_eq!(expected, format!("{:016x}", 0xBB));
+            }
+            other => panic!("expected KeyMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_agree() {
+        let dir = scratch_dir("concurrent");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for k in 0..32u64 {
+                        cache.put(k, &vec![k, k * 2]).unwrap();
+                    }
+                });
+            }
+        });
+        for k in 0..32u64 {
+            assert_eq!(cache.get::<Vec<u64>>(k).unwrap(), Some(vec![k, k * 2]));
+        }
+        // No temp droppings left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

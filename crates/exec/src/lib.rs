@@ -17,6 +17,15 @@
 //! this property — `portopt_core::dataset::generate` asserts it in its
 //! `generation_is_deterministic` test.
 //!
+//! ```
+//! use portopt_exec::Executor;
+//!
+//! let task = |i: usize| (i as u64).wrapping_mul(0x9E37_79B9).rotate_left(7);
+//! let on_one_thread: Vec<u64> = (0..100).map(task).collect();
+//! // Same grid on 4 workers: same vector, whatever the interleaving was.
+//! assert_eq!(Executor::new(4).map_indexed(100, task), on_one_thread);
+//! ```
+//!
 //! ## Scheduling
 //!
 //! The index range is split into one contiguous shard per worker. Each
@@ -37,8 +46,10 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod queue;
 
+pub use cache::{CacheError, CacheStats, DiskCache};
 pub use queue::{ServiceQueue, Ticket};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -13,6 +13,19 @@
 //! while another drains. Draining takes the entire pending batch
 //! atomically — items submitted mid-drain land in the *next* batch, which
 //! is what keeps ticket order and result order identical within a batch.
+//!
+//! ```
+//! use portopt_exec::{Executor, ServiceQueue};
+//!
+//! let queue: ServiceQueue<u32> = ServiceQueue::new();
+//! let t0 = queue.submit(10);
+//! let t1 = queue.submit(20);
+//! assert_eq!((t0, t1), (0, 1)); // tickets ascend in submission order
+//!
+//! let replies = queue.drain_with(&Executor::new(2), |&x| x + 1);
+//! assert_eq!(replies, vec![(0, 11), (1, 21)]); // results match tickets
+//! assert!(queue.is_empty()); // the batch was taken atomically
+//! ```
 
 use crate::Executor;
 use std::collections::VecDeque;

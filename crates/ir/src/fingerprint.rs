@@ -1,0 +1,165 @@
+//! A process- and platform-stable hasher for structural fingerprints.
+//!
+//! Fingerprints of compiled images key the **on-disk** profile cache
+//! (`portopt_exec::cache`), so the hash must be identical across process
+//! invocations, builds and machines — none of which
+//! [`std::collections::hash_map::DefaultHasher`] guarantees (its algorithm
+//! is explicitly unspecified and its per-process seeding is a library
+//! detail). [`StableHasher`] is 64-bit FNV-1a with every multi-byte write
+//! canonicalised to little-endian, so `value.hash(&mut StableHasher::new())`
+//! yields the same `u64` everywhere for the same structural value.
+//!
+//! The intended pattern is `#[derive(Hash)]` on the data being
+//! fingerprinted: the compiler then enumerates every field, adding a field
+//! automatically extends the fingerprint, and a field whose type cannot be
+//! hashed is a *compile error* rather than a silently narrower cache key.
+//!
+//! ```
+//! use portopt_ir::StableHasher;
+//! use std::hash::{Hash, Hasher};
+//!
+//! #[derive(Hash)]
+//! struct Key {
+//!     name: &'static str,
+//!     sizes: Vec<u32>,
+//! }
+//!
+//! let fp = |k: &Key| {
+//!     let mut h = StableHasher::new();
+//!     k.hash(&mut h);
+//!     h.finish()
+//! };
+//! let a = Key { name: "x", sizes: vec![1, 2] };
+//! let b = Key { name: "x", sizes: vec![1, 2] };
+//! let c = Key { name: "x", sizes: vec![1, 3] };
+//! assert_eq!(fp(&a), fp(&b));
+//! assert_ne!(fp(&a), fp(&c));
+//! ```
+
+use std::hash::Hasher;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a with canonical little-endian integer writes.
+///
+/// See the [module docs](self) for why sweeps use this instead of the
+/// standard library's default hasher.
+#[derive(Debug, Clone)]
+pub struct StableHasher(u64);
+
+impl StableHasher {
+    /// A fresh hasher (fixed seed — stability is the whole point).
+    pub fn new() -> Self {
+        StableHasher(FNV_OFFSET)
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    // Fix the byte order of every integer write: the default methods
+    // forward native-endian bytes, which would make fingerprints differ
+    // between little- and big-endian hosts sharing a profile cache.
+    fn write_u8(&mut self, n: u8) {
+        self.write(&[n]);
+    }
+    fn write_u16(&mut self, n: u16) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u32(&mut self, n: u32) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u64(&mut self, n: u64) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_u128(&mut self, n: u128) {
+        self.write(&n.to_le_bytes());
+    }
+    fn write_usize(&mut self, n: usize) {
+        // Canonical width too, so 32- and 64-bit hosts agree.
+        self.write_u64(n as u64);
+    }
+    fn write_i8(&mut self, n: i8) {
+        self.write_u8(n as u8);
+    }
+    fn write_i16(&mut self, n: i16) {
+        self.write_u16(n as u16);
+    }
+    fn write_i32(&mut self, n: i32) {
+        self.write_u32(n as u32);
+    }
+    fn write_i64(&mut self, n: i64) {
+        self.write_u64(n as u64);
+    }
+    fn write_i128(&mut self, n: i128) {
+        self.write_u128(n as u128);
+    }
+    fn write_isize(&mut self, n: isize) {
+        self.write_u64(n as i64 as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn fp<T: Hash>(v: &T) -> u64 {
+        let mut h = StableHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn known_answer_is_pinned() {
+        // FNV-1a of b"a" — a change to the algorithm (or to the canonical
+        // byte order) would silently orphan every on-disk cache entry, so
+        // pin the constant.
+        let mut h = StableHasher::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn integer_writes_match_their_le_bytes() {
+        let mut a = StableHasher::new();
+        a.write_u32(0x0403_0201);
+        let mut b = StableHasher::new();
+        b.write(&[1, 2, 3, 4]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn usize_hashes_like_u64() {
+        let mut a = StableHasher::new();
+        a.write_usize(77);
+        let mut b = StableHasher::new();
+        b.write_u64(77);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn structural_difference_changes_the_hash() {
+        assert_eq!(fp(&(1u32, "x")), fp(&(1u32, "x")));
+        assert_ne!(fp(&(1u32, "x")), fp(&(2u32, "x")));
+        assert_ne!(fp(&vec![1u8, 2]), fp(&vec![2u8, 1]));
+        // Length is part of the hash: ["ab"] vs ["a","b"] must differ.
+        assert_ne!(fp(&vec!["ab"]), fp(&vec!["a", "b"]));
+    }
+}

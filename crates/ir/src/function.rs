@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A basic block: a straight-line instruction sequence ending in a terminator.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Block {
     /// The instructions, terminator last.
     pub insts: Vec<Inst>,
@@ -54,7 +54,7 @@ impl Block {
 /// A function: parameters, virtual-register count and basic blocks.
 ///
 /// Block 0 is always the entry block.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Function {
     /// Function name (unique within a module; used in diagnostics).
     pub name: String,
@@ -152,7 +152,7 @@ impl fmt::Display for Function {
 }
 
 /// A global data object (an array of 4-byte words).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Global {
     /// Name, unique within the module.
     pub name: String,
@@ -167,7 +167,7 @@ pub struct Global {
 /// Data starts at [`Module::DATA_BASE`]; each global is placed at the next
 /// 64-byte boundary so that block-size sweeps in the cache model behave
 /// sensibly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct GlobalAddr {
     /// First byte of the global.
     pub base: u32,
@@ -176,7 +176,7 @@ pub struct GlobalAddr {
 }
 
 /// A whole program: functions plus global data.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Module {
     /// Program name (diagnostics and experiment labels).
     pub name: String,

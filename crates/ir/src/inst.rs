@@ -9,7 +9,7 @@ use std::fmt;
 /// Every basic block ends with exactly one *terminator* ([`Inst::Br`],
 /// [`Inst::CondBr`] or [`Inst::Ret`]); terminators never appear elsewhere.
 /// The [verifier](crate::verify) enforces this.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Inst {
     /// `dst = op(a, b)` with wrapping semantics.
     Bin {

@@ -43,6 +43,7 @@
 mod builder;
 mod cfg;
 mod dom;
+pub mod fingerprint;
 mod function;
 mod inst;
 pub mod interp;
@@ -54,6 +55,7 @@ pub mod verify;
 pub use builder::{FuncBuilder, ModuleBuilder};
 pub use cfg::{reachable, reverse_postorder, reverse_postorder_cfg, Cfg};
 pub use dom::DomTree;
+pub use fingerprint::StableHasher;
 pub use function::{Block, Function, Global, GlobalAddr, Module};
 pub use inst::Inst;
 pub use liveness::{BitSet, Liveness};

@@ -20,7 +20,7 @@ pub const INST_BYTES: u32 = 4;
 pub const MAX_LAT: usize = 6;
 
 /// How a block's terminator was lowered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TermKind {
     /// Unconditional fall-through: no branch instruction emitted.
     Fall,
@@ -37,7 +37,7 @@ pub enum TermKind {
 }
 
 /// Placement and lowering of one basic block.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockLayout {
     /// Byte address of the first instruction.
     pub addr: u32,
@@ -54,7 +54,7 @@ pub struct BlockLayout {
 /// Static execution profile of one block: issue cycles on the in-order
 /// pipeline for each (width, load-use latency) pair, plus operation counts
 /// for the performance-counter model.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BlockSched {
     /// `cycles[w-1][lat-1]`: block issue cycles at width `w`, load-use
     /// latency `lat` (assuming all cache hits).
@@ -88,7 +88,7 @@ pub struct BlockSched {
 }
 
 /// A laid-out, lowered function.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct MachineFunc {
     /// The executable (post-allocation) IR.
     pub func: Function,
@@ -103,7 +103,7 @@ pub struct MachineFunc {
 }
 
 /// A compiled program image.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct CodeImage {
     /// Program name.
     pub name: String,
@@ -126,33 +126,34 @@ impl CodeImage {
         &self.funcs[f.index()].layout[b.index()]
     }
 
-    /// A structural fingerprint of the image: equal for images whose every
-    /// field (code, layout, schedules) is equal.
+    /// A structural fingerprint of the image: equal exactly when every
+    /// field (code, layout, schedules, globals) is equal.
     ///
     /// Distinct optimisation settings frequently lower a small program to
     /// the *same* machine code; since profiling and timing depend only on
     /// the image (and the module's globals), sweeps key their
     /// profile/evaluation caches on this value to run each distinct binary
-    /// once. The hash is stable within a process, which is all an in-memory
-    /// cache needs.
+    /// once — in memory within one sweep, and on disk across sweeps via
+    /// `portopt_exec::cache`.
+    ///
+    /// Two properties make that sound:
+    ///
+    /// * **Structural coverage is type-checked.** The value is the derived
+    ///   [`Hash`] of the image streamed into a fixed-seed hasher, so the
+    ///   compiler enumerates every field (recursively, through the embedded
+    ///   IR tree); a new field extends the fingerprint automatically, and a
+    ///   field that cannot be hashed fails to compile instead of silently
+    ///   narrowing the cache key.
+    /// * **Stable across processes.** [`portopt_ir::StableHasher`] is
+    ///   seed-free FNV-1a with canonical little-endian writes, so the same
+    ///   image fingerprints identically in every run on every host — the
+    ///   contract an on-disk cache key needs (the standard library's
+    ///   `DefaultHasher` promises neither).
     pub fn fingerprint(&self) -> u64 {
-        use std::fmt::Write as _;
-        use std::hash::Hasher as _;
-
-        // Hash the derived `Debug` rendering: it covers every field of the
-        // image (including the embedded IR) without requiring `Hash`
-        // impls across the IR tree, and streams through the hasher without
-        // materialising the string.
-        struct HashWriter(std::collections::hash_map::DefaultHasher);
-        impl std::fmt::Write for HashWriter {
-            fn write_str(&mut self, s: &str) -> std::fmt::Result {
-                self.0.write(s.as_bytes());
-                Ok(())
-            }
-        }
-        let mut w = HashWriter(std::collections::hash_map::DefaultHasher::new());
-        let _ = write!(w, "{self:?}");
-        w.0.finish()
+        use std::hash::{Hash as _, Hasher as _};
+        let mut h = portopt_ir::StableHasher::new();
+        self.hash(&mut h);
+        h.finish()
     }
 }
 

@@ -166,6 +166,64 @@ proptest! {
         prop_assert_eq!(c.len(), OptSpace::n_dims());
         prop_assert_eq!(OptConfig::from_choices(&c), cfg);
     }
+
+    /// Profile-cache soundness, half 1: structurally equal images always
+    /// share a fingerprint (a recompile of the same program at the same
+    /// setting — even in another process or on another rig — hits the
+    /// cache entry the first compile wrote).
+    #[test]
+    fn equal_images_share_a_fingerprint(prog_seed in 0u64..10_000, cfg_seed in 0u64..10_000) {
+        let cfg = random_config(cfg_seed);
+        let img = compile(&random_program(prog_seed), &cfg);
+        // An independent rebuild of the same (program, setting).
+        let again = compile(&random_program(prog_seed), &cfg);
+        prop_assert_eq!(&img, &again);
+        prop_assert_eq!(img.fingerprint(), again.fingerprint());
+        // And a deep copy, trivially.
+        prop_assert_eq!(img.clone().fingerprint(), img.fingerprint());
+    }
+
+    /// Profile-cache soundness, half 2: *any* structural mutation of an
+    /// image — embedded IR, layout, schedule tables, globals, metadata —
+    /// changes the fingerprint, so the mutant misses rather than silently
+    /// reusing the original's profile.
+    #[test]
+    fn any_structural_mutation_changes_the_fingerprint(
+        prog_seed in 0u64..10_000,
+        cfg_seed in 0u64..10_000,
+        which in 0usize..8,
+    ) {
+        let cfg = random_config(cfg_seed);
+        let img = compile(&random_program(prog_seed), &cfg);
+        let mut mutant = img.clone();
+        match which {
+            // Metadata the simulator keys memory construction on.
+            0 => mutant.name.push('x'),
+            1 => mutant.code_bytes += 4,
+            2 => mutant.total_insts += 1,
+            3 => match mutant.globals.first_mut() {
+                Some(g) => g.1 += 4,
+                None => mutant.globals.push((0x2_0000, 4)),
+            },
+            // Block placement.
+            4 => mutant.funcs[0].layout[0].addr += 4,
+            // Static schedule table.
+            5 => mutant.funcs[0].sched[0].alu += 1,
+            // Function base address.
+            6 => mutant.funcs[0].base += 32,
+            // The embedded executable IR itself.
+            _ => {
+                let f = &mut mutant.funcs[0].func;
+                f.vreg_count += 1;
+            }
+        }
+        prop_assert!(mutant != img, "mutation {which} must change the image");
+        prop_assert!(
+            mutant.fingerprint() != img.fingerprint(),
+            "mutation {} left the fingerprint unchanged",
+            which
+        );
+    }
 }
 
 /// Operand conversion sanity kept out of proptest (cheap exhaustive checks).

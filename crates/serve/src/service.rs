@@ -33,6 +33,45 @@
 //! per-request service latency in milliseconds. Malformed requests get
 //! `{"id": …, "error": "…"}` replies in-order rather than tearing down the
 //! connection.
+//!
+//! Submit / drain, the loop both transports are built on:
+//!
+//! ```
+//! use portopt_core::{generate, GenOptions, SweepScale, TrainOptions};
+//! use portopt_ir::{FuncBuilder, ModuleBuilder};
+//! use portopt_serve::{PredictionService, ServiceStats, Snapshot};
+//!
+//! // Train a toy snapshot (a real one comes from `Snapshot::load`).
+//! let mut mb = ModuleBuilder::new("toy");
+//! let mut b = FuncBuilder::new("main", 0);
+//! let acc = b.iconst(0);
+//! b.counted_loop(0, 24, 1, |b, i| {
+//!     let t = b.add(acc, i);
+//!     b.assign(acc, t);
+//! });
+//! b.ret(acc);
+//! let id = mb.add(b.finish());
+//! mb.entry(id);
+//! let opts = GenOptions {
+//!     scale: SweepScale { n_uarch: 2, n_opts: 3 },
+//!     threads: 1,
+//!     ..GenOptions::default()
+//! };
+//! let ds = generate(&[("toy".to_string(), mb.finish())], &opts);
+//! let snap = Snapshot::train(&ds, &TrainOptions::default());
+//!
+//! let service = PredictionService::new(snap, 1);
+//! let features: Vec<f64> = ds.features[0][0].values.clone();
+//! let line = format!(r#"{{"id": 7, "features": {features:?}, "uarch": "xscale"}}"#);
+//! assert!(!service.submit_line(&line)); // not the shutdown sentinel
+//!
+//! let mut stats = ServiceStats::default();
+//! let replies = service.drain(&mut stats);
+//! assert_eq!(replies[0].id, 7);
+//! assert!(replies[0].error.is_none());
+//! assert!(replies[0].config.is_some());
+//! assert_eq!(stats.requests, 1);
+//! ```
 
 use crate::snapshot::Snapshot;
 use portopt_exec::{Executor, ServiceQueue};

@@ -12,6 +12,39 @@
 //! `{"meta": {...}, "compiler": {...}}`. The `meta` header is parsed and
 //! validated *before* the model payload, so a mismatched snapshot fails
 //! with a precise reason instead of a deep deserialization error.
+//!
+//! Train once, serialize, reload, predict — the whole deployment cycle:
+//!
+//! ```
+//! use portopt_core::{generate, GenOptions, SweepScale, TrainOptions};
+//! use portopt_ir::{FuncBuilder, ModuleBuilder};
+//! use portopt_serve::Snapshot;
+//!
+//! // A toy one-program dataset (deployments sweep the full suite).
+//! let mut mb = ModuleBuilder::new("toy");
+//! let mut b = FuncBuilder::new("main", 0);
+//! let acc = b.iconst(1);
+//! b.counted_loop(0, 24, 1, |b, i| {
+//!     let t = b.add(acc, i);
+//!     b.assign(acc, t);
+//! });
+//! b.ret(acc);
+//! let id = mb.add(b.finish());
+//! mb.entry(id);
+//! let opts = GenOptions {
+//!     scale: SweepScale { n_uarch: 2, n_opts: 3 },
+//!     threads: 1,
+//!     ..GenOptions::default()
+//! };
+//! let ds = generate(&[("toy".to_string(), mb.finish())], &opts);
+//!
+//! let snap = Snapshot::train(&ds, &TrainOptions::default());
+//! let bytes = snap.to_bytes().unwrap();          // what `save` writes
+//! let back = Snapshot::from_bytes(&bytes).unwrap(); // header-validated
+//! assert_eq!(back.meta, snap.meta);
+//! let prediction = back.compiler.predict(&ds.features[0][0]);
+//! assert_eq!(prediction, snap.compiler.predict(&ds.features[0][0]));
+//! ```
 
 use portopt_core::{Dataset, PortableCompiler, TrainOptions};
 use portopt_passes::OptSpace;

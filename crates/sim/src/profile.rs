@@ -55,7 +55,11 @@ pub struct OpCounts {
 }
 
 /// The profile of one program run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// `PartialEq` is part of the profile-cache contract: a warm sweep must
+/// price from a profile *equal* to the one a cold run would collect, and
+/// the cache tests assert exactly that.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExecProfile {
     /// Executed (emitted) machine instructions.
     pub dyn_insts: u64,
