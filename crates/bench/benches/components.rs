@@ -192,6 +192,29 @@ fn bench_serve(c: &mut Criterion) {
             service.drain(&mut stats)
         })
     });
+
+    // The same 64 predictions arriving interleaved on two registered
+    // connections (the PR 5 concurrent path): classify + conn-tagged
+    // queue + registry bookkeeping + dead-connection filter + routed
+    // drain. Measured at the same boundary as `serve_predict_batch64`
+    // (replies computed and routed, delivery excluded), so the two
+    // numbers are directly comparable in BENCH_sweep.json.
+    use portopt_serve::ConnectionRegistry;
+    let registry: ConnectionRegistry<Vec<u8>> = ConnectionRegistry::new(4);
+    let conn_a = registry.register(Vec::new()).expect("capacity 4");
+    let conn_b = registry.register(Vec::new()).expect("capacity 4");
+    g.bench_function("serve_concurrent_2conn_batch64", |b| {
+        b.iter(|| {
+            let mut stats = ServiceStats::default();
+            for (i, line) in lines.iter().enumerate() {
+                let conn = if i % 2 == 0 { conn_a } else { conn_b };
+                registry.note_submitted(conn);
+                service.submit_line_for(conn, line);
+            }
+            service.discard_dead(|conn| !registry.live(conn));
+            service.drain_routed(&mut stats)
+        })
+    });
     g.finish();
 }
 

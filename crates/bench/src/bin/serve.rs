@@ -1,7 +1,8 @@
 //! Serves predictions from a model snapshot — the online half of the
 //! serving path. Loads the artifact written by the `snapshot` bin (no
 //! dataset regeneration, no retraining) and answers JSON-lines requests,
-//! batched onto the executor.
+//! batched onto the executor. The wire protocol is specified in
+//! `docs/SERVING.md`.
 //!
 //! ```text
 //! # stdin/stdout, for piping and tests
@@ -9,16 +10,23 @@
 //!   | cargo run --release -p portopt-bench --bin serve -- \
 //!       --snapshot target/portopt-model-smoke.snap --stdio
 //!
-//! # TCP socket
+//! # concurrent TCP socket: bounded connections, cross-connection
+//! # batching window, hot snapshot reload on file change
 //! cargo run --release -p portopt-bench --bin serve -- \
-//!     --snapshot target/portopt-model-smoke.snap --port 7209
+//!     --snapshot target/portopt-model-smoke.snap --port 7209 \
+//!     --max-conns 128 --batch-window-ms 5 --watch-snapshot
 //! ```
 //!
 //! Shuts down on stdin EOF (stdio mode) or a `{"shutdown": true}` request
-//! (either mode), then reports latency/throughput counters on stderr.
+//! (either mode), then reports latency/throughput counters on stderr. A
+//! `{"cmd": "reload"}` request (or `--watch-snapshot`) hot-swaps the
+//! snapshot without dropping in-flight requests.
 
 use portopt_bench::BinArgs;
-use portopt_serve::{PredictionService, ServiceStats, Snapshot};
+use portopt_serve::{
+    PredictionService, ServeOptions, ServiceStats, Snapshot, WatchEvent, DEFAULT_WATCH_INTERVAL_MS,
+};
+use std::time::Duration;
 
 fn main() {
     let args = BinArgs::parse();
@@ -35,9 +43,24 @@ fn main() {
         snap.compiler.model().len(),
         snap.meta.format_version
     );
-    let service = PredictionService::new(snap, args.threads);
+    let service = PredictionService::new(snap, args.threads).with_reload_path(&path);
     let stats = if args.stdio {
         let mut stats = ServiceStats::default();
+        // Stdio has no admin channel worth blocking on, so the watcher (if
+        // requested) runs detached and lives as long as the process.
+        if args.watch_snapshot {
+            let handle = service.reload_handle();
+            let watch_path = path.clone();
+            std::thread::spawn(move || {
+                let run_forever = Box::leak(Box::new(std::sync::atomic::AtomicBool::new(false)));
+                handle.watch(
+                    &watch_path,
+                    Duration::from_millis(DEFAULT_WATCH_INTERVAL_MS),
+                    run_forever,
+                    WatchEvent::log_to_stderr,
+                );
+            });
+        }
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         if let Err(e) = service.run_lines(stdin.lock(), stdout.lock(), args.batch, &mut stats) {
@@ -51,8 +74,27 @@ fn main() {
             eprintln!("cannot bind {addr}: {e}");
             std::process::exit(2);
         });
-        eprintln!("listening on {addr} (stop with a {{\"shutdown\": true}} request)");
-        match service.run_tcp(listener, args.batch) {
+        let opts = ServeOptions {
+            batch: args.batch,
+            window: Duration::from_millis(args.batch_window_ms),
+            max_conns: args.max_conns,
+            watch_interval: args
+                .watch_snapshot
+                .then(|| Duration::from_millis(DEFAULT_WATCH_INTERVAL_MS)),
+        };
+        eprintln!(
+            "listening on {addr}: up to {} connections, batch {} / window {} ms{} \
+             (stop with a {{\"shutdown\": true}} request)",
+            opts.max_conns,
+            opts.batch,
+            args.batch_window_ms,
+            if args.watch_snapshot {
+                ", watching the snapshot file"
+            } else {
+                ""
+            },
+        );
+        match service.run_concurrent(listener, &opts) {
             Ok(stats) => stats,
             Err(e) => {
                 eprintln!("accept error: {e}");

@@ -37,6 +37,13 @@ pub struct BinArgs {
     pub port: u16,
     /// `serve` bin: requests per executor batch.
     pub batch: usize,
+    /// `serve` bin: cross-connection batching window in milliseconds
+    /// (also the answer-latency bound for a lone request).
+    pub batch_window_ms: u64,
+    /// `serve` bin: maximum simultaneous TCP connections.
+    pub max_conns: usize,
+    /// `serve` bin: poll the snapshot file and hot-reload it on change.
+    pub watch_snapshot: bool,
     /// `sweep` bin: this rig's shard index (`0..shard_count`).
     pub shard_index: usize,
     /// `sweep` bin: total number of shards the program grid is split into.
@@ -52,7 +59,8 @@ impl BinArgs {
     /// `--no-cache`, `--threads N` from `std::env::args`, plus the
     /// `snapshot`/`serve` flags `--out PATH`, `--snapshot PATH`,
     /// `--shard PATH` (repeatable), `--dataset-out PATH`, `--stdio`,
-    /// `--port N`, `--batch N`, and the `sweep` flags `--shard-index N`,
+    /// `--port N`, `--batch N`, `--batch-window-ms N`, `--max-conns N`,
+    /// `--watch-snapshot`, and the `sweep` flags `--shard-index N`,
     /// `--shard-count N`, `--profile-cache DIR`.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
@@ -65,6 +73,9 @@ impl BinArgs {
         let mut stdio = false;
         let mut port = 7209u16;
         let mut batch = 32usize;
+        let mut batch_window_ms = portopt_serve::DEFAULT_WINDOW_MS;
+        let mut max_conns = portopt_serve::DEFAULT_MAX_CONNS;
+        let mut watch_snapshot = false;
         let mut shard_index = 0usize;
         let mut shard_count = 1usize;
         let mut profile_cache = None;
@@ -164,6 +175,23 @@ impl BinArgs {
                     }
                     _ => eprintln!("--batch expects a positive number; using {batch}"),
                 },
+                "--batch-window-ms" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        batch_window_ms = n;
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("--batch-window-ms expects a number; using {batch_window_ms}")
+                    }
+                },
+                "--max-conns" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => {
+                        max_conns = n;
+                        i += 1;
+                    }
+                    _ => eprintln!("--max-conns expects a positive number; using {max_conns}"),
+                },
+                "--watch-snapshot" => watch_snapshot = true,
                 other => eprintln!("ignoring unknown argument {other}"),
             }
             i += 1;
@@ -190,6 +218,9 @@ impl BinArgs {
             stdio,
             port,
             batch,
+            batch_window_ms,
+            max_conns,
+            watch_snapshot,
             shard_index,
             shard_count,
             profile_cache,

@@ -79,7 +79,14 @@ impl PortableCompiler {
 
     /// Predicts the best optimisation setting from a feature vector.
     pub fn predict(&self, x: &FeatureVec) -> OptConfig {
-        OptConfig::from_choices(&self.model.predict_mode(&x.values))
+        self.predict_features(&x.values)
+    }
+
+    /// Predicts from raw feature values — [`predict`](Self::predict)
+    /// without wrapping the slice in a `FeatureVec` (the serving hot path
+    /// calls this straight off the decoded request, clone-free).
+    pub fn predict_features(&self, values: &[f64]) -> OptConfig {
+        OptConfig::from_choices(&self.model.predict_mode(values))
     }
 
     /// Predicts from counters + microarchitecture description (the two

@@ -13,6 +13,11 @@
 //! while another drains. Draining takes the entire pending batch
 //! atomically — items submitted mid-drain land in the *next* batch, which
 //! is what keeps ticket order and result order identical within a batch.
+//! A consumer implementing a batching *window* sleeps on
+//! [`wait_nonempty`](ServiceQueue::wait_nonempty) (submits signal a
+//! condvar) instead of polling, and can
+//! [`discard_if`](ServiceQueue::discard_if) items whose producer has gone
+//! away before spending executor time on them.
 //!
 //! ```
 //! use portopt_exec::{Executor, ServiceQueue};
@@ -29,7 +34,8 @@
 
 use crate::Executor;
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// A monotonically increasing identifier handed out by
 /// [`ServiceQueue::submit`], unique within one queue's lifetime.
@@ -49,6 +55,9 @@ struct Inner<T> {
 #[derive(Debug)]
 pub struct ServiceQueue<T> {
     state: Mutex<Inner<T>>,
+    /// Signalled on every submit, so a consumer can sleep between batches
+    /// instead of polling ([`wait_nonempty`](ServiceQueue::wait_nonempty)).
+    available: Condvar,
 }
 
 impl<T> Default for ServiceQueue<T> {
@@ -65,6 +74,7 @@ impl<T> ServiceQueue<T> {
                 items: VecDeque::new(),
                 next: 0,
             }),
+            available: Condvar::new(),
         }
     }
 
@@ -74,7 +84,70 @@ impl<T> ServiceQueue<T> {
         let t = g.next;
         g.next += 1;
         g.items.push_back((t, item));
+        self.available.notify_all();
         t
+    }
+
+    /// Blocks until at least one item is pending or `timeout` elapses;
+    /// returns whether anything is pending. The consumer side of a
+    /// batching window: sleep here while idle, then gather for the window
+    /// and [`drain_with`](ServiceQueue::drain_with).
+    ///
+    /// ```
+    /// use portopt_exec::ServiceQueue;
+    /// use std::time::Duration;
+    ///
+    /// let q: ServiceQueue<u8> = ServiceQueue::new();
+    /// // Empty queue: the wait times out and reports nothing pending.
+    /// assert!(!q.wait_nonempty(Duration::from_millis(1)));
+    /// q.submit(9);
+    /// // Non-empty queue: returns true immediately, nothing is consumed.
+    /// assert!(q.wait_nonempty(Duration::from_secs(60)));
+    /// assert_eq!(q.len(), 1);
+    /// ```
+    pub fn wait_nonempty(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.state.lock().expect("queue lock");
+        loop {
+            if !g.items.is_empty() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _timed_out) = self
+                .available
+                .wait_timeout(g, deadline - now)
+                .expect("queue lock");
+            g = guard;
+        }
+    }
+
+    /// Removes every pending item matching `pred` without running it;
+    /// returns how many were removed. Remaining items keep their tickets
+    /// and their submission order. Used by the serving layer to throw away
+    /// requests whose connection died before their batch ran — their
+    /// replies could never be delivered, so the executor time would be
+    /// wasted.
+    ///
+    /// ```
+    /// use portopt_exec::ServiceQueue;
+    ///
+    /// let q: ServiceQueue<(u64, &str)> = ServiceQueue::new();
+    /// q.submit((1, "keep"));
+    /// q.submit((2, "dead"));
+    /// q.submit((1, "keep too"));
+    /// assert_eq!(q.discard_if(|&(conn, _)| conn == 2), 1);
+    /// let left = q.take_batch();
+    /// assert_eq!(left.len(), 2);
+    /// assert_eq!((left[0].0, left[1].0), (0, 2)); // survivors keep tickets
+    /// ```
+    pub fn discard_if(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        let mut g = self.state.lock().expect("queue lock");
+        let before = g.items.len();
+        g.items.retain(|(_, item)| !pred(item));
+        before - g.items.len()
     }
 
     /// Number of items waiting to be drained.
@@ -155,6 +228,43 @@ mod tests {
         assert_eq!(t, 1);
         let second = q.take_batch();
         assert_eq!(second, vec![(1, "b")]);
+    }
+
+    #[test]
+    fn wait_nonempty_wakes_on_submit() {
+        use std::time::Duration;
+        let q: ServiceQueue<u32> = ServiceQueue::new();
+        assert!(
+            !q.wait_nonempty(Duration::from_millis(5)),
+            "empty → timeout"
+        );
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| q.wait_nonempty(Duration::from_secs(30)));
+            std::thread::sleep(Duration::from_millis(10));
+            q.submit(1);
+            assert!(waiter.join().unwrap(), "submit must wake the waiter");
+        });
+        // Still pending: wait_nonempty consumes nothing.
+        assert_eq!(q.len(), 1);
+        assert!(q.wait_nonempty(Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn discard_if_keeps_order_and_tickets() {
+        let q: ServiceQueue<usize> = ServiceQueue::new();
+        for i in 0..10 {
+            q.submit(i);
+        }
+        assert_eq!(q.discard_if(|&x| x % 3 == 0), 4); // 0, 3, 6, 9
+        let left = q.take_batch();
+        let tickets: Vec<Ticket> = left.iter().map(|&(t, _)| t).collect();
+        let values: Vec<usize> = left.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![1, 2, 4, 5, 7, 8]);
+        assert_eq!(tickets, vec![1, 2, 4, 5, 7, 8]);
+        // Ticket numbering continues from where it was.
+        assert_eq!(q.submit(99), 10);
+        assert_eq!(q.discard_if(|_| false), 0);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

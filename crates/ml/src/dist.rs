@@ -63,6 +63,13 @@ impl IidDistribution {
         self.probs[dim][choice as usize]
     }
 
+    /// One dimension's probability row (for the fused mixture-argmax in
+    /// `KnnModel::predict_mode`, which must read whole rows without
+    /// per-cell bounds checks or materializing a mixed distribution).
+    pub(crate) fn row(&self, dim: usize) -> &[f64] {
+        &self.probs[dim]
+    }
+
     /// `log g(y)` (natural log).
     pub fn log_prob(&self, y: &[u8]) -> f64 {
         y.iter()

@@ -135,8 +135,10 @@ impl KnnModel {
         self.points.is_empty()
     }
 
-    /// The predictive distribution `q(y|x*)` (eq. 6).
-    pub fn predict(&self, x: &[f64]) -> IidDistribution {
+    /// The k nearest training points with their softmax weights — the
+    /// shared front half of [`predict`](Self::predict) and
+    /// [`predict_mode`](Self::predict_mode).
+    fn softmax_neighbours(&self, x: &[f64]) -> Vec<(f64, &IidDistribution)> {
         let xn = self.normalizer.apply(x);
         // K nearest by Euclidean distance.
         let mut dist_idx: Vec<(f64, usize)> = self
@@ -153,16 +155,47 @@ impl KnnModel {
         let nearest = &dist_idx[..k];
         // Softmax weights, computed stably relative to the closest point.
         let dmin = nearest[0].0;
-        let parts: Vec<(f64, &IidDistribution)> = nearest
+        nearest
             .iter()
             .map(|&(d, i)| ((-self.beta * (d - dmin)).exp(), &self.points[i].1))
-            .collect();
-        IidDistribution::mix(&parts)
+            .collect()
+    }
+
+    /// The predictive distribution `q(y|x*)` (eq. 6).
+    pub fn predict(&self, x: &[f64]) -> IidDistribution {
+        IidDistribution::mix(&self.softmax_neighbours(x))
     }
 
     /// The predicted-best setting `y* = argmax_y q(y|x*)` (eq. 1).
+    ///
+    /// Equivalent to `self.predict(x).mode()` but fused: the mixture is
+    /// never materialized (that costs ~40 small allocations per call —
+    /// most of the serving hot path). Bit-identical to the unfused form:
+    /// each cell accumulates `(w/Σw)·θ` over the neighbours in the same
+    /// order `IidDistribution::mix` does, and ties resolve like
+    /// `Iterator::max_by` (the last maximum wins) as in
+    /// `IidDistribution::mode` — `fused_mode_matches_mix_then_mode`
+    /// asserts the equivalence.
     pub fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
-        self.predict(x).mode()
+        let parts = self.softmax_neighbours(x);
+        let wsum: f64 = parts.iter().map(|(w, _)| w).sum();
+        let dims = parts[0].1.n_dims();
+        (0..dims)
+            .map(|d| {
+                let cardinality = parts[0].1.row(d).len();
+                let mut best = (0u8, f64::NEG_INFINITY);
+                for j in 0..cardinality {
+                    let mut p = 0.0;
+                    for (w, g) in &parts {
+                        p += (w / wsum) * g.row(d)[j];
+                    }
+                    if p >= best.1 {
+                        best = (j as u8, p);
+                    }
+                }
+                best.0
+            })
+            .collect()
     }
 }
 
@@ -184,6 +217,30 @@ mod tests {
             dists.push(IidDistribution::fit(&dims, &vec![vec![1, 3]; 4]));
         }
         KnnModel::train(features, dists, k, 1.0)
+    }
+
+    #[test]
+    fn fused_mode_matches_mix_then_mode() {
+        // The fused predict_mode must be bit-identical to materializing
+        // the mixture and taking its mode — across k values (including
+        // k > points, exercised clamping), tied distances and probe
+        // points on and off the training manifold.
+        for k in [1, 2, 7, 64] {
+            let m = two_cluster_model(k);
+            for probe in [
+                vec![0.0, 0.0],
+                vec![10.0, 10.0],
+                vec![5.0, 5.0], // equidistant: tie-heavy weights
+                vec![-3.0, 17.0],
+                vec![0.35, -0.35], // exactly on a training point
+            ] {
+                assert_eq!(
+                    m.predict_mode(&probe),
+                    m.predict(&probe).mode(),
+                    "k={k} probe={probe:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,600 @@
+//! The concurrent TCP front end: many clients, one shared batch queue.
+//!
+//! PR 3's serving loop owned one connection at a time — batching never
+//! spanned clients and a second connection waited in the kernel's accept
+//! backlog. This module converts the request path from connection-owned
+//! to **service-owned** batching:
+//!
+//! * an accept loop registers each client in a bounded
+//!   [`ConnectionRegistry`] and spawns a reader thread per connection;
+//! * readers parse lines and submit them — tagged with their [`ConnId`] —
+//!   into the service's shared [`ServiceQueue`](portopt_exec::ServiceQueue);
+//! * one batcher thread gathers requests from *all* live connections for
+//!   up to [`ServeOptions::window`] (or until [`ServeOptions::batch`] are
+//!   pending), drains them as a single executor batch, and routes each
+//!   reply back to the socket its request arrived on;
+//! * requests whose connection died before their batch ran are discarded
+//!   unanswered — never computed, never leaked into another client's
+//!   stream.
+//!
+//! Per-connection ordering is preserved end to end: one reader per
+//! connection submits in read order, the queue keeps ticket order, and
+//! the batcher writes replies in ticket order. What is *not* deterministic
+//! is which requests share a batch across connections — see the
+//! determinism table in `docs/ARCHITECTURE.md` and the wire-protocol
+//! guarantees in `docs/SERVING.md`.
+//!
+//! The registry is generic over its writer type, so its bookkeeping —
+//! capacity, half-close draining, dead-connection discard — is testable
+//! without sockets:
+//!
+//! ```
+//! use portopt_serve::ConnectionRegistry;
+//!
+//! let registry: ConnectionRegistry<Vec<u8>> = ConnectionRegistry::new(2);
+//! let a = registry.register(Vec::new()).unwrap();
+//! let b = registry.register(Vec::new()).unwrap();
+//! assert!(registry.register(Vec::new()).is_none()); // at capacity
+//! assert_eq!(registry.len(), 2);
+//!
+//! // One outstanding request on `a`; its client half-closes...
+//! registry.note_submitted(a);
+//! registry.mark_eof(a);
+//! assert!(registry.live(a), "kept open until its reply is delivered");
+//! // ...the reply is still delivered, then the connection retires.
+//! assert!(registry.deliver(a, "{\"id\":0}\n", 1));
+//! assert!(!registry.live(a));
+//! assert_eq!(registry.len(), 1);
+//!
+//! // `b` is EOF with nothing outstanding: retired immediately.
+//! registry.mark_eof(b);
+//! assert_eq!(registry.len(), 0);
+//! ```
+
+use crate::service::{admin_reload_reply, ConnId, PredictionService, ServiceStats};
+use crate::WatchEvent;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default cross-connection batching window: how long the batcher gathers
+/// requests before answering a partial batch. Doubles as the idle flush —
+/// a lone request is answered within roughly this time.
+pub const DEFAULT_WINDOW_MS: u64 = 5;
+
+/// Default bound on simultaneously served connections.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// How often a `--watch-snapshot` poll examines the artifact's metadata.
+pub const DEFAULT_WATCH_INTERVAL_MS: u64 = 200;
+
+/// How long a reply write may block before the client is considered
+/// stalled and its connection retired (a client that stops reading fills
+/// its receive buffer; delivery must not block other connections).
+const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Configuration of the concurrent TCP front end
+/// ([`PredictionService::run_concurrent`]).
+///
+/// ```
+/// use portopt_serve::ServeOptions;
+/// use std::time::Duration;
+///
+/// let opts = ServeOptions {
+///     batch: 64,                              // drain when 64 are pending…
+///     window: Duration::from_millis(2),       // …or 2 ms after the first
+///     max_conns: 8,
+///     ..Default::default()
+/// };
+/// assert_eq!(opts.batch, 64);
+/// assert!(opts.watch_interval.is_none(), "snapshot watching is opt-in");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Requests per executor batch: the batcher drains as soon as this
+    /// many are pending, without waiting out the window.
+    pub batch: usize,
+    /// The batching window: after the first pending request, how long to
+    /// gather more (across all connections) before draining a partial
+    /// batch. Also the answer-latency bound for a lone request.
+    pub window: Duration,
+    /// Maximum simultaneous connections; further clients are refused with
+    /// a one-line error reply (see `docs/SERVING.md`).
+    pub max_conns: usize,
+    /// `Some(interval)` polls the service's reload path (mtime + length)
+    /// and hot-swaps the snapshot when the file changes — the
+    /// `--watch-snapshot` flag. Requires
+    /// [`PredictionService::with_reload_path`].
+    pub watch_interval: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            batch: crate::DEFAULT_BATCH,
+            window: Duration::from_millis(DEFAULT_WINDOW_MS),
+            max_conns: DEFAULT_MAX_CONNS,
+            watch_interval: None,
+        }
+    }
+}
+
+/// Per-connection bookkeeping: the writer half plus the counters that
+/// decide when the connection can be retired.
+struct ConnEntry<W> {
+    /// Writer half, behind its own lock so one slow client's write never
+    /// blocks the whole registry.
+    writer: Arc<Mutex<W>>,
+    /// Requests submitted to the batch queue but not yet answered.
+    outstanding: u64,
+    /// Reader saw EOF (client closed its write half); retire once
+    /// `outstanding` drains to zero, so half-close still gets its replies.
+    eof: bool,
+}
+
+/// The live-connection table of the concurrent front end: hands out
+/// [`ConnId`]s (bounded by `max_conns`), tracks per-connection
+/// outstanding-reply counts, and routes reply payloads to writer halves.
+/// Dropping an entry drops its writer, which for a `TcpStream` closes the
+/// socket — so retirement *is* the server-side close.
+///
+/// Generic over the writer so the lifecycle rules are unit-testable with
+/// `Vec<u8>` sinks (see the module example).
+#[derive(Debug)]
+pub struct ConnectionRegistry<W> {
+    inner: Mutex<RegistryInner<W>>,
+    max_conns: usize,
+}
+
+#[derive(Debug)]
+struct RegistryInner<W> {
+    conns: HashMap<ConnId, ConnEntry<W>>,
+    next: ConnId,
+}
+
+impl<W: std::fmt::Debug> std::fmt::Debug for ConnEntry<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConnEntry")
+            .field("outstanding", &self.outstanding)
+            .field("eof", &self.eof)
+            .finish()
+    }
+}
+
+impl<W: Write> ConnectionRegistry<W> {
+    /// An empty registry admitting at most `max_conns` (≥ 1) connections.
+    pub fn new(max_conns: usize) -> Self {
+        ConnectionRegistry {
+            inner: Mutex::new(RegistryInner {
+                conns: HashMap::new(),
+                next: 1, // 0 is LOCAL_CONN, the stdio stream
+            }),
+            max_conns: max_conns.max(1),
+        }
+    }
+
+    /// Admits a connection, returning its [`ConnId`] — or `None` when the
+    /// registry is at capacity (the caller should refuse the client).
+    pub fn register(&self, writer: W) -> Option<ConnId> {
+        let mut g = self.inner.lock().expect("registry lock");
+        if g.conns.len() >= self.max_conns {
+            return None;
+        }
+        let id = g.next;
+        g.next += 1;
+        g.conns.insert(
+            id,
+            ConnEntry {
+                writer: Arc::new(Mutex::new(writer)),
+                outstanding: 0,
+                eof: false,
+            },
+        );
+        Some(id)
+    }
+
+    /// Whether `conn` is still registered (its replies are deliverable).
+    pub fn live(&self, conn: ConnId) -> bool {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .contains_key(&conn)
+    }
+
+    /// Number of registered connections.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("registry lock").conns.len()
+    }
+
+    /// Whether no connection is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Records that one request from `conn` entered the batch queue.
+    /// Call **before** the submit: the batcher may deliver the reply (and
+    /// decrement) the instant the request is visible in the queue.
+    pub fn note_submitted(&self, conn: ConnId) {
+        if let Some(e) = self
+            .inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .get_mut(&conn)
+        {
+            e.outstanding += 1;
+        }
+    }
+
+    /// Reverses one [`note_submitted`](Self::note_submitted) for a line
+    /// that turned out not to enqueue a request (admin commands, the
+    /// shutdown sentinel).
+    pub fn note_retracted(&self, conn: ConnId) {
+        let mut g = self.inner.lock().expect("registry lock");
+        if let Some(e) = g.conns.get_mut(&conn) {
+            e.outstanding = e.outstanding.saturating_sub(1);
+            if e.eof && e.outstanding == 0 {
+                g.conns.remove(&conn);
+            }
+        }
+    }
+
+    /// Marks `conn` as read-closed (EOF from the client). The connection
+    /// is retired immediately if nothing is outstanding; otherwise it
+    /// lingers until its pending replies are delivered — the half-close
+    /// guarantee: `shutdown(SHUT_WR)` + read still yields every reply.
+    pub fn mark_eof(&self, conn: ConnId) {
+        let mut g = self.inner.lock().expect("registry lock");
+        if let Some(e) = g.conns.get_mut(&conn) {
+            if e.outstanding == 0 {
+                g.conns.remove(&conn);
+            } else {
+                e.eof = true;
+            }
+        }
+    }
+
+    /// Forcibly retires `conn` (reader error, server shutdown): its
+    /// writer is dropped and any still-queued requests will be discarded
+    /// by the next batch drain.
+    pub fn remove(&self, conn: ConnId) {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .remove(&conn);
+    }
+
+    /// Writes `payload` (one or more complete reply lines accounting for
+    /// `replies` requests) to `conn`'s writer and flushes. Returns whether
+    /// delivery succeeded; on a write error the connection is retired (its
+    /// remaining queued requests will be discarded). Payload writes hold
+    /// only the per-connection writer lock, so a stalled client does not
+    /// block delivery to other connections.
+    pub fn deliver(&self, conn: ConnId, payload: &str, replies: u64) -> bool {
+        let writer = {
+            let g = self.inner.lock().expect("registry lock");
+            match g.conns.get(&conn) {
+                Some(e) => Arc::clone(&e.writer),
+                None => return false,
+            }
+        };
+        let wrote = {
+            let mut w = writer.lock().expect("connection writer lock");
+            w.write_all(payload.as_bytes()).and_then(|()| w.flush())
+        };
+        let mut g = self.inner.lock().expect("registry lock");
+        match wrote {
+            Ok(()) => {
+                if let Some(e) = g.conns.get_mut(&conn) {
+                    e.outstanding = e.outstanding.saturating_sub(replies);
+                    if e.eof && e.outstanding == 0 {
+                        g.conns.remove(&conn);
+                    }
+                }
+                true
+            }
+            Err(_) => {
+                g.conns.remove(&conn);
+                false
+            }
+        }
+    }
+}
+
+impl PredictionService {
+    /// Serves a TCP listener concurrently: bounded multi-connection accept
+    /// loop, cross-connection batching window, hot snapshot reload. See
+    /// the [module docs](crate::concurrent) for the architecture and
+    /// `docs/SERVING.md` for the wire protocol. Returns the accumulated
+    /// stats when a `{"shutdown": true}` request stops the service.
+    pub fn run_concurrent(
+        &self,
+        listener: TcpListener,
+        opts: &ServeOptions,
+    ) -> std::io::Result<ServiceStats> {
+        let batch = opts.batch.max(1);
+        // The accept loop must keep checking the stop flag, so it polls a
+        // non-blocking listener instead of parking in accept(2).
+        listener.set_nonblocking(true)?;
+        let stop = AtomicBool::new(false);
+        let registry: ConnectionRegistry<TcpStream> = ConnectionRegistry::new(opts.max_conns);
+        if opts.watch_interval.is_some() && self.reload_path().is_none() {
+            eprintln!("--watch-snapshot ignored: service has no snapshot path to watch");
+        }
+
+        std::thread::scope(|scope| {
+            let batcher = scope.spawn(|| self.batcher_loop(&registry, batch, opts.window, &stop));
+            if let (Some(interval), Some(path)) = (opts.watch_interval, self.reload_path()) {
+                let handle = self.reload_handle();
+                let path = path.to_path_buf();
+                let stop = &stop;
+                scope.spawn(move || {
+                    handle.watch(&path, interval, stop, WatchEvent::log_to_stderr);
+                });
+            }
+
+            let mut accepted = 0u64;
+            let mut rejected = 0u64;
+            while !stop.load(Ordering::Acquire) {
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        // Replies are short lines; coalescing them behind
+                        // Nagle's algorithm only adds latency.
+                        let _ = stream.set_nodelay(true);
+                        if let Err(e) = self.admit(&registry, stream, &stop, scope) {
+                            match e {
+                                AdmitOutcome::AtCapacity => rejected += 1,
+                                AdmitOutcome::Io(err) => eprintln!("accept error: {err}"),
+                            }
+                        } else {
+                            accepted += 1;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    // A failed client is that connection's problem, not the
+                    // server's: log and keep accepting.
+                    Err(e) => eprintln!("accept error: {e}"),
+                }
+            }
+
+            let mut stats = batcher.join().expect("batcher thread");
+            stats.connections = accepted;
+            stats.rejected_connections = rejected;
+            Ok(stats)
+            // Scope exit joins the reader threads: they wake from their
+            // read timeout, observe the stop flag and retire their
+            // connections (closing the sockets).
+        })
+    }
+
+    /// Registers an accepted stream and spawns its reader thread, or
+    /// refuses it with a one-line error when the registry is full.
+    fn admit<'scope>(
+        &'scope self,
+        registry: &'scope ConnectionRegistry<TcpStream>,
+        stream: TcpStream,
+        stop: &'scope AtomicBool,
+        scope: &'scope std::thread::Scope<'scope, '_>,
+    ) -> Result<(), AdmitOutcome> {
+        // Readers must observe the stop flag even when their client is
+        // silent, so reads time out and retry. The accepted stream does
+        // not inherit the listener's non-blocking mode on Linux, but be
+        // explicit for portability.
+        stream.set_nonblocking(false).map_err(AdmitOutcome::Io)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(50)))
+            .map_err(AdmitOutcome::Io)?;
+        // Reply delivery runs on the one batcher thread: a client that
+        // stops reading until its receive buffer fills must stall out and
+        // be retired, not block every other connection's replies (and
+        // shutdown) behind a blocking write_all. Timeouts are per socket,
+        // so this covers the cloned writer half below.
+        stream
+            .set_write_timeout(Some(WRITE_STALL_TIMEOUT))
+            .map_err(AdmitOutcome::Io)?;
+        let writer = stream.try_clone().map_err(AdmitOutcome::Io)?;
+        match registry.register(writer) {
+            Some(conn) => {
+                scope.spawn(move || self.reader_loop(registry, conn, stream, stop));
+                Ok(())
+            }
+            None => {
+                let mut s = stream;
+                let _ = s.write_all(
+                    format!(
+                        "{{\"error\":\"server at capacity ({} connections); retry later\"}}\n",
+                        registry.max_conns
+                    )
+                    .as_bytes(),
+                );
+                Err(AdmitOutcome::AtCapacity)
+            }
+        }
+    }
+
+    /// One connection's reader: splits the byte stream into lines,
+    /// submits requests tagged with `conn`, answers admin commands
+    /// out-of-band, and handles EOF — including an unterminated final
+    /// line, which is still a request (the TCP mirror of
+    /// `BufRead::lines` semantics in stdio mode).
+    fn reader_loop(
+        &self,
+        registry: &ConnectionRegistry<TcpStream>,
+        conn: ConnId,
+        stream: TcpStream,
+        stop: &AtomicBool,
+    ) {
+        use std::io::BufRead;
+        let mut reader = std::io::BufReader::new(stream);
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                registry.mark_eof(conn);
+                return;
+            }
+            match reader.read_until(b'\n', &mut buf) {
+                // EOF. `buf` can still hold an unterminated final line
+                // here: a read timeout (the Err arm below) returns the
+                // bytes read so far in `buf`, and if the stream then ends,
+                // this call appends nothing and reports 0 — so the
+                // fragment must be handled now, not assumed already
+                // processed.
+                Ok(0) => {
+                    let text = String::from_utf8_lossy(&buf);
+                    let line = text.trim();
+                    if !line.is_empty() {
+                        self.handle_line(registry, conn, line, stop);
+                    }
+                    registry.mark_eof(conn);
+                    return;
+                }
+                Ok(_) => {
+                    let text = String::from_utf8_lossy(&buf);
+                    let line = text.trim();
+                    if !line.is_empty() && self.handle_line(registry, conn, line, stop) {
+                        registry.mark_eof(conn);
+                        return;
+                    }
+                    buf.clear();
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    // Read timeout: the client is idle, not gone. Any
+                    // partial line stays in `buf` and the next read
+                    // continues appending to it.
+                    continue;
+                }
+                Err(_) => {
+                    // Connection broken: retire it. Its queued requests
+                    // are discarded (pre-compute) at the next batch drain.
+                    registry.remove(conn);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Classifies and dispatches one line from `conn`; returns `true` when
+    /// the reader should stop (shutdown sentinel).
+    fn handle_line(
+        &self,
+        registry: &ConnectionRegistry<TcpStream>,
+        conn: ConnId,
+        line: &str,
+        stop: &AtomicBool,
+    ) -> bool {
+        use crate::service::LineAction;
+        // Count the request before it becomes visible in the queue — the
+        // batcher may deliver its reply immediately — and retract for
+        // lines that turn out not to enqueue anything.
+        registry.note_submitted(conn);
+        match self.classify_and_submit(conn, line) {
+            LineAction::Queued => false,
+            LineAction::Shutdown => {
+                registry.note_retracted(conn);
+                stop.store(true, Ordering::Release);
+                true
+            }
+            LineAction::Reload(outcome) => {
+                registry.note_retracted(conn);
+                let mut reply = admin_reload_reply(&outcome);
+                reply.push('\n');
+                registry.deliver(conn, &reply, 0);
+                false
+            }
+        }
+    }
+
+    /// The batching window: sleep until work arrives, gather across all
+    /// connections for up to `window` (or until `batch` are pending),
+    /// drain as one executor batch, and route replies. After the stop
+    /// flag rises, one final drain answers everything submitted before
+    /// the shutdown sentinel.
+    fn batcher_loop(
+        &self,
+        registry: &ConnectionRegistry<TcpStream>,
+        batch: usize,
+        window: Duration,
+        stop: &AtomicBool,
+    ) -> ServiceStats {
+        let mut stats = ServiceStats::default();
+        while !stop.load(Ordering::Acquire) {
+            if !self.wait_pending(Duration::from_millis(20)) {
+                continue;
+            }
+            let gather_started = Instant::now();
+            while self.pending() < batch
+                && gather_started.elapsed() < window
+                && !stop.load(Ordering::Acquire)
+            {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            self.drain_and_route(registry, &mut stats);
+        }
+        self.drain_and_route(registry, &mut stats);
+        stats
+    }
+
+    /// One batch: discard dead connections' requests, drain the rest
+    /// through the executor, and deliver each connection's replies as a
+    /// single coalesced write (in submission order).
+    fn drain_and_route(&self, registry: &ConnectionRegistry<TcpStream>, stats: &mut ServiceStats) {
+        let dropped = self.discard_dead(|conn| !registry.live(conn));
+        if dropped > 0 {
+            stats.discarded += dropped as u64;
+            eprintln!("dropped {dropped} unanswered requests from dead connections");
+        }
+        let replies = self.drain_routed(stats);
+        if replies.is_empty() {
+            return;
+        }
+        // Coalesce each connection's replies into one write. Order within
+        // a connection is submission order because `replies` is in ticket
+        // order.
+        let mut per_conn: Vec<(ConnId, String, u64)> = Vec::new();
+        for (conn, response) in &replies {
+            let line = match serde_json::to_string(response) {
+                Ok(l) => l,
+                Err(e) => format!(
+                    "{{\"id\":{},\"error\":\"reply serialization failed: {e}\"}}",
+                    response.id
+                ),
+            };
+            match per_conn.iter_mut().find(|(c, _, _)| c == conn) {
+                Some((_, payload, n)) => {
+                    payload.push_str(&line);
+                    payload.push('\n');
+                    *n += 1;
+                }
+                None => per_conn.push((*conn, format!("{line}\n"), 1)),
+            }
+        }
+        for (conn, payload, n) in per_conn {
+            if !registry.deliver(conn, &payload, n) {
+                stats.discarded += n;
+                eprintln!("dropped {n} computed replies: connection {conn} is gone");
+            }
+        }
+    }
+}
+
+/// Why an accepted socket was not admitted.
+enum AdmitOutcome {
+    /// The registry is at `max_conns`; the client got a capacity error.
+    AtCapacity,
+    /// Socket setup (clone / timeout) failed.
+    Io(std::io::Error),
+}

@@ -5,7 +5,7 @@
 //! *this* microarchitecture?" in milliseconds, for traffic, without ever
 //! touching the training sweep again.
 //!
-//! Two pieces:
+//! Four pieces:
 //!
 //! * [`Snapshot`] — a versioned on-disk artifact holding a trained
 //!   [`portopt_core::PortableCompiler`] plus the metadata needed to refuse
@@ -16,23 +16,41 @@
 //!   tests, `std::net::TcpListener` for sockets. Requests carry either a
 //!   precomputed feature vector or a raw `portopt-ir` module (the service
 //!   then runs the one `-O3` profiling pass itself).
+//! * [`concurrent`] — the multi-client TCP front end: a bounded accept
+//!   loop ([`ConnectionRegistry`]), a cross-connection batching window
+//!   ([`ServeOptions`]), and per-connection reply routing.
+//! * [`reload`] — hot snapshot reload: an atomically swappable versioned
+//!   model slot ([`ReloadHandle`]), driven by the `{"cmd": "reload"}`
+//!   admin request or a file watcher (`--watch-snapshot`).
 //!
-//! The `snapshot` and `serve` binaries in `portopt-bench` wrap these:
+//! The complete wire protocol — request/reply fields, batching and
+//! ordering guarantees, reload semantics — is specified in
+//! `docs/SERVING.md`. The `snapshot` and `serve` binaries in
+//! `portopt-bench` wrap these:
 //!
 //! ```text
 //! cargo run --release -p portopt-bench --bin snapshot -- --scale smoke --out model.snap
 //! echo '{"module": {...}, "uarch": "xscale"}' \
 //!   | cargo run --release -p portopt-bench --bin serve -- --snapshot model.snap --stdio
+//! cargo run --release -p portopt-bench --bin serve -- --snapshot model.snap \
+//!   --port 7209 --max-conns 128 --batch-window-ms 5 --watch-snapshot
 //! ```
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
+pub mod reload;
 pub mod service;
 pub mod snapshot;
 
+pub use concurrent::{
+    ConnectionRegistry, ServeOptions, DEFAULT_MAX_CONNS, DEFAULT_WATCH_INTERVAL_MS,
+    DEFAULT_WINDOW_MS,
+};
+pub use reload::{ReloadHandle, VersionedSnapshot, WatchEvent};
 pub use service::{
-    ApplyStats, PredictionService, RequestInput, ServeRequest, ServeResponse, ServiceStats,
-    DEFAULT_BATCH,
+    ApplyStats, ConnId, LineAction, PredictionService, RequestInput, ServeRequest, ServeResponse,
+    ServiceStats, DEFAULT_BATCH, LOCAL_CONN,
 };
 pub use snapshot::{
     current_pass_space, Snapshot, SnapshotError, SnapshotMeta, FORMAT_VERSION, SNAPSHOT_MAGIC,
@@ -429,6 +447,479 @@ mod tests {
         }
         let stats = server.join().unwrap();
         assert_eq!(stats.requests, 1);
+    }
+
+    /// Ids: `conn * 100 + seq`, so a reply leaking across connections is
+    /// immediately identifiable.
+    fn routed_request_line(ds: &Dataset, conn: u64, seq: u64) -> String {
+        let req = ServeRequest {
+            id: Some(conn * 100 + seq),
+            input: RequestInput::Features(
+                ds.features[(conn as usize + seq as usize) % ds.n_programs()]
+                    [seq as usize % ds.n_uarchs()]
+                .values
+                .clone(),
+            ),
+            uarch: ds.uarchs[seq as usize % ds.n_uarchs()],
+            apply: false,
+        };
+        serde_json::to_string(&req).unwrap()
+    }
+
+    #[test]
+    fn concurrent_clients_get_their_own_replies_in_order() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(snap, 2);
+            // Small batch + short window: 24 requests from 3 clients force
+            // several cross-connection batches.
+            let opts = ServeOptions {
+                batch: 4,
+                window: std::time::Duration::from_millis(2),
+                ..Default::default()
+            };
+            service.run_concurrent(listener, &opts).unwrap()
+        });
+
+        const CLIENTS: u64 = 3;
+        const PER_CLIENT: u64 = 8;
+        let ds = &ds;
+        std::thread::scope(|s| {
+            for conn in 1..=CLIENTS {
+                s.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).unwrap();
+                    for seq in 0..PER_CLIENT {
+                        let line = routed_request_line(ds, conn, seq);
+                        stream.write_all(format!("{line}\n").as_bytes()).unwrap();
+                    }
+                    let mut reader = BufReader::new(stream);
+                    for seq in 0..PER_CLIENT {
+                        let mut reply = String::new();
+                        reader.read_line(&mut reply).unwrap();
+                        let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+                        assert!(r.error.is_none(), "{:?}", r.error);
+                        assert_eq!(
+                            r.id,
+                            conn * 100 + seq,
+                            "client {conn} got someone else's (or out-of-order) reply"
+                        );
+                    }
+                });
+            }
+        });
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"shutdown\": true}\n").unwrap();
+        let stats = server.join().unwrap();
+        assert_eq!(stats.requests, CLIENTS * PER_CLIENT);
+        assert_eq!(stats.errors, 0);
+        assert_eq!(stats.connections, CLIENTS + 1, "3 clients + the shutdown");
+        assert_eq!(stats.discarded, 0);
+    }
+
+    #[test]
+    fn tcp_half_close_unterminated_final_line_is_answered() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let snap = tiny_snapshot();
+        let n = snap.meta.feature_dim;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(snap, 1);
+            service.run_tcp(listener, 64).unwrap()
+        });
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = ServeRequest {
+                id: Some(31),
+                input: RequestInput::Features(vec![0.75; n]),
+                uarch: MicroArch::xscale(),
+                apply: false,
+            };
+            // No trailing newline, then SHUT_WR: the stream ends mid-line.
+            stream
+                .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+                .unwrap();
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+            assert_eq!(r.id, 31, "unterminated final line must still be answered");
+            assert!(r.error.is_none());
+            // After the routed reply the server closes its half too.
+            let mut rest = String::new();
+            reader.read_line(&mut rest).unwrap();
+            assert!(
+                rest.is_empty(),
+                "expected EOF after the reply, got {rest:?}"
+            );
+        }
+        // Same guarantee when the unterminated line *straddles* the
+        // reader's 50 ms receive timeout: the fragment is carried into the
+        // reader's buffer by an Err(WouldBlock) pass, and the EOF
+        // afterwards arrives as Ok(0) with the buffer non-empty — the
+        // fragment must still be answered, not assumed already processed.
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            let req = ServeRequest {
+                id: Some(32),
+                input: RequestInput::Features(vec![0.5; n]),
+                uarch: MicroArch::xscale(),
+                apply: false,
+            };
+            // The whole request, still without its newline...
+            stream
+                .write_all(serde_json::to_string(&req).unwrap().as_bytes())
+                .unwrap();
+            stream.flush().unwrap();
+            // ...then a pause longer than the read timeout, so the server
+            // buffers the fragment through at least one timeout pass...
+            std::thread::sleep(std::time::Duration::from_millis(150));
+            // ...and then EOF with no further bytes.
+            stream.shutdown(std::net::Shutdown::Write).unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+            assert_eq!(r.id, 32, "fragment buffered across a read timeout was lost");
+            assert!(r.error.is_none());
+        }
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(b"{\"shutdown\": true}\n").unwrap();
+        let stats = server.join().unwrap();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.discarded, 0);
+    }
+
+    #[test]
+    fn capacity_bound_rejects_excess_connections() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let snap = tiny_snapshot();
+        let n = snap.meta.feature_dim;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(snap, 1);
+            let opts = ServeOptions {
+                max_conns: 1,
+                ..Default::default()
+            };
+            service.run_concurrent(listener, &opts).unwrap()
+        });
+
+        let mut first = TcpStream::connect(addr).unwrap();
+        let req = ServeRequest {
+            id: Some(1),
+            input: RequestInput::Features(vec![0.5; n]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        first
+            .write_all(format!("{}\n", serde_json::to_string(&req).unwrap()).as_bytes())
+            .unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut reply = String::new();
+        first_reader.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"id\":1"), "{reply}");
+
+        // The slot is taken: a second client is refused with an error line.
+        {
+            let second = TcpStream::connect(addr).unwrap();
+            let mut reader = BufReader::new(second);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.contains("capacity"), "expected capacity error: {line}");
+            let mut rest = String::new();
+            reader.read_line(&mut rest).unwrap();
+            assert!(rest.is_empty(), "rejected client must be disconnected");
+        }
+
+        first.write_all(b"{\"shutdown\": true}\n").unwrap();
+        let stats = server.join().unwrap();
+        assert_eq!(stats.connections, 1);
+        assert_eq!(stats.rejected_connections, 1);
+    }
+
+    #[test]
+    fn reload_swaps_between_batches_and_batches_stay_on_one_model() {
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let service = PredictionService::new(snap, 2);
+        let line = routed_request_line(&ds, 0, 0);
+        let mut stats = ServiceStats::default();
+
+        // Batch 1 drains on the starting model.
+        service.submit_line(&line);
+        let replies = service.drain(&mut stats);
+        assert_eq!(replies[0].snapshot_version, 1);
+
+        // A reload between drains is visible to the next batch — even for
+        // requests submitted *before* the reload (version capture is per
+        // batch drain, as SERVING.md specifies).
+        service.submit_line(&line);
+        let retrained = Snapshot::train(&tiny_dataset(), &TrainOptions::default());
+        assert_eq!(service.reload_handle().reload(retrained), 2);
+        service.submit_line(&line);
+        let replies = service.drain(&mut stats);
+        assert_eq!(replies.len(), 2);
+        assert!(replies.iter().all(|r| r.snapshot_version == 2));
+
+        // A reload racing a drain never splits the batch across models:
+        // the snapshot is captured once at drain start.
+        for _ in 0..16 {
+            service.submit_line(&line);
+        }
+        let barrier = std::sync::Barrier::new(2);
+        let versions: Vec<u64> = std::thread::scope(|s| {
+            let drainer = s.spawn(|| {
+                barrier.wait();
+                let mut stats = ServiceStats::default();
+                service
+                    .drain(&mut stats)
+                    .into_iter()
+                    .map(|r| r.snapshot_version)
+                    .collect()
+            });
+            barrier.wait();
+            let retrained = Snapshot::train(&tiny_dataset(), &TrainOptions::default());
+            service.reload_handle().reload(retrained);
+            drainer.join().unwrap()
+        });
+        assert_eq!(versions.len(), 16);
+        let first = versions[0];
+        assert!(first == 2 || first == 3, "unexpected version {first}");
+        assert!(
+            versions.iter().all(|&v| v == first),
+            "one batch answered by two models: {versions:?}"
+        );
+        // Whatever the race did, the *next* batch sees the new model.
+        service.submit_line(&line);
+        let mut stats = ServiceStats::default();
+        assert_eq!(service.drain(&mut stats)[0].snapshot_version, 3);
+    }
+
+    #[test]
+    fn tcp_reload_cmd_swaps_mid_session_without_dropping_requests() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::{TcpListener, TcpStream};
+
+        let dir = std::env::temp_dir().join("portopt-serve-test-tcp-reload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        let snap = tiny_snapshot();
+        snap.save(&path).unwrap();
+        let n = snap.meta.feature_dim;
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let path_for_server = path.clone();
+        let server = std::thread::spawn(move || {
+            let service = PredictionService::new(Snapshot::load(&path_for_server).unwrap(), 1)
+                .with_reload_path(&path_for_server);
+            service.run_tcp(listener, 8).unwrap()
+        });
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let req = ServeRequest {
+            id: Some(1),
+            input: RequestInput::Features(vec![0.25; n]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        let req_line = serde_json::to_string(&req).unwrap();
+
+        // Request 1 is answered by the starting model...
+        stream
+            .write_all(format!("{req_line}\n").as_bytes())
+            .unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        let r: ServeResponse = serde_json::from_str(reply.trim()).unwrap();
+        assert_eq!(r.snapshot_version, 1);
+
+        // ...the admin reload is acknowledged out-of-band with the new
+        // version...
+        stream.write_all(b"{\"cmd\": \"reload\"}\n").unwrap();
+        let mut ack = String::new();
+        reader.read_line(&mut ack).unwrap();
+        assert!(ack.contains("\"ok\":true"), "{ack}");
+        assert!(ack.contains("\"snapshot_version\":2"), "{ack}");
+
+        // ...and request 2 is answered by the reloaded model.
+        stream
+            .write_all(format!("{req_line}\n").as_bytes())
+            .unwrap();
+        let mut reply2 = String::new();
+        reader.read_line(&mut reply2).unwrap();
+        let r2: ServeResponse = serde_json::from_str(reply2.trim()).unwrap();
+        assert_eq!(r2.snapshot_version, 2);
+        assert_eq!(r2.id, 1);
+
+        stream.write_all(b"{\"shutdown\": true}\n").unwrap();
+        let stats = server.join().unwrap();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn stdio_reload_cmd_is_acknowledged_inline() {
+        let dir = std::env::temp_dir().join("portopt-serve-test-stdio-reload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        let snap = tiny_snapshot();
+        snap.save(&path).unwrap();
+        let n = snap.meta.feature_dim;
+        let service =
+            PredictionService::new(Snapshot::load(&path).unwrap(), 1).with_reload_path(&path);
+        let req = ServeRequest {
+            id: Some(5),
+            input: RequestInput::Features(vec![0.5; n]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        let req_line = serde_json::to_string(&req).unwrap();
+        let input = format!("{req_line}\n{{\"cmd\": \"reload\"}}\n{req_line}\n");
+        let mut out = Vec::new();
+        let mut stats = ServiceStats::default();
+        // batch=1 drains each request before the next line is read, so the
+        // version sequence is deterministic: v1 reply, ack v2, v2 reply.
+        service
+            .run_lines(Cursor::new(input), &mut out, 1, &mut stats)
+            .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3, "{out}");
+        let r1: ServeResponse = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(r1.snapshot_version, 1);
+        assert!(lines[1].contains("\"cmd\":\"reload\"") && lines[1].contains("\"ok\":true"));
+        let r2: ServeResponse = serde_json::from_str(lines[2]).unwrap();
+        assert_eq!(r2.snapshot_version, 2);
+
+        // Without a configured path, reload is refused and the model keeps
+        // serving.
+        let service = PredictionService::new(tiny_snapshot(), 1);
+        let mut out = Vec::new();
+        service
+            .run_lines(
+                Cursor::new("{\"cmd\": \"reload\"}\n"),
+                &mut out,
+                1,
+                &mut ServiceStats::default(),
+            )
+            .unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("\"ok\":false"), "{out}");
+        assert_eq!(service.current_snapshot().version, 1);
+    }
+
+    #[test]
+    fn unknown_admin_command_gets_error_reply() {
+        let service = PredictionService::new(tiny_snapshot(), 1);
+        assert!(!service.submit_line("{\"cmd\": \"explode\"}"));
+        let mut stats = ServiceStats::default();
+        let replies = service.drain(&mut stats);
+        assert_eq!(replies.len(), 1);
+        assert!(replies[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("unknown admin command"));
+    }
+
+    #[test]
+    fn watcher_reloads_when_the_snapshot_file_changes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::time::Duration;
+
+        let dir = std::env::temp_dir().join("portopt-serve-test-watch");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.snap");
+        let snap = tiny_snapshot();
+        snap.save(&path).unwrap();
+        let service = PredictionService::new(Snapshot::load(&path).unwrap(), 1);
+        let handle = service.reload_handle();
+
+        // A bad artifact is refused and the served model is unchanged.
+        let garbage = dir.join("garbage.snap");
+        std::fs::write(&garbage, b"{\"hello\": 1}").unwrap();
+        assert!(handle.reload_from(&garbage).is_err());
+        assert_eq!(handle.version(), 1);
+
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let watcher_handle = handle.clone();
+            let (path, stop) = (&path, &stop);
+            let watcher = s
+                .spawn(move || watcher_handle.watch(path, Duration::from_millis(10), stop, |_| {}));
+            // Republish until the watcher (whose initial stamp may race the
+            // first save) observes a change. A retrained snapshot with a
+            // different k changes both length and mtime.
+            let changed = Snapshot::train(
+                &tiny_dataset(),
+                &TrainOptions {
+                    k: 3,
+                    ..TrainOptions::default()
+                },
+            );
+            let mut reloaded = false;
+            for _ in 0..100 {
+                changed.save(&path).unwrap();
+                std::thread::sleep(Duration::from_millis(30));
+                if handle.version() >= 2 {
+                    reloaded = true;
+                    break;
+                }
+            }
+            stop.store(true, Ordering::Release);
+            let reload_count = watcher.join().unwrap();
+            assert!(reloaded, "watcher never picked up the new snapshot");
+            assert!(reload_count >= 1);
+        });
+        assert_eq!(
+            service.current_snapshot().snapshot.meta.k,
+            3,
+            "service must now serve the republished model"
+        );
+    }
+
+    #[test]
+    fn registry_retires_connections_whose_writes_fail() {
+        use std::io::Write;
+
+        /// A writer that always fails — a client whose socket went away.
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "client gone",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let registry: ConnectionRegistry<BrokenPipe> = ConnectionRegistry::new(4);
+        let conn = registry.register(BrokenPipe).unwrap();
+        registry.note_submitted(conn);
+        assert!(!registry.deliver(conn, "{}\n", 1), "write must fail");
+        assert!(!registry.live(conn), "failed write retires the connection");
+        // Delivery to a retired (or never-registered) connection reports
+        // failure instead of panicking.
+        assert!(!registry.deliver(conn, "{}\n", 1));
+        assert!(!registry.deliver(999, "{}\n", 1));
     }
 
     #[test]

@@ -4,17 +4,24 @@
 //! is one JSON object, each reply is one JSON object, in request order.
 //! [`PredictionService::run_lines`] drives a `BufRead`/`Write` pair (stdin
 //! /stdout for piping and tests); [`PredictionService::run_tcp`] serves
-//! the same protocol over `std::net::TcpListener`.
+//! the same protocol over `std::net::TcpListener`, concurrently for many
+//! clients (see [`crate::concurrent`]). The complete wire-protocol
+//! reference lives in `docs/SERVING.md`.
 //!
 //! Requests accumulate in a [`ServiceQueue`] and are drained as batches
-//! onto the [`Executor`], so a burst of predictions from one client uses
-//! every core — the deployment-time mirror of the training sweep.
+//! onto the [`Executor`] — in TCP mode a batch spans *all* live
+//! connections, so a burst of predictions from any mix of clients uses
+//! every core: the deployment-time mirror of the training sweep. Each
+//! queued request carries the [`ConnId`] it arrived on, and
+//! [`drain_routed`](PredictionService::drain_routed) hands every reply
+//! back tagged with the connection it belongs to.
 //!
 //! ## Request format
 //!
 //! ```json
 //! {"features": [/* 19 numbers */], "uarch": "xscale"}
 //! {"module": {/* portopt-ir Module */}, "uarch": {/* MicroArch */}, "apply": true}
+//! {"cmd": "reload"}
 //! {"shutdown": true}
 //! ```
 //!
@@ -29,12 +36,14 @@
 //!   index.
 //!
 //! A reply carries the predicted [`OptConfig`] both structurally
-//! (`config`) and as the canonical choice vector (`choices`), plus the
-//! per-request service latency in milliseconds. Malformed requests get
+//! (`config`) and as the canonical choice vector (`choices`), the
+//! per-request service latency in milliseconds, and the version of the
+//! snapshot that answered it (`snapshot_version` — bumps on every hot
+//! reload, see [`crate::reload`]). Malformed requests get
 //! `{"id": …, "error": "…"}` replies in-order rather than tearing down the
 //! connection.
 //!
-//! Submit / drain, the loop both transports are built on:
+//! Submit / drain, the loop every transport is built on:
 //!
 //! ```
 //! use portopt_core::{generate, GenOptions, SweepScale, TrainOptions};
@@ -70,19 +79,23 @@
 //! assert_eq!(replies[0].id, 7);
 //! assert!(replies[0].error.is_none());
 //! assert!(replies[0].config.is_some());
+//! assert_eq!(replies[0].snapshot_version, 1); // no reload has happened
 //! assert_eq!(stats.requests, 1);
 //! ```
 
+use crate::reload::{ReloadHandle, SnapshotCell, VersionedSnapshot};
 use crate::snapshot::Snapshot;
 use portopt_exec::{Executor, ServiceQueue};
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
 use portopt_passes::{compile, OptConfig};
 use portopt_sim::{evaluate, profile};
-use portopt_uarch::{FeatureVec, MicroArch};
+use portopt_uarch::MicroArch;
 use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Execution limits for service-side profiling runs (same budget as the
@@ -94,6 +107,17 @@ const PROFILE_LIMITS: ExecLimits = ExecLimits {
 
 /// Default number of requests drained per executor batch.
 pub const DEFAULT_BATCH: usize = 32;
+
+/// Identifies the connection a queued request arrived on, so its reply can
+/// be routed back to the right socket. Ids are handed out by the
+/// [`ConnectionRegistry`](crate::ConnectionRegistry) starting at 1;
+/// [`LOCAL_CONN`] (0) is the single stream of stdio mode and of direct
+/// [`PredictionService::submit_line`] use.
+pub type ConnId = u64;
+
+/// The [`ConnId`] of the one implicit "connection" in stdio mode and in
+/// direct [`PredictionService::submit_line`] use.
+pub const LOCAL_CONN: ConnId = 0;
 
 /// What a request asks the model to predict from.
 #[derive(Debug, Clone, PartialEq)]
@@ -219,6 +243,10 @@ pub struct ServeResponse {
     pub stats: Option<ApplyStats>,
     /// What went wrong, if anything.
     pub error: Option<String>,
+    /// Version of the model snapshot that answered this request (1 = the
+    /// snapshot the service started with; bumps on every hot reload). All
+    /// replies of one batch carry the same version.
+    pub snapshot_version: u64,
 }
 
 /// Running totals, reported when the service shuts down.
@@ -238,6 +266,13 @@ pub struct ServiceStats {
     pub max_latency_ms: f64,
     /// Wall-clock seconds spent draining batches.
     pub busy_secs: f64,
+    /// Requests thrown away unanswered because their connection died
+    /// before their batch ran (or their reply could not be written).
+    pub discarded: u64,
+    /// TCP connections accepted over the service's lifetime.
+    pub connections: u64,
+    /// TCP connections refused because the server was at `max_conns`.
+    pub rejected_connections: u64,
 }
 
 impl ServiceStats {
@@ -261,7 +296,7 @@ impl ServiceStats {
 
     /// The human-readable shutdown report.
     pub fn report(&self) -> String {
-        format!(
+        let mut s = format!(
             "served {} requests ({} errors) in {} batches (max {}): \
              mean latency {:.3} ms, max {:.3} ms, {:.0} predictions/sec",
             self.requests,
@@ -271,56 +306,122 @@ impl ServiceStats {
             self.mean_latency_ms(),
             self.max_latency_ms,
             self.predictions_per_sec(),
-        )
+        );
+        if self.connections > 0 || self.rejected_connections > 0 {
+            s.push_str(&format!(
+                "; {} connections ({} rejected at capacity)",
+                self.connections, self.rejected_connections
+            ));
+        }
+        if self.discarded > 0 {
+            s.push_str(&format!(
+                "; {} requests discarded (dead connections)",
+                self.discarded
+            ));
+        }
+        s
     }
+}
+
+/// How the service classified one input line. Returned by
+/// [`PredictionService::classify_and_submit`]; transports decide what to
+/// write back (admin replies are written immediately, prediction replies
+/// come out of the next batch drain).
+#[derive(Debug)]
+pub enum LineAction {
+    /// A prediction request (or a malformed line, which will get an
+    /// in-order error reply): queued for the next batch.
+    Queued,
+    /// The `{"shutdown": true}` sentinel: not queued; the transport should
+    /// flush pending replies and stop the service.
+    Shutdown,
+    /// The `{"cmd": "reload"}` admin request: executed immediately.
+    /// `Ok(version)` is the newly installed snapshot version; `Err`
+    /// explains why the model was left unchanged.
+    Reload(Result<u64, String>),
+}
+
+/// One queued line: the connection it arrived on plus the parse outcome
+/// (errors stay in the queue so the reply stream keeps request order).
+#[derive(Debug)]
+struct QueuedLine {
+    conn: ConnId,
+    parsed: Result<ServeRequest, String>,
 }
 
 /// A loaded snapshot serving predictions over an [`Executor`].
 #[derive(Debug)]
 pub struct PredictionService {
-    snapshot: Snapshot,
+    cell: Arc<SnapshotCell>,
     exec: Executor,
-    queue: ServiceQueue<Result<ServeRequest, String>>,
+    queue: ServiceQueue<QueuedLine>,
+    reload_path: Option<PathBuf>,
 }
 
 impl PredictionService {
     /// Wraps a loaded snapshot; `threads == 0` uses all cores.
     pub fn new(snapshot: Snapshot, threads: usize) -> Self {
         PredictionService {
-            snapshot,
+            cell: Arc::new(SnapshotCell::new(snapshot)),
             exec: Executor::new(threads),
             queue: ServiceQueue::new(),
+            reload_path: None,
         }
     }
 
-    /// The snapshot being served.
-    pub fn snapshot(&self) -> &Snapshot {
-        &self.snapshot
+    /// Registers the snapshot file the service was loaded from, enabling
+    /// the `{"cmd": "reload"}` admin request (and giving
+    /// [`ReloadHandle::watch`] its natural argument). Without a path,
+    /// reload requests are answered with an error.
+    pub fn with_reload_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.reload_path = Some(path.into());
+        self
     }
 
-    /// Answers one request (the per-task kernel of a batch drain).
-    fn predict_one(&self, req: &ServeRequest) -> Result<(OptConfig, Option<ApplyStats>), String> {
+    /// The snapshot file registered with
+    /// [`with_reload_path`](Self::with_reload_path), if any.
+    pub fn reload_path(&self) -> Option<&std::path::Path> {
+        self.reload_path.as_deref()
+    }
+
+    /// The currently served (versioned) snapshot.
+    pub fn current_snapshot(&self) -> Arc<VersionedSnapshot> {
+        self.cell.load()
+    }
+
+    /// A cloneable handle for hot-swapping the served snapshot from any
+    /// thread (see [`crate::reload`]).
+    pub fn reload_handle(&self) -> ReloadHandle {
+        ReloadHandle {
+            cell: Arc::clone(&self.cell),
+        }
+    }
+
+    /// Answers one request (the per-task kernel of a batch drain) against
+    /// a specific snapshot — the one captured at batch start, so a hot
+    /// reload mid-drain never splits a batch across models.
+    fn predict_one(
+        &self,
+        snapshot: &Snapshot,
+        req: &ServeRequest,
+    ) -> Result<(OptConfig, Option<ApplyStats>), String> {
         match &req.input {
             RequestInput::Features(values) => {
-                let want = self.snapshot.meta.feature_dim;
+                let want = snapshot.meta.feature_dim;
                 if values.len() != want {
                     return Err(format!(
                         "feature vector has {} values, model expects {want}",
                         values.len()
                     ));
                 }
-                let x = FeatureVec {
-                    values: values.clone(),
-                };
-                Ok((self.snapshot.compiler.predict(&x), None))
+                Ok((snapshot.compiler.predict_features(values), None))
             }
             RequestInput::Module(module) => {
                 let img3 = compile(module, &OptConfig::o3());
                 let prof3 = profile(&img3, module, &[], PROFILE_LIMITS)
                     .map_err(|e| format!("-O3 profiling run failed: {e:?}"))?;
                 let t3 = evaluate(&img3, &prof3, &req.uarch);
-                let cfg = self
-                    .snapshot
+                let cfg = snapshot
                     .compiler
                     .predict_from_counters(&t3.counters, &req.uarch);
                 let stats = if req.apply {
@@ -341,27 +442,83 @@ impl PredictionService {
         }
     }
 
-    /// Parses one request line and enqueues it (one parse: the document
-    /// tree is probed for the shutdown sentinel and then decoded as a
-    /// request). Unparseable lines enqueue their error so the reply
-    /// stream stays in request order. Returns `true` for the
-    /// `{"shutdown": true}` sentinel, which is not enqueued.
-    pub fn submit_line(&self, line: &str) -> bool {
+    /// Parses one request line from connection `conn` and acts on it: the
+    /// shutdown sentinel and the reload admin command are recognised
+    /// without enqueueing (one parse — the document tree is probed for
+    /// both and then decoded as a request); everything else, including
+    /// unparseable lines, is enqueued so the reply stream stays in request
+    /// order.
+    pub fn classify_and_submit(&self, conn: ConnId, line: &str) -> LineAction {
         match serde_json::from_str::<Value>(line) {
             Ok(doc) => {
-                if let Ok(f) = doc.field("shutdown") {
-                    if matches!(bool::from_value(f), Ok(true)) {
-                        return true;
+                // One scan of the (small) top-level object for both admin
+                // markers; avoids `Value::field`'s error allocation on the
+                // common miss path.
+                if let Some(fields) = doc.as_object() {
+                    for (k, v) in fields {
+                        if k == "shutdown" && matches!(v, Value::Bool(true)) {
+                            return LineAction::Shutdown;
+                        }
+                        if k == "cmd" {
+                            if let Value::Str(cmd) = v {
+                                if cmd == "reload" {
+                                    return LineAction::Reload(self.reload_from_configured_path());
+                                }
+                                self.queue.submit(QueuedLine {
+                                    conn,
+                                    parsed: Err(format!("unknown admin command `{cmd}`")),
+                                });
+                                return LineAction::Queued;
+                            }
+                        }
                     }
                 }
-                self.queue
-                    .submit(ServeRequest::from_value(&doc).map_err(|e| e.to_string()));
+                self.queue.submit(QueuedLine {
+                    conn,
+                    parsed: ServeRequest::from_value(&doc).map_err(|e| e.to_string()),
+                });
             }
             Err(e) => {
-                self.queue.submit(Err(e.to_string()));
+                self.queue.submit(QueuedLine {
+                    conn,
+                    parsed: Err(e.to_string()),
+                });
             }
         }
-        false
+        LineAction::Queued
+    }
+
+    /// Executes the `{"cmd": "reload"}` admin request against the path
+    /// registered with [`with_reload_path`](Self::with_reload_path).
+    fn reload_from_configured_path(&self) -> Result<u64, String> {
+        match &self.reload_path {
+            Some(path) => self
+                .reload_handle()
+                .reload_from(path)
+                .map_err(|e| e.to_string()),
+            None => Err("service has no snapshot path to reload from \
+                         (start `serve` with --snapshot <file>)"
+                .to_string()),
+        }
+    }
+
+    /// Parses one request line and enqueues it for [`LOCAL_CONN`].
+    /// Returns `true` for the `{"shutdown": true}` sentinel, which is not
+    /// enqueued. (A `{"cmd": "reload"}` line is executed and not
+    /// enqueued; use [`classify_and_submit`](Self::classify_and_submit)
+    /// to observe its outcome.)
+    pub fn submit_line(&self, line: &str) -> bool {
+        matches!(
+            self.classify_and_submit(LOCAL_CONN, line),
+            LineAction::Shutdown
+        )
+    }
+
+    /// Parses one request line from connection `conn` and enqueues it
+    /// (the multi-connection variant of [`submit_line`](Self::submit_line),
+    /// used by the concurrent TCP front end).
+    pub fn submit_line_for(&self, conn: ConnId, line: &str) -> LineAction {
+        self.classify_and_submit(conn, line)
     }
 
     /// Number of requests waiting for the next batch drain.
@@ -369,26 +526,43 @@ impl PredictionService {
         self.queue.len()
     }
 
-    /// Throws away everything pending, unanswered; returns how many.
-    /// Used when the connection that submitted the requests died — their
-    /// replies must not leak into the next client's stream.
-    fn discard_pending(&self) -> usize {
-        self.queue.take_batch().len()
+    /// Blocks until a request is pending or `timeout` elapses; returns
+    /// whether anything is pending (the batching window's idle wait).
+    pub fn wait_pending(&self, timeout: std::time::Duration) -> bool {
+        self.queue.wait_nonempty(timeout)
+    }
+
+    /// Throws away pending requests whose connection `dead` says is gone,
+    /// unanswered and without spending executor time on them; returns how
+    /// many were dropped. Their replies must not leak into live clients'
+    /// streams, and their compute would be wasted.
+    pub fn discard_dead(&self, dead: impl Fn(ConnId) -> bool) -> usize {
+        self.queue.discard_if(|q| dead(q.conn))
     }
 
     /// Drains everything pending through the executor; returns replies in
-    /// submission order and folds timings into `stats`.
-    pub fn drain(&self, stats: &mut ServiceStats) -> Vec<ServeResponse> {
+    /// submission order, each tagged with the connection that sent the
+    /// request, and folds timings into `stats`. The snapshot is captured
+    /// **once** at batch start: every reply of the batch carries the same
+    /// `snapshot_version`, and a concurrent hot reload only affects
+    /// subsequent batches.
+    pub fn drain_routed(&self, stats: &mut ServiceStats) -> Vec<(ConnId, ServeResponse)> {
+        let versioned = self.cell.load();
         let batch_started = Instant::now();
-        let answered = self.queue.drain_with(&self.exec, |parsed| {
+        let answered = self.queue.drain_with(&self.exec, |queued| {
             let started = Instant::now();
             // The client id must survive the error path too: a reply the
             // client cannot correlate is as bad as no reply.
-            let (id, outcome) = match parsed {
-                Ok(req) => (req.id, self.predict_one(req)),
+            let (id, outcome) = match &queued.parsed {
+                Ok(req) => (req.id, self.predict_one(&versioned.snapshot, req)),
                 Err(e) => (None, Err(format!("bad request: {e}"))),
             };
-            (id, outcome, started.elapsed().as_secs_f64() * 1e3)
+            (
+                queued.conn,
+                id,
+                outcome,
+                started.elapsed().as_secs_f64() * 1e3,
+            )
         });
         if answered.is_empty() {
             return Vec::new();
@@ -398,12 +572,12 @@ impl PredictionService {
         stats.busy_secs += batch_started.elapsed().as_secs_f64();
         answered
             .into_iter()
-            .map(|(ticket, (id, outcome, latency_ms))| {
+            .map(|(ticket, (conn, id, outcome, latency_ms))| {
                 stats.requests += 1;
                 stats.total_latency_ms += latency_ms;
                 stats.max_latency_ms = stats.max_latency_ms.max(latency_ms);
                 let id = id.unwrap_or(ticket);
-                match outcome {
+                let response = match outcome {
                     Ok((cfg, apply)) => ServeResponse {
                         id,
                         choices: cfg.to_choices(),
@@ -411,6 +585,7 @@ impl PredictionService {
                         latency_ms,
                         stats: apply,
                         error: None,
+                        snapshot_version: versioned.version,
                     },
                     Err(e) => {
                         stats.errors += 1;
@@ -421,10 +596,22 @@ impl PredictionService {
                             latency_ms,
                             stats: None,
                             error: Some(e),
+                            snapshot_version: versioned.version,
                         }
                     }
-                }
+                };
+                (conn, response)
             })
+            .collect()
+    }
+
+    /// Drains everything pending through the executor; returns replies in
+    /// submission order and folds timings into `stats` (the
+    /// single-stream view of [`drain_routed`](Self::drain_routed)).
+    pub fn drain(&self, stats: &mut ServiceStats) -> Vec<ServeResponse> {
+        self.drain_routed(stats)
+            .into_iter()
+            .map(|(_, r)| r)
             .collect()
     }
 
@@ -444,8 +631,10 @@ impl PredictionService {
 
     /// Serves a line stream until EOF or a `{"shutdown": true}` line:
     /// requests accumulate until `batch` are pending (or input ends) and
-    /// drain as one executor pass. Returns `true` when stopped by a
-    /// shutdown request rather than EOF.
+    /// drain as one executor pass. A `{"cmd": "reload"}` line is executed
+    /// immediately and acknowledged with an out-of-band admin reply (see
+    /// `docs/SERVING.md`). Returns `true` when stopped by a shutdown
+    /// request rather than EOF.
     pub fn run_lines(
         &self,
         reader: impl BufRead,
@@ -459,121 +648,56 @@ impl PredictionService {
             if line.trim().is_empty() {
                 continue;
             }
-            if self.submit_line(&line) {
-                let replies = self.drain(stats);
-                self.write_replies(&replies, &mut writer)?;
-                return Ok(true);
-            }
-            if self.pending() >= batch {
-                let replies = self.drain(stats);
-                self.write_replies(&replies, &mut writer)?;
-            }
-        }
-        let replies = self.drain(stats);
-        self.write_replies(&replies, &mut writer)?;
-        Ok(false)
-    }
-
-    /// One TCP connection with the line protocol of
-    /// [`run_lines`](Self::run_lines), plus an idle flush: a short read
-    /// timeout drains whatever is pending, so a client that sends fewer
-    /// than `batch` requests and blocks on the reply is answered within
-    /// ~20 ms instead of deadlocking the connection.
-    fn serve_connection(
-        &self,
-        mut stream: std::net::TcpStream,
-        batch: usize,
-        stats: &mut ServiceStats,
-    ) -> std::io::Result<bool> {
-        use std::io::Read;
-        stream.set_read_timeout(Some(std::time::Duration::from_millis(20)))?;
-        let mut writer = stream.try_clone()?;
-        let batch = batch.max(1);
-        let mut chunk = [0u8; 4096];
-        let mut acc: Vec<u8> = Vec::new();
-        loop {
-            match stream.read(&mut chunk) {
-                Ok(0) => break,
-                Ok(n) => {
-                    acc.extend_from_slice(&chunk[..n]);
-                    while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
-                        let raw: Vec<u8> = acc.drain(..=pos).collect();
-                        let text = String::from_utf8_lossy(&raw);
-                        let line = text.trim();
-                        if line.is_empty() {
-                            continue;
-                        }
-                        if self.submit_line(line) {
-                            let replies = self.drain(stats);
-                            self.write_replies(&replies, &mut writer)?;
-                            return Ok(true);
-                        }
-                        if self.pending() >= batch {
-                            let replies = self.drain(stats);
-                            self.write_replies(&replies, &mut writer)?;
-                        }
-                    }
+            match self.classify_and_submit(LOCAL_CONN, &line) {
+                LineAction::Shutdown => {
+                    let replies = self.drain(stats);
+                    self.write_replies(&replies, &mut writer)?;
+                    return Ok(true);
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    // Read timeout: the client is idle, not gone. Answer
-                    // what it has sent so far.
-                    if self.pending() > 0 {
+                LineAction::Reload(outcome) => {
+                    writeln!(writer, "{}", admin_reload_reply(&outcome))?;
+                    writer.flush()?;
+                }
+                LineAction::Queued => {
+                    if self.pending() >= batch {
                         let replies = self.drain(stats);
                         self.write_replies(&replies, &mut writer)?;
                     }
                 }
-                Err(e) => return Err(e),
             }
-        }
-        // A final line without a trailing newline is still a request —
-        // stdio mode (BufRead::lines) answers it, so TCP must too.
-        let text = String::from_utf8_lossy(&acc);
-        let tail = text.trim();
-        if !tail.is_empty() && self.submit_line(tail) {
-            let replies = self.drain(stats);
-            self.write_replies(&replies, &mut writer)?;
-            return Ok(true);
         }
         let replies = self.drain(stats);
         self.write_replies(&replies, &mut writer)?;
         Ok(false)
     }
 
-    /// Serves connections off a TCP listener, one at a time, each with the
-    /// line protocol of [`run_lines`](Self::run_lines) plus an idle-flush
-    /// read timeout. A `{"shutdown": true}` request closes its connection
-    /// *and* stops the listener; the accumulated stats are returned.
+    /// Serves connections off a TCP listener **concurrently** with the
+    /// line protocol of [`run_lines`](Self::run_lines): a threaded accept
+    /// loop (default connection bound), a cross-connection batching window
+    /// that answers lone requests within a few milliseconds, and per-
+    /// connection reply routing. A `{"shutdown": true}` request from any
+    /// client flushes pending replies and stops the listener; the
+    /// accumulated stats are returned. This is
+    /// [`run_concurrent`](Self::run_concurrent) with default
+    /// [`ServeOptions`](crate::ServeOptions) except for the batch size.
     pub fn run_tcp(&self, listener: TcpListener, batch: usize) -> std::io::Result<ServiceStats> {
-        let mut stats = ServiceStats::default();
-        for stream in listener.incoming() {
-            // A failed or dropped client is that connection's problem, not
-            // the server's: log and keep accepting. (accept() can fail
-            // transiently — a client resetting before we accept, fd
-            // pressure — and must not take the service down.)
-            let stream = match stream {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("accept error: {e}");
-                    continue;
-                }
-            };
-            match self.serve_connection(stream, batch, &mut stats) {
-                Ok(true) => break,
-                Ok(false) => {}
-                Err(e) => {
-                    eprintln!("connection error: {e}");
-                    // Unanswered requests from the dead connection must
-                    // not leak into the next client's reply stream.
-                    let dropped = self.discard_pending();
-                    if dropped > 0 {
-                        eprintln!("dropped {dropped} unanswered requests from that connection");
-                    }
-                }
-            }
+        self.run_concurrent(
+            listener,
+            &crate::concurrent::ServeOptions {
+                batch,
+                ..Default::default()
+            },
+        )
+    }
+}
+
+/// The out-of-band acknowledgement line for a `{"cmd": "reload"}` request.
+pub(crate) fn admin_reload_reply(outcome: &Result<u64, String>) -> String {
+    match outcome {
+        Ok(version) => format!(r#"{{"cmd":"reload","ok":true,"snapshot_version":{version}}}"#),
+        Err(e) => {
+            let msg = serde_json::to_string(e).unwrap_or_else(|_| "\"reload failed\"".into());
+            format!(r#"{{"cmd":"reload","ok":false,"error":{msg}}}"#)
         }
-        Ok(stats)
     }
 }
