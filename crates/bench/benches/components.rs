@@ -215,6 +215,32 @@ fn bench_serve(c: &mut Criterion) {
             service.drain_routed(&mut stats)
         })
     });
+
+    // Saturation: the same 64 lines thrown at a queue capped well below
+    // the burst size. Admission accepts the first 16, refuses the other
+    // 48 out-of-band, then one drain empties the queue — so the number
+    // measures the refusal fast path (typed error + formatted reply,
+    // no batch pipeline) alongside the usual accept/drain cost. Tracked
+    // in BENCH_sweep.json as the overload-mode counterpart of
+    // `serve_predict_batch64`.
+    let saturated = PredictionService::new(Snapshot::train(&ds, &TrainOptions::default()), 0)
+        .with_queue_cap(16);
+    g.bench_function("serve_saturated_cap16_burst64", |b| {
+        b.iter(|| {
+            let mut stats = ServiceStats::default();
+            let mut refused = 0u32;
+            for line in &lines {
+                if let portopt_serve::LineAction::Refused { .. } =
+                    saturated.classify_and_submit(portopt_serve::LOCAL_CONN, line)
+                {
+                    refused += 1;
+                }
+            }
+            let replies = saturated.drain(&mut stats);
+            assert_eq!(replies.len() + refused as usize, lines.len());
+            (replies, refused)
+        })
+    });
     g.finish();
 }
 

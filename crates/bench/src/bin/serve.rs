@@ -11,16 +11,20 @@
 //!       --snapshot target/portopt-model-smoke.snap --stdio
 //!
 //! # concurrent TCP socket: bounded connections, cross-connection
-//! # batching window, hot snapshot reload on file change
+//! # batching window, hot snapshot reload on file change, bounded
+//! # admission with per-client backpressure, live metrics endpoint
 //! cargo run --release -p portopt-bench --bin serve -- \
 //!     --snapshot target/portopt-model-smoke.snap --port 7209 \
-//!     --max-conns 128 --batch-window-ms 5 --watch-snapshot
+//!     --max-conns 128 --batch-window-ms 5 --watch-snapshot \
+//!     --queue-cap 4096 --per-conn-quota 256 --metrics-port 9209
 //! ```
 //!
 //! Shuts down on stdin EOF (stdio mode) or a `{"shutdown": true}` request
 //! (either mode), then reports latency/throughput counters on stderr. A
 //! `{"cmd": "reload"}` request (or `--watch-snapshot`) hot-swaps the
-//! snapshot without dropping in-flight requests.
+//! snapshot without dropping in-flight requests; a `{"cmd": "stats"}`
+//! request answers with a one-line JSON metrics snapshot (live p50/p99
+//! latency, queue depth, refusal counters).
 
 use portopt_bench::BinArgs;
 use portopt_serve::{
@@ -78,16 +82,31 @@ fn main() {
             batch: args.batch,
             window: Duration::from_millis(args.batch_window_ms),
             max_conns: args.max_conns,
+            queue_cap: args.queue_cap,
+            per_conn_quota: args.per_conn_quota,
+            metrics_port: args.metrics_port,
             watch_interval: args
                 .watch_snapshot
                 .then(|| Duration::from_millis(DEFAULT_WATCH_INTERVAL_MS)),
         };
         eprintln!(
-            "listening on {addr}: up to {} connections, batch {} / window {} ms{} \
+            "listening on {addr}: up to {} connections, batch {} / window {} ms{}{}{}{} \
              (stop with a {{\"shutdown\": true}} request)",
             opts.max_conns,
             opts.batch,
             args.batch_window_ms,
+            match args.queue_cap {
+                Some(cap) => format!(", queue cap {cap}"),
+                None => String::new(),
+            },
+            match args.per_conn_quota {
+                Some(q) => format!(", per-conn quota {q}"),
+                None => String::new(),
+            },
+            match args.metrics_port {
+                Some(p) => format!(", metrics on 127.0.0.1:{p}"),
+                None => String::new(),
+            },
             if args.watch_snapshot {
                 ", watching the snapshot file"
             } else {

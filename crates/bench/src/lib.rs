@@ -42,6 +42,15 @@ pub struct BinArgs {
     pub batch_window_ms: u64,
     /// `serve` bin: maximum simultaneous TCP connections.
     pub max_conns: usize,
+    /// `serve` bin: bound on pending requests across all connections;
+    /// over the bound, requests are refused with an `overloaded` reply.
+    pub queue_cap: Option<usize>,
+    /// `serve` bin: bound on one connection's outstanding requests;
+    /// at the bound its socket stops being read (TCP backpressure).
+    pub per_conn_quota: Option<u64>,
+    /// `serve` bin: serve a plaintext metrics snapshot on this localhost
+    /// port.
+    pub metrics_port: Option<u16>,
     /// `serve` bin: poll the snapshot file and hot-reload it on change.
     pub watch_snapshot: bool,
     /// `sweep` bin: this rig's shard index (`0..shard_count`).
@@ -60,6 +69,7 @@ impl BinArgs {
     /// `snapshot`/`serve` flags `--out PATH`, `--snapshot PATH`,
     /// `--shard PATH` (repeatable), `--dataset-out PATH`, `--stdio`,
     /// `--port N`, `--batch N`, `--batch-window-ms N`, `--max-conns N`,
+    /// `--queue-cap N`, `--per-conn-quota N`, `--metrics-port N`,
     /// `--watch-snapshot`, and the `sweep` flags `--shard-index N`,
     /// `--shard-count N`, `--profile-cache DIR`.
     pub fn parse() -> Self {
@@ -75,6 +85,9 @@ impl BinArgs {
         let mut batch = 32usize;
         let mut batch_window_ms = portopt_serve::DEFAULT_WINDOW_MS;
         let mut max_conns = portopt_serve::DEFAULT_MAX_CONNS;
+        let mut queue_cap = None;
+        let mut per_conn_quota = None;
+        let mut metrics_port = None;
         let mut watch_snapshot = false;
         let mut shard_index = 0usize;
         let mut shard_count = 1usize;
@@ -191,6 +204,29 @@ impl BinArgs {
                     }
                     _ => eprintln!("--max-conns expects a positive number; using {max_conns}"),
                 },
+                "--queue-cap" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0usize => {
+                        queue_cap = Some(n);
+                        i += 1;
+                    }
+                    _ => eprintln!("--queue-cap expects a positive number; queue stays unbounded"),
+                },
+                "--per-conn-quota" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0u64 => {
+                        per_conn_quota = Some(n);
+                        i += 1;
+                    }
+                    _ => eprintln!(
+                        "--per-conn-quota expects a positive number; connections stay unbounded"
+                    ),
+                },
+                "--metrics-port" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        metrics_port = Some(n);
+                        i += 1;
+                    }
+                    None => eprintln!("--metrics-port expects a port number; endpoint disabled"),
+                },
                 "--watch-snapshot" => watch_snapshot = true,
                 other => eprintln!("ignoring unknown argument {other}"),
             }
@@ -220,6 +256,9 @@ impl BinArgs {
             batch,
             batch_window_ms,
             max_conns,
+            queue_cap,
+            per_conn_quota,
+            metrics_port,
             watch_snapshot,
             shard_index,
             shard_count,

@@ -50,7 +50,7 @@ pub mod cache;
 pub mod queue;
 
 pub use cache::{CacheError, CacheStats, DiskCache};
-pub use queue::{ServiceQueue, Ticket};
+pub use queue::{ServiceQueue, SubmitError, Ticket};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -19,12 +19,20 @@
 //! [`discard_if`](ServiceQueue::discard_if) items whose producer has gone
 //! away before spending executor time on them.
 //!
+//! Admission is bounded, not best-effort: a queue built with
+//! [`with_capacity`](ServiceQueue::with_capacity) refuses submits beyond
+//! its capacity ([`SubmitError::AtCapacity`]) instead of growing without
+//! limit under a producer that outruns the consumer, and a consumer that
+//! exits [`close`](ServiceQueue::close)s the queue so later submits fail
+//! loudly ([`SubmitError::Closed`]) rather than accumulating items nobody
+//! will ever drain.
+//!
 //! ```
 //! use portopt_exec::{Executor, ServiceQueue};
 //!
 //! let queue: ServiceQueue<u32> = ServiceQueue::new();
-//! let t0 = queue.submit(10);
-//! let t1 = queue.submit(20);
+//! let t0 = queue.submit(10).unwrap();
+//! let t1 = queue.submit(20).unwrap();
 //! assert_eq!((t0, t1), (0, 1)); // tickets ascend in submission order
 //!
 //! let replies = queue.drain_with(&Executor::new(2), |&x| x + 1);
@@ -41,6 +49,35 @@ use std::time::{Duration, Instant};
 /// [`ServiceQueue::submit`], unique within one queue's lifetime.
 pub type Ticket = u64;
 
+/// Why [`ServiceQueue::submit`] refused an item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue already holds `capacity` items: the consumer is behind.
+    /// Admission control — the producer should shed the item (answer
+    /// "overloaded") and retry later, not buffer it.
+    AtCapacity {
+        /// The bound the queue was built with.
+        capacity: usize,
+    },
+    /// The consumer is gone ([`ServiceQueue::close`] was called): nothing
+    /// will ever drain this queue again, so accepting the item would leak
+    /// it (and its producer would wait forever for a reply).
+    Closed,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::AtCapacity { capacity } => {
+                write!(f, "queue at capacity ({capacity} items pending)")
+            }
+            SubmitError::Closed => write!(f, "queue closed: its consumer is gone"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
 /// Lock-protected queue state. The ticket counter lives *inside* the
 /// mutex: assigning tickets outside it would let a preempted submitter
 /// push a lower ticket after a higher one, breaking the "tickets ascend
@@ -49,6 +86,10 @@ pub type Ticket = u64;
 struct Inner<T> {
     items: VecDeque<(Ticket, T)>,
     next: Ticket,
+    /// `Some(n)`: refuse submits while `items.len() >= n`.
+    capacity: Option<usize>,
+    /// Set by [`ServiceQueue::close`]; submits fail from then on.
+    closed: bool,
 }
 
 /// A thread-safe accumulate-then-batch queue over an [`Executor`].
@@ -67,31 +108,82 @@ impl<T> Default for ServiceQueue<T> {
 }
 
 impl<T> ServiceQueue<T> {
-    /// Creates an empty queue.
+    /// Creates an empty, unbounded queue.
     pub fn new() -> Self {
         ServiceQueue {
             state: Mutex::new(Inner {
                 items: VecDeque::new(),
                 next: 0,
+                capacity: None,
+                closed: false,
             }),
             available: Condvar::new(),
         }
     }
 
-    /// Enqueues one item; returns its ticket.
-    pub fn submit(&self, item: T) -> Ticket {
+    /// Creates an empty queue refusing submits beyond `capacity` (≥ 1)
+    /// pending items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let q = Self::new();
+        q.set_capacity(Some(capacity));
+        q
+    }
+
+    /// Sets (or clears, with `None`) the admission bound. Items already
+    /// pending are unaffected — shrinking below the current length only
+    /// refuses *new* submits until the consumer catches up.
+    pub fn set_capacity(&self, capacity: Option<usize>) {
+        self.state.lock().expect("queue lock").capacity = capacity.map(|c| c.max(1));
+    }
+
+    /// The admission bound, if any.
+    pub fn capacity(&self) -> Option<usize> {
+        self.state.lock().expect("queue lock").capacity
+    }
+
+    /// Marks the queue closed: every later [`submit`](Self::submit) fails
+    /// with [`SubmitError::Closed`]. Called by the consumer when it stops
+    /// draining for good, so producers racing the shutdown get a typed
+    /// error instead of growing a queue nobody will ever empty. Items
+    /// already pending stay drainable (the consumer's final flush).
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        // Wake any consumer parked in wait_nonempty so it can observe
+        // the closure and exit.
+        self.available.notify_all();
+    }
+
+    /// Whether [`close`](Self::close) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Enqueues one item; returns its ticket — or a typed refusal when
+    /// the queue is at capacity or closed (the item is handed back inside
+    /// the error path untouched; nothing is enqueued).
+    pub fn submit(&self, item: T) -> Result<Ticket, SubmitError> {
         let mut g = self.state.lock().expect("queue lock");
+        if g.closed {
+            return Err(SubmitError::Closed);
+        }
+        if let Some(cap) = g.capacity {
+            if g.items.len() >= cap {
+                return Err(SubmitError::AtCapacity { capacity: cap });
+            }
+        }
         let t = g.next;
         g.next += 1;
         g.items.push_back((t, item));
         self.available.notify_all();
-        t
+        Ok(t)
     }
 
     /// Blocks until at least one item is pending or `timeout` elapses;
     /// returns whether anything is pending. The consumer side of a
     /// batching window: sleep here while idle, then gather for the window
-    /// and [`drain_with`](ServiceQueue::drain_with).
+    /// and [`drain_with`](ServiceQueue::drain_with). Returns immediately
+    /// (reporting nothing pending) once the queue is empty **and**
+    /// [`close`](Self::close)d — nothing can arrive anymore.
     ///
     /// ```
     /// use portopt_exec::ServiceQueue;
@@ -100,7 +192,7 @@ impl<T> ServiceQueue<T> {
     /// let q: ServiceQueue<u8> = ServiceQueue::new();
     /// // Empty queue: the wait times out and reports nothing pending.
     /// assert!(!q.wait_nonempty(Duration::from_millis(1)));
-    /// q.submit(9);
+    /// q.submit(9).unwrap();
     /// // Non-empty queue: returns true immediately, nothing is consumed.
     /// assert!(q.wait_nonempty(Duration::from_secs(60)));
     /// assert_eq!(q.len(), 1);
@@ -111,6 +203,9 @@ impl<T> ServiceQueue<T> {
         loop {
             if !g.items.is_empty() {
                 return true;
+            }
+            if g.closed {
+                return false;
             }
             let now = Instant::now();
             if now >= deadline {
@@ -135,9 +230,9 @@ impl<T> ServiceQueue<T> {
     /// use portopt_exec::ServiceQueue;
     ///
     /// let q: ServiceQueue<(u64, &str)> = ServiceQueue::new();
-    /// q.submit((1, "keep"));
-    /// q.submit((2, "dead"));
-    /// q.submit((1, "keep too"));
+    /// q.submit((1, "keep")).unwrap();
+    /// q.submit((2, "dead")).unwrap();
+    /// q.submit((1, "keep too")).unwrap();
     /// assert_eq!(q.discard_if(|&(conn, _)| conn == 2), 1);
     /// let left = q.take_batch();
     /// assert_eq!(left.len(), 2);
@@ -198,7 +293,7 @@ mod tests {
     #[test]
     fn tickets_are_sequential_and_results_ordered() {
         let q: ServiceQueue<u64> = ServiceQueue::new();
-        let tickets: Vec<Ticket> = (0..100).map(|i| q.submit(i)).collect();
+        let tickets: Vec<Ticket> = (0..100).map(|i| q.submit(i).unwrap()).collect();
         assert_eq!(tickets, (0..100).collect::<Vec<_>>());
         assert_eq!(q.len(), 100);
         let out = q.drain_with(&Executor::new(4), |&x| x * 3);
@@ -220,9 +315,9 @@ mod tests {
     #[test]
     fn items_submitted_after_drain_form_the_next_batch() {
         let q: ServiceQueue<&'static str> = ServiceQueue::new();
-        q.submit("a");
+        q.submit("a").unwrap();
         let first = q.take_batch();
-        let t = q.submit("b");
+        let t = q.submit("b").unwrap();
         assert_eq!(first.len(), 1);
         assert_eq!(first[0].1, "a");
         assert_eq!(t, 1);
@@ -241,7 +336,7 @@ mod tests {
         std::thread::scope(|s| {
             let waiter = s.spawn(|| q.wait_nonempty(Duration::from_secs(30)));
             std::thread::sleep(Duration::from_millis(10));
-            q.submit(1);
+            q.submit(1).unwrap();
             assert!(waiter.join().unwrap(), "submit must wake the waiter");
         });
         // Still pending: wait_nonempty consumes nothing.
@@ -253,7 +348,7 @@ mod tests {
     fn discard_if_keeps_order_and_tickets() {
         let q: ServiceQueue<usize> = ServiceQueue::new();
         for i in 0..10 {
-            q.submit(i);
+            q.submit(i).unwrap();
         }
         assert_eq!(q.discard_if(|&x| x % 3 == 0), 4); // 0, 3, 6, 9
         let left = q.take_batch();
@@ -262,9 +357,88 @@ mod tests {
         assert_eq!(values, vec![1, 2, 4, 5, 7, 8]);
         assert_eq!(tickets, vec![1, 2, 4, 5, 7, 8]);
         // Ticket numbering continues from where it was.
-        assert_eq!(q.submit(99), 10);
+        assert_eq!(q.submit(99).unwrap(), 10);
         assert_eq!(q.discard_if(|_| false), 0);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_at_capacity_and_recovers_after_drain() {
+        let q: ServiceQueue<u32> = ServiceQueue::with_capacity(3);
+        assert_eq!(q.capacity(), Some(3));
+        for i in 0..3 {
+            q.submit(i).unwrap();
+        }
+        // The bound is a hard ceiling: the resident length never exceeds
+        // the capacity, however many submits are attempted.
+        for i in 0..50 {
+            assert_eq!(
+                q.submit(100 + i),
+                Err(SubmitError::AtCapacity { capacity: 3 }),
+                "submit {i} beyond capacity must be refused"
+            );
+            assert_eq!(q.len(), 3);
+        }
+        // Draining frees the whole capacity; refused items were never
+        // enqueued, so the batch holds exactly the admitted ones.
+        let batch = q.take_batch();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(
+            q.submit(7).unwrap(),
+            3,
+            "tickets were not burned on refusals"
+        );
+        // Shrinking below the pending length refuses new submits only.
+        q.set_capacity(Some(1));
+        assert!(matches!(
+            q.submit(8),
+            Err(SubmitError::AtCapacity { capacity: 1 })
+        ));
+        // Clearing the bound restores unbounded admission.
+        q.set_capacity(None);
+        q.submit(8).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    /// The dropped-batcher hazard: once the consumer is gone, submits
+    /// must fail with a typed error instead of silently growing a queue
+    /// nobody will ever drain.
+    #[test]
+    fn closed_queue_refuses_submits_but_drains_whats_pending() {
+        let q: ServiceQueue<&'static str> = ServiceQueue::new();
+        q.submit("before").unwrap();
+        assert!(!q.is_closed());
+        q.close();
+        assert!(q.is_closed());
+        assert_eq!(q.submit("after"), Err(SubmitError::Closed));
+        assert_eq!(q.len(), 1, "refused submit must not grow the queue");
+        // The consumer's final flush still sees what was admitted.
+        let batch = q.take_batch();
+        assert_eq!(batch, vec![(0, "before")]);
+        // Still closed afterwards: closure is permanent.
+        assert_eq!(q.submit("later"), Err(SubmitError::Closed));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_a_parked_consumer() {
+        use std::time::Duration;
+        let q: ServiceQueue<u8> = ServiceQueue::new();
+        std::thread::scope(|s| {
+            let waiter = s.spawn(|| {
+                let started = std::time::Instant::now();
+                let pending = q.wait_nonempty(Duration::from_secs(30));
+                (pending, started.elapsed())
+            });
+            std::thread::sleep(Duration::from_millis(20));
+            q.close();
+            let (pending, waited) = waiter.join().unwrap();
+            assert!(!pending, "nothing was submitted");
+            assert!(
+                waited < Duration::from_secs(5),
+                "close must wake the parked consumer, waited {waited:?}"
+            );
+        });
     }
 
     #[test]
@@ -275,7 +449,7 @@ mod tests {
                 let q = &q;
                 s.spawn(move || {
                     for i in 0..250 {
-                        q.submit(w * 250 + i);
+                        q.submit(w * 250 + i).unwrap();
                     }
                 });
             }

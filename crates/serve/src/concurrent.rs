@@ -87,10 +87,13 @@ const WRITE_STALL_TIMEOUT: Duration = Duration::from_secs(2);
 ///     batch: 64,                              // drain when 64 are pending…
 ///     window: Duration::from_millis(2),       // …or 2 ms after the first
 ///     max_conns: 8,
+///     queue_cap: Some(256),                   // refuse past 256 pending
+///     per_conn_quota: Some(32),               // backpressure a flooder
 ///     ..Default::default()
 /// };
 /// assert_eq!(opts.batch, 64);
 /// assert!(opts.watch_interval.is_none(), "snapshot watching is opt-in");
+/// assert!(opts.metrics_port.is_none(), "the plaintext endpoint is opt-in");
 /// ```
 #[derive(Debug, Clone)]
 pub struct ServeOptions {
@@ -104,6 +107,21 @@ pub struct ServeOptions {
     /// Maximum simultaneous connections; further clients are refused with
     /// a one-line error reply (see `docs/SERVING.md`).
     pub max_conns: usize,
+    /// Bound on pending (queued, not yet drained) requests across all
+    /// connections — the `--queue-cap` flag. A submit past the bound is
+    /// refused with `{"error":"overloaded","retry_after_ms":…}` instead
+    /// of queued. `None` (the default) keeps the queue unbounded.
+    pub queue_cap: Option<usize>,
+    /// Bound on one connection's outstanding (submitted, reply not yet
+    /// delivered) requests — the `--per-conn-quota` flag. A connection at
+    /// its quota stops being *read* until replies drain: backpressure via
+    /// TCP flow control, invisible to a well-behaved client. `None` (the
+    /// default) lets one client fill the whole queue.
+    pub per_conn_quota: Option<u64>,
+    /// `Some(port)` serves a plaintext metrics snapshot on
+    /// `127.0.0.1:port` — the `--metrics-port` flag: connect, read the
+    /// `portopt_*` lines, connection closes (see `docs/SERVING.md`).
+    pub metrics_port: Option<u16>,
     /// `Some(interval)` polls the service's reload path (mtime + length)
     /// and hot-swaps the snapshot when the file changes — the
     /// `--watch-snapshot` flag. Requires
@@ -117,6 +135,9 @@ impl Default for ServeOptions {
             batch: crate::DEFAULT_BATCH,
             window: Duration::from_millis(DEFAULT_WINDOW_MS),
             max_conns: DEFAULT_MAX_CONNS,
+            queue_cap: None,
+            per_conn_quota: None,
+            metrics_port: None,
             watch_interval: None,
         }
     }
@@ -147,6 +168,10 @@ struct ConnEntry<W> {
 pub struct ConnectionRegistry<W> {
     inner: Mutex<RegistryInner<W>>,
     max_conns: usize,
+    /// Per-connection outstanding-request bound; a connection at the
+    /// bound reports [`over_quota`](Self::over_quota) and its reader
+    /// stops draining the socket (TCP backpressure).
+    quota: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -173,7 +198,55 @@ impl<W: Write> ConnectionRegistry<W> {
                 next: 1, // 0 is LOCAL_CONN, the stdio stream
             }),
             max_conns: max_conns.max(1),
+            quota: None,
         }
+    }
+
+    /// Sets the per-connection outstanding-request quota (≥ 1 when
+    /// `Some`); `None` disables the bound.
+    pub fn with_quota(mut self, quota: Option<u64>) -> Self {
+        self.quota = quota.map(|q| q.max(1));
+        self
+    }
+
+    /// `conn`'s outstanding (submitted, reply not yet delivered) request
+    /// count; 0 when the connection is gone.
+    pub fn outstanding(&self, conn: ConnId) -> u64 {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .get(&conn)
+            .map_or(0, |e| e.outstanding)
+    }
+
+    /// Sum of outstanding counts over every live connection — the
+    /// registry side of the ledger that must agree with the metrics
+    /// in-flight gauge once all replies are delivered or discarded.
+    pub fn total_outstanding(&self) -> u64 {
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .values()
+            .map(|e| e.outstanding)
+            .sum()
+    }
+
+    /// Whether `conn` has exhausted its outstanding-request quota and its
+    /// reader should pause before draining more bytes. Always `false`
+    /// without a quota, and for a connection that is gone (the reader
+    /// must proceed to its exit path, not spin).
+    pub fn over_quota(&self, conn: ConnId) -> bool {
+        let Some(quota) = self.quota else {
+            return false;
+        };
+        self.inner
+            .lock()
+            .expect("registry lock")
+            .conns
+            .get(&conn)
+            .is_some_and(|e| e.outstanding >= quota)
     }
 
     /// Admits a connection, returning its [`ConnId`] — or `None` when the
@@ -322,13 +395,30 @@ impl PredictionService {
         // non-blocking listener instead of parking in accept(2).
         listener.set_nonblocking(true)?;
         let stop = AtomicBool::new(false);
-        let registry: ConnectionRegistry<TcpStream> = ConnectionRegistry::new(opts.max_conns);
+        self.set_queue_cap(opts.queue_cap);
+        // An overloaded client should retry once the congestion it saw
+        // has had a chance to drain: about two batching windows.
+        self.set_retry_after_hint_ms((2 * opts.window.as_millis().max(1)) as u64);
+        let registry: ConnectionRegistry<TcpStream> =
+            ConnectionRegistry::new(opts.max_conns).with_quota(opts.per_conn_quota);
         if opts.watch_interval.is_some() && self.reload_path().is_none() {
             eprintln!("--watch-snapshot ignored: service has no snapshot path to watch");
         }
+        let metrics_listener = match opts.metrics_port {
+            Some(port) => {
+                let l = TcpListener::bind(("127.0.0.1", port))?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
 
         std::thread::scope(|scope| {
             let batcher = scope.spawn(|| self.batcher_loop(&registry, batch, opts.window, &stop));
+            if let Some(ml) = &metrics_listener {
+                let stop = &stop;
+                scope.spawn(move || self.metrics_endpoint_loop(ml, stop));
+            }
             if let (Some(interval), Some(path)) = (opts.watch_interval, self.reload_path()) {
                 let handle = self.reload_handle();
                 let path = path.to_path_buf();
@@ -348,11 +438,15 @@ impl PredictionService {
                         let _ = stream.set_nodelay(true);
                         if let Err(e) = self.admit(&registry, stream, &stop, scope) {
                             match e {
-                                AdmitOutcome::AtCapacity => rejected += 1,
+                                AdmitOutcome::AtCapacity => {
+                                    rejected += 1;
+                                    self.metrics().note_connection(false);
+                                }
                                 AdmitOutcome::Io(err) => eprintln!("accept error: {err}"),
                             }
                         } else {
                             accepted += 1;
+                            self.metrics().note_connection(true);
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -367,11 +461,33 @@ impl PredictionService {
             let mut stats = batcher.join().expect("batcher thread");
             stats.connections = accepted;
             stats.rejected_connections = rejected;
+            // Refusals happen on the reader threads; the service-lifetime
+            // counter is the one place they all land.
+            stats.refused = self.metrics().refused_total();
             Ok(stats)
             // Scope exit joins the reader threads: they wake from their
             // read timeout, observe the stop flag and retire their
             // connections (closing the sockets).
         })
+    }
+
+    /// The `--metrics-port` endpoint: accept, write one plaintext metrics
+    /// snapshot, close. No protocol, no framing — `nc host port` or a
+    /// Prometheus scrape both just work.
+    fn metrics_endpoint_loop(&self, listener: &TcpListener, stop: &AtomicBool) {
+        while !stop.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((mut stream, _peer)) => {
+                    let text = self.metrics().snapshot(self.pending()).to_text();
+                    let _ = stream.write_all(text.as_bytes());
+                    // Drop closes; a scraper reads to EOF.
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => eprintln!("metrics endpoint accept error: {e}"),
+            }
+        }
     }
 
     /// Registers an accepted stream and spawns its reader thread, or
@@ -439,6 +555,19 @@ impl PredictionService {
                 registry.mark_eof(conn);
                 return;
             }
+            // Per-connection backpressure: at quota, stop draining the
+            // socket until replies bring the outstanding count back down.
+            // The client's unread requests pile up in kernel buffers and
+            // eventually block its writes — TCP flow control does the
+            // rest. A retired connection must fall through to the read
+            // (which fails) rather than spin here.
+            if registry.over_quota(conn) {
+                if !registry.live(conn) {
+                    return;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
             match reader.read_until(b'\n', &mut buf) {
                 // EOF. `buf` can still hold an unterminated final line
                 // here: a read timeout (the Err arm below) returns the
@@ -488,10 +617,12 @@ impl PredictionService {
     }
 
     /// Classifies and dispatches one line from `conn`; returns `true` when
-    /// the reader should stop (shutdown sentinel).
-    fn handle_line(
+    /// the reader should stop (shutdown sentinel). Generic over the
+    /// registry's writer so the full submit/refuse/deliver ledger is
+    /// unit-testable with `Vec<u8>` sinks.
+    pub(crate) fn handle_line<W: Write>(
         &self,
-        registry: &ConnectionRegistry<TcpStream>,
+        registry: &ConnectionRegistry<W>,
         conn: ConnId,
         line: &str,
         stop: &AtomicBool,
@@ -515,6 +646,20 @@ impl PredictionService {
                 registry.deliver(conn, &reply, 0);
                 false
             }
+            LineAction::Stats(reply) => {
+                registry.note_retracted(conn);
+                registry.deliver(conn, &format!("{reply}\n"), 0);
+                false
+            }
+            LineAction::Refused { reply } => {
+                // Never queued: the outstanding count must not hold the
+                // connection open (or eat its quota) waiting for a batch
+                // reply that will never come. The refusal itself is
+                // delivered out-of-band, accounting for zero replies.
+                registry.note_retracted(conn);
+                registry.deliver(conn, &format!("{reply}\n"), 0);
+                false
+            }
         }
     }
 
@@ -523,9 +668,9 @@ impl PredictionService {
     /// drain as one executor batch, and route replies. After the stop
     /// flag rises, one final drain answers everything submitted before
     /// the shutdown sentinel.
-    fn batcher_loop(
+    fn batcher_loop<W: Write>(
         &self,
-        registry: &ConnectionRegistry<TcpStream>,
+        registry: &ConnectionRegistry<W>,
         batch: usize,
         window: Duration,
         stop: &AtomicBool,
@@ -544,6 +689,11 @@ impl PredictionService {
             }
             self.drain_and_route(registry, &mut stats);
         }
+        // Close before the final drain: everything already pending is
+        // still answered below, while a racing reader's next submit gets
+        // a typed "shutting down" refusal instead of silently queueing
+        // behind a drain that will never come.
+        self.close_queue();
         self.drain_and_route(registry, &mut stats);
         stats
     }
@@ -551,7 +701,11 @@ impl PredictionService {
     /// One batch: discard dead connections' requests, drain the rest
     /// through the executor, and deliver each connection's replies as a
     /// single coalesced write (in submission order).
-    fn drain_and_route(&self, registry: &ConnectionRegistry<TcpStream>, stats: &mut ServiceStats) {
+    pub(crate) fn drain_and_route<W: Write>(
+        &self,
+        registry: &ConnectionRegistry<W>,
+        stats: &mut ServiceStats,
+    ) {
         let dropped = self.discard_dead(|conn| !registry.live(conn));
         if dropped > 0 {
             stats.discarded += dropped as u64;
@@ -585,6 +739,9 @@ impl PredictionService {
         for (conn, payload, n) in per_conn {
             if !registry.deliver(conn, &payload, n) {
                 stats.discarded += n;
+                // These replies already left the in-flight gauge when they
+                // were answered; only the discard counter moves.
+                self.metrics().note_undeliverable(n);
                 eprintln!("dropped {n} computed replies: connection {conn} is gone");
             }
         }

@@ -39,14 +39,17 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod metrics;
 pub mod reload;
 pub mod service;
 pub mod snapshot;
+pub mod testkit;
 
 pub use concurrent::{
     ConnectionRegistry, ServeOptions, DEFAULT_MAX_CONNS, DEFAULT_WATCH_INTERVAL_MS,
     DEFAULT_WINDOW_MS,
 };
+pub use metrics::{MetricsSnapshot, ServeMetrics};
 pub use reload::{ReloadHandle, VersionedSnapshot, WatchEvent};
 pub use service::{
     ApplyStats, ConnId, LineAction, PredictionService, RequestInput, ServeRequest, ServeResponse,
@@ -920,6 +923,131 @@ mod tests {
         // failure instead of panicking.
         assert!(!registry.deliver(conn, "{}\n", 1));
         assert!(!registry.deliver(999, "{}\n", 1));
+    }
+
+    /// Satellite check for stats-accounting drift: the registry's
+    /// outstanding counts and the metrics in-flight gauge are maintained
+    /// by different code paths (reader threads vs. the batcher); a client
+    /// killed mid-batch is exactly where they historically disagree.
+    #[test]
+    fn stats_ledger_agrees_after_dead_conn_discard() {
+        use std::sync::atomic::AtomicBool;
+
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let service = PredictionService::new(snap, 1);
+        let registry: ConnectionRegistry<Vec<u8>> = ConnectionRegistry::new(4);
+        let a = registry.register(Vec::new()).unwrap();
+        let b = registry.register(Vec::new()).unwrap();
+        let stop = AtomicBool::new(false);
+
+        service.handle_line(&registry, a, &routed_request_line(&ds, a, 0), &stop);
+        service.handle_line(&registry, b, &routed_request_line(&ds, b, 0), &stop);
+        assert_eq!(registry.total_outstanding(), 2);
+        assert_eq!(service.metrics().inflight(), 2);
+
+        // Client `b` dies before its batch runs.
+        registry.remove(b);
+        let mut stats = ServiceStats::default();
+        service.drain_and_route(&registry, &mut stats);
+
+        assert_eq!(stats.requests, 1, "only a's request was computed");
+        assert_eq!(stats.discarded, 1, "b's request was dropped pre-compute");
+        assert_eq!(
+            registry.total_outstanding(),
+            0,
+            "a's reply was delivered; b is gone"
+        );
+        assert_eq!(
+            service.metrics().inflight(),
+            0,
+            "metrics gauge must agree with the registry ledger"
+        );
+        let m = service.metrics().snapshot(service.pending());
+        assert_eq!(m.requests_total, 1);
+        assert_eq!(m.discarded_total, 1);
+        assert_eq!(m.queue_depth, 0);
+    }
+
+    /// The other half of the drift surface: the connection dies *after*
+    /// its reply is computed (delivery fails). The reply already left the
+    /// in-flight gauge via `record_request`; the undeliverable path must
+    /// count the discard without decrementing in-flight a second time —
+    /// which would leave the gauge permanently short for every later
+    /// request.
+    #[test]
+    fn stats_ledger_agrees_when_reply_delivery_fails() {
+        use std::io::Write;
+        use std::sync::atomic::AtomicBool;
+
+        struct BrokenPipe;
+        impl Write for BrokenPipe {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "client gone",
+                ))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let service = PredictionService::new(snap, 1);
+        let registry: ConnectionRegistry<BrokenPipe> = ConnectionRegistry::new(4);
+        let c = registry.register(BrokenPipe).unwrap();
+        let stop = AtomicBool::new(false);
+
+        service.handle_line(&registry, c, &routed_request_line(&ds, c, 0), &stop);
+        let mut stats = ServiceStats::default();
+        service.drain_and_route(&registry, &mut stats);
+
+        assert_eq!(stats.requests, 1, "the request was computed");
+        assert_eq!(stats.discarded, 1, "…but its reply could not be written");
+        assert!(!registry.live(c), "failed delivery retires the connection");
+        assert_eq!(registry.total_outstanding(), 0);
+        assert_eq!(service.metrics().inflight(), 0, "no double decrement");
+        let m = service.metrics().snapshot(service.pending());
+        assert_eq!(m.requests_total, 1);
+        assert_eq!(m.discarded_total, 1);
+
+        // The gauge still tracks later traffic exactly (a double decrement
+        // above would have wrapped or pinned it at zero forever).
+        let d = registry.register(BrokenPipe).unwrap();
+        service.handle_line(&registry, d, &routed_request_line(&ds, d, 0), &stop);
+        assert_eq!(service.metrics().inflight(), 1);
+    }
+
+    /// Refusals must leave every ledger untouched: not queued, not
+    /// outstanding, not in-flight — only the refusal counter moves.
+    #[test]
+    fn refusals_leave_no_residue_in_any_ledger() {
+        use std::sync::atomic::AtomicBool;
+
+        let ds = tiny_dataset();
+        let snap = Snapshot::train(&ds, &TrainOptions::default());
+        let service = PredictionService::new(snap, 1).with_queue_cap(2);
+        let registry: ConnectionRegistry<Vec<u8>> = ConnectionRegistry::new(4).with_quota(Some(2));
+        let a = registry.register(Vec::new()).unwrap();
+        let stop = AtomicBool::new(false);
+
+        for seq in 0..3 {
+            service.handle_line(&registry, a, &routed_request_line(&ds, a, seq), &stop);
+        }
+        assert_eq!(service.pending(), 2, "the cap held");
+        assert_eq!(registry.outstanding(a), 2, "the refusal was retracted");
+        assert!(registry.over_quota(a), "at quota 2, the reader would pause");
+        assert_eq!(service.metrics().inflight(), 2);
+        assert_eq!(service.metrics().refused_total(), 1);
+
+        let mut stats = ServiceStats::default();
+        service.drain_and_route(&registry, &mut stats);
+        assert_eq!(stats.requests, 2);
+        assert_eq!(registry.outstanding(a), 0);
+        assert!(!registry.over_quota(a));
+        assert_eq!(service.metrics().inflight(), 0);
     }
 
     #[test]

@@ -83,9 +83,10 @@
 //! assert_eq!(stats.requests, 1);
 //! ```
 
+use crate::metrics::ServeMetrics;
 use crate::reload::{ReloadHandle, SnapshotCell, VersionedSnapshot};
 use crate::snapshot::Snapshot;
-use portopt_exec::{Executor, ServiceQueue};
+use portopt_exec::{Executor, ServiceQueue, SubmitError};
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
 use portopt_passes::{compile, OptConfig};
@@ -95,6 +96,7 @@ use serde::{Deserialize, Serialize, Value};
 use std::io::{BufRead, Write};
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -269,6 +271,9 @@ pub struct ServiceStats {
     /// Requests thrown away unanswered because their connection died
     /// before their batch ran (or their reply could not be written).
     pub discarded: u64,
+    /// Requests refused at admission (queue at capacity or closed) with
+    /// an out-of-band `{"error":"overloaded"}`-style reply.
+    pub refused: u64,
     /// TCP connections accepted over the service's lifetime.
     pub connections: u64,
     /// TCP connections refused because the server was at `max_conns`.
@@ -319,6 +324,12 @@ impl ServiceStats {
                 self.discarded
             ));
         }
+        if self.refused > 0 {
+            s.push_str(&format!(
+                "; {} requests refused at admission (overloaded)",
+                self.refused
+            ));
+        }
         s
     }
 }
@@ -339,6 +350,20 @@ pub enum LineAction {
     /// `Ok(version)` is the newly installed snapshot version; `Err`
     /// explains why the model was left unchanged.
     Reload(Result<u64, String>),
+    /// The `{"cmd": "stats"}` admin request: the ready-to-write one-line
+    /// JSON metrics snapshot. Not queued; the transport writes it
+    /// out-of-band like a reload acknowledgement.
+    Stats(String),
+    /// The request was **not** queued: the queue is at capacity (or
+    /// closed for shutdown). `reply` is the ready-to-write one-line
+    /// refusal — `{"id":…,"error":"overloaded","retry_after_ms":…}` for
+    /// capacity, a "shutting down" error for a closed queue. The
+    /// transport must deliver it immediately: refusals are out-of-band
+    /// (they never enter the batch pipeline).
+    Refused {
+        /// The one-line JSON refusal, without trailing newline.
+        reply: String,
+    },
 }
 
 /// One queued line: the connection it arrived on plus the parse outcome
@@ -356,6 +381,11 @@ pub struct PredictionService {
     exec: Executor,
     queue: ServiceQueue<QueuedLine>,
     reload_path: Option<PathBuf>,
+    metrics: Arc<ServeMetrics>,
+    /// The `retry_after_ms` hint written into `overloaded` refusals —
+    /// roughly two batching windows, so a well-behaved client retries
+    /// after the congestion it observed has had a chance to drain.
+    retry_after_ms: AtomicU64,
 }
 
 impl PredictionService {
@@ -366,7 +396,48 @@ impl PredictionService {
             exec: Executor::new(threads),
             queue: ServiceQueue::new(),
             reload_path: None,
+            metrics: Arc::new(ServeMetrics::new()),
+            retry_after_ms: AtomicU64::new(2 * crate::concurrent::DEFAULT_WINDOW_MS),
         }
+    }
+
+    /// Bounds the request queue: a submit that would make more than
+    /// `cap` requests pending is refused with an in-order
+    /// `{"error":"overloaded"}` reply instead of being queued (see
+    /// `docs/SERVING.md`). Builder form of [`set_queue_cap`](Self::set_queue_cap).
+    pub fn with_queue_cap(self, cap: usize) -> Self {
+        self.set_queue_cap(Some(cap));
+        self
+    }
+
+    /// Sets or clears the pending-request bound at runtime.
+    pub fn set_queue_cap(&self, cap: Option<usize>) {
+        self.queue.set_capacity(cap);
+    }
+
+    /// Sets the `retry_after_ms` hint carried by `overloaded` refusals.
+    pub fn set_retry_after_hint_ms(&self, ms: u64) {
+        self.retry_after_ms.store(ms.max(1), Ordering::Relaxed);
+    }
+
+    /// The live metrics registry backing the `{"cmd":"stats"}` admin
+    /// request and the `--metrics-port` endpoint.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
+    }
+
+    /// Closes the request queue for new submissions: everything already
+    /// pending stays drainable, later submits get a typed "shutting down"
+    /// refusal. Called by the transports once a shutdown sentinel is seen,
+    /// so racing clients cannot strand requests behind the final drain.
+    pub fn close_queue(&self) {
+        self.queue.close();
+    }
+
+    /// The one-line JSON reply for a `{"cmd":"stats"}` admin request: a
+    /// point-in-time snapshot of the metrics registry plus queue depth.
+    pub fn stats_reply_line(&self) -> String {
+        self.metrics.snapshot(self.pending()).to_json_line()
     }
 
     /// Registers the snapshot file the service was loaded from, enabling
@@ -442,50 +513,101 @@ impl PredictionService {
         }
     }
 
+    /// Admission control around every queue submit: the in-flight gauge
+    /// is raised **before** the submit (the batcher may drain and
+    /// decrement the instant the request is visible; decrements saturate,
+    /// so the gauge transiently over-counts rather than wrapping), and a
+    /// refusal retracts it again and builds the typed refusal reply.
+    /// `id` is the client's request id when the line parsed far enough to
+    /// have one, echoed in the refusal so the client can correlate it.
+    fn admit_request(&self, id: Option<u64>, queued: QueuedLine) -> LineAction {
+        self.metrics.note_admitted();
+        match self.queue.submit(queued) {
+            Ok(_) => LineAction::Queued,
+            Err(e) => {
+                self.metrics.note_retracted();
+                self.metrics.note_refused();
+                let id_field = match id {
+                    Some(id) => format!(r#""id":{id},"#),
+                    None => String::new(),
+                };
+                let reply = match e {
+                    SubmitError::AtCapacity { .. } => {
+                        let hint = self.retry_after_ms.load(Ordering::Relaxed);
+                        format!(r#"{{{id_field}"error":"overloaded","retry_after_ms":{hint}}}"#)
+                    }
+                    SubmitError::Closed => {
+                        format!(r#"{{{id_field}"error":"service is shutting down"}}"#)
+                    }
+                };
+                LineAction::Refused { reply }
+            }
+        }
+    }
+
     /// Parses one request line from connection `conn` and acts on it: the
-    /// shutdown sentinel and the reload admin command are recognised
-    /// without enqueueing (one parse — the document tree is probed for
-    /// both and then decoded as a request); everything else, including
-    /// unparseable lines, is enqueued so the reply stream stays in request
-    /// order.
+    /// shutdown sentinel and the reload/stats admin commands are
+    /// recognised without enqueueing (one parse — the document tree is
+    /// probed for the admin markers and then decoded as a request);
+    /// everything else, including unparseable lines, is enqueued so the
+    /// reply stream stays in request order — unless the queue refuses it
+    /// ([`LineAction::Refused`]), in which case the refusal reply is
+    /// written out-of-band instead.
     pub fn classify_and_submit(&self, conn: ConnId, line: &str) -> LineAction {
         match serde_json::from_str::<Value>(line) {
             Ok(doc) => {
-                // One scan of the (small) top-level object for both admin
-                // markers; avoids `Value::field`'s error allocation on the
-                // common miss path.
+                // One scan of the (small) top-level object for the admin
+                // markers and the request id; avoids `Value::field`'s
+                // error allocation on the common miss path.
+                let mut req_id = None;
+                let mut admin_cmd: Option<&str> = None;
                 if let Some(fields) = doc.as_object() {
                     for (k, v) in fields {
                         if k == "shutdown" && matches!(v, Value::Bool(true)) {
                             return LineAction::Shutdown;
                         }
+                        if k == "id" {
+                            req_id = u64::from_value(v).ok();
+                        }
                         if k == "cmd" {
                             if let Value::Str(cmd) = v {
-                                if cmd == "reload" {
-                                    return LineAction::Reload(self.reload_from_configured_path());
-                                }
-                                self.queue.submit(QueuedLine {
-                                    conn,
-                                    parsed: Err(format!("unknown admin command `{cmd}`")),
-                                });
-                                return LineAction::Queued;
+                                admin_cmd = Some(cmd.as_str());
                             }
                         }
                     }
                 }
-                self.queue.submit(QueuedLine {
-                    conn,
-                    parsed: ServeRequest::from_value(&doc).map_err(|e| e.to_string()),
-                });
+                match admin_cmd {
+                    Some("reload") => {
+                        return LineAction::Reload(self.reload_from_configured_path())
+                    }
+                    Some("stats") => return LineAction::Stats(self.stats_reply_line()),
+                    Some(cmd) => {
+                        return self.admit_request(
+                            req_id,
+                            QueuedLine {
+                                conn,
+                                parsed: Err(format!("unknown admin command `{cmd}`")),
+                            },
+                        )
+                    }
+                    None => {}
+                }
+                self.admit_request(
+                    req_id,
+                    QueuedLine {
+                        conn,
+                        parsed: ServeRequest::from_value(&doc).map_err(|e| e.to_string()),
+                    },
+                )
             }
-            Err(e) => {
-                self.queue.submit(QueuedLine {
+            Err(e) => self.admit_request(
+                None,
+                QueuedLine {
                     conn,
                     parsed: Err(e.to_string()),
-                });
-            }
+                },
+            ),
         }
-        LineAction::Queued
     }
 
     /// Executes the `{"cmd": "reload"}` admin request against the path
@@ -504,9 +626,10 @@ impl PredictionService {
 
     /// Parses one request line and enqueues it for [`LOCAL_CONN`].
     /// Returns `true` for the `{"shutdown": true}` sentinel, which is not
-    /// enqueued. (A `{"cmd": "reload"}` line is executed and not
-    /// enqueued; use [`classify_and_submit`](Self::classify_and_submit)
-    /// to observe its outcome.)
+    /// enqueued. (A `{"cmd": "reload"}` / `{"cmd": "stats"}` line is
+    /// executed and not enqueued, and a bounded queue may refuse the
+    /// line; use [`classify_and_submit`](Self::classify_and_submit) to
+    /// observe those outcomes.)
     pub fn submit_line(&self, line: &str) -> bool {
         matches!(
             self.classify_and_submit(LOCAL_CONN, line),
@@ -537,7 +660,11 @@ impl PredictionService {
     /// many were dropped. Their replies must not leak into live clients'
     /// streams, and their compute would be wasted.
     pub fn discard_dead(&self, dead: impl Fn(ConnId) -> bool) -> usize {
-        self.queue.discard_if(|q| dead(q.conn))
+        let n = self.queue.discard_if(|q| dead(q.conn));
+        if n > 0 {
+            self.metrics.note_discarded(n as u64);
+        }
+        n
     }
 
     /// Drains everything pending through the executor; returns replies in
@@ -570,12 +697,15 @@ impl PredictionService {
         stats.batches += 1;
         stats.max_batch = stats.max_batch.max(answered.len());
         stats.busy_secs += batch_started.elapsed().as_secs_f64();
+        self.metrics.record_batch(answered.len(), versioned.version);
         answered
             .into_iter()
             .map(|(ticket, (conn, id, outcome, latency_ms))| {
                 stats.requests += 1;
                 stats.total_latency_ms += latency_ms;
                 stats.max_latency_ms = stats.max_latency_ms.max(latency_ms);
+                self.metrics
+                    .record_request(latency_ms, outcome.as_ref().err().map(|_| ()));
                 let id = id.unwrap_or(ticket);
                 let response = match outcome {
                     Ok((cfg, apply)) => ServeResponse {
@@ -650,12 +780,24 @@ impl PredictionService {
             }
             match self.classify_and_submit(LOCAL_CONN, &line) {
                 LineAction::Shutdown => {
+                    // Close before the final drain: pending requests are
+                    // still answered, later submits get a typed refusal.
+                    self.close_queue();
                     let replies = self.drain(stats);
                     self.write_replies(&replies, &mut writer)?;
                     return Ok(true);
                 }
                 LineAction::Reload(outcome) => {
                     writeln!(writer, "{}", admin_reload_reply(&outcome))?;
+                    writer.flush()?;
+                }
+                LineAction::Stats(reply) => {
+                    writeln!(writer, "{reply}")?;
+                    writer.flush()?;
+                }
+                LineAction::Refused { reply } => {
+                    stats.refused += 1;
+                    writeln!(writer, "{reply}")?;
                     writer.flush()?;
                 }
                 LineAction::Queued => {

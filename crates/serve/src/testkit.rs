@@ -1,0 +1,392 @@
+//! Deterministic fault injection for serving tests.
+//!
+//! The wire-protocol guarantees in `docs/SERVING.md` ("no reply lost,
+//! duplicated or misrouted; an unterminated final line is still a
+//! request; a dead connection's requests are discarded") are only worth
+//! stating if they hold when the transport misbehaves. This module wraps
+//! a client's `Read`/`Write` halves in chaos adapters that inject the
+//! four fault classes real traffic produces:
+//!
+//! * **short writes** — a request line leaves the client in 1-byte
+//!   dribbles, so the server's reader sees every possible fragmentation
+//!   of a frame;
+//! * **stalls** — pauses longer than the server's socket read timeout in
+//!   the middle of a frame, so timeout handling must preserve partial
+//!   lines;
+//! * **mid-frame disconnects** — the stream is cut after a configured
+//!   byte budget, leaving a half-written request on the wire;
+//! * **garbage bytes** — lines of seeded junk interleaved with real
+//!   requests, which must earn in-order error replies, not desync the
+//!   framing.
+//!
+//! Every decision (fragment sizes, stall points, garbage content) comes
+//! from a seeded [`ChaosRng`], so a failing schedule replays exactly —
+//! rerun with the printed seed. The adapters are deliberately
+//! `std`-only: no dev-dependency is needed to use them from another
+//! crate's integration tests.
+//!
+//! ```
+//! use portopt_serve::testkit::{ChaosConfig, ChaosWriter};
+//! use std::io::Write;
+//!
+//! let mut w = ChaosWriter::new(Vec::new(), ChaosConfig::fragmenting(42, 3));
+//! w.write_all(b"{\"id\":1}\n").unwrap(); // delivered in 1..=3-byte pieces
+//! assert_eq!(w.get_ref(), b"{\"id\":1}\n"); // ...but byte-identical overall
+//! ```
+
+use std::io::{Read, Write};
+use std::time::Duration;
+
+/// A tiny deterministic generator (xorshift64*) so the testkit needs no
+/// external crate: the same seed always yields the same fault schedule.
+#[derive(Debug, Clone)]
+pub struct ChaosRng(u64);
+
+impl ChaosRng {
+    /// Seeds the generator (0 is mapped to a fixed non-zero state).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`; `hi > lo`.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(hi > lo);
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+
+    /// True with probability `1/n` (`n ≥ 1`).
+    pub fn one_in(&mut self, n: u64) -> bool {
+        n <= 1 || self.next_u64() % n == 0
+    }
+}
+
+/// What a chaos adapter is allowed to do to the byte stream. Build with
+/// the presets ([`fragmenting`](ChaosConfig::fragmenting),
+/// [`stalling`](ChaosConfig::stalling), [`cutting`](ChaosConfig::cutting))
+/// or struct-literal the exact mix a test wants.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Seed of the fault schedule; same seed, same faults.
+    pub seed: u64,
+    /// Largest piece one `write`/`read` call passes through (≥ 1):
+    /// 1 = maximal fragmentation, `usize::MAX` = no splitting.
+    pub max_fragment: usize,
+    /// `Some(d)`: stall for `d` before a fragment, when the schedule says
+    /// so. Pick `d` longer than the server's socket read timeout to prove
+    /// partial frames survive timeout passes.
+    pub stall: Option<Duration>,
+    /// A stall happens on roughly 1 in this many fragments (≥ 1; only
+    /// meaningful with `stall`).
+    pub stall_one_in: u64,
+    /// `Some(n)`: after `n` bytes have passed, every further call fails
+    /// with `BrokenPipe` — the mid-frame disconnect. The wrapped stream
+    /// is NOT closed (drop it to actually cut a socket); the adapter
+    /// reports the cut via [`ChaosWriter::cut`].
+    pub cut_after: Option<u64>,
+    /// `Err(Interrupted)` is returned on roughly 1 in this many calls
+    /// (≥ 1; `u64::MAX` in the presets ≈ never) — exercises EINTR retry
+    /// loops.
+    pub interrupt_one_in: u64,
+}
+
+impl ChaosConfig {
+    /// Fragment into 1..=`max_fragment`-byte pieces; no stalls, no cut.
+    pub fn fragmenting(seed: u64, max_fragment: usize) -> Self {
+        ChaosConfig {
+            seed,
+            max_fragment: max_fragment.max(1),
+            stall: None,
+            stall_one_in: 1,
+            cut_after: None,
+            interrupt_one_in: u64::MAX,
+        }
+    }
+
+    /// Fragment and stall for `stall` on ~1 in `one_in` fragments.
+    pub fn stalling(seed: u64, max_fragment: usize, stall: Duration, one_in: u64) -> Self {
+        ChaosConfig {
+            stall: Some(stall),
+            stall_one_in: one_in.max(1),
+            ..Self::fragmenting(seed, max_fragment)
+        }
+    }
+
+    /// Fragment, then cut the stream after `cut_after` bytes.
+    pub fn cutting(seed: u64, max_fragment: usize, cut_after: u64) -> Self {
+        ChaosConfig {
+            cut_after: Some(cut_after),
+            ..Self::fragmenting(seed, max_fragment)
+        }
+    }
+}
+
+/// A `Write` adapter injecting the [`ChaosConfig`] faults into whatever
+/// it wraps. Short writes are honest (`write` returns how much it took);
+/// `write_all` on top of it therefore exercises the full retry loop.
+#[derive(Debug)]
+pub struct ChaosWriter<W: Write> {
+    inner: W,
+    rng: ChaosRng,
+    cfg: ChaosConfig,
+    written: u64,
+    cut: bool,
+}
+
+impl<W: Write> ChaosWriter<W> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: W, cfg: ChaosConfig) -> Self {
+        ChaosWriter {
+            inner,
+            rng: ChaosRng::new(cfg.seed),
+            cfg,
+            written: 0,
+            cut: false,
+        }
+    }
+
+    /// Whether the mid-frame disconnect has fired: the stream should now
+    /// be dropped by the test to cut the real socket.
+    pub fn cut(&self) -> bool {
+        self.cut
+    }
+
+    /// Total bytes actually passed through to the wrapped writer.
+    pub fn bytes_written(&self) -> u64 {
+        self.written
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// Consumes the adapter, returning the wrapped writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChaosWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.cut {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "chaos: stream cut",
+            ));
+        }
+        if self.rng.one_in(self.cfg.interrupt_one_in) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "chaos: interrupted",
+            ));
+        }
+        let mut take = self
+            .rng
+            .gen_range(1, self.cfg.max_fragment.min(buf.len()) + 1);
+        if let Some(cut_after) = self.cfg.cut_after {
+            let left = cut_after.saturating_sub(self.written);
+            if left == 0 {
+                self.cut = true;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "chaos: stream cut mid-frame",
+                ));
+            }
+            take = take.min(left as usize);
+        }
+        if let Some(stall) = self.cfg.stall {
+            if self.rng.one_in(self.cfg.stall_one_in) {
+                self.inner.flush()?; // the bytes so far hit the wire first
+                std::thread::sleep(stall);
+            }
+        }
+        self.inner.write_all(&buf[..take])?;
+        self.inner.flush()?;
+        self.written += take as u64;
+        Ok(take)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// A `Read` adapter applying the same schedule to the receive side:
+/// fragmented reads and injected `Interrupted` errors (stalls and cuts
+/// follow the config exactly like the writer).
+#[derive(Debug)]
+pub struct ChaosReader<R: Read> {
+    inner: R,
+    rng: ChaosRng,
+    cfg: ChaosConfig,
+    read: u64,
+}
+
+impl<R: Read> ChaosReader<R> {
+    /// Wraps `inner` with the given fault schedule.
+    pub fn new(inner: R, cfg: ChaosConfig) -> Self {
+        ChaosReader {
+            inner,
+            rng: ChaosRng::new(cfg.seed ^ 0xC0FF_EE00_C0FF_EE00),
+            cfg,
+            read: 0,
+        }
+    }
+}
+
+impl<R: Read> Read for ChaosReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() {
+            return Ok(0);
+        }
+        if self.rng.one_in(self.cfg.interrupt_one_in) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                "chaos: interrupted",
+            ));
+        }
+        if let Some(cut_after) = self.cfg.cut_after {
+            if self.read >= cut_after {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::BrokenPipe,
+                    "chaos: stream cut",
+                ));
+            }
+        }
+        if let Some(stall) = self.cfg.stall {
+            if self.rng.one_in(self.cfg.stall_one_in) {
+                std::thread::sleep(stall);
+            }
+        }
+        let take = self
+            .rng
+            .gen_range(1, self.cfg.max_fragment.min(buf.len()) + 1);
+        let n = self.inner.read(&mut buf[..take])?;
+        self.read += n as u64;
+        Ok(n)
+    }
+}
+
+/// A line of seeded junk (printable noise that is not valid JSON and
+/// contains no newline), newline-terminated — the garbage-bytes fault
+/// class. The server must answer it with an in-order error reply and
+/// keep the framing intact.
+pub fn garbage_line(rng: &mut ChaosRng, max_len: usize) -> Vec<u8> {
+    const NOISE: &[u8] = b"!@#$%^&*()~`<>?/\\|situation_normal0123456789abcdef ";
+    let len = rng.gen_range(1, max_len.max(2));
+    let mut line: Vec<u8> = (0..len)
+        .map(|_| NOISE[rng.gen_range(0, NOISE.len())])
+        .collect();
+    // Ensure it can't accidentally parse as JSON (a bare number would).
+    line.insert(0, b'?');
+    line.push(b'\n');
+    line
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mut a = ChaosRng::new(7);
+        let mut b = ChaosRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaosRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fragmenting_writer_is_byte_transparent() {
+        let payload = b"{\"id\": 1, \"features\": [1,2,3], \"uarch\": \"xscale\"}\n".repeat(20);
+        for seed in 0..10u64 {
+            let mut w = ChaosWriter::new(Vec::new(), ChaosConfig::fragmenting(seed, 3));
+            w.write_all(&payload).unwrap();
+            assert_eq!(w.get_ref().as_slice(), payload.as_slice(), "seed {seed}");
+            assert_eq!(w.bytes_written(), payload.len() as u64);
+            assert!(!w.cut());
+        }
+    }
+
+    #[test]
+    fn cutting_writer_stops_at_the_budget_and_stays_cut() {
+        let mut w = ChaosWriter::new(Vec::new(), ChaosConfig::cutting(3, 4, 10));
+        let err = w.write_all(b"0123456789abcdef").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(w.cut());
+        assert_eq!(w.bytes_written(), 10, "exactly the byte budget leaked out");
+        assert_eq!(w.get_ref().as_slice(), b"0123456789");
+        // The cut is permanent.
+        assert!(w.write(b"x").is_err());
+    }
+
+    #[test]
+    fn interrupting_writer_still_completes_via_write_all() {
+        let cfg = ChaosConfig {
+            interrupt_one_in: 3,
+            ..ChaosConfig::fragmenting(11, 2)
+        };
+        let payload = b"hello chaos\n".repeat(50);
+        let mut w = ChaosWriter::new(Vec::new(), cfg);
+        // write_all retries Interrupted by contract.
+        w.write_all(&payload).unwrap();
+        assert_eq!(w.get_ref().as_slice(), payload.as_slice());
+    }
+
+    #[test]
+    fn chaos_reader_returns_every_byte_in_order() {
+        use std::io::Cursor;
+        let payload: Vec<u8> = (0..=255u8).collect::<Vec<_>>().repeat(4);
+        let cfg = ChaosConfig {
+            interrupt_one_in: 5,
+            ..ChaosConfig::fragmenting(9, 3)
+        };
+        let mut r = ChaosReader::new(Cursor::new(payload.clone()), cfg);
+        let mut out = Vec::new();
+        loop {
+            let mut buf = [0u8; 64];
+            match r.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => out.extend_from_slice(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => panic!("unexpected error {e}"),
+            }
+        }
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn garbage_lines_are_framed_and_unparseable() {
+        let mut rng = ChaosRng::new(99);
+        for _ in 0..50 {
+            let line = garbage_line(&mut rng, 40);
+            assert_eq!(*line.last().unwrap(), b'\n');
+            let body = &line[..line.len() - 1];
+            assert!(!body.contains(&b'\n'), "no embedded newline");
+            let text = String::from_utf8(body.to_vec()).expect("printable noise");
+            assert!(
+                serde_json::from_str::<serde::Value>(&text).is_err(),
+                "garbage must not parse as JSON: {text}"
+            );
+        }
+    }
+}

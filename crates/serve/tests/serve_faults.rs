@@ -1,0 +1,357 @@
+//! Fault-injection tests for the concurrent serving layer, driven by the
+//! deterministic chaos adapters in `portopt_serve::testkit`.
+//!
+//! Each test pins one wire-protocol guarantee from `docs/SERVING.md`
+//! under one fault class — short writes, stalls past the server's read
+//! timeout, mid-frame disconnects, garbage bytes — plus the admission
+//! bounds this PR adds: the queue cap is a hard ceiling, overload
+//! refusals carry `retry_after_ms`, and a closed (shutting-down) queue
+//! refuses with a typed error. Fault schedules are seeded: a failure
+//! reproduces exactly by rerunning the same test.
+
+mod common;
+
+use common::{fixture, request_line, shutdown, spawn_server};
+use portopt_serve::testkit::{garbage_line, ChaosConfig, ChaosRng, ChaosWriter};
+use portopt_serve::{LineAction, PredictionService, ServeOptions, ServeResponse, LOCAL_CONN};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn fast_opts() -> ServeOptions {
+    ServeOptions {
+        batch: 4,
+        window: Duration::from_millis(2),
+        ..Default::default()
+    }
+}
+
+/// Reads `n` replies and asserts they are exactly client `client`'s
+/// requests `0..n`, in order, answered without error.
+fn assert_replies_in_order(reader: &mut impl BufRead, client: u64, n: u64) {
+    for seq in 0..n {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r: ServeResponse = serde_json::from_str(line.trim())
+            .unwrap_or_else(|e| panic!("client {client} reply {seq} unparseable ({e}): {line}"));
+        assert!(
+            r.error.is_none(),
+            "client {client} seq {seq}: {:?}",
+            r.error
+        );
+        assert_eq!(
+            r.id,
+            client * 100_000 + seq,
+            "client {client} got a lost, duplicated or misrouted reply"
+        );
+    }
+}
+
+/// Fault class 1 — short writes: requests leave the client in 1–3-byte
+/// dribbles, so the server's reader sees every frame fragmentation. No
+/// reply may be lost, duplicated, misrouted or reordered.
+#[test]
+fn short_writes_never_split_frames() {
+    let (ds, _) = fixture();
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), fast_opts());
+    const N: u64 = 12;
+    for seed in 1..=3u64 {
+        let stream = TcpStream::connect(addr).unwrap();
+        let reader_half = stream.try_clone().unwrap();
+        let mut w = ChaosWriter::new(stream, ChaosConfig::fragmenting(seed, 3));
+        for seq in 0..N {
+            w.write_all(format!("{}\n", request_line(&ds, seed, seq)).as_bytes())
+                .unwrap();
+        }
+        assert_replies_in_order(&mut BufReader::new(reader_half), seed, N);
+    }
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.requests, 3 * N);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.discarded, 0);
+}
+
+/// Fault class 2 — stalls: the client pauses mid-frame for longer than
+/// the server's 50 ms socket read timeout. The reader's timeout pass must
+/// preserve the partial line and keep appending to it.
+#[test]
+fn stalls_past_the_read_timeout_preserve_partial_frames() {
+    let (ds, _) = fixture();
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), fast_opts());
+    const N: u64 = 6;
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader_half = stream.try_clone().unwrap();
+    // ~1 in 4 fragments stalls 120 ms — several read-timeout passes land
+    // mid-frame over 6 requests.
+    let mut w = ChaosWriter::new(
+        stream,
+        ChaosConfig::stalling(11, 64, Duration::from_millis(120), 8),
+    );
+    for seq in 0..N {
+        w.write_all(format!("{}\n", request_line(&ds, 1, seq)).as_bytes())
+            .unwrap();
+    }
+    assert_replies_in_order(&mut BufReader::new(reader_half), 1, N);
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.requests, N);
+    assert_eq!(stats.errors, 0);
+}
+
+/// Fault class 3 — mid-frame disconnect: one client is cut after a byte
+/// budget that lands inside a frame and drops its socket. Its complete
+/// requests must not poison anyone else: a concurrent well-behaved
+/// client gets every reply, correctly routed, and the server keeps
+/// accepting afterwards.
+#[test]
+fn mid_frame_disconnect_discards_without_poisoning_others() {
+    let (ds, _) = fixture();
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), fast_opts());
+
+    // The victim: two complete requests, then a cut mid-way through the
+    // third frame. Dropping the adapter drops its socket clone; dropping
+    // `reader_half` below closes the connection entirely.
+    {
+        let stream = TcpStream::connect(addr).unwrap();
+        let _reader_half = stream.try_clone().unwrap();
+        let l0 = format!("{}\n", request_line(&ds, 9, 0));
+        let l1 = format!("{}\n", request_line(&ds, 9, 1));
+        let l2 = format!("{}\n", request_line(&ds, 9, 2));
+        let cut_after = (l0.len() + l1.len() + l2.len() / 2) as u64;
+        let mut w = ChaosWriter::new(stream, ChaosConfig::cutting(5, 7, cut_after));
+        let mut sent = Vec::new();
+        sent.extend_from_slice(l0.as_bytes());
+        sent.extend_from_slice(l1.as_bytes());
+        sent.extend_from_slice(l2.as_bytes());
+        let err = w.write_all(&sent).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::BrokenPipe);
+        assert!(w.cut(), "the schedule must have cut mid-frame");
+        // Socket drops here with a half-written frame on the wire.
+    }
+
+    // The survivor: full conversation, every reply intact and its own.
+    const N: u64 = 10;
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader_half = stream.try_clone().unwrap();
+    let mut w = stream;
+    for seq in 0..N {
+        w.write_all(format!("{}\n", request_line(&ds, 2, seq)).as_bytes())
+            .unwrap();
+    }
+    assert_replies_in_order(&mut BufReader::new(reader_half), 2, N);
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    // The survivor's requests all got through; the victim's truncated
+    // frame either became an unanswerable error reply (discarded with the
+    // dead connection) or was computed and undeliverable — it must never
+    // surface in the survivor's stream (checked above by id).
+    assert!(stats.requests >= N, "stats: {stats:?}");
+    assert_eq!(stats.connections, 3, "victim + survivor + shutdown");
+}
+
+/// Fault class 4 — garbage bytes: seeded junk lines interleaved with real
+/// requests on one connection. Each garbage line earns an in-order error
+/// reply; framing never desyncs, and the real requests around it answer
+/// normally.
+#[test]
+fn garbage_lines_get_in_order_error_replies() {
+    let (ds, _) = fixture();
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), fast_opts());
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader_half = stream.try_clone().unwrap();
+    let mut w = stream;
+    let mut rng = ChaosRng::new(23);
+
+    // real(0), junk, real(1), junk, real(2)
+    const REAL: u64 = 3;
+    for seq in 0..REAL {
+        w.write_all(format!("{}\n", request_line(&ds, 4, seq)).as_bytes())
+            .unwrap();
+        if seq + 1 < REAL {
+            w.write_all(&garbage_line(&mut rng, 48)).unwrap();
+        }
+    }
+
+    let mut reader = BufReader::new(reader_half);
+    let mut real_seen = 0u64;
+    for slot in 0..(2 * REAL - 1) {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let r: ServeResponse = serde_json::from_str(line.trim()).unwrap();
+        if slot % 2 == 0 {
+            assert!(
+                r.error.is_none(),
+                "slot {slot} should be real: {:?}",
+                r.error
+            );
+            assert_eq!(r.id, 4 * 100_000 + real_seen, "real replies out of order");
+            real_seen += 1;
+        } else {
+            assert!(
+                r.error.is_some(),
+                "slot {slot} should be the junk line's error reply"
+            );
+        }
+    }
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.requests, 2 * REAL - 1);
+    assert_eq!(stats.errors, REAL - 1, "one error reply per junk line");
+}
+
+/// The queue cap is a hard ceiling: with `--queue-cap N`, the pending
+/// count never exceeds N, every refusal carries the `overloaded` error
+/// with a `retry_after_ms` hint, and draining reopens admission.
+#[test]
+fn queue_cap_is_a_hard_ceiling_and_refusals_carry_retry_hint() {
+    let (ds, snap) = fixture();
+    const CAP: usize = 4;
+    let service = PredictionService::new(snap, 1).with_queue_cap(CAP);
+    let mut refusals = Vec::new();
+    for seq in 0..10u64 {
+        match service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, seq)) {
+            LineAction::Queued => {}
+            LineAction::Refused { reply } => refusals.push(reply),
+            other => panic!("unexpected action {other:?}"),
+        }
+        assert!(
+            service.pending() <= CAP,
+            "queue length {} exceeded the cap {CAP}",
+            service.pending()
+        );
+    }
+    assert_eq!(service.pending(), CAP);
+    assert_eq!(refusals.len(), 10 - CAP);
+    for reply in &refusals {
+        assert!(reply.contains(r#""error":"overloaded""#), "{reply}");
+        assert!(reply.contains(r#""retry_after_ms":"#), "{reply}");
+        // The refusal echoes the client's id so it can be correlated.
+        assert!(reply.contains(r#""id":1"#), "{reply}");
+        // And it is machine-readable.
+        assert!(
+            serde_json::from_str::<serde::Value>(reply).is_ok(),
+            "refusal must parse as JSON: {reply}"
+        );
+    }
+    assert_eq!(service.metrics().refused_total(), (10 - CAP) as u64);
+
+    // Draining reopens admission; nothing was permanently wedged.
+    let mut stats = portopt_serve::ServiceStats::default();
+    let replies = service.drain(&mut stats);
+    assert_eq!(replies.len(), CAP);
+    assert!(matches!(
+        service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, 99)),
+        LineAction::Queued
+    ));
+}
+
+/// Satellite: submitting into a queue whose batcher is gone (the service
+/// closed it for shutdown) yields the typed "shutting down" refusal, not
+/// a hang and not a silent enqueue.
+#[test]
+fn closed_queue_refuses_with_shutting_down_error() {
+    let (ds, snap) = fixture();
+    let service = PredictionService::new(snap, 1);
+    assert!(matches!(
+        service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, 0)),
+        LineAction::Queued
+    ));
+    service.close_queue();
+    match service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, 1)) {
+        LineAction::Refused { reply } => {
+            assert!(reply.contains("shutting down"), "{reply}");
+            assert!(
+                !reply.contains("retry_after_ms"),
+                "no point retrying: {reply}"
+            );
+        }
+        other => panic!("expected refusal, got {other:?}"),
+    }
+    // What was pending before the close still drains.
+    let mut stats = portopt_serve::ServiceStats::default();
+    assert_eq!(service.drain(&mut stats).len(), 1);
+}
+
+/// End-to-end backpressure over TCP: a server with a tiny queue cap and
+/// per-connection quota, firehosed by more concurrent admission attempts
+/// than the cap admits while the batcher is held back by a long window,
+/// must (a) refuse some requests with `overloaded`, (b) answer every
+/// accepted request exactly once, and (c) report the refusals in its
+/// stats and metrics.
+#[test]
+fn firehose_against_tiny_cap_yields_refusals_not_losses() {
+    let (ds, _) = fixture();
+    let opts = ServeOptions {
+        batch: 1000,
+        // Long window: requests pool in the queue, so the cap actually
+        // binds while the clients are flooding.
+        window: Duration::from_millis(150),
+        queue_cap: Some(4),
+        per_conn_quota: Some(2),
+        ..Default::default()
+    };
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), opts);
+
+    const CLIENTS: u64 = 6;
+    const PER_CLIENT: u64 = 8;
+    let ds_ref = &ds;
+    std::thread::scope(|s| {
+        for client in 1..=CLIENTS {
+            s.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let reader_half = stream.try_clone().unwrap();
+                let mut w = stream;
+                for seq in 0..PER_CLIENT {
+                    w.write_all(format!("{}\n", request_line(ds_ref, client, seq)).as_bytes())
+                        .unwrap();
+                }
+                // Half-close: the server still owes one reply line per
+                // request — answered or refused — then retires us.
+                let _ = w.shutdown(std::net::Shutdown::Write);
+                drop(w);
+                let mut answered = 0u64;
+                let mut refused = 0u64;
+                let mut reader = BufReader::new(reader_half);
+                loop {
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                        break;
+                    }
+                    if line.contains(r#""error":"overloaded""#) {
+                        assert!(line.contains(r#""retry_after_ms":"#), "{line}");
+                        refused += 1;
+                    } else {
+                        let r: ServeResponse = serde_json::from_str(line.trim()).unwrap();
+                        assert_eq!(r.id / 100_000, client, "misrouted reply");
+                        assert!(r.error.is_none());
+                        answered += 1;
+                    }
+                }
+                assert_eq!(
+                    answered + refused,
+                    PER_CLIENT,
+                    "client {client}: every request gets exactly one reply line"
+                );
+                (answered, refused)
+            });
+        }
+    });
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert!(
+        stats.refused > 0,
+        "6 clients × quota 2 = 12 concurrent admission attempts against cap 4 \
+         must refuse something: {stats:?}"
+    );
+    assert_eq!(
+        stats.requests + stats.refused,
+        CLIENTS * PER_CLIENT,
+        "answered + refused must cover the firehose exactly: {stats:?}"
+    );
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.discarded, 0, "refusal is not loss");
+}

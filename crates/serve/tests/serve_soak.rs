@@ -1,0 +1,94 @@
+//! The soak test: sustained concurrent TCP traffic, checked for reply
+//! stability and ledger leaks. Ignored by default (it pushes 40k
+//! requests); the nightly CI job runs it with `-- --ignored`.
+
+mod common;
+
+use common::{fixture, request_line, shutdown};
+use portopt_serve::{PredictionService, ServeOptions, ServeResponse};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::Duration;
+
+/// 4 clients × 10_000 requests over one server: every reply routed to its
+/// sender in order, identical inputs get identical answers (stable
+/// `choices`/`config`/`snapshot_version` — latency is the only field
+/// allowed to vary), and at shutdown nothing is leaked: no discarded or
+/// refused requests, zero in-flight, queue depth zero.
+#[test]
+#[ignore = "soak: ~40k requests; run explicitly or in nightly CI"]
+fn soak_four_clients_ten_thousand_requests_each() {
+    const CLIENTS: u64 = 4;
+    const PER_CLIENT: u64 = 10_000;
+
+    let (ds, snap) = fixture();
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let service = PredictionService::new(snap, 0);
+        let opts = ServeOptions {
+            batch: 64,
+            window: Duration::from_millis(2),
+            ..Default::default()
+        };
+        let stats = service.run_concurrent(listener, &opts).unwrap();
+        // The post-shutdown ledger, read while the service still exists.
+        (stats, service.pending(), service.metrics().inflight())
+    });
+
+    let ds_ref = &ds;
+    std::thread::scope(|s| {
+        for client in 1..=CLIENTS {
+            s.spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let reader_half = stream.try_clone().unwrap();
+                let writer = s.spawn(move || {
+                    let mut w = std::io::BufWriter::new(stream);
+                    for seq in 0..PER_CLIENT {
+                        writeln!(w, "{}", request_line(ds_ref, client, seq)).unwrap();
+                    }
+                    w.flush().unwrap();
+                });
+                // Replies for one input must be identical across the whole
+                // run; key on the (program, uarch) pair the request cycles
+                // through.
+                let mut canonical: HashMap<(usize, usize), (Vec<u8>, u64)> = HashMap::new();
+                let mut reader = BufReader::new(reader_half);
+                for seq in 0..PER_CLIENT {
+                    let mut line = String::new();
+                    reader.read_line(&mut line).unwrap();
+                    let r: ServeResponse = serde_json::from_str(line.trim())
+                        .unwrap_or_else(|e| panic!("client {client} seq {seq}: {e}: {line}"));
+                    assert_eq!(r.id, client * 100_000 + seq, "lost/duplicated/misrouted");
+                    assert!(r.error.is_none(), "{:?}", r.error);
+                    let key = (
+                        (client as usize + seq as usize) % ds_ref.n_programs(),
+                        seq as usize % ds_ref.n_uarchs(),
+                    );
+                    let entry = (r.choices.clone(), r.snapshot_version);
+                    match canonical.get(&key) {
+                        None => {
+                            canonical.insert(key, entry);
+                        }
+                        Some(first) => assert_eq!(
+                            first, &entry,
+                            "client {client} seq {seq}: same input, different answer"
+                        ),
+                    }
+                }
+                writer.join().unwrap();
+            });
+        }
+    });
+
+    shutdown(addr);
+    let (stats, queue_depth, inflight) = server.join().unwrap();
+    assert_eq!(stats.requests, CLIENTS * PER_CLIENT);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.discarded, 0, "no ticket leaked");
+    assert_eq!(stats.refused, 0, "unbounded queue: nothing refused");
+    assert_eq!(queue_depth, 0, "final queue depth must be zero");
+    assert_eq!(inflight, 0, "in-flight gauge must drain to zero");
+    assert_eq!(stats.connections, CLIENTS + 1, "clients + the shutdown");
+}
