@@ -1,0 +1,91 @@
+//! Offline maintenance for the on-disk profile cache: inspect its size,
+//! evict it down to a byte budget (LRU by mtime), and sweep stale temp
+//! droppings — without running a sweep.
+//!
+//! ```text
+//! cargo run --release -p portopt-bench --bin cache -- stats target/pcache
+//! cargo run --release -p portopt-bench --bin cache -- gc target/pcache --max-bytes 50000000
+//! ```
+//!
+//! Offline GC protects nothing (no sweep is running, so no entry is
+//! "current"); `sweep --cache-max-bytes` is the online variant that never
+//! evicts entries the running sweep touched. See `docs/SWEEP.md`.
+
+use portopt_core::open_profile_cache;
+use portopt_exec::DiskCache;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  cache stats DIR\n  cache gc DIR --max-bytes N\n\
+         \nstats  print entry count and total bytes\n\
+         gc     evict oldest-first (by mtime) until the cache is <= N bytes"
+    );
+    std::process::exit(2);
+}
+
+fn open(dir: &str) -> DiskCache {
+    open_profile_cache(dir).unwrap_or_else(|e| {
+        eprintln!("cannot open profile cache {dir}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("stats") => {
+            let dir = args.get(1).unwrap_or_else(|| usage());
+            let cache = open(dir);
+            match (cache.entries(), cache.total_bytes()) {
+                (Ok(entries), Ok(bytes)) => {
+                    println!("{dir}: {} entries, {bytes} bytes", entries.len());
+                }
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("cannot scan {dir}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Some("gc") => {
+            let dir = args.get(1).unwrap_or_else(|| usage());
+            let max_bytes = match args.get(2).map(String::as_str) {
+                Some("--max-bytes") => args
+                    .get(3)
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--max-bytes expects a byte count, got {:?}", args.get(3));
+                        std::process::exit(2);
+                    }),
+                _ => usage(),
+            };
+            let cache = open(dir);
+            match cache.gc(max_bytes) {
+                Ok(r) => {
+                    println!(
+                        "{dir}: examined {} entries ({} bytes), evicted {} ({} bytes), \
+                         kept {} ({} bytes), removed {} stale tmp files",
+                        r.examined,
+                        r.before_bytes,
+                        r.evicted,
+                        r.evicted_bytes,
+                        r.kept,
+                        r.kept_bytes,
+                        r.tmp_removed,
+                    );
+                    if !r.met_budget(max_bytes) {
+                        eprintln!(
+                            "warning: still over budget ({} > {max_bytes})",
+                            r.kept_bytes
+                        );
+                        std::process::exit(1);
+                    }
+                }
+                Err(e) => {
+                    eprintln!("gc failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,73 @@
+//! The sweep coordinator: owns a `ShardSpec` plan, leases shards to
+//! `sweep --worker` rigs over TCP (JSON-lines wire protocol, see
+//! `docs/SWEEP.md`), retries shards whose workers die, stall past the
+//! lease deadline, or refuse, and writes the merged dataset — byte
+//! identical to an unsharded sweep, however many rigs crashed along the
+//! way.
+//!
+//! ```text
+//! # one coordinator, two expendable rigs
+//! cargo run --release -p portopt-bench --bin coordinator -- \
+//!     --scale smoke --shard-count 4 --port 7310 --out merged.json &
+//! cargo run --release -p portopt-bench --bin sweep -- \
+//!     --scale smoke --worker 127.0.0.1:7310 --profile-cache target/pcache &
+//! cargo run --release -p portopt-bench --bin sweep -- \
+//!     --scale smoke --worker 127.0.0.1:7310 --profile-cache target/pcache
+//! ```
+//!
+//! Worker loss, lease expiry, retries, refusals and deduped duplicate
+//! results are all visible in the exit counters (`coordinator: granted=…
+//! workers_lost=…`).
+
+use portopt_bench::coordinator::{run_coordinator, CoordConfig, Coordinator};
+use portopt_bench::BinArgs;
+use std::net::TcpListener;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+fn main() {
+    let args = BinArgs::parse();
+    let out = args
+        .out
+        .clone()
+        .unwrap_or_else(|| format!("target/portopt-merged-{}.json", args.scale_name));
+    // Fail fast before any worker burns compute on a plan whose result
+    // could never be written.
+    if let Err(e) = BinArgs::ensure_writable(&out) {
+        eprintln!("refusing to coordinate: {e}");
+        std::process::exit(2);
+    }
+    if args.shard_count == 0 {
+        eprintln!("--shard-count must be at least 1");
+        std::process::exit(2);
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", args.port)).unwrap_or_else(|e| {
+        eprintln!("cannot listen on port {}: {e}", args.port);
+        std::process::exit(2);
+    });
+    let addr = listener.local_addr().expect("bound socket has an address");
+    let config = CoordConfig {
+        shard_count: args.shard_count,
+        lease_timeout: Duration::from_millis(args.lease_timeout_ms),
+        retry_budget: args.retry_budget,
+        backoff_base: Duration::from_millis(portopt_bench::coordinator::DEFAULT_BACKOFF_MS),
+    };
+    println!(
+        "coordinator: {} shards on {addr} (lease timeout {}ms, retry budget {})",
+        config.shard_count, args.lease_timeout_ms, args.retry_budget,
+    );
+    let coord = Arc::new(Mutex::new(Coordinator::new(config)));
+    let metrics = coord.lock().expect("coordinator").metrics();
+    match run_coordinator(listener, coord) {
+        Ok(merged) => {
+            println!("{}", metrics.render_line());
+            BinArgs::write_dataset(&out, &merged);
+        }
+        Err(e) => {
+            println!("{}", metrics.render_line());
+            eprintln!("coordinator failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -29,6 +29,14 @@ fn load_shard(path: &str) -> Dataset {
 
 fn main() {
     let args = BinArgs::parse();
+    // Fail fast: a bad output path must cost seconds, not a regeneration
+    // sweep plus a training run.
+    for path in std::iter::once(args.snapshot_path()).chain(args.dataset_out.iter().cloned()) {
+        if let Err(e) = BinArgs::ensure_writable(&path) {
+            eprintln!("refusing to train: {e}");
+            std::process::exit(2);
+        }
+    }
     let ds = if args.shards.is_empty() {
         args.dataset()
     } else {

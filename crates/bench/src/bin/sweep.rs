@@ -22,20 +22,206 @@
 //! and deterministic ([`portopt_core::shard::ShardSpec`]), so merging the
 //! shards in index order is byte-identical to the unsharded sweep — CI
 //! asserts exactly that.
+//!
+//! **Crash safety**: every completed `(program, setting)` pair is
+//! checkpointed to `<out>.journal` as it finishes, and a rerun with the
+//! same flags resumes from the journal instead of re-pricing (disable
+//! with `--no-checkpoint`; see `docs/SWEEP.md`). The journal is retired
+//! once the shard file is (atomically) published.
+//!
+//! **Fleet mode**: `--worker HOST:PORT` takes shard leases from a
+//! `coordinator` bin instead of sweeping a fixed `--shard-index`, so a
+//! pool of rigs drains the plan and a dead rig's shard is retried
+//! elsewhere.
+//!
+//! **Disk pressure**: `--cache-max-bytes N` evicts the profile cache
+//! LRU-by-mtime down to `N` bytes after the sweep, never touching entries
+//! this run wrote or read (offline alternative: the `cache` bin).
 
-use portopt_bench::BinArgs;
-use portopt_core::{generate_with_cache, open_profile_cache, ShardSpec};
+use portopt_bench::{coordinator, BinArgs};
+use portopt_core::{
+    generate_with_checkpoint, open_profile_cache, open_sweep_journal, CheckpointJournal, Dataset,
+    GenOptions, ShardSpec, SweepReport,
+};
+use portopt_exec::DiskCache;
 use portopt_experiments::suite_modules;
+use portopt_ir::Module;
+
+fn open_cache(args: &BinArgs) -> Option<DiskCache> {
+    args.profile_cache.as_ref().map(|dir| {
+        open_profile_cache(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open profile cache {dir}: {e}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn print_cache_stats(cache: &DiskCache) {
+    let s = cache.stats();
+    println!(
+        "profile cache: {} hits, {} misses, {} rejected ({})",
+        s.hits,
+        s.misses,
+        s.rejected,
+        cache.dir().display(),
+    );
+}
+
+/// Evicts the profile cache down to `max_bytes` (entries touched by this
+/// run are protected) and reports what happened.
+fn gc_cache(cache: &DiskCache, max_bytes: u64) {
+    match cache.gc(max_bytes) {
+        Ok(r) => {
+            println!(
+                "cache gc: evicted {} entries ({} bytes), kept {} ({} bytes, \
+                 {} protected), budget {max_bytes} bytes {}",
+                r.evicted,
+                r.evicted_bytes,
+                r.kept,
+                r.kept_bytes,
+                r.protected,
+                if r.met_budget(max_bytes) {
+                    "met"
+                } else {
+                    "NOT met (current-run entries exceed it)"
+                },
+            );
+        }
+        Err(e) => eprintln!("cache gc failed: {e}"),
+    }
+}
+
+/// Opens the checkpoint journal for one shard sweep (unless disabled) and
+/// reports what it resumed — the log line the CI crash-resume job greps.
+fn open_journal(
+    path: &str,
+    programs: &[(String, Module)],
+    opts: &GenOptions,
+    disabled: bool,
+) -> Option<CheckpointJournal> {
+    if disabled {
+        return None;
+    }
+    let journal = open_sweep_journal(path, programs, opts).unwrap_or_else(|e| {
+        eprintln!("cannot open checkpoint journal {path}: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "checkpoint journal: resumed {} completed pairs, {} baselines{} ({path})",
+        journal.resumed_pairs(),
+        journal.resumed_baselines(),
+        if journal.healed_bytes() > 0 {
+            format!(", healed {} torn bytes", journal.healed_bytes())
+        } else {
+            String::new()
+        },
+    );
+    Some(journal)
+}
+
+/// Sweeps one shard with checkpointing and returns the dataset, retiring
+/// the journal only after `publish` has safely landed the result.
+fn sweep_shard(
+    args: &BinArgs,
+    spec: &ShardSpec,
+    pairs: &[(String, Module)],
+    cache: Option<&DiskCache>,
+    journal_path: &str,
+    publish: impl FnOnce(&Dataset, &SweepReport),
+) -> Dataset {
+    let mine = spec.slice(pairs);
+    let opts = args.gen_options();
+    let journal = open_journal(journal_path, mine, &opts, args.no_checkpoint);
+    let (ds, report) = generate_with_checkpoint(mine, &opts, cache, journal.as_ref());
+    publish(&ds, &report);
+    if let Some(j) = journal {
+        if let Err(e) = j.retire() {
+            eprintln!("could not retire checkpoint journal {journal_path}: {e}");
+        }
+    }
+    ds
+}
+
+/// Fleet mode: drain shard leases from the coordinator until the plan is
+/// finished. Each lease is swept with its own checkpoint journal, so even
+/// a worker killed mid-lease resumes its own partial work when restarted.
+fn run_as_worker(args: &BinArgs, addr: &str) -> ! {
+    let (pairs, _) = suite_modules(2009);
+    let name = format!(
+        "worker-{}-{}",
+        std::process::id(),
+        std::env::var("HOSTNAME").unwrap_or_else(|_| "rig".into())
+    );
+    println!("sweep worker {name}: taking leases from {addr}");
+    let cache = open_cache(args);
+    let outcome = coordinator::run_worker(addr, &name, |index, count| {
+        let spec = ShardSpec::new(index, count).map_err(|e| e.to_string())?;
+        let journal_path = format!(
+            "target/portopt-worker-{}{}-{index}of{count}.journal",
+            args.scale_name,
+            if args.extended { "-ext" } else { "" },
+        );
+        if let Err(e) = BinArgs::ensure_writable(&journal_path) {
+            // Refuse rather than die: the coordinator re-leases the shard
+            // to a rig whose disk works.
+            return Err(e);
+        }
+        println!("worker {name}: sweeping shard {index}/{count}");
+        Ok(sweep_shard(
+            args,
+            &spec,
+            &pairs,
+            cache.as_ref(),
+            &journal_path,
+            |_, report| {
+                eprintln!(
+                    "worker {name}: shard {index}/{count} done in {:.2}s",
+                    report.wall_secs
+                );
+            },
+        ))
+    });
+    if let Some(c) = &cache {
+        print_cache_stats(c);
+        if let Some(max) = args.cache_max_bytes {
+            gc_cache(c, max);
+        }
+    }
+    match outcome {
+        Ok(o) => {
+            println!(
+                "worker {name}: plan finished ({} shards swept, {} refused)",
+                o.shards_swept, o.refused
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("worker {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let args = BinArgs::parse();
+    if let Some(addr) = args.worker.clone() {
+        run_as_worker(&args, &addr);
+    }
+
     let spec = ShardSpec::new(args.shard_index, args.shard_count).unwrap_or_else(|e| {
         eprintln!("bad shard spec: {e}");
         std::process::exit(2);
     });
+    // Fail fast: a bad --out must cost seconds, not a full sweep. The
+    // journal lands next to the shard file, so one probe covers both.
+    let out = args.shard_path();
+    if let Err(e) = BinArgs::ensure_writable(&out) {
+        eprintln!("refusing to sweep: {e}");
+        std::process::exit(2);
+    }
+
     let (pairs, _) = suite_modules(2009);
     let range = spec.range(pairs.len());
-    let mine = spec.slice(&pairs);
     println!(
         "sweep shard {}/{}: programs [{}..{}) of {} ({} uarchs x {} settings, scale {})",
         spec.index(),
@@ -48,24 +234,25 @@ fn main() {
         args.scale_name,
     );
 
-    let cache = args.profile_cache.as_ref().map(|dir| {
-        open_profile_cache(dir).unwrap_or_else(|e| {
-            eprintln!("cannot open profile cache {dir}: {e}");
-            std::process::exit(2);
-        })
-    });
-    let (ds, report) = generate_with_cache(mine, &args.gen_options(), cache.as_ref());
-    args.write_report(&report);
+    let cache = open_cache(&args);
+    let journal_path = format!("{out}.journal");
+    sweep_shard(
+        &args,
+        &spec,
+        &pairs,
+        cache.as_ref(),
+        &journal_path,
+        |ds, report| {
+            args.write_report(report);
+            if let Some(c) = &cache {
+                print_cache_stats(c);
+            }
+            BinArgs::write_dataset(&out, ds);
+        },
+    );
     if let Some(c) = &cache {
-        let s = c.stats();
-        println!(
-            "profile cache: {} hits, {} misses, {} rejected ({})",
-            s.hits,
-            s.misses,
-            s.rejected,
-            c.dir().display(),
-        );
+        if let Some(max) = args.cache_max_bytes {
+            gc_cache(c, max);
+        }
     }
-
-    BinArgs::write_dataset(&args.shard_path(), &ds);
 }

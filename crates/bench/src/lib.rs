@@ -6,6 +6,8 @@
 
 #![warn(missing_docs)]
 
+pub mod coordinator;
+
 use portopt_core::{Dataset, GenOptions, SweepReport, SweepScale};
 use portopt_experiments::loo::{run_loo, LooResult};
 use portopt_experiments::{dataset_cached, suite_modules};
@@ -61,6 +63,19 @@ pub struct BinArgs {
     pub profile_cache: Option<String>,
     /// `snapshot` bin: also write the (merged) training dataset here.
     pub dataset_out: Option<String>,
+    /// `sweep` bin: disable the resumable checkpoint journal.
+    pub no_checkpoint: bool,
+    /// `sweep` bin: take leases from the coordinator at this `host:port`
+    /// instead of sweeping `--shard-index`.
+    pub worker: Option<String>,
+    /// `coordinator` bin: maximum attempts per shard before the plan
+    /// aborts.
+    pub retry_budget: u32,
+    /// `coordinator` bin: lease deadline in milliseconds.
+    pub lease_timeout_ms: u64,
+    /// `sweep` bin: evict the profile cache down to this many bytes after
+    /// the sweep (current-run entries are never evicted).
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl BinArgs {
@@ -70,8 +85,10 @@ impl BinArgs {
     /// `--shard PATH` (repeatable), `--dataset-out PATH`, `--stdio`,
     /// `--port N`, `--batch N`, `--batch-window-ms N`, `--max-conns N`,
     /// `--queue-cap N`, `--per-conn-quota N`, `--metrics-port N`,
-    /// `--watch-snapshot`, and the `sweep` flags `--shard-index N`,
-    /// `--shard-count N`, `--profile-cache DIR`.
+    /// `--watch-snapshot`, the `sweep` flags `--shard-index N`,
+    /// `--shard-count N`, `--profile-cache DIR`, `--no-checkpoint`,
+    /// `--worker HOST:PORT`, `--cache-max-bytes N`, and the `coordinator`
+    /// flags `--retry-budget N`, `--lease-timeout-ms N`.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
         let mut extended = false;
@@ -93,6 +110,11 @@ impl BinArgs {
         let mut shard_count = 1usize;
         let mut profile_cache = None;
         let mut dataset_out = None;
+        let mut no_checkpoint = false;
+        let mut worker = None;
+        let mut retry_budget = coordinator::DEFAULT_RETRY_BUDGET;
+        let mut lease_timeout_ms = coordinator::DEFAULT_LEASE_TIMEOUT_MS;
+        let mut cache_max_bytes = None;
         let args: Vec<String> = std::env::args().collect();
         let mut i = 1;
         while i < args.len() {
@@ -228,6 +250,51 @@ impl BinArgs {
                     None => eprintln!("--metrics-port expects a port number; endpoint disabled"),
                 },
                 "--watch-snapshot" => watch_snapshot = true,
+                "--no-checkpoint" => no_checkpoint = true,
+                "--worker" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(a) => {
+                        worker = Some(a.clone());
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("--worker expects a coordinator host:port");
+                        std::process::exit(2);
+                    }
+                },
+                "--retry-budget" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0u32 => {
+                        retry_budget = n;
+                        i += 1;
+                    }
+                    _ => {
+                        eprintln!("--retry-budget expects a positive number; using {retry_budget}")
+                    }
+                },
+                "--lease-timeout-ms" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0u64 => {
+                        lease_timeout_ms = n;
+                        i += 1;
+                    }
+                    _ => eprintln!(
+                        "--lease-timeout-ms expects a positive number; using {lease_timeout_ms}"
+                    ),
+                },
+                "--cache-max-bytes" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
+                    Some(n) => {
+                        cache_max_bytes = Some(n);
+                        i += 1;
+                    }
+                    None => {
+                        // Fatal like the shard flags: a typo'd budget must
+                        // not silently skip the eviction the operator
+                        // counted on (or, worse, evict to a default).
+                        eprintln!(
+                            "--cache-max-bytes expects a byte count, got {:?}",
+                            args.get(i + 1)
+                        );
+                        std::process::exit(2);
+                    }
+                },
                 other => eprintln!("ignoring unknown argument {other}"),
             }
             i += 1;
@@ -264,18 +331,61 @@ impl BinArgs {
             shard_count,
             profile_cache,
             dataset_out,
+            no_checkpoint,
+            worker,
+            retry_budget,
+            lease_timeout_ms,
+            cache_max_bytes,
         }
+    }
+
+    /// Writes `bytes` to `path` atomically: a temp file in the same
+    /// directory, flushed, then renamed over the target (the same
+    /// publication discipline as `DiskCache::put`). A crash mid-write
+    /// leaves either the old file or a stray `.tmp` — never a truncated
+    /// artifact for a reader to choke on.
+    pub fn write_atomic(path: &str, bytes: &[u8]) -> std::io::Result<()> {
+        let tmp = format!("{path}.tmp.{}", std::process::id());
+        std::fs::write(&tmp, bytes)?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            e
+        })
+    }
+
+    /// Verifies that `path` can be created and written *now*, creating
+    /// missing parent directories — called by the `sweep`, `snapshot` and
+    /// `coordinator` bins before any pricing starts, so a typo'd output
+    /// path costs seconds, not a sweep.
+    pub fn ensure_writable(path: &str) -> Result<(), String> {
+        let p = std::path::Path::new(path);
+        if p.is_dir() {
+            return Err(format!("{path} is a directory, not a writable file"));
+        }
+        if let Some(dir) = p.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory {}: {e}", dir.display()))?;
+        }
+        // Probe with a sibling temp file (same directory, same rename
+        // target as `write_atomic`), so the check exercises the exact
+        // permission the final publication needs.
+        let probe = format!("{path}.probe.{}", std::process::id());
+        std::fs::write(&probe, b"").map_err(|e| format!("{path} is not writable: {e}"))?;
+        let _ = std::fs::remove_file(&probe);
+        Ok(())
     }
 
     /// Writes a dataset as JSON and reports the artifact, exiting with
     /// status 2 on failure — the shared output path of the `sweep` bin
     /// (shard files) and `snapshot --dataset-out` (the merged dataset).
+    /// Publication is atomic ([`BinArgs::write_atomic`]): a crash mid-write
+    /// can never leave a truncated shard for `snapshot --shard`.
     pub fn write_dataset(path: &str, ds: &Dataset) {
         let bytes = serde_json::to_vec(ds).unwrap_or_else(|e| {
             eprintln!("cannot serialize dataset: {e}");
             std::process::exit(2);
         });
-        if let Err(e) = std::fs::write(path, &bytes) {
+        if let Err(e) = Self::write_atomic(path, &bytes) {
             eprintln!("cannot write dataset {path}: {e}");
             std::process::exit(2);
         }
@@ -347,7 +457,7 @@ impl BinArgs {
         );
         if let Ok(bytes) = serde_json::to_vec(report) {
             let path = self.report_path();
-            if let Err(e) = std::fs::write(&path, bytes) {
+            if let Err(e) = Self::write_atomic(&path, &bytes) {
                 eprintln!("could not write {path}: {e}");
             }
         }

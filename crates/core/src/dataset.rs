@@ -9,6 +9,7 @@
 //! sweep into `programs × settings` profiler runs plus 7 million
 //! microsecond-scale model evaluations.
 
+use crate::checkpoint::{CheckpointJournal, JournalError};
 use portopt_exec::cache::{CacheError, DiskCache};
 use portopt_exec::Executor;
 use portopt_ir::interp::ExecLimits;
@@ -595,27 +596,53 @@ fn sweep_grid(
     configs: Vec<OptConfig>,
     threads: usize,
     disk: Option<&DiskCache>,
+    journal: Option<&CheckpointJournal>,
 ) -> (Dataset, SweepReport) {
     let start = std::time::Instant::now();
     let exec = Executor::new(threads);
     let np = programs.len();
 
-    // `-O3` baselines, parallel over programs.
-    let baselines = exec.map_indexed(np, |p| o3_baseline(&programs[p].1, &uarchs, disk));
+    // `-O3` baselines, parallel over programs. A journalled baseline is
+    // replayed instead of recomputed; a fresh one is journalled as soon as
+    // it completes.
+    let baselines = exec.map_indexed(np, |p| {
+        if let Some(j) = journal {
+            if let Some(b) = j.replayed_baseline(p) {
+                return b;
+            }
+        }
+        let b = o3_baseline(&programs[p].1, &uarchs, disk);
+        if let Some(j) = journal {
+            j.record_baseline(p, &b.0, &b.1);
+        }
+        b
+    });
 
     // The flattened (program, unique-setting) grid in one executor pass.
+    // Checkpointed pairs skip even the compile; every completed pair is
+    // journalled — including in-memory fingerprint-cache hits, so a resume
+    // never depends on which duplicate finished first.
     let (uniques, to_unique) = dedup_configs(&configs);
     let nu = uniques.len();
     let caches: Vec<ProfileCache> = (0..np).map(|_| Mutex::new(HashMap::new())).collect();
     let rows = exec.map_indexed(np * nu, |i| {
         let (p, t) = (i / nu, i % nu);
-        eval_setting(
+        if let Some(j) = journal {
+            if let Some(row) = j.replayed_pair(p, t) {
+                return row;
+            }
+        }
+        let row = eval_setting(
             &programs[p].1,
             &uarchs,
             &configs[uniques[t]],
             &caches[p],
             disk,
-        )
+        );
+        if let Some(j) = journal {
+            j.record_pair(p, t, &row);
+        }
+        row
     });
 
     let mut ds = Dataset {
@@ -686,6 +713,30 @@ pub fn generate_with_cache(
     opts: &GenOptions,
     disk: Option<&DiskCache>,
 ) -> (Dataset, SweepReport) {
+    generate_with_checkpoint(programs, opts, disk, None)
+}
+
+/// [`generate_with_cache`] with an optional checkpoint journal (opened via
+/// [`open_sweep_journal`]): every completed `(program, setting)` pair and
+/// `-O3` baseline is appended to the journal as it finishes, and results
+/// already in the journal are **replayed instead of re-priced** — a sweep
+/// killed mid-shard and restarted with identical flags resumes where it
+/// died. Like the profile cache, the journal never changes the result: a
+/// resumed sweep's dataset is byte-identical to an uninterrupted run
+/// (asserted by `cargo test -p portopt-core` and the CI crash-resume job).
+pub fn generate_with_checkpoint(
+    programs: &[(String, Module)],
+    opts: &GenOptions,
+    disk: Option<&DiskCache>,
+    journal: Option<&CheckpointJournal>,
+) -> (Dataset, SweepReport) {
+    let (uarchs, configs) = sample_axes(opts);
+    sweep_grid(programs, uarchs, configs, opts.threads, disk, journal)
+}
+
+/// Samples both sweep axes for the given options — the single sampling
+/// recipe [`generate`] and the plan fingerprint agree on.
+fn sample_axes(opts: &GenOptions) -> (Vec<MicroArch>, Vec<OptConfig>) {
     let space = if opts.extended_space {
         MicroArchSpace::extended()
     } else {
@@ -694,7 +745,47 @@ pub fn generate_with_cache(
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let uarchs = space.sample_n(opts.scale.n_uarch, &mut rng);
     let configs = sample_configs(opts.scale.n_opts, opts.seed);
-    sweep_grid(programs, uarchs, configs, opts.threads, disk)
+    (uarchs, configs)
+}
+
+/// Structural fingerprint of one sweep plan: the program list (names and
+/// full module structure), both sampled axes, and the profiling limits —
+/// everything a journalled row is a function of. Two invocations share a
+/// fingerprint exactly when a checkpoint journal written by one can be
+/// replayed by the other; [`open_sweep_journal`] refuses any other journal
+/// with [`JournalError::PlanMismatch`].
+pub fn plan_fingerprint(programs: &[(String, Module)], opts: &GenOptions) -> u64 {
+    use std::hash::{Hash as _, Hasher as _};
+    let mut h = portopt_ir::StableHasher::new();
+    programs.len().hash(&mut h);
+    for (name, module) in programs {
+        name.hash(&mut h);
+        module.hash(&mut h);
+    }
+    // The sampled axes are covered via their canonical encodings (the
+    // same ones shard merging compares), so the fingerprint tracks the
+    // actual samples, not just the seed that produced them.
+    let (uarchs, configs) = sample_axes(opts);
+    serde_json::to_vec(&uarchs)
+        .expect("uarchs serialize")
+        .hash(&mut h);
+    for cfg in &configs {
+        cfg.to_choices().hash(&mut h);
+    }
+    (PROFILE_LIMITS.fuel, PROFILE_LIMITS.max_depth).hash(&mut h);
+    h.finish()
+}
+
+/// Opens (creating if needed) the checkpoint journal at `path` for a sweep
+/// of `programs` under `opts`, fingerprinting the plan so a journal from a
+/// different sweep — other programs, seed, scale, space or limits — is
+/// refused with a typed [`JournalError`] instead of replayed.
+pub fn open_sweep_journal(
+    path: impl AsRef<std::path::Path>,
+    programs: &[(String, Module)],
+    opts: &GenOptions,
+) -> Result<CheckpointJournal, JournalError> {
+    CheckpointJournal::open(path, plan_fingerprint(programs, opts))
 }
 
 /// Generates a dataset priced on the given (named) microarchitectures
@@ -708,7 +799,7 @@ pub fn generate_with_uarchs(
     opts: &GenOptions,
 ) -> (Dataset, SweepReport) {
     let configs = sample_configs(opts.scale.n_opts, opts.seed);
-    sweep_grid(programs, uarchs.to_vec(), configs, opts.threads, None)
+    sweep_grid(programs, uarchs.to_vec(), configs, opts.threads, None, None)
 }
 
 #[cfg(test)]
@@ -1166,6 +1257,143 @@ mod tests {
             serde_json::to_vec(&whole).unwrap(),
             "contiguous shards must merge back to the unsharded sweep"
         );
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_byte_identically() {
+        let dir = cache_scratch_dir("journal-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let programs = vec![tiny_program("p1", 1), tiny_program("p2", 7)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 3,
+                n_opts: 10,
+            },
+            seed: 44,
+            extended_space: false,
+            threads: 2,
+        };
+        let baseline = generate(&programs, &opts);
+        let bytes = |ds: &Dataset| serde_json::to_vec(ds).unwrap();
+
+        // First attempt journals every pair and baseline as it completes.
+        let first = open_sweep_journal(&path, &programs, &opts).unwrap();
+        assert_eq!(first.resumed_pairs(), 0);
+        let (cold, report) = generate_with_checkpoint(&programs, &opts, None, Some(&first));
+        assert_eq!(bytes(&cold), bytes(&baseline));
+        assert_eq!(
+            first.recorded(),
+            (report.grid_tasks + report.programs) as u64,
+            "every pair and baseline journalled"
+        );
+        drop(first);
+
+        // A "restart" with identical flags replays everything: zero pairs
+        // re-priced (recorded() stays 0), output still byte-identical.
+        let resumed = open_sweep_journal(&path, &programs, &opts).unwrap();
+        assert_eq!(resumed.resumed_pairs(), report.grid_tasks);
+        assert_eq!(resumed.resumed_baselines(), report.programs);
+        let (warm, _) = generate_with_checkpoint(&programs, &opts, None, Some(&resumed));
+        assert_eq!(resumed.recorded(), 0, "full replay re-prices nothing");
+        assert_eq!(bytes(&warm), bytes(&baseline));
+        resumed.retire().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn partial_journal_resumes_only_the_missing_work() {
+        let dir = cache_scratch_dir("journal-partial");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let programs = vec![tiny_program("p1", 1), tiny_program("p2", 7)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 8,
+            },
+            seed: 45,
+            extended_space: false,
+            threads: 1,
+        };
+        let baseline = generate(&programs, &opts);
+        let bytes = |ds: &Dataset| serde_json::to_vec(ds).unwrap();
+        let first = open_sweep_journal(&path, &programs, &opts).unwrap();
+        let (_, report) = generate_with_checkpoint(&programs, &opts, None, Some(&first));
+        drop(first);
+
+        // Simulate a crash partway through: keep the header + first half
+        // of the records (complete lines), drop the rest.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let keep = 1 + (lines.len() - 1) / 2;
+        let mut truncated = lines[..keep].join("\n");
+        truncated.push('\n');
+        std::fs::write(&path, truncated).unwrap();
+
+        let resumed = open_sweep_journal(&path, &programs, &opts).unwrap();
+        let replayed = resumed.resumed_pairs() + resumed.resumed_baselines();
+        assert_eq!(replayed, keep - 1);
+        assert!(resumed.resumed_pairs() < report.grid_tasks);
+        let (warm, _) = generate_with_checkpoint(&programs, &opts, None, Some(&resumed));
+        let total = (report.grid_tasks + report.programs) as u64;
+        assert_eq!(
+            resumed.recorded(),
+            total - replayed as u64,
+            "exactly the missing records re-priced and journalled"
+        );
+        assert_eq!(bytes(&warm), bytes(&baseline));
+
+        // The journal is whole again: a third run replays everything.
+        drop(resumed);
+        let whole = open_sweep_journal(&path, &programs, &opts).unwrap();
+        assert_eq!(whole.resumed_pairs(), report.grid_tasks);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn journal_of_a_different_plan_is_refused() {
+        let dir = cache_scratch_dir("journal-plan");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sweep.journal");
+        let programs = vec![tiny_program("p1", 1)];
+        let opts = GenOptions {
+            scale: SweepScale {
+                n_uarch: 2,
+                n_opts: 6,
+            },
+            seed: 46,
+            extended_space: false,
+            threads: 1,
+        };
+        drop(open_sweep_journal(&path, &programs, &opts).unwrap());
+        // Any plan-changing knob — a different seed, scale, or program
+        // list — must be refused with the typed mismatch.
+        for bad in [
+            GenOptions { seed: 47, ..opts },
+            GenOptions {
+                scale: SweepScale {
+                    n_uarch: 3,
+                    n_opts: 6,
+                },
+                ..opts
+            },
+        ] {
+            assert!(matches!(
+                open_sweep_journal(&path, &programs, &bad),
+                Err(JournalError::PlanMismatch { .. })
+            ));
+        }
+        let other_programs = vec![tiny_program("p2", 7)];
+        assert!(matches!(
+            open_sweep_journal(&path, &other_programs, &opts),
+            Err(JournalError::PlanMismatch { .. })
+        ));
+        // Thread count and an attached profile cache are *not* part of the
+        // plan: they cannot change the rows.
+        let threads = GenOptions { threads: 8, ..opts };
+        assert!(open_sweep_journal(&path, &programs, &threads).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

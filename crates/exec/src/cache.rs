@@ -27,6 +27,18 @@
 //! observes a half-written entry and concurrent writers of the same key
 //! simply race to publish identical bytes.
 //!
+//! ## Garbage collection
+//!
+//! On a shared filesystem entries accumulate without bound, so the cache
+//! also does size accounting ([`DiskCache::total_bytes`],
+//! [`DiskCache::entries`]) and bounded eviction ([`DiskCache::gc`]):
+//! oldest-first by modification time (LRU, with write time as the recency
+//! signal) until the directory fits the byte budget. Entries this handle
+//! wrote **or served as hits** during the current run are never evicted —
+//! a concurrent GC can only reclaim *other* runs' entries, so it can slow
+//! a live sweep down but never yank its working set. A pass also sweeps
+//! up stale `*.tmp` droppings left behind by killed writers.
+//!
 //! ```
 //! use portopt_exec::cache::DiskCache;
 //!
@@ -41,8 +53,11 @@
 //! ```
 
 use serde::{Deserialize, Serialize, Value};
+use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
 
 /// The `magic` field of every cache entry; anything else is not one.
 pub const CACHE_MAGIC: &str = "portopt-cache-entry";
@@ -181,6 +196,9 @@ pub struct DiskCache {
     misses: AtomicU64,
     rejected: AtomicU64,
     tmp_seq: AtomicU64,
+    /// Keys this handle wrote or served as hits: the current run's working
+    /// set, which [`DiskCache::gc`] must never evict.
+    touched: Mutex<HashSet<u64>>,
 }
 
 impl DiskCache {
@@ -201,6 +219,7 @@ impl DiskCache {
             misses: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             tmp_seq: AtomicU64::new(0),
+            touched: Mutex::new(HashSet::new()),
         })
     }
 
@@ -230,6 +249,7 @@ impl DiskCache {
         match self.read_entry(key) {
             Ok(Some(v)) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.touch(key);
                 Ok(Some(v))
             }
             Ok(None) => {
@@ -316,12 +336,193 @@ impl DiskCache {
             .join(format!(".{key:016x}.{}.{seq}.tmp", std::process::id()));
         std::fs::write(&tmp, &bytes)?;
         match std::fs::rename(&tmp, self.entry_path(key)) {
-            Ok(()) => Ok(()),
+            Ok(()) => {
+                self.touch(key);
+                Ok(())
+            }
             Err(e) => {
                 let _ = std::fs::remove_file(&tmp);
                 Err(CacheError::Io(e))
             }
         }
+    }
+
+    fn touch(&self, key: u64) {
+        self.touched.lock().expect("touched set").insert(key);
+    }
+
+    /// Whether `key` belongs to this handle's current-run working set
+    /// (written or served as a hit through this handle), which
+    /// [`gc`](DiskCache::gc) will never evict.
+    pub fn is_protected(&self, key: u64) -> bool {
+        self.touched.lock().expect("touched set").contains(&key)
+    }
+
+    /// Scans the cache directory and describes every entry file (name,
+    /// size, modification time). Temp droppings and foreign files are not
+    /// entries and are skipped; entries that vanish mid-scan (a concurrent
+    /// GC) are skipped too.
+    pub fn entries(&self) -> Result<Vec<CacheEntryInfo>, CacheError> {
+        let mut out = Vec::new();
+        for dirent in std::fs::read_dir(&self.dir)? {
+            let dirent = dirent?;
+            let name = dirent.file_name();
+            let Some(key) = entry_key_of(&name.to_string_lossy()) else {
+                continue;
+            };
+            let Ok(meta) = dirent.metadata() else {
+                continue; // raced with a concurrent eviction
+            };
+            out.push(CacheEntryInfo {
+                key,
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+            });
+        }
+        Ok(out)
+    }
+
+    /// Total bytes of all entry files currently in the cache directory.
+    pub fn total_bytes(&self) -> Result<u64, CacheError> {
+        Ok(self.entries()?.iter().map(|e| e.bytes).sum())
+    }
+
+    /// One bounded-size eviction pass: deletes entries oldest-first (by
+    /// modification time, key as the tie-break, so a pass is deterministic
+    /// for a given directory state) until the remaining entries fit in
+    /// `max_bytes` — except entries in this handle's current-run working
+    /// set, which are *never* evicted even if the budget cannot be met
+    /// without them ([`GcReport::met_budget`] reports which case you got).
+    /// Stale `*.tmp` files from killed writers (older than
+    /// [`TMP_MAX_AGE`]) are removed as a side effect.
+    ///
+    /// Concurrent-safe: an entry that disappears mid-pass (another rig's
+    /// GC) just stops counting, and live writers re-publish atomically, so
+    /// the worst outcome of an eviction race is a re-profiled entry.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, CacheError> {
+        let tmp_removed = self.sweep_stale_tmps();
+        let mut entries = self.entries()?;
+        entries.sort_by(|a, b| (a.modified, a.key).cmp(&(b.modified, b.key)));
+        let before_bytes: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut report = GcReport {
+            examined: entries.len(),
+            before_bytes,
+            evicted: 0,
+            evicted_bytes: 0,
+            kept: 0,
+            kept_bytes: before_bytes,
+            protected: 0,
+            tmp_removed,
+        };
+        for entry in &entries {
+            if report.kept_bytes <= max_bytes {
+                report.kept += 1;
+                continue;
+            }
+            if self.is_protected(entry.key) {
+                report.protected += 1;
+                report.kept += 1;
+                continue;
+            }
+            match std::fs::remove_file(self.entry_path(entry.key)) {
+                // NotFound means another process evicted it first —
+                // either way the entry no longer occupies the budget.
+                Ok(()) => {
+                    report.evicted += 1;
+                    report.evicted_bytes += entry.bytes;
+                    report.kept_bytes -= entry.bytes;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                    report.evicted += 1;
+                    report.evicted_bytes += entry.bytes;
+                    report.kept_bytes -= entry.bytes;
+                }
+                // Undeletable (permissions?): still occupying the budget.
+                Err(_) => report.kept += 1,
+            }
+        }
+        Ok(report)
+    }
+
+    /// Removes `*.tmp` files older than [`TMP_MAX_AGE`] — droppings of
+    /// writers that were killed between write and rename. Fresh temp files
+    /// are left alone: they may belong to a live writer about to publish.
+    fn sweep_stale_tmps(&self) -> usize {
+        let Ok(dir) = std::fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        let mut removed = 0;
+        for dirent in dir.flatten() {
+            let name = dirent.file_name();
+            if !name.to_string_lossy().ends_with(".tmp") {
+                continue;
+            }
+            let stale = dirent
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|t| SystemTime::now().duration_since(t).ok())
+                .is_some_and(|age| age > TMP_MAX_AGE);
+            if stale && std::fs::remove_file(dirent.path()).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+}
+
+/// Age past which a `*.tmp` file is considered a dropping of a killed
+/// writer and reclaimed by [`DiskCache::gc`]. Live writers publish within
+/// milliseconds of creating their temp file.
+pub const TMP_MAX_AGE: Duration = Duration::from_secs(600);
+
+/// Parses an entry file name (`<16 hex digits>.json`) back to its key.
+fn entry_key_of(name: &str) -> Option<u64> {
+    let hex = name.strip_suffix(".json")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// One on-disk cache entry as seen by the GC scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheEntryInfo {
+    /// The entry's fingerprint key (from its file name).
+    pub key: u64,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-modified time — the LRU recency signal.
+    pub modified: SystemTime,
+}
+
+/// Outcome of one [`DiskCache::gc`] eviction pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries present when the pass started.
+    pub examined: usize,
+    /// Their total size when the pass started.
+    pub before_bytes: u64,
+    /// Entries deleted.
+    pub evicted: usize,
+    /// Bytes reclaimed.
+    pub evicted_bytes: u64,
+    /// Entries left in the cache.
+    pub kept: usize,
+    /// Their total size — the directory's size after the pass.
+    pub kept_bytes: u64,
+    /// Entries kept *despite* the budget because they belong to the
+    /// current run's working set.
+    pub protected: usize,
+    /// Stale `*.tmp` droppings removed.
+    pub tmp_removed: usize,
+}
+
+impl GcReport {
+    /// Whether the pass got the directory under `max_bytes`. `false` means
+    /// the current run's protected working set alone exceeds the budget.
+    pub fn met_budget(&self, max_bytes: u64) -> bool {
+        self.kept_bytes <= max_bytes
     }
 }
 
@@ -437,6 +638,159 @@ mod tests {
             }
             other => panic!("expected KeyMismatch, got {other:?}"),
         }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn racing_writers_of_one_key_leave_one_valid_entry() {
+        // Two threads hammering the SAME key with different payloads while
+        // a reader polls it: atomic tmp+rename must guarantee the reader
+        // never sees a torn entry (`Corrupt`), and the final state is
+        // exactly one valid entry holding one of the written values.
+        let dir = scratch_dir("same-key");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        const KEY: u64 = 0xD0D0;
+        const ROUNDS: u64 = 200;
+        std::thread::scope(|s| {
+            for writer in 0..2u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..ROUNDS {
+                        cache.put(KEY, &vec![writer, i]).unwrap();
+                    }
+                });
+            }
+            let cache = &cache;
+            s.spawn(move || {
+                for _ in 0..ROUNDS {
+                    match cache.get::<Vec<u64>>(KEY) {
+                        Ok(None) => {} // not yet published
+                        Ok(Some(v)) => {
+                            assert_eq!(v.len(), 2, "torn payload: {v:?}");
+                            assert!(v[0] < 2 && v[1] < ROUNDS, "foreign payload: {v:?}");
+                        }
+                        Err(e) => panic!("reader saw a corrupt entry mid-race: {e}"),
+                    }
+                }
+            });
+        });
+        let last = cache.get::<Vec<u64>>(KEY).unwrap().expect("entry exists");
+        assert_eq!(last[1], ROUNDS - 1, "final entry is some writer's last put");
+        // Exactly one entry file for the key, and no temp droppings.
+        let files: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(files, vec![format!("{KEY:016x}.json")], "{files:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn age_entry(cache: &DiskCache, key: u64, secs_ago: u64) {
+        let f = std::fs::File::options()
+            .write(true)
+            .open(cache.entry_path(key))
+            .unwrap();
+        f.set_modified(SystemTime::now() - Duration::from_secs(secs_ago))
+            .unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_oldest_first_until_under_budget() {
+        let dir = scratch_dir("gc-lru");
+        let writer = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        // Five entries of identical size, aged 50s..10s (key 1 oldest).
+        for k in 1..=5u64 {
+            writer.put(k, &vec![k; 16]).unwrap();
+            age_entry(&writer, k, 60 - k * 10);
+        }
+        let per_entry = writer.total_bytes().unwrap() / 5;
+        // A fresh handle (nothing touched) GCs down to a 3-entry budget:
+        // the two oldest go, the three newest stay.
+        let gc = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        let report = gc.gc(3 * per_entry).unwrap();
+        assert_eq!(report.examined, 5);
+        assert_eq!(report.evicted, 2);
+        assert_eq!(report.evicted_bytes, 2 * per_entry);
+        assert_eq!(report.kept, 3);
+        assert_eq!(report.protected, 0);
+        assert!(report.met_budget(3 * per_entry), "{report:?}");
+        assert_eq!(gc.total_bytes().unwrap(), 3 * per_entry);
+        for k in 1..=2u64 {
+            assert_eq!(gc.get::<Vec<u64>>(k).unwrap(), None, "key {k} evicted");
+        }
+        for k in 3..=5u64 {
+            assert!(gc.get::<Vec<u64>>(k).unwrap().is_some(), "key {k} kept");
+        }
+        // Idempotent: already under budget, nothing more to do.
+        let again = gc.gc(3 * per_entry).unwrap();
+        assert_eq!(again.evicted, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_never_evicts_the_current_runs_entries() {
+        let dir = scratch_dir("gc-protect");
+        // An earlier run left two old entries behind...
+        let old_run = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        old_run.put(100, &vec![0u64; 16]).unwrap();
+        old_run.put(101, &vec![0u64; 16]).unwrap();
+        age_entry(&old_run, 100, 1000);
+        age_entry(&old_run, 101, 900);
+        // ...and the current run wrote one entry and hit another.
+        let current = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        current.put(200, &vec![7u64; 16]).unwrap();
+        assert!(current.get::<Vec<u64>>(101).unwrap().is_some());
+        assert!(current.is_protected(200) && current.is_protected(101));
+        assert!(!current.is_protected(100));
+        // Budget of zero: everything MUST go except the protected pair,
+        // even though the budget cannot be met without them.
+        let report = current.gc(0).unwrap();
+        assert_eq!(report.evicted, 1, "{report:?}"); // only the untouched 100
+        assert_eq!(report.protected, 2, "{report:?}");
+        assert!(!report.met_budget(0), "{report:?}");
+        assert!(current.get::<Vec<u64>>(200).unwrap().is_some());
+        assert!(current.get::<Vec<u64>>(101).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn gc_sweeps_stale_tmp_droppings_but_not_fresh_ones() {
+        let dir = scratch_dir("gc-tmp");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        cache.put(1, &1u32).unwrap();
+        // A dropping from a writer killed between write and rename...
+        let stale = dir.join(".00000000000000aa.999.0.tmp");
+        std::fs::write(&stale, b"half-written").unwrap();
+        std::fs::File::options()
+            .write(true)
+            .open(&stale)
+            .unwrap()
+            .set_modified(SystemTime::now() - (TMP_MAX_AGE + Duration::from_secs(60)))
+            .unwrap();
+        // ...and a fresh temp file of a (hypothetical) live writer.
+        let fresh = dir.join(".00000000000000bb.998.0.tmp");
+        std::fs::write(&fresh, b"about to publish").unwrap();
+        let report = cache.gc(u64::MAX).unwrap();
+        assert_eq!(report.tmp_removed, 1, "{report:?}");
+        assert!(!stale.exists(), "stale dropping reclaimed");
+        assert!(fresh.exists(), "live writer's temp file untouched");
+        assert_eq!(report.evicted, 0, "no entries over budget");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entry_scan_ignores_foreign_files() {
+        let dir = scratch_dir("gc-scan");
+        let cache = DiskCache::open(&dir, "test-payload", 1).unwrap();
+        cache.put(0xCAFE, &vec![1u8, 2, 3]).unwrap();
+        std::fs::write(dir.join("README.txt"), b"not an entry").unwrap();
+        std::fs::write(dir.join("deadbeef.json"), b"short hex name").unwrap();
+        std::fs::write(dir.join(".0000000000000001.1.0.tmp"), b"tmp").unwrap();
+        let entries = cache.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].key, 0xCAFE);
+        assert!(entries[0].bytes > 0);
+        assert_eq!(cache.total_bytes().unwrap(), entries[0].bytes);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

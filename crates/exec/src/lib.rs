@@ -49,7 +49,7 @@
 pub mod cache;
 pub mod queue;
 
-pub use cache::{CacheError, CacheStats, DiskCache};
+pub use cache::{CacheEntryInfo, CacheError, CacheStats, DiskCache, GcReport};
 pub use queue::{ServiceQueue, SubmitError, Ticket};
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
