@@ -25,7 +25,7 @@ fn usage() -> ! {
 
 fn open(dir: &str) -> DiskCache {
     open_profile_cache(dir).unwrap_or_else(|e| {
-        eprintln!("cannot open profile cache {dir}: {e}");
+        portopt_trace::error!("bench.cache", "cannot open profile cache {dir}: {e}");
         std::process::exit(2);
     })
 }
@@ -41,7 +41,7 @@ fn main() {
                     println!("{dir}: {} entries, {bytes} bytes", entries.len());
                 }
                 (Err(e), _) | (_, Err(e)) => {
-                    eprintln!("cannot scan {dir}: {e}");
+                    portopt_trace::error!("bench.cache", "cannot scan {dir}: {e}");
                     std::process::exit(2);
                 }
             }
@@ -73,15 +73,16 @@ fn main() {
                         r.tmp_removed,
                     );
                     if !r.met_budget(max_bytes) {
-                        eprintln!(
-                            "warning: still over budget ({} > {max_bytes})",
+                        portopt_trace::warn!(
+                            "bench.cache",
+                            "still over budget ({} > {max_bytes})",
                             r.kept_bytes
                         );
                         std::process::exit(1);
                     }
                 }
                 Err(e) => {
-                    eprintln!("gc failed: {e}");
+                    portopt_trace::error!("bench.cache", "gc failed: {e}");
                     std::process::exit(2);
                 }
             }

@@ -17,13 +17,36 @@
 //!
 //! Worker loss, lease expiry, retries, refusals and deduped duplicate
 //! results are all visible in the exit counters (`coordinator: granted=…
-//! workers_lost=…`).
+//! workers_lost=…`) — and, live while the plan runs, on the plaintext
+//! `--metrics-port` endpoint (`portopt_coord_*` lines, same read-to-EOF
+//! contract as the `serve` bin's metrics port).
 
-use portopt_bench::coordinator::{run_coordinator, CoordConfig, Coordinator};
+use portopt_bench::coordinator::{run_coordinator, CoordConfig, CoordMetrics, Coordinator};
 use portopt_bench::BinArgs;
+use std::io::Write as _;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
+
+/// Serves `metrics.to_text()` to every connection until `stop`: accept,
+/// write, drop (a scraper reads to EOF) — the same loop shape as the
+/// `serve` bin's metrics endpoint.
+fn metrics_endpoint_loop(listener: &TcpListener, metrics: &CoordMetrics, stop: &AtomicBool) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                let _ = stream.write_all(metrics.to_text().as_bytes());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => {
+                portopt_trace::warn!("bench.coordinator", "metrics endpoint accept error: {e}")
+            }
+        }
+    }
+}
 
 fn main() {
     let args = BinArgs::parse();
@@ -34,16 +57,20 @@ fn main() {
     // Fail fast before any worker burns compute on a plan whose result
     // could never be written.
     if let Err(e) = BinArgs::ensure_writable(&out) {
-        eprintln!("refusing to coordinate: {e}");
+        portopt_trace::error!("bench.coordinator", "refusing to coordinate: {e}");
         std::process::exit(2);
     }
     if args.shard_count == 0 {
-        eprintln!("--shard-count must be at least 1");
+        portopt_trace::error!("bench.coordinator", "--shard-count must be at least 1");
         std::process::exit(2);
     }
 
     let listener = TcpListener::bind(("127.0.0.1", args.port)).unwrap_or_else(|e| {
-        eprintln!("cannot listen on port {}: {e}", args.port);
+        portopt_trace::error!(
+            "bench.coordinator",
+            "cannot listen on port {}: {e}",
+            args.port
+        );
         std::process::exit(2);
     });
     let addr = listener.local_addr().expect("bound socket has an address");
@@ -59,14 +86,43 @@ fn main() {
     );
     let coord = Arc::new(Mutex::new(Coordinator::new(config)));
     let metrics = coord.lock().expect("coordinator").metrics();
-    match run_coordinator(listener, coord) {
+
+    // Live fleet counters while the plan runs: the endpoint thread serves
+    // the shared CoordMetrics and is told to stop once the plan resolves.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_thread = args.metrics_port.map(|port| {
+        let listener = TcpListener::bind(("127.0.0.1", port)).unwrap_or_else(|e| {
+            portopt_trace::error!(
+                "bench.coordinator",
+                "cannot listen on metrics port {port}: {e}"
+            );
+            std::process::exit(2);
+        });
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking metrics listener");
+        let shown = listener.local_addr().expect("bound socket has an address");
+        println!("coordinator: metrics on {shown}");
+        let metrics = metrics.clone();
+        let stop = metrics_stop.clone();
+        std::thread::spawn(move || metrics_endpoint_loop(&listener, &metrics, &stop))
+    });
+
+    let outcome = run_coordinator(listener, coord);
+    metrics_stop.store(true, Ordering::Release);
+    if let Some(h) = metrics_thread {
+        let _ = h.join();
+    }
+    match outcome {
         Ok(merged) => {
             println!("{}", metrics.render_line());
             BinArgs::write_dataset(&out, &merged);
+            BinArgs::finish_trace();
         }
         Err(e) => {
             println!("{}", metrics.render_line());
-            eprintln!("coordinator failed: {e}");
+            portopt_trace::error!("bench.coordinator", "coordinator failed: {e}");
+            BinArgs::finish_trace();
             std::process::exit(1);
         }
     }

@@ -45,4 +45,5 @@ fn main() {
             );
         }
     }
+    BinArgs::finish_trace();
 }

@@ -9,4 +9,5 @@ fn main() {
     let (ds, loo, _) = args.dataset_and_loo();
     println!("Figure 10 (extended space: frequency + issue width)");
     println!("{}", fig6(&ds, &loo));
+    BinArgs::finish_trace();
 }

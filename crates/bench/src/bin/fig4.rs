@@ -6,4 +6,5 @@ fn main() {
     let args = BinArgs::parse();
     let ds = args.dataset();
     println!("{}", fig4(&ds));
+    BinArgs::finish_trace();
 }

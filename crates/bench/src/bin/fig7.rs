@@ -6,4 +6,5 @@ fn main() {
     let args = BinArgs::parse();
     let (ds, loo, _) = args.dataset_and_loo();
     println!("{}", fig7(&ds, &loo));
+    BinArgs::finish_trace();
 }

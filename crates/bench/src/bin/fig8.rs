@@ -7,4 +7,5 @@ fn main() {
     let ds = args.dataset();
     println!("Figure 8 (rows: optimisations, cols: programs)");
     println!("{}", fig8(&ds));
+    BinArgs::finish_trace();
 }

@@ -7,4 +7,5 @@ fn main() {
     let ds = args.dataset();
     println!("Figure 9 (rows: optimisations, cols: 11 counters + 8 descriptors)");
     println!("{}", fig9(&ds));
+    BinArgs::finish_trace();
 }

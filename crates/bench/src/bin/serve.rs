@@ -35,14 +35,18 @@ use std::time::Duration;
 fn main() {
     let args = BinArgs::parse();
     let path = args.snapshot.clone().unwrap_or_else(|| {
-        eprintln!("serve needs --snapshot <file> (write one with the `snapshot` bin)");
+        portopt_trace::error!(
+            "bench.serve",
+            "serve needs --snapshot <file> (write one with the `snapshot` bin)"
+        );
         std::process::exit(2);
     });
     let snap = Snapshot::load(&path).unwrap_or_else(|e| {
-        eprintln!("cannot serve {path}: {e}");
+        portopt_trace::error!("bench.serve", "cannot serve {path}: {e}");
         std::process::exit(2);
     });
-    eprintln!(
+    portopt_trace::info!(
+        "bench.serve",
         "serving {path}: {} training pairs, format v{}",
         snap.compiler.model().len(),
         snap.meta.format_version
@@ -68,14 +72,14 @@ fn main() {
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         if let Err(e) = service.run_lines(stdin.lock(), stdout.lock(), args.batch, &mut stats) {
-            eprintln!("i/o error: {e}");
+            portopt_trace::error!("bench.serve", "i/o error: {e}");
             std::process::exit(1);
         }
         stats
     } else {
         let addr = format!("127.0.0.1:{}", args.port);
         let listener = std::net::TcpListener::bind(&addr).unwrap_or_else(|e| {
-            eprintln!("cannot bind {addr}: {e}");
+            portopt_trace::error!("bench.serve", "cannot bind {addr}: {e}");
             std::process::exit(2);
         });
         let opts = ServeOptions {
@@ -89,7 +93,8 @@ fn main() {
                 .watch_snapshot
                 .then(|| Duration::from_millis(DEFAULT_WATCH_INTERVAL_MS)),
         };
-        eprintln!(
+        portopt_trace::info!(
+            "bench.serve",
             "listening on {addr}: up to {} connections, batch {} / window {} ms{}{}{}{} \
              (stop with a {{\"shutdown\": true}} request)",
             opts.max_conns,
@@ -116,10 +121,11 @@ fn main() {
         match service.run_concurrent(listener, &opts) {
             Ok(stats) => stats,
             Err(e) => {
-                eprintln!("accept error: {e}");
+                portopt_trace::error!("bench.serve", "accept error: {e}");
                 std::process::exit(1);
             }
         }
     };
-    eprintln!("{}", stats.report());
+    portopt_trace::info!("bench.serve", "{}", stats.report());
+    BinArgs::finish_trace();
 }

@@ -18,11 +18,11 @@ use portopt_serve::Snapshot;
 
 fn load_shard(path: &str) -> Dataset {
     let bytes = std::fs::read(path).unwrap_or_else(|e| {
-        eprintln!("cannot read shard {path}: {e}");
+        portopt_trace::error!("bench.snapshot", "cannot read shard {path}: {e}");
         std::process::exit(2);
     });
     serde_json::from_slice(&bytes).unwrap_or_else(|e| {
-        eprintln!("shard {path} is not a dataset: {e}");
+        portopt_trace::error!("bench.snapshot", "shard {path} is not a dataset: {e}");
         std::process::exit(2);
     })
 }
@@ -33,7 +33,7 @@ fn main() {
     // sweep plus a training run.
     for path in std::iter::once(args.snapshot_path()).chain(args.dataset_out.iter().cloned()) {
         if let Err(e) = BinArgs::ensure_writable(&path) {
-            eprintln!("refusing to train: {e}");
+            portopt_trace::error!("bench.snapshot", "refusing to train: {e}");
             std::process::exit(2);
         }
     }
@@ -42,7 +42,7 @@ fn main() {
     } else {
         let shards: Vec<Dataset> = args.shards.iter().map(|p| load_shard(p)).collect();
         Dataset::merge(shards).unwrap_or_else(|e| {
-            eprintln!("cannot merge shards: {e}");
+            portopt_trace::error!("bench.snapshot", "cannot merge shards: {e}");
             std::process::exit(2);
         })
     };
@@ -52,10 +52,16 @@ fn main() {
     if let Some(path) = &args.dataset_out {
         BinArgs::write_dataset(path, &ds);
     }
+    let train_span = portopt_trace::span(
+        "bench.snapshot",
+        "train",
+        &[("programs", (ds.n_programs() as u64).into())],
+    );
     let snap = Snapshot::train(&ds, &TrainOptions::default());
+    train_span.close_with(&[("pairs", (snap.compiler.model().len() as u64).into())]);
     let path = args.snapshot_path();
     if let Err(e) = snap.save(&path) {
-        eprintln!("cannot write snapshot {path}: {e}");
+        portopt_trace::error!("bench.snapshot", "cannot write snapshot {path}: {e}");
         std::process::exit(2);
     }
     let m = &snap.meta;
@@ -72,4 +78,5 @@ fn main() {
         m.k,
         m.beta,
     );
+    BinArgs::finish_trace();
 }

@@ -50,7 +50,7 @@ use portopt_ir::Module;
 fn open_cache(args: &BinArgs) -> Option<DiskCache> {
     args.profile_cache.as_ref().map(|dir| {
         open_profile_cache(dir).unwrap_or_else(|e| {
-            eprintln!("cannot open profile cache {dir}: {e}");
+            portopt_trace::error!("bench.sweep", "cannot open profile cache {dir}: {e}");
             std::process::exit(2);
         })
     })
@@ -87,7 +87,7 @@ fn gc_cache(cache: &DiskCache, max_bytes: u64) {
                 },
             );
         }
-        Err(e) => eprintln!("cache gc failed: {e}"),
+        Err(e) => portopt_trace::warn!("bench.sweep", "cache gc failed: {e}"),
     }
 }
 
@@ -103,7 +103,7 @@ fn open_journal(
         return None;
     }
     let journal = open_sweep_journal(path, programs, opts).unwrap_or_else(|e| {
-        eprintln!("cannot open checkpoint journal {path}: {e}");
+        portopt_trace::error!("bench.sweep", "cannot open checkpoint journal {path}: {e}");
         std::process::exit(2);
     });
     println!(
@@ -130,13 +130,26 @@ fn sweep_shard(
     publish: impl FnOnce(&Dataset, &SweepReport),
 ) -> Dataset {
     let mine = spec.slice(pairs);
+    let sp = portopt_trace::span(
+        "bench.sweep",
+        "sweep_shard",
+        &[
+            ("shard_index", (spec.index() as u64).into()),
+            ("shard_count", (spec.count() as u64).into()),
+            ("programs", (mine.len() as u64).into()),
+        ],
+    );
     let opts = args.gen_options();
     let journal = open_journal(journal_path, mine, &opts, args.no_checkpoint);
     let (ds, report) = generate_with_checkpoint(mine, &opts, cache, journal.as_ref());
+    sp.close_with(&[("wall_secs", report.wall_secs.into())]);
     publish(&ds, &report);
     if let Some(j) = journal {
         if let Err(e) = j.retire() {
-            eprintln!("could not retire checkpoint journal {journal_path}: {e}");
+            portopt_trace::warn!(
+                "bench.sweep",
+                "could not retire checkpoint journal {journal_path}: {e}"
+            );
         }
     }
     ds
@@ -174,7 +187,9 @@ fn run_as_worker(args: &BinArgs, addr: &str) -> ! {
             cache.as_ref(),
             &journal_path,
             |_, report| {
-                eprintln!(
+                portopt_trace::info!(
+                    "bench.sweep",
+                    { wall_secs = report.wall_secs },
                     "worker {name}: shard {index}/{count} done in {:.2}s",
                     report.wall_secs
                 );
@@ -193,10 +208,12 @@ fn run_as_worker(args: &BinArgs, addr: &str) -> ! {
                 "worker {name}: plan finished ({} shards swept, {} refused)",
                 o.shards_swept, o.refused
             );
+            BinArgs::finish_trace();
             std::process::exit(0);
         }
         Err(e) => {
-            eprintln!("worker {name}: {e}");
+            portopt_trace::error!("bench.sweep", "worker {name}: {e}");
+            BinArgs::finish_trace();
             std::process::exit(1);
         }
     }
@@ -209,14 +226,14 @@ fn main() {
     }
 
     let spec = ShardSpec::new(args.shard_index, args.shard_count).unwrap_or_else(|e| {
-        eprintln!("bad shard spec: {e}");
+        portopt_trace::error!("bench.sweep", "bad shard spec: {e}");
         std::process::exit(2);
     });
     // Fail fast: a bad --out must cost seconds, not a full sweep. The
     // journal lands next to the shard file, so one probe covers both.
     let out = args.shard_path();
     if let Err(e) = BinArgs::ensure_writable(&out) {
-        eprintln!("refusing to sweep: {e}");
+        portopt_trace::error!("bench.sweep", "refusing to sweep: {e}");
         std::process::exit(2);
     }
 
@@ -255,4 +272,5 @@ fn main() {
             gc_cache(c, max);
         }
     }
+    BinArgs::finish_trace();
 }

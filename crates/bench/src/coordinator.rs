@@ -146,6 +146,48 @@ impl CoordMetrics {
             g(&self.shards_failed),
         )
     }
+
+    /// Plaintext metrics snapshot in the exact style of
+    /// `portopt_serve::MetricsSnapshot::to_text` (`name value\n` per
+    /// line), served live by the `coordinator` bin's `--metrics-port`
+    /// endpoint while the plan runs.
+    pub fn to_text(&self) -> String {
+        let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let mut s = String::with_capacity(320);
+        s.push_str(&format!(
+            "portopt_coord_leases_granted_total {}\n",
+            g(&self.leases_granted)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_leases_expired_total {}\n",
+            g(&self.leases_expired)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_retries_total {}\n",
+            g(&self.retries)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_refusals_total {}\n",
+            g(&self.refusals)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_duplicates_total {}\n",
+            g(&self.duplicates)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_workers_lost_total {}\n",
+            g(&self.workers_lost)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_shards_done {}\n",
+            g(&self.shards_done)
+        ));
+        s.push_str(&format!(
+            "portopt_coord_shards_failed {}\n",
+            g(&self.shards_failed)
+        ));
+        s
+    }
 }
 
 /// Coordinator tuning knobs.
@@ -219,6 +261,10 @@ pub struct Coordinator {
     attempts: Vec<u32>,
     results: Vec<Option<Dataset>>,
     metrics: Arc<CoordMetrics>,
+    /// One detached trace span per in-flight lease (grant -> done /
+    /// expired / refused / lost), indexed by shard. Lives outside `Slot`
+    /// so closing a span never fights the state-machine matches.
+    lease_spans: Vec<Option<portopt_trace::Span>>,
 }
 
 impl Coordinator {
@@ -231,6 +277,7 @@ impl Coordinator {
             attempts: vec![0; n],
             results: (0..n).map(|_| None).collect(),
             metrics: Arc::new(CoordMetrics::default()),
+            lease_spans: (0..n).map(|_| None).collect(),
         }
     }
 
@@ -250,15 +297,39 @@ impl Coordinator {
         (self.config.backoff_base * factor).min(MAX_BACKOFF)
     }
 
+    /// Closes shard `index`'s lease span (if one is open) with its
+    /// terminal outcome: `done`, `expired`, `refused` or `lost`.
+    fn close_lease_span(&mut self, index: usize, outcome: &str) {
+        if let Some(sp) = self.lease_spans[index].take() {
+            sp.end_with(&[
+                ("shard", (index as u64).into()),
+                ("outcome", outcome.into()),
+            ]);
+        }
+    }
+
     /// Releases shard `index` for another attempt — or fails it (and the
     /// plan) when the retry budget is spent.
     fn release(&mut self, index: usize, now: Instant) {
         if self.attempts[index] >= self.config.retry_budget {
             self.slots[index] = Slot::Failed;
             CoordMetrics::bump(&self.metrics.shards_failed);
+            portopt_trace::warn!(
+                "bench.coordinator",
+                { shard = index as u64, attempts = self.attempts[index] as u64 },
+                "shard {index} failed: retry budget exhausted after {} attempts",
+                self.attempts[index]
+            );
         } else {
+            let backoff = self.backoff(self.attempts[index]);
+            portopt_trace::debug!(
+                "bench.coordinator",
+                { shard = index as u64, backoff_ms = backoff.as_millis() as u64 },
+                "shard {index} re-leasable after {}ms backoff",
+                backoff.as_millis()
+            );
             self.slots[index] = Slot::Pending {
-                not_before: Some(now + self.backoff(self.attempts[index])),
+                not_before: Some(now + backoff),
             };
         }
     }
@@ -272,6 +343,7 @@ impl Coordinator {
             if let Slot::Leased { deadline, .. } = &self.slots[index] {
                 if *deadline <= now {
                     CoordMetrics::bump(&self.metrics.leases_expired);
+                    self.close_lease_span(index, "expired");
                     self.release(index, now);
                 }
             }
@@ -298,6 +370,15 @@ impl Coordinator {
                 CoordMetrics::bump(&self.metrics.retries);
             }
             CoordMetrics::bump(&self.metrics.leases_granted);
+            self.lease_spans[index] = Some(portopt_trace::Span::begin(
+                "bench.coordinator",
+                "lease",
+                &[
+                    ("shard", (index as u64).into()),
+                    ("attempt", (self.attempts[index] as u64).into()),
+                    ("worker", worker.into()),
+                ],
+            ));
             self.slots[index] = Slot::Leased {
                 worker: worker.to_string(),
                 deadline: now + self.config.lease_timeout,
@@ -333,6 +414,7 @@ impl Coordinator {
             CoordMetrics::bump(&self.metrics.duplicates);
             return false;
         }
+        self.close_lease_span(index, "done");
         self.slots[index] = Slot::Done;
         self.results[index] = Some(dataset);
         CoordMetrics::bump(&self.metrics.shards_done);
@@ -344,6 +426,7 @@ impl Coordinator {
     pub fn refuse(&mut self, index: usize, now: Instant) {
         if index < self.slots.len() && !matches!(self.slots[index], Slot::Done | Slot::Failed) {
             CoordMetrics::bump(&self.metrics.refusals);
+            self.close_lease_span(index, "refused");
             self.release(index, now);
         }
     }
@@ -355,6 +438,7 @@ impl Coordinator {
         for index in 0..self.slots.len() {
             if matches!(&self.slots[index], Slot::Leased { worker: w, .. } if w == worker) {
                 lost_any = true;
+                self.close_lease_span(index, "lost");
                 self.release(index, now);
             }
         }
@@ -547,7 +631,7 @@ fn handle_worker_conn(stream: TcpStream, coord: Arc<Mutex<Coordinator>>, done: A
         let msg = match serde_json::from_str::<WireMsg>(line.trim_end()) {
             Ok(m) => m,
             Err(e) => {
-                eprintln!("coordinator: unparseable worker line ignored: {e}");
+                portopt_trace::warn!("bench.coordinator", "unparseable worker line ignored: {e}");
                 continue;
             }
         };
@@ -565,9 +649,10 @@ fn handle_worker_conn(stream: TcpStream, coord: Arc<Mutex<Coordinator>>, done: A
             } => {
                 worker_name = worker;
                 if !c.complete(index, dataset) {
-                    eprintln!(
-                        "coordinator: duplicate result for shard {index} from \
-                         {worker_name} discarded"
+                    portopt_trace::info!(
+                        "bench.coordinator",
+                        { shard = index as u64 },
+                        "duplicate result for shard {index} from {worker_name} discarded"
                     );
                 }
                 c.lease(&worker_name, now)
@@ -578,7 +663,11 @@ fn handle_worker_conn(stream: TcpStream, coord: Arc<Mutex<Coordinator>>, done: A
                 reason,
             } => {
                 worker_name = worker;
-                eprintln!("coordinator: {worker_name} refused shard {index}: {reason}");
+                portopt_trace::warn!(
+                    "bench.coordinator",
+                    { shard = index as u64 },
+                    "{worker_name} refused shard {index}: {reason}"
+                );
                 c.refuse(index, now);
                 c.lease(&worker_name, now)
             }
@@ -657,6 +746,14 @@ pub fn run_worker(
                     )?;
                 }
                 Err(reason) => {
+                    // The refusal reason must be visible on the worker's
+                    // own stderr (and in its trace), not only in the
+                    // coordinator's log on another machine.
+                    portopt_trace::warn!(
+                        "bench.coordinator",
+                        { shard = index as u64 },
+                        "worker {name} refusing shard {index}/{count}: {reason}"
+                    );
                     outcome.refused += 1;
                     send_msg(
                         &mut writer,

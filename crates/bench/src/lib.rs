@@ -76,6 +76,10 @@ pub struct BinArgs {
     /// `sweep` bin: evict the profile cache down to this many bytes after
     /// the sweep (current-run entries are never evicted).
     pub cache_max_bytes: Option<u64>,
+    /// Stderr log level (`--log-level`, else `PORTOPT_LOG`, else `info`).
+    pub log_level: portopt_trace::Level,
+    /// Write a JSON-lines trace file here (`--trace-out`).
+    pub trace_out: Option<String>,
 }
 
 impl BinArgs {
@@ -87,8 +91,17 @@ impl BinArgs {
     /// `--queue-cap N`, `--per-conn-quota N`, `--metrics-port N`,
     /// `--watch-snapshot`, the `sweep` flags `--shard-index N`,
     /// `--shard-count N`, `--profile-cache DIR`, `--no-checkpoint`,
-    /// `--worker HOST:PORT`, `--cache-max-bytes N`, and the `coordinator`
-    /// flags `--retry-budget N`, `--lease-timeout-ms N`.
+    /// `--worker HOST:PORT`, `--cache-max-bytes N`, the `coordinator`
+    /// flags `--retry-budget N`, `--lease-timeout-ms N`, and the
+    /// observability flags `--log-level off|error|warn|info|debug|trace`
+    /// (default `info`, or the `PORTOPT_LOG` environment variable) and
+    /// `--trace-out PATH` (write a JSON-lines trace file; published
+    /// atomically when the bin exits cleanly).
+    ///
+    /// Parsing also **initializes the global tracer**, so every bin that
+    /// calls `BinArgs::parse()` gets leveled stderr logging and optional
+    /// file tracing with no further wiring. Bins should call
+    /// [`BinArgs::finish_trace`] before exiting to publish the trace file.
     pub fn parse() -> Self {
         let mut scale_name = "quick".to_string();
         let mut extended = false;
@@ -116,6 +129,10 @@ impl BinArgs {
         let mut lease_timeout_ms = coordinator::DEFAULT_LEASE_TIMEOUT_MS;
         let mut cache_max_bytes = None;
         let args: Vec<String> = std::env::args().collect();
+        // The tracer comes up before the main flag loop, so the loop's own
+        // warnings already respect the requested level and land in the
+        // trace file.
+        let (log_level, trace_out) = Self::init_trace(&args);
         let mut i = 1;
         while i < args.len() {
             match args[i].as_str() {
@@ -131,7 +148,10 @@ impl BinArgs {
                         i += 1;
                     }
                     // Don't consume the next token: it may be another flag.
-                    None => eprintln!("--threads expects a number (0 = auto); using auto"),
+                    None => portopt_trace::warn!(
+                        "bench",
+                        "--threads expects a number (0 = auto); using auto"
+                    ),
                 },
                 // Path flags don't consume a following flag token: `serve
                 // --snapshot --stdio` should complain about the missing
@@ -141,21 +161,24 @@ impl BinArgs {
                         out = Some(p.clone());
                         i += 1;
                     }
-                    None => eprintln!("--out expects a file path; using the default"),
+                    None => portopt_trace::warn!(
+                        "bench",
+                        "--out expects a file path; using the default"
+                    ),
                 },
                 "--snapshot" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
                     Some(p) => {
                         snapshot = Some(p.clone());
                         i += 1;
                     }
-                    None => eprintln!("--snapshot expects a file path"),
+                    None => portopt_trace::warn!("bench", "--snapshot expects a file path"),
                 },
                 "--shard" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
                     Some(p) => {
                         shards.push(p.clone());
                         i += 1;
                     }
-                    None => eprintln!("--shard expects a dataset file path"),
+                    None => portopt_trace::warn!("bench", "--shard expects a dataset file path"),
                 },
                 // Shard flags are fatal on a bad value, unlike the
                 // warn-and-default flags above: silently falling back to
@@ -186,14 +209,16 @@ impl BinArgs {
                         profile_cache = Some(p.clone());
                         i += 1;
                     }
-                    None => eprintln!("--profile-cache expects a directory path"),
+                    None => {
+                        portopt_trace::warn!("bench", "--profile-cache expects a directory path")
+                    }
                 },
                 "--dataset-out" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
                     Some(p) => {
                         dataset_out = Some(p.clone());
                         i += 1;
                     }
-                    None => eprintln!("--dataset-out expects a file path"),
+                    None => portopt_trace::warn!("bench", "--dataset-out expects a file path"),
                 },
                 "--stdio" => stdio = true,
                 "--port" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -201,14 +226,19 @@ impl BinArgs {
                         port = n;
                         i += 1;
                     }
-                    None => eprintln!("--port expects a port number; using {port}"),
+                    None => {
+                        portopt_trace::warn!("bench", "--port expects a port number; using {port}")
+                    }
                 },
                 "--batch" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                     Some(n) if n > 0 => {
                         batch = n;
                         i += 1;
                     }
-                    _ => eprintln!("--batch expects a positive number; using {batch}"),
+                    _ => portopt_trace::warn!(
+                        "bench",
+                        "--batch expects a positive number; using {batch}"
+                    ),
                 },
                 "--batch-window-ms" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                     Some(n) => {
@@ -216,7 +246,10 @@ impl BinArgs {
                         i += 1;
                     }
                     None => {
-                        eprintln!("--batch-window-ms expects a number; using {batch_window_ms}")
+                        portopt_trace::warn!(
+                            "bench",
+                            "--batch-window-ms expects a number; using {batch_window_ms}"
+                        )
                     }
                 },
                 "--max-conns" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -224,21 +257,28 @@ impl BinArgs {
                         max_conns = n;
                         i += 1;
                     }
-                    _ => eprintln!("--max-conns expects a positive number; using {max_conns}"),
+                    _ => portopt_trace::warn!(
+                        "bench",
+                        "--max-conns expects a positive number; using {max_conns}"
+                    ),
                 },
                 "--queue-cap" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                     Some(n) if n > 0usize => {
                         queue_cap = Some(n);
                         i += 1;
                     }
-                    _ => eprintln!("--queue-cap expects a positive number; queue stays unbounded"),
+                    _ => portopt_trace::warn!(
+                        "bench",
+                        "--queue-cap expects a positive number; queue stays unbounded"
+                    ),
                 },
                 "--per-conn-quota" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
                     Some(n) if n > 0u64 => {
                         per_conn_quota = Some(n);
                         i += 1;
                     }
-                    _ => eprintln!(
+                    _ => portopt_trace::warn!(
+                        "bench",
                         "--per-conn-quota expects a positive number; connections stay unbounded"
                     ),
                 },
@@ -247,7 +287,10 @@ impl BinArgs {
                         metrics_port = Some(n);
                         i += 1;
                     }
-                    None => eprintln!("--metrics-port expects a port number; endpoint disabled"),
+                    None => portopt_trace::warn!(
+                        "bench",
+                        "--metrics-port expects a port number; endpoint disabled"
+                    ),
                 },
                 "--watch-snapshot" => watch_snapshot = true,
                 "--no-checkpoint" => no_checkpoint = true,
@@ -267,7 +310,10 @@ impl BinArgs {
                         i += 1;
                     }
                     _ => {
-                        eprintln!("--retry-budget expects a positive number; using {retry_budget}")
+                        portopt_trace::warn!(
+                            "bench",
+                            "--retry-budget expects a positive number; using {retry_budget}"
+                        )
                     }
                 },
                 "--lease-timeout-ms" => match args.get(i + 1).and_then(|s| s.parse().ok()) {
@@ -275,7 +321,8 @@ impl BinArgs {
                         lease_timeout_ms = n;
                         i += 1;
                     }
-                    _ => eprintln!(
+                    _ => portopt_trace::warn!(
+                        "bench",
                         "--lease-timeout-ms expects a positive number; using {lease_timeout_ms}"
                     ),
                 },
@@ -295,7 +342,10 @@ impl BinArgs {
                         std::process::exit(2);
                     }
                 },
-                other => eprintln!("ignoring unknown argument {other}"),
+                // Already consumed by `init_trace` before this loop; just
+                // step over the value token here.
+                "--log-level" | "--trace-out" => i += 1,
+                other => portopt_trace::warn!("bench", "ignoring unknown argument {other}"),
             }
             i += 1;
         }
@@ -336,6 +386,79 @@ impl BinArgs {
             retry_budget,
             lease_timeout_ms,
             cache_max_bytes,
+            log_level,
+            trace_out,
+        }
+    }
+
+    /// Pre-scans `args` for `--log-level` and `--trace-out` and brings up
+    /// the global tracer (stderr filter + optional file sink). Runs before
+    /// the main flag loop so everything that loop logs is already leveled.
+    /// Bad values are fatal (exit 2): an operator asking for `warn` who
+    /// silently got the default chatter — or a trace file that never
+    /// materializes — would only find out hours into a sweep.
+    fn init_trace(args: &[String]) -> (portopt_trace::Level, Option<String>) {
+        let mut log_level_flag: Option<String> = None;
+        let mut trace_out: Option<String> = None;
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--log-level" => match args.get(i + 1) {
+                    Some(l) if portopt_trace::Level::parse(l).is_some() => {
+                        log_level_flag = Some(l.clone());
+                        i += 1;
+                    }
+                    other => {
+                        eprintln!(
+                            "--log-level expects off|error|warn|info|debug|trace, got {other:?}"
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                "--trace-out" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        trace_out = Some(p.clone());
+                        i += 1;
+                    }
+                    None => {
+                        eprintln!("--trace-out expects a file path");
+                        std::process::exit(2);
+                    }
+                },
+                _ => {}
+            }
+            i += 1;
+        }
+        let log_level = portopt_trace::level_from_env_or(log_level_flag.as_deref());
+        if let Some(path) = &trace_out {
+            if let Err(e) = Self::ensure_writable(path) {
+                eprintln!("--trace-out: {e}");
+                std::process::exit(2);
+            }
+        }
+        if let Err(e) =
+            portopt_trace::init(log_level, trace_out.as_deref().map(std::path::Path::new))
+        {
+            eprintln!(
+                "cannot open --trace-out {}: {e}",
+                trace_out.as_deref().unwrap_or_default()
+            );
+            std::process::exit(2);
+        }
+        (log_level, trace_out)
+    }
+
+    /// Publishes the `--trace-out` file (atomic temp → rename), if one was
+    /// requested. Call once at the end of a bin's happy path; a crash
+    /// before this point leaves only a `.tmp.<pid>` file, never a torn
+    /// trace presented as complete.
+    pub fn finish_trace() {
+        match portopt_trace::finish() {
+            Ok(Some(path)) => {
+                portopt_trace::info!("bench", "trace written to {}", path.display())
+            }
+            Ok(None) => {}
+            Err(e) => portopt_trace::warn!("bench", "could not publish trace file: {e}"),
         }
     }
 
@@ -382,11 +505,11 @@ impl BinArgs {
     /// can never leave a truncated shard for `snapshot --shard`.
     pub fn write_dataset(path: &str, ds: &Dataset) {
         let bytes = serde_json::to_vec(ds).unwrap_or_else(|e| {
-            eprintln!("cannot serialize dataset: {e}");
+            portopt_trace::error!("bench", "cannot serialize dataset: {e}");
             std::process::exit(2);
         });
         if let Err(e) = Self::write_atomic(path, &bytes) {
-            eprintln!("cannot write dataset {path}: {e}");
+            portopt_trace::error!("bench", "cannot write dataset {path}: {e}");
             std::process::exit(2);
         }
         println!(
@@ -444,7 +567,14 @@ impl BinArgs {
     /// wall time) next to the dataset cache and echoes it to stderr, so
     /// every figure run leaves a perf data point behind.
     pub fn write_report(&self, report: &SweepReport) {
-        eprintln!(
+        portopt_trace::info!(
+            "bench",
+            {
+                wall_secs = report.wall_secs,
+                settings_per_sec = report.settings_per_sec,
+                threads = report.threads as u64,
+                unique_settings = report.unique_settings as u64
+            },
             "sweep: {} programs x {} settings x {} uarchs in {:.2}s \
              ({:.1} settings/sec, {} threads, {} unique settings)",
             report.programs,
@@ -458,7 +588,7 @@ impl BinArgs {
         if let Ok(bytes) = serde_json::to_vec(report) {
             let path = self.report_path();
             if let Err(e) = Self::write_atomic(&path, &bytes) {
-                eprintln!("could not write {path}: {e}");
+                portopt_trace::warn!("bench", "could not write {path}: {e}");
             }
         }
     }

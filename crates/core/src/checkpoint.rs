@@ -195,6 +195,9 @@ impl CheckpointJournal {
     /// truncated in place; the returned handle appends after the healed
     /// prefix.
     pub fn open(path: impl AsRef<Path>, plan: u64) -> Result<Self, JournalError> {
+        // The replay span: on a resume this covers reading and re-pricing
+        // (from disk) every previously completed record.
+        let sp = portopt_trace::span("core.checkpoint", "journal_open", &[]);
         let path = path.as_ref().to_path_buf();
         let plan_hex = format!("{plan:016x}");
         let mut pairs = HashMap::new();
@@ -275,6 +278,11 @@ impl CheckpointJournal {
             writer.write_all(line.as_bytes())?;
             writer.flush()?;
         }
+        sp.close_with(&[
+            ("resumed_pairs", pairs.len().into()),
+            ("resumed_baselines", baselines.len().into()),
+            ("healed_bytes", healed_bytes.into()),
+        ]);
         Ok(CheckpointJournal {
             path,
             writer: Mutex::new(writer),
@@ -371,7 +379,7 @@ impl CheckpointJournal {
         let mut line = match serde_json::to_string(record) {
             Ok(s) => s,
             Err(e) => {
-                eprintln!("checkpoint record not serializable: {e}");
+                portopt_trace::error!("core.checkpoint", "checkpoint record not serializable: {e}");
                 return;
             }
         };
@@ -381,7 +389,8 @@ impl CheckpointJournal {
             .write_all(line.as_bytes())
             .and_then(|()| writer.flush())
         {
-            eprintln!(
+            portopt_trace::warn!(
+                "core.checkpoint",
                 "checkpoint append to {} failed: {e} (sweep continues, resume disabled)",
                 self.path.display()
             );

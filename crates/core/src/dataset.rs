@@ -436,12 +436,24 @@ fn profile_for(
     let keyed = disk.map(|d| (d, profile_disk_key(img, module)));
     if let Some((d, fp)) = keyed {
         match d.get::<CachedProfile>(fp) {
-            Ok(Some(entry)) => return entry.profile,
+            Ok(Some(entry)) => {
+                portopt_trace::debug!(
+                    "core.dataset",
+                    { fp = format!("{fp:016x}") },
+                    "disk profile cache hit"
+                );
+                return entry.profile;
+            }
             Ok(None) => {}
-            Err(e) => eprintln!("profile cache entry {fp:016x} rejected: {e}; re-profiling"),
+            Err(e) => portopt_trace::warn!(
+                "core.dataset",
+                "profile cache entry {fp:016x} rejected: {e}; re-profiling"
+            ),
         }
     }
+    let sp = portopt_trace::span("core.dataset", "profile", &[]);
     let prof = profile(img, module, &[], PROFILE_LIMITS).ok();
+    sp.close_with(&[("ok", prof.is_some().into())]);
     if let Some((d, fp)) = keyed {
         if let Err(e) = d.put(
             fp,
@@ -449,7 +461,10 @@ fn profile_for(
                 profile: prof.clone(),
             },
         ) {
-            eprintln!("profile cache write for {fp:016x} failed: {e}");
+            portopt_trace::warn!(
+                "core.dataset",
+                "profile cache write for {fp:016x} failed: {e}"
+            );
         }
     }
     prof
@@ -478,7 +493,20 @@ fn price_image_with(
     match profile_for(img, module, disk) {
         Some(prof) => {
             let pe = PreparedEval::new(img, &prof);
-            uarchs.iter().map(|u| pe.evaluate(u).cycles).collect()
+            uarchs
+                .iter()
+                .enumerate()
+                .map(|(u, ua)| {
+                    let t0 = std::time::Instant::now();
+                    let cycles = pe.evaluate(ua).cycles;
+                    portopt_trace::trace!(
+                        "core.dataset",
+                        { u = u, eval_us = t0.elapsed().as_micros() as u64 },
+                        "uarch evaluated"
+                    );
+                    cycles
+                })
+                .collect()
         }
         None => vec![f64::INFINITY; uarchs.len()],
     }
@@ -488,26 +516,29 @@ fn price_image_with(
 /// identical binary — in-memory within this sweep, on disk across sweeps)
 /// and prices it on every configuration. Pure in `(module, cfg, uarchs)`
 /// — both caches only short-circuit recomputation, which is what keeps
-/// the sweep deterministic under any scheduling.
+/// the sweep deterministic under any scheduling. The returned flag says
+/// whether the row came from the in-memory fingerprint cache (another
+/// setting lowered to an identical binary) — pricing-span attribution.
 fn eval_setting(
     module: &Module,
     uarchs: &[MicroArch],
     cfg: &OptConfig,
     cache: &ProfileCache,
     disk: Option<&DiskCache>,
-) -> Arc<Vec<f64>> {
+) -> (Arc<Vec<f64>>, bool) {
     let img = compile(module, cfg);
     let fp = img.fingerprint();
     if let Some(hit) = cache.lock().expect("profile cache").get(&fp) {
-        return hit.clone();
+        return (hit.clone(), true);
     }
     let row = Arc::new(price_image_with(&img, module, uarchs, disk));
-    cache
+    let row = cache
         .lock()
         .expect("profile cache")
         .entry(fp)
         .or_insert_with(|| row.clone())
-        .clone()
+        .clone();
+    (row, false)
 }
 
 /// `-O3` baseline for one program: cycles + counter features per
@@ -566,7 +597,7 @@ pub fn sweep_program(
     let (uniques, to_unique) = dedup_configs(configs);
     let cache: ProfileCache = Mutex::new(HashMap::new());
     let rows = exec.map_indexed(uniques.len(), |t| {
-        eval_setting(module, uarchs, &configs[uniques[t]], &cache, None)
+        eval_setting(module, uarchs, &configs[uniques[t]], &cache, None).0
     });
     let mut cycles: Vec<Vec<f64>> = vec![vec![0.0; configs.len()]; uarchs.len()];
     for (c, &t) in to_unique.iter().enumerate() {
@@ -601,13 +632,29 @@ fn sweep_grid(
     let start = std::time::Instant::now();
     let exec = Executor::new(threads);
     let np = programs.len();
+    let sweep_span = portopt_trace::span(
+        "core.dataset",
+        "sweep_grid",
+        &[
+            ("programs", np.into()),
+            ("settings", configs.len().into()),
+            ("uarchs", uarchs.len().into()),
+            ("threads", exec.threads().into()),
+        ],
+    );
 
     // `-O3` baselines, parallel over programs. A journalled baseline is
     // replayed instead of recomputed; a fresh one is journalled as soon as
     // it completes.
     let baselines = exec.map_indexed(np, |p| {
+        let sp = portopt_trace::span(
+            "core.dataset",
+            "baseline",
+            &[("program", programs[p].0.as_str().into()), ("p", p.into())],
+        );
         if let Some(j) = journal {
             if let Some(b) = j.replayed_baseline(p) {
+                sp.close_with(&[("source", "journal".into())]);
                 return b;
             }
         }
@@ -615,6 +662,7 @@ fn sweep_grid(
         if let Some(j) = journal {
             j.record_baseline(p, &b.0, &b.1);
         }
+        sp.close_with(&[("source", "computed".into())]);
         b
     });
 
@@ -627,12 +675,26 @@ fn sweep_grid(
     let caches: Vec<ProfileCache> = (0..np).map(|_| Mutex::new(HashMap::new())).collect();
     let rows = exec.map_indexed(np * nu, |i| {
         let (p, t) = (i / nu, i % nu);
+        // The per-(program, setting) pricing span: the unit the `trace`
+        // bin's top-N-slowest-pairs report ranks. `source` attributes the
+        // row: journal replay, in-memory fingerprint share, or a real
+        // compile+profile+price run.
+        let sp = portopt_trace::span(
+            "core.dataset",
+            "price_pair",
+            &[
+                ("program", programs[p].0.as_str().into()),
+                ("p", p.into()),
+                ("t", t.into()),
+            ],
+        );
         if let Some(j) = journal {
             if let Some(row) = j.replayed_pair(p, t) {
+                sp.close_with(&[("source", "journal".into())]);
                 return row;
             }
         }
-        let row = eval_setting(
+        let (row, shared) = eval_setting(
             &programs[p].1,
             &uarchs,
             &configs[uniques[t]],
@@ -642,6 +704,10 @@ fn sweep_grid(
         if let Some(j) = journal {
             j.record_pair(p, t, &row);
         }
+        sp.close_with(&[(
+            "source",
+            if shared { "fp_share" } else { "computed" }.into(),
+        )]);
         row
     });
 
@@ -665,6 +731,7 @@ fn sweep_grid(
         ds.features.push(feats);
     }
 
+    sweep_span.close_with(&[("grid_tasks", (np * nu).into())]);
     let wall_secs = start.elapsed().as_secs_f64();
     let swept = ds.programs.len() * ds.configs.len();
     let report = SweepReport {

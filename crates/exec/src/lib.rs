@@ -43,6 +43,14 @@
 //! For workloads that arrive one item at a time instead of as a grid (the
 //! `portopt-serve` prediction service), [`queue::ServiceQueue`] accumulates
 //! submissions and drains them as batches onto the same executor.
+//!
+//! ## Observability
+//!
+//! Every `map_indexed` call runs inside a `portopt_trace` span and
+//! reports steal/park counters plus aggregate compute-vs-idle
+//! microseconds (a `debug`-level event and span-close fields); queue
+//! drains emit `trace`-level depth samples. With tracing unsinked and
+//! below the stderr filter the cost is a few relaxed atomics per chunk.
 
 #![warn(missing_docs)]
 
@@ -52,7 +60,7 @@ pub mod queue;
 pub use cache::{CacheEntryInfo, CacheError, CacheStats, DiskCache, GcReport};
 pub use queue::{ServiceQueue, SubmitError, Ticket};
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Number of threads the host advertises (cgroup-aware); 1 if unknown.
@@ -107,8 +115,33 @@ impl Executor {
             return Vec::new();
         }
         let workers = self.threads.min(n).max(1);
+        let sp = portopt_trace::span(
+            "exec",
+            "map_indexed",
+            &[("n", n.into()), ("workers", workers.into())],
+        );
         if workers == 1 {
-            return (0..n).map(f).collect();
+            let out: Vec<T> = (0..n).map(f).collect();
+            let compute_us = sp.elapsed_us();
+            portopt_trace::debug!(
+                "exec",
+                {
+                    n = n,
+                    workers = 1u64,
+                    steals = 0u64,
+                    parks = 0u64,
+                    compute_us = compute_us,
+                    idle_us = 0u64
+                },
+                "map_indexed drained"
+            );
+            sp.close_with(&[
+                ("steals", 0u64.into()),
+                ("parks", 0u64.into()),
+                ("compute_us", compute_us.into()),
+                ("idle_us", 0u64.into()),
+            ]);
+            return out;
         }
 
         // One contiguous shard per worker; chunks keep neighbours together.
@@ -124,6 +157,10 @@ impl Executor {
         let state = SharedState {
             remaining: AtomicUsize::new(n),
             panicked: AtomicBool::new(false),
+            steals: AtomicU64::new(0),
+            parks: AtomicU64::new(0),
+            compute_us: AtomicU64::new(0),
+            idle_us: AtomicU64::new(0),
         };
         let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
         let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
@@ -145,6 +182,28 @@ impl Executor {
                 })
                 .collect()
         });
+        let steals = state.steals.load(Ordering::Relaxed);
+        let parks = state.parks.load(Ordering::Relaxed);
+        let compute_us = state.compute_us.load(Ordering::Relaxed);
+        let idle_us = state.idle_us.load(Ordering::Relaxed);
+        portopt_trace::debug!(
+            "exec",
+            {
+                n = n,
+                workers = workers,
+                steals = steals,
+                parks = parks,
+                compute_us = compute_us,
+                idle_us = idle_us
+            },
+            "map_indexed drained"
+        );
+        sp.close_with(&[
+            ("steals", steals.into()),
+            ("parks", parks.into()),
+            ("compute_us", compute_us.into()),
+            ("idle_us", idle_us.into()),
+        ]);
         for (i, v) in parts.into_iter().flatten() {
             slots[i] = Some(v);
         }
@@ -219,6 +278,14 @@ struct SharedState {
     /// Set when any task panicked (its tasks will never complete, so
     /// `remaining` alone would spin the other workers forever).
     panicked: AtomicBool,
+    /// Successful steals across all workers (observability only).
+    steals: AtomicU64,
+    /// Idle-backoff parks (yield or sleep) across all workers.
+    parks: AtomicU64,
+    /// Microseconds spent computing task chunks, summed over workers.
+    compute_us: AtomicU64,
+    /// Microseconds spent parked waiting for work, summed over workers.
+    idle_us: AtomicU64,
 }
 
 fn worker_loop<T, F>(
@@ -236,6 +303,7 @@ where
     loop {
         if let Some((lo, hi)) = pop_front(shards, w, chunk) {
             idle_rounds = 0;
+            let chunk_start = std::time::Instant::now();
             for i in lo..hi {
                 // A sibling's panic makes the whole call unwind; abandon
                 // the rest of our work instead of computing results that
@@ -254,12 +322,16 @@ where
                     }
                 }
             }
+            state
+                .compute_us
+                .fetch_add(chunk_start.elapsed().as_micros() as u64, Ordering::Relaxed);
             continue;
         }
         if let Some((lo, hi)) = steal(shards, w) {
             // Stolen work goes back into our (empty) shard so it is
             // chunked normally and can itself be re-stolen.
             idle_rounds = 0;
+            state.steals.fetch_add(1, Ordering::Relaxed);
             let mut g = shards[w].lock().expect("shard lock");
             *g = (lo, hi);
             continue;
@@ -276,12 +348,17 @@ where
         // idle workers neither burn a core nor hammer the shard mutexes
         // under a seconds-long tail task.
         idle_rounds = idle_rounds.saturating_add(1);
+        state.parks.fetch_add(1, Ordering::Relaxed);
+        let park_start = std::time::Instant::now();
         if idle_rounds < 16 {
             std::thread::yield_now();
         } else {
             let us = 50u64 << (idle_rounds - 16).min(4); // 50µs … 800µs
             std::thread::sleep(std::time::Duration::from_micros(us));
         }
+        state
+            .idle_us
+            .fetch_add(park_start.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 }
 

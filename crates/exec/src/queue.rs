@@ -258,12 +258,19 @@ impl<T> ServiceQueue<T> {
     /// Takes every pending item (in submission order), leaving the queue
     /// empty. Items submitted after this call land in the next batch.
     pub fn take_batch(&self) -> Vec<(Ticket, T)> {
-        self.state
+        let batch: Vec<(Ticket, T)> = self
+            .state
             .lock()
             .expect("queue lock")
             .items
             .drain(..)
-            .collect()
+            .collect();
+        if !batch.is_empty() {
+            // Depth sample for the trace file: how full the queue ran at
+            // each drain is the serving layer's queue-wait signal.
+            portopt_trace::trace!("exec.queue", { depth = batch.len() }, "batch drained");
+        }
+        batch
     }
 
     /// Drains the pending batch through `f` on the executor and returns

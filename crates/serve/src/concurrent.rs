@@ -402,7 +402,10 @@ impl PredictionService {
         let registry: ConnectionRegistry<TcpStream> =
             ConnectionRegistry::new(opts.max_conns).with_quota(opts.per_conn_quota);
         if opts.watch_interval.is_some() && self.reload_path().is_none() {
-            eprintln!("--watch-snapshot ignored: service has no snapshot path to watch");
+            portopt_trace::warn!(
+                "serve",
+                "--watch-snapshot ignored: service has no snapshot path to watch"
+            );
         }
         let metrics_listener = match opts.metrics_port {
             Some(port) => {
@@ -442,7 +445,9 @@ impl PredictionService {
                                     rejected += 1;
                                     self.metrics().note_connection(false);
                                 }
-                                AdmitOutcome::Io(err) => eprintln!("accept error: {err}"),
+                                AdmitOutcome::Io(err) => {
+                                    portopt_trace::warn!("serve", "accept error: {err}")
+                                }
                             }
                         } else {
                             accepted += 1;
@@ -454,7 +459,7 @@ impl PredictionService {
                     }
                     // A failed client is that connection's problem, not the
                     // server's: log and keep accepting.
-                    Err(e) => eprintln!("accept error: {e}"),
+                    Err(e) => portopt_trace::warn!("serve", "accept error: {e}"),
                 }
             }
 
@@ -485,7 +490,7 @@ impl PredictionService {
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(10));
                 }
-                Err(e) => eprintln!("metrics endpoint accept error: {e}"),
+                Err(e) => portopt_trace::warn!("serve", "metrics endpoint accept error: {e}"),
             }
         }
     }
@@ -709,7 +714,10 @@ impl PredictionService {
         let dropped = self.discard_dead(|conn| !registry.live(conn));
         if dropped > 0 {
             stats.discarded += dropped as u64;
-            eprintln!("dropped {dropped} unanswered requests from dead connections");
+            portopt_trace::warn!(
+                "serve",
+                "dropped {dropped} unanswered requests from dead connections"
+            );
         }
         let replies = self.drain_routed(stats);
         if replies.is_empty() {
@@ -742,7 +750,10 @@ impl PredictionService {
                 // These replies already left the in-flight gauge when they
                 // were answered; only the discard counter moves.
                 self.metrics().note_undeliverable(n);
-                eprintln!("dropped {n} computed replies: connection {conn} is gone");
+                portopt_trace::warn!(
+                    "serve",
+                    "dropped {n} computed replies: connection {conn} is gone"
+                );
             }
         }
     }

@@ -432,6 +432,94 @@ mod tests {
     }
 
     #[test]
+    fn histogram_bucket_edges_are_inclusive_upper_bounds() {
+        // A latency exactly on a documented bound lands in the bucket
+        // whose bound it equals (`us <= bound` is inclusive) — for every
+        // bound — and a value just past it falls to the next bucket (the
+        // overflow bucket after the last finite bound). "Just past" is
+        // +2 µs: the ms→µs conversion truncates, and the float round
+        // trip can lose one µs, which must not drag the sample back
+        // across the bound.
+        for (i, &bound_us) in LATENCY_BUCKETS_US.iter().enumerate() {
+            let h = LatencyHistogram::default();
+            h.record(bound_us as f64 / 1e3);
+            assert_eq!(
+                h.counts[i].load(Ordering::Relaxed),
+                1,
+                "{bound_us}us must land in bucket {i}"
+            );
+            let h2 = LatencyHistogram::default();
+            h2.record((bound_us + 2) as f64 / 1e3);
+            assert_eq!(
+                h2.counts[i].load(Ordering::Relaxed),
+                0,
+                "{}us must NOT land in bucket {i}",
+                bound_us + 2
+            );
+            assert_eq!(
+                h2.counts[i + 1].load(Ordering::Relaxed),
+                1,
+                "{}us must land in bucket {}",
+                bound_us + 2,
+                i + 1
+            );
+        }
+        // Sub-microsecond precision truncates: 50.9 µs records as 50 µs
+        // and stays in the first bucket.
+        let h = LatencyHistogram::default();
+        h.record(0.0509);
+        assert_eq!(h.counts[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn histogram_out_of_range_saturates_to_overflow() {
+        let h = LatencyHistogram::default();
+        h.record(5_000.001); // one µs past the last finite bound
+        h.record(f64::MAX); // absurd, must not wrap the µs conversion
+        let overflow = LATENCY_BUCKETS_US.len();
+        assert_eq!(h.counts[overflow].load(Ordering::Relaxed), 2);
+        for (i, c) in h.counts.iter().enumerate().take(overflow) {
+            assert_eq!(c.load(Ordering::Relaxed), 0, "finite bucket {i} empty");
+        }
+        // The overflow bucket reports the largest finite bound, never inf.
+        assert_eq!(h.quantile_ms(0.5), 5000.0);
+        // Negative latencies clamp to zero and land in the first bucket.
+        let h2 = LatencyHistogram::default();
+        h2.record(-1.0);
+        assert_eq!(h2.counts[0].load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quantile_known_answers_pin_rank_arithmetic() {
+        // 10 samples: 4 in the 50 µs bucket, 4 in the 250 µs bucket, 2 in
+        // the 5 ms bucket. rank(q) = ceil(q·10) clamped to [1, 10], and
+        // the report is the bound of the bucket holding that rank.
+        let h = LatencyHistogram::default();
+        for _ in 0..4 {
+            h.record(0.01);
+        }
+        for _ in 0..4 {
+            h.record(0.2);
+        }
+        for _ in 0..2 {
+            h.record(4.0);
+        }
+        assert_eq!(h.quantile_ms(0.40), 0.05, "rank 4 = last of bucket 0");
+        assert_eq!(h.quantile_ms(0.50), 0.25, "rank 5 = first of bucket 2");
+        assert_eq!(h.quantile_ms(0.80), 0.25, "rank 8 = last of bucket 2");
+        assert_eq!(h.quantile_ms(0.81), 5.0, "rank 9 = first of bucket 6");
+        assert_eq!(h.quantile_ms(0.99), 5.0, "rank 10 = the slow tail");
+        assert_eq!(h.quantile_ms(1.0), 5.0);
+        // A vanishing q clamps to rank 1, not rank 0.
+        assert_eq!(h.quantile_ms(1e-9), 0.05);
+        // One sample: every quantile is that sample's bucket bound.
+        let one = LatencyHistogram::default();
+        one.record(0.3);
+        assert_eq!(one.quantile_ms(0.5), 0.5);
+        assert_eq!(one.quantile_ms(0.99), 0.5);
+    }
+
+    #[test]
     fn counters_add_up_and_inflight_never_wraps() {
         let m = ServeMetrics::new();
         m.note_admitted();

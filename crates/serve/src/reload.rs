@@ -129,9 +129,14 @@ impl WatchEvent {
     pub fn log_to_stderr(self) {
         match self {
             WatchEvent::Reloaded { version } => {
-                eprintln!("snapshot file changed: now serving version {version}")
+                portopt_trace::info!(
+                    "serve",
+                    { snapshot_version = version },
+                    "snapshot file changed: now serving version {version}"
+                )
             }
-            WatchEvent::Rejected(e) => eprintln!(
+            WatchEvent::Rejected(e) => portopt_trace::warn!(
+                "serve",
                 "snapshot file changed but was not loadable ({e}); still serving the old model"
             ),
         }

@@ -676,6 +676,14 @@ impl PredictionService {
     pub fn drain_routed(&self, stats: &mut ServiceStats) -> Vec<(ConnId, ServeResponse)> {
         let versioned = self.cell.load();
         let batch_started = Instant::now();
+        // The per-batch serve span. `ServeMetrics` is fed from the same
+        // measurements below (it consumes what the trace layer times),
+        // and the span close carries the batch size for the trace bin.
+        let sp = portopt_trace::span(
+            "serve",
+            "drain_batch",
+            &[("snapshot_version", versioned.version.into())],
+        );
         let answered = self.queue.drain_with(&self.exec, |queued| {
             let started = Instant::now();
             // The client id must survive the error path too: a reply the
@@ -692,12 +700,14 @@ impl PredictionService {
             )
         });
         if answered.is_empty() {
+            sp.close_with(&[("requests", 0u64.into())]);
             return Vec::new();
         }
         stats.batches += 1;
         stats.max_batch = stats.max_batch.max(answered.len());
         stats.busy_secs += batch_started.elapsed().as_secs_f64();
         self.metrics.record_batch(answered.len(), versioned.version);
+        sp.close_with(&[("requests", answered.len().into())]);
         answered
             .into_iter()
             .map(|(ticket, (conn, id, outcome, latency_ms))| {

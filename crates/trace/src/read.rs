@@ -1,0 +1,546 @@
+//! Reading side of the trace-file format: a minimal JSON parser (this
+//! crate is dependency-free, so it cannot use the serde shims) plus the
+//! header-validated record decoder the `trace` analysis bin and CI's
+//! well-formedness check are built on.
+//!
+//! Mirrors the checkpoint journal's tolerance contract: the header is
+//! validated before anything else is believed, complete records are
+//! decoded strictly, and a torn final line (process killed mid-append)
+//! is reported via [`TraceFile::torn_tail`] rather than failing the
+//! whole file.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{TRACE_FORMAT_VERSION, TRACE_MAGIC};
+
+/// A parsed JSON value (just enough JSON for trace records).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (trace files never need >53-bit integers).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(n) => write!(f, "{n}"),
+            Json::Str(s) => write!(f, "{s}"),
+            Json::Arr(_) | Json::Obj(_) => write!(f, "<composite>"),
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the whole input.
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing bytes at offset {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("object key is not a string: {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at offset {pos}"));
+                }
+                *pos += 1;
+                let val = parse_value(b, pos)?;
+                fields.push((key, val));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b't') => expect_lit(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect_lit(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'n') => expect_lit(b, pos, "null").map(|()| Json::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("invalid literal at offset {pos}"))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs never appear in our own output;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (multi-byte safe).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// The validated first line of a trace file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Header {
+    /// Format version the file was written at.
+    pub format_version: u32,
+    /// Basename of the binary that produced the trace.
+    pub bin: String,
+    /// Wall-clock start, milliseconds since the unix epoch.
+    pub start_unix_ms: u64,
+}
+
+/// One decoded trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceRecord {
+    /// A leveled structured event.
+    Event {
+        /// Microseconds since trace start.
+        us: u64,
+        /// Level name (`"info"`, …).
+        level: String,
+        /// Emitting subsystem.
+        target: String,
+        /// Formatted message.
+        msg: String,
+        /// Structured fields.
+        fields: Vec<(String, Json)>,
+    },
+    /// A span opening.
+    SpanOpen {
+        /// Microseconds since trace start.
+        us: u64,
+        /// Process-unique span id.
+        id: u64,
+        /// Parent span id, if the span was nested.
+        parent: Option<u64>,
+        /// Emitting subsystem.
+        target: String,
+        /// Span name (the analysis "stage").
+        name: String,
+        /// Open fields (e.g. program, setting index).
+        fields: Vec<(String, Json)>,
+    },
+    /// A span closing.
+    SpanClose {
+        /// Microseconds since trace start.
+        us: u64,
+        /// Id of the span being closed.
+        id: u64,
+        /// Monotonic duration of the span.
+        dur_us: u64,
+        /// Close fields (e.g. `hit = true`).
+        fields: Vec<(String, Json)>,
+    },
+}
+
+/// A fully decoded trace file.
+#[derive(Debug)]
+pub struct TraceFile {
+    /// The validated header.
+    pub header: Header,
+    /// All complete records, in file order.
+    pub records: Vec<TraceRecord>,
+    /// True if the file ended mid-line (producer killed mid-append).
+    pub torn_tail: bool,
+}
+
+fn fields_of(v: &Json) -> Vec<(String, Json)> {
+    match v.get("f") {
+        Some(Json::Obj(fields)) => fields.clone(),
+        _ => Vec::new(),
+    }
+}
+
+fn req_u64(v: &Json, key: &str, line_no: usize) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("line {line_no}: missing/invalid `{key}`"))
+}
+
+fn req_str(v: &Json, key: &str, line_no: usize) -> Result<String, String> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {line_no}: missing/invalid `{key}`"))
+}
+
+/// Parses and validates a whole trace file: header first (wrong magic or
+/// a future format version are hard errors, as in the checkpoint
+/// journal), then every complete line as a record. A final line without
+/// its newline is tolerated and flagged as [`TraceFile::torn_tail`]; a
+/// *complete* line that does not decode is a hard error — unlike the
+/// journal there is no replay to salvage, the file is evidence.
+pub fn read_trace(text: &str) -> Result<TraceFile, String> {
+    let mut lines = text.split_inclusive('\n');
+    let header_line = lines.next().ok_or("empty file".to_string())?;
+    if !header_line.ends_with('\n') {
+        return Err("torn header line (producer died at creation)".into());
+    }
+    let h = parse_json(header_line.trim_end()).map_err(|e| format!("header is not JSON: {e}"))?;
+    let magic = req_str(&h, "magic", 1)?;
+    if magic != TRACE_MAGIC {
+        return Err(format!("not a portopt trace file (magic `{magic}`)"));
+    }
+    let format_version = req_u64(&h, "format_version", 1)? as u32;
+    if format_version != TRACE_FORMAT_VERSION {
+        return Err(format!(
+            "trace format version {format_version} is not supported \
+             (this reader understands version {TRACE_FORMAT_VERSION})"
+        ));
+    }
+    let header = Header {
+        format_version,
+        bin: req_str(&h, "bin", 1).unwrap_or_else(|_| "unknown".into()),
+        start_unix_ms: req_u64(&h, "start_unix_ms", 1).unwrap_or(0),
+    };
+
+    let mut records = Vec::new();
+    let mut torn_tail = false;
+    for (i, line) in lines.enumerate() {
+        let line_no = i + 2;
+        if !line.ends_with('\n') {
+            torn_tail = true;
+            break;
+        }
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let v = parse_json(trimmed).map_err(|e| format!("line {line_no}: {e}"))?;
+        let t = req_str(&v, "t", line_no)?;
+        let us = req_u64(&v, "us", line_no)?;
+        let rec = match t.as_str() {
+            "e" => TraceRecord::Event {
+                us,
+                level: req_str(&v, "lvl", line_no)?,
+                target: req_str(&v, "tgt", line_no)?,
+                msg: req_str(&v, "msg", line_no)?,
+                fields: fields_of(&v),
+            },
+            "so" => {
+                let parent = req_u64(&v, "parent", line_no)?;
+                TraceRecord::SpanOpen {
+                    us,
+                    id: req_u64(&v, "id", line_no)?,
+                    parent: if parent == 0 { None } else { Some(parent) },
+                    target: req_str(&v, "tgt", line_no)?,
+                    name: req_str(&v, "name", line_no)?,
+                    fields: fields_of(&v),
+                }
+            }
+            "sc" => TraceRecord::SpanClose {
+                us,
+                id: req_u64(&v, "id", line_no)?,
+                dur_us: req_u64(&v, "dur_us", line_no)?,
+                fields: fields_of(&v),
+            },
+            other => return Err(format!("line {line_no}: unknown record type `{other}`")),
+        };
+        records.push(rec);
+    }
+    Ok(TraceFile {
+        header,
+        records,
+        torn_tail,
+    })
+}
+
+/// Cross-checks span opens against closes: every close must match an
+/// earlier open, and no id may close twice. Returns the ids of spans
+/// left open (normal for a torn or mid-flight trace) or an error
+/// describing the first violation.
+pub fn check_spans(records: &[TraceRecord]) -> Result<Vec<u64>, String> {
+    let mut open: HashMap<u64, bool> = HashMap::new(); // id -> closed?
+    for (i, r) in records.iter().enumerate() {
+        match r {
+            TraceRecord::SpanOpen { id, .. } => {
+                if open.insert(*id, false).is_some() {
+                    return Err(format!("record {i}: span id {id} opened twice"));
+                }
+            }
+            TraceRecord::SpanClose { id, .. } => match open.get_mut(id) {
+                None => return Err(format!("record {i}: close of never-opened span {id}")),
+                Some(closed @ false) => *closed = true,
+                Some(true) => return Err(format!("record {i}: span {id} closed twice")),
+            },
+            TraceRecord::Event { .. } => {}
+        }
+    }
+    let mut dangling: Vec<u64> = open
+        .into_iter()
+        .filter(|(_, closed)| !closed)
+        .map(|(id, _)| id)
+        .collect();
+    dangling.sort_unstable();
+    Ok(dangling)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_parser_basics() {
+        assert_eq!(parse_json("null").unwrap(), Json::Null);
+        assert_eq!(parse_json(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse_json("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(
+            parse_json("\"a\\n\\\"b\\u0041\"").unwrap(),
+            Json::Str("a\n\"bA".into())
+        );
+        let v = parse_json(r#"{"a":[1,2,{"b":false}],"c":"x"}"#).unwrap();
+        assert_eq!(v.get("c").and_then(Json::as_str), Some("x"));
+        match v.get("a") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[2].get("b"), Some(&Json::Bool(false)));
+            }
+            other => panic!("expected array, got {other:?}"),
+        }
+        assert!(parse_json("{\"a\":1,}").is_err());
+        assert!(parse_json("1 2").is_err(), "trailing bytes rejected");
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    fn header_line() -> String {
+        format!(
+            "{{\"magic\":\"{TRACE_MAGIC}\",\"format_version\":{TRACE_FORMAT_VERSION},\
+             \"bin\":\"test\",\"start_unix_ms\":12}}\n"
+        )
+    }
+
+    #[test]
+    fn header_validation_is_typed() {
+        assert!(read_trace("").is_err());
+        assert!(
+            read_trace("{\"magic\":\"portopt-tr").is_err(),
+            "torn header"
+        );
+        let wrong_magic = "{\"magic\":\"other\",\"format_version\":1}\n";
+        let e = read_trace(wrong_magic).unwrap_err();
+        assert!(e.contains("not a portopt trace"), "{e}");
+        let future = format!(
+            "{{\"magic\":\"{TRACE_MAGIC}\",\"format_version\":99,\"bin\":\"x\",\"start_unix_ms\":0}}\n"
+        );
+        let e = read_trace(&future).unwrap_err();
+        assert!(e.contains("version 99"), "{e}");
+    }
+
+    #[test]
+    fn records_decode_and_torn_tail_is_flagged() {
+        let mut text = header_line();
+        text.push_str(
+            "{\"t\":\"e\",\"us\":5,\"lvl\":\"info\",\"tgt\":\"x\",\"msg\":\"m\",\"f\":{\"n\":3}}\n",
+        );
+        text.push_str(
+            "{\"t\":\"so\",\"us\":6,\"id\":1,\"parent\":0,\"tgt\":\"x\",\"name\":\"work\"}\n",
+        );
+        text.push_str("{\"t\":\"sc\",\"us\":9,\"id\":1,\"dur_us\":3}\n");
+        text.push_str("{\"t\":\"e\",\"us\":10,\"lvl\":\"in"); // torn
+        let tf = read_trace(&text).unwrap();
+        assert!(tf.torn_tail);
+        assert_eq!(tf.records.len(), 3);
+        assert_eq!(tf.header.bin, "test");
+        match &tf.records[0] {
+            TraceRecord::Event { fields, .. } => {
+                assert_eq!(fields[0].0, "n");
+                assert_eq!(fields[0].1.as_u64(), Some(3));
+            }
+            other => panic!("expected event, got {other:?}"),
+        }
+        match &tf.records[1] {
+            TraceRecord::SpanOpen {
+                parent: None, name, ..
+            } => assert_eq!(name, "work"),
+            other => panic!("expected root span open, got {other:?}"),
+        }
+        assert_eq!(check_spans(&tf.records).unwrap(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn corrupt_complete_line_is_a_hard_error() {
+        let mut text = header_line();
+        text.push_str("{ not json\n");
+        let e = read_trace(&text).unwrap_err();
+        assert!(e.contains("line 2"), "{e}");
+    }
+
+    #[test]
+    fn span_check_catches_violations() {
+        let open = |id| TraceRecord::SpanOpen {
+            us: 0,
+            id,
+            parent: None,
+            target: "t".into(),
+            name: "n".into(),
+            fields: vec![],
+        };
+        let close = |id| TraceRecord::SpanClose {
+            us: 1,
+            id,
+            dur_us: 1,
+            fields: vec![],
+        };
+        assert_eq!(check_spans(&[open(1), close(1)]).unwrap(), vec![]);
+        assert_eq!(check_spans(&[open(1), open(2), close(2)]).unwrap(), vec![1]);
+        assert!(check_spans(&[close(7)]).is_err());
+        assert!(check_spans(&[open(1), close(1), close(1)]).is_err());
+        assert!(check_spans(&[open(1), open(1)]).is_err());
+    }
+}

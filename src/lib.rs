@@ -10,6 +10,7 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
+//! | [`portopt_trace`] | leveled events + timed spans, stderr/JSON-lines sinks |
 //! | [`portopt_exec`] | deterministic work-stealing executor behind every sweep |
 //! | [`portopt_ir`] | IR, builder DSL, analyses, reference interpreter |
 //! | [`portopt_passes`] | the Figure 3 pass space, register allocation, layout |
@@ -37,6 +38,7 @@ pub use portopt_passes;
 pub use portopt_search;
 pub use portopt_serve;
 pub use portopt_sim;
+pub use portopt_trace;
 pub use portopt_uarch;
 
 /// The common imports for examples and downstream users.
