@@ -80,6 +80,17 @@ fn bench_model(c: &mut Criterion) {
     });
     let pc = PortableCompiler::train(&ds, None, None, &TrainOptions::default());
     g.bench_function("predict", |b| b.iter(|| pc.predict(&ds.features[0][0])));
+    // The same query through the retained naive kernel (per-point Vec
+    // walk + full sort) vs the blocked-SoA + partial-select path that
+    // `predict` uses — the pair quantifies the hot-path rebuild and
+    // guards against the oracle silently becoming the fast path again.
+    let x = &ds.features[0][0].values;
+    g.bench_function("predict_mode_soa", |b| {
+        b.iter(|| pc.model().predict_mode(x))
+    });
+    g.bench_function("predict_mode_oracle", |b| {
+        b.iter(|| pc.model().predict_mode_oracle(x))
+    });
     g.finish();
 }
 

@@ -5,7 +5,7 @@
 use crate::dataset::Dataset;
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
-use portopt_ml::{IidDistribution, KnnModel, DEFAULT_BETA, DEFAULT_K};
+use portopt_ml::{IidDistribution, KnnModel, TrainError, DEFAULT_BETA, DEFAULT_K};
 use portopt_passes::{compile, CodeImage, OptConfig, OptSpace};
 use portopt_sim::{evaluate, profile, TimingResult};
 use portopt_uarch::{FeatureVec, MicroArch, PerfCounters};
@@ -52,6 +52,24 @@ impl PortableCompiler {
         skip_uarch: Option<usize>,
         opts: &TrainOptions,
     ) -> Self {
+        match Self::try_train(ds, skip_prog, skip_uarch, opts) {
+            Ok(pc) => pc,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`train`](Self::train) with malformed input reported as a typed
+    /// error instead of a panic — the entry point for operator-facing
+    /// tools (the `snapshot` bin) where "the dataset had no usable pairs"
+    /// must be a diagnostic, not a crash. The only realistic failure here
+    /// is [`TrainError::Empty`]: skipping the last program/uarch of a
+    /// minimal dataset can leave zero training pairs.
+    pub fn try_train(
+        ds: &Dataset,
+        skip_prog: Option<usize>,
+        skip_uarch: Option<usize>,
+        opts: &TrainOptions,
+    ) -> Result<Self, TrainError> {
         let dims: Vec<usize> = OptSpace::dims().iter().map(|d| d.cardinality).collect();
         let mut features = Vec::new();
         let mut dists = Vec::new();
@@ -72,9 +90,9 @@ impl PortableCompiler {
                 features.push(ds.features[p][u].values.clone());
             }
         }
-        PortableCompiler {
-            model: KnnModel::train(features, dists, opts.k, opts.beta),
-        }
+        Ok(PortableCompiler {
+            model: KnnModel::try_train(features, dists, opts.k, opts.beta)?,
+        })
     }
 
     /// Predicts the best optimisation setting from a feature vector.
@@ -87,6 +105,16 @@ impl PortableCompiler {
     /// calls this straight off the decoded request, clone-free).
     pub fn predict_features(&self, values: &[f64]) -> OptConfig {
         OptConfig::from_choices(&self.model.predict_mode(values))
+    }
+
+    /// [`predict_features`](Self::predict_features), also handing back the
+    /// canonical choice vector the prediction was decoded from. The serve
+    /// reply carries both representations; computing them in one pass
+    /// spares the hot path a round trip through
+    /// `OptConfig::to_choices` per request.
+    pub fn predict_features_choices(&self, values: &[f64]) -> (OptConfig, Vec<u8>) {
+        let choices = self.model.predict_mode(values);
+        (OptConfig::from_choices(&choices), choices)
     }
 
     /// Predicts from counters + microarchitecture description (the two

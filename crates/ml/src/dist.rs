@@ -8,13 +8,24 @@
 //! the maximum-likelihood estimate is just frequency counting (eq. 5).
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// A product of independent multinomials, one per optimisation dimension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Stored flat: every dimension's probability row lives back to back in
+/// one allocation, with `offsets[d]..offsets[d+1]` delimiting dimension
+/// `d`'s row. The serving hot path reads 7 neighbours × 39 rows per
+/// query; the previous `Vec<Vec<f64>>` layout made each of those reads a
+/// pointer chase into its own small allocation. The **wire format is
+/// unchanged** — the hand-written serde below still speaks
+/// `{"probs": [[...], ...]}`, so snapshots round-trip byte-identically.
+#[derive(Debug, Clone, PartialEq)]
 pub struct IidDistribution {
-    /// `probs[dim][choice]` = `θ_ℓ^j`, with `Σ_j probs[dim][j] == 1`.
-    probs: Vec<Vec<f64>>,
+    /// Concatenated rows: `θ_ℓ^j` = `probs[offsets[ℓ] + j]`, with each
+    /// row summing to 1.
+    probs: Vec<f64>,
+    /// `n_dims + 1` row boundaries into `probs`.
+    offsets: Vec<u32>,
 }
 
 /// Laplace smoothing mass added per choice when fitting (keeps the mode
@@ -22,12 +33,28 @@ pub struct IidDistribution {
 const SMOOTHING: f64 = 0.1;
 
 impl IidDistribution {
+    /// Builds the flat layout from per-dimension cardinalities, with
+    /// every probability initialised to `init`.
+    fn flat(dims: &[usize], init: impl Fn(usize) -> f64) -> Self {
+        let mut offsets = Vec::with_capacity(dims.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &c in dims {
+            total += c as u32;
+            offsets.push(total);
+        }
+        let mut probs = Vec::with_capacity(total as usize);
+        for &c in dims {
+            let v = init(c);
+            probs.extend((0..c).map(|_| v));
+        }
+        IidDistribution { probs, offsets }
+    }
+
     /// The uniform distribution over a space with the given per-dimension
     /// cardinalities.
     pub fn uniform(dims: &[usize]) -> Self {
-        IidDistribution {
-            probs: dims.iter().map(|&c| vec![1.0 / c as f64; c]).collect(),
-        }
+        Self::flat(dims, |c| 1.0 / c as f64)
     }
 
     /// Maximum-likelihood fit (eq. 5): `θ_ℓ^j` = fraction of good settings
@@ -37,52 +64,67 @@ impl IidDistribution {
     /// Panics if `good` is empty or a choice exceeds its cardinality.
     pub fn fit(dims: &[usize], good: &[Vec<u8>]) -> Self {
         assert!(!good.is_empty(), "cannot fit to an empty good-set");
-        let mut counts: Vec<Vec<f64>> = dims.iter().map(|&c| vec![SMOOTHING; c]).collect();
+        let mut g = Self::flat(dims, |_| SMOOTHING);
         for y in good {
             assert_eq!(y.len(), dims.len(), "setting has wrong dimensionality");
             for (d, &choice) in y.iter().enumerate() {
-                counts[d][choice as usize] += 1.0;
+                let row = g.row_range(d);
+                assert!((choice as usize) < row.len(), "choice exceeds cardinality");
+                g.probs[row.start + choice as usize] += 1.0;
             }
         }
-        for row in &mut counts {
+        for d in 0..dims.len() {
+            let row = &mut g.probs[g.offsets[d] as usize..g.offsets[d + 1] as usize];
             let total: f64 = row.iter().sum();
             for p in row.iter_mut() {
                 *p /= total;
             }
         }
-        IidDistribution { probs: counts }
+        g
+    }
+
+    /// Byte range of dimension `dim`'s row within `probs`.
+    #[inline]
+    fn row_range(&self, dim: usize) -> std::ops::Range<usize> {
+        self.offsets[dim] as usize..self.offsets[dim + 1] as usize
     }
 
     /// Number of dimensions.
     pub fn n_dims(&self) -> usize {
-        self.probs.len()
+        self.offsets.len() - 1
     }
 
     /// `θ_ℓ^j`.
     pub fn prob(&self, dim: usize, choice: u8) -> f64 {
-        self.probs[dim][choice as usize]
+        self.row(dim)[choice as usize]
     }
 
     /// One dimension's probability row (for the fused mixture-argmax in
     /// `KnnModel::predict_mode`, which must read whole rows without
     /// per-cell bounds checks or materializing a mixed distribution).
     pub(crate) fn row(&self, dim: usize) -> &[f64] {
-        &self.probs[dim]
+        &self.probs[self.row_range(dim)]
+    }
+
+    /// Iterates the per-dimension rows in order.
+    fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.offsets
+            .windows(2)
+            .map(|w| &self.probs[w[0] as usize..w[1] as usize])
     }
 
     /// `log g(y)` (natural log).
     pub fn log_prob(&self, y: &[u8]) -> f64 {
         y.iter()
             .enumerate()
-            .map(|(d, &c)| self.probs[d][c as usize].ln())
+            .map(|(d, &c)| self.prob(d, c).ln())
             .sum()
     }
 
     /// The mode `argmax_y g(y)` — eq. (1). For a factorised distribution
     /// this is the per-dimension argmax.
     pub fn mode(&self) -> Vec<u8> {
-        self.probs
-            .iter()
+        self.rows()
             .map(|row| {
                 row.iter()
                     .enumerate()
@@ -95,8 +137,7 @@ impl IidDistribution {
 
     /// Draws a sample.
     pub fn sample(&self, rng: &mut impl Rng) -> Vec<u8> {
-        self.probs
-            .iter()
+        self.rows()
             .map(|row| {
                 let mut u: f64 = rng.gen();
                 for (j, p) in row.iter().enumerate() {
@@ -126,28 +167,98 @@ impl IidDistribution {
     pub fn mix(parts: &[(f64, &IidDistribution)]) -> Self {
         assert!(!parts.is_empty(), "empty mixture");
         let wsum: f64 = parts.iter().map(|(w, _)| w).sum();
-        let dims = parts[0].1.n_dims();
-        let mut probs: Vec<Vec<f64>> = (0..dims)
-            .map(|d| vec![0.0; parts[0].1.probs[d].len()])
-            .collect();
+        let first = parts[0].1;
+        let mut out = IidDistribution {
+            probs: vec![0.0; first.probs.len()],
+            offsets: first.offsets.clone(),
+        };
         for (w, g) in parts {
-            assert_eq!(g.n_dims(), dims);
-            for (d, row) in g.probs.iter().enumerate() {
-                for (j, p) in row.iter().enumerate() {
-                    probs[d][j] += (w / wsum) * p;
-                }
+            assert_eq!(g.n_dims(), first.n_dims());
+            assert_eq!(g.offsets, out.offsets, "mixture dimensionality mismatch");
+            for (acc, p) in out.probs.iter_mut().zip(&g.probs) {
+                *acc += (w / wsum) * p;
             }
         }
-        IidDistribution { probs }
+        out
+    }
+
+    /// The mode of [`mix`](Self::mix) without materialising the mixed
+    /// distribution — the serving hot path's fused decode.
+    ///
+    /// Accumulates the convex combination over the flat probability
+    /// buffer (one sequential, vectorisable pass per neighbour), then
+    /// takes each dimension's argmax. Every output element receives its
+    /// weighted contributions in `parts` order, exactly as
+    /// `Self::mix(parts).mode()` would add them, and the argmax keeps the
+    /// last maximum on ties (`>=`) like the fused per-dimension loop it
+    /// replaces — so the result is bit-identical to both.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or dimensionalities disagree.
+    pub fn mix_mode(parts: &[(f64, &IidDistribution)]) -> Vec<u8> {
+        assert!(!parts.is_empty(), "empty mixture");
+        let wsum: f64 = parts.iter().map(|(w, _)| w).sum();
+        let first = parts[0].1;
+        let mut acc = vec![0.0f64; first.probs.len()];
+        for (w, g) in parts {
+            assert_eq!(g.offsets, first.offsets, "mixture dimensionality mismatch");
+            let wn = w / wsum;
+            for (a, p) in acc.iter_mut().zip(&g.probs) {
+                *a += wn * p;
+            }
+        }
+        first
+            .offsets
+            .windows(2)
+            .map(|win| {
+                let row = &acc[win[0] as usize..win[1] as usize];
+                let mut best = (0u8, f64::NEG_INFINITY);
+                for (j, &p) in row.iter().enumerate() {
+                    if p >= best.1 {
+                        best = (j as u8, p);
+                    }
+                }
+                best.0
+            })
+            .collect()
     }
 
     /// Per-dimension entropy in nats (used by the Figure 8 analysis).
     pub fn dim_entropy(&self, dim: usize) -> f64 {
-        -self.probs[dim]
+        -self
+            .row(dim)
             .iter()
             .filter(|&&p| p > 0.0)
             .map(|&p| p * p.ln())
             .sum::<f64>()
+    }
+}
+
+impl Serialize for IidDistribution {
+    /// Same wire format as the old `Vec<Vec<f64>>` field: the flat layout
+    /// is an in-memory concern only.
+    fn to_value(&self) -> Value {
+        let rows: Vec<Value> = self
+            .rows()
+            .map(|row| Value::Array(row.iter().map(|p| p.to_value()).collect()))
+            .collect();
+        Value::Object(vec![("probs".to_string(), Value::Array(rows))])
+    }
+}
+
+impl Deserialize for IidDistribution {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let rows: Vec<Vec<f64>> = Deserialize::from_value(v.field("probs")?)?;
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        let mut probs = Vec::new();
+        for row in &rows {
+            total += row.len() as u32;
+            offsets.push(total);
+            probs.extend_from_slice(row);
+        }
+        Ok(IidDistribution { probs, offsets })
     }
 }
 

@@ -37,5 +37,5 @@ pub mod knn;
 pub mod mi;
 
 pub use dist::IidDistribution;
-pub use knn::{KnnModel, Normalizer, DEFAULT_BETA, DEFAULT_K};
+pub use knn::{FeatureMatrix, KnnModel, Normalizer, TrainError, DEFAULT_BETA, DEFAULT_K};
 pub use mi::{bin_equal_frequency, entropy, mutual_information, normalized_mutual_information};

@@ -151,6 +151,101 @@ proptest! {
         prop_assert_eq!(back.feature_dim(), 3);
     }
 
+    /// Tentpole contract of the kNN hot-path rebuild: the blocked SoA
+    /// [`FeatureMatrix`] kernel + partial top-k selection produce
+    /// **bit-identical** `predict` and `predict_mode` results to the
+    /// retained naive oracle (per-point row scan + full stable sort),
+    /// across random models and queries, k ≥ n included.
+    #[test]
+    fn soa_kernel_matches_oracle(seed in 0u64..100_000, npts in 1usize..40, k in 1usize..50) {
+        let dims = vec![2usize, 3, 4];
+        let dim = 1 + (seed % 7) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats: Vec<Vec<f64>> = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push((0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect());
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 5)));
+        }
+        let model = KnnModel::train(feats.clone(), dists, k, 1.0);
+        for t in 0..4u64 {
+            let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect();
+            prop_assert_eq!(model.predict(&q), model.predict_oracle(&q), "predict t={}", t);
+            prop_assert_eq!(
+                model.predict_mode(&q),
+                model.predict_mode_oracle(&q),
+                "predict_mode t={}", t
+            );
+        }
+        // A query sitting exactly on a training point: distance 0 at the
+        // top of the ranking, shared by every duplicate of that row.
+        let on_point = feats[npts / 2].clone();
+        prop_assert_eq!(model.predict(&on_point), model.predict_oracle(&on_point));
+        prop_assert_eq!(model.predict_mode(&on_point), model.predict_mode_oracle(&on_point));
+    }
+
+    /// Duplicate-distance tie-break: with only a handful of distinct
+    /// feature locations, most distances collide exactly, so the k-th
+    /// place is decided purely by the (distance, index) tie-break — the
+    /// partial selection must keep the oracle's stable-sort index order,
+    /// or the mixture sees different neighbours (or the same neighbours
+    /// summed in a different order) and the bits diverge.
+    #[test]
+    fn duplicate_distance_tie_break_matches_oracle(
+        seed in 0u64..100_000, npts in 2usize..40, k in 1usize..50
+    ) {
+        let dims = vec![2usize, 4];
+        let locs = [[0.0, 0.0], [1.0, 1.0], [2.0, -1.0]];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats: Vec<Vec<f64>> = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push(locs[rng.gen_range(0..locs.len())].to_vec());
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 4)));
+        }
+        let model = KnnModel::train(feats, dists, k, 1.0);
+        // Probe from the tie locations themselves, a midpoint (equidistant
+        // from two clusters), and an outside point.
+        for q in [
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![-7.0, 3.0],
+        ] {
+            prop_assert_eq!(model.predict(&q), model.predict_oracle(&q), "q={:?}", &q);
+            prop_assert_eq!(
+                model.predict_mode(&q),
+                model.predict_mode_oracle(&q),
+                "q={:?}", &q
+            );
+        }
+    }
+
+    /// The blocked distance kernel alone is bit-identical to the naive
+    /// per-row fold, across row counts straddling the block width.
+    #[test]
+    fn blocked_distances_bit_identical(seed in 0u64..100_000, n in 1usize..100, dim in 1usize..24) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-1e3..1e3)).collect())
+            .collect();
+        let m = portopt_ml::FeatureMatrix::from_rows(rows.iter().map(|r| r.as_slice()));
+        let query: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1e3..1e3)).collect();
+        let mut got = Vec::new();
+        m.distances_into(&query, &mut got);
+        let want: Vec<f64> = rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .zip(&query)
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum::<f64>()
+                    .sqrt()
+            })
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
     /// Equal-frequency binning is order-preserving and balanced within 1.
     #[test]
     fn binning_properties(seed in 0u64..100_000, n in 8usize..400, nbins in 2usize..8) {

@@ -261,13 +261,20 @@ impl OptConfig {
     /// # Panics
     /// Panics if `choices` has the wrong length or an out-of-range index.
     pub fn from_choices(choices: &[u8]) -> Self {
-        let dims = OptSpace::dims();
-        assert_eq!(choices.len(), dims.len(), "choice vector length");
-        for (c, d) in choices.iter().zip(&dims) {
+        // Validate against the static cardinality table — the serving hot
+        // path decodes one config per prediction, and `OptSpace::dims()`
+        // would allocate a fresh 39-entry Vec per call. The descriptive
+        // per-dimension panic only pays for `dims()` on the failure path.
+        assert_eq!(
+            choices.len(),
+            OptSpace::CARDINALITIES.len(),
+            "choice vector length"
+        );
+        for (i, (c, card)) in choices.iter().zip(&OptSpace::CARDINALITIES).enumerate() {
             assert!(
-                (*c as usize) < d.cardinality,
+                (*c as usize) < *card,
                 "choice {c} out of range for {}",
-                d.name
+                OptSpace::dims()[i].name
             );
         }
         let b = |i: usize| choices[i] != 0;
@@ -375,6 +382,52 @@ pub struct OptDim {
 pub struct OptSpace;
 
 impl OptSpace {
+    /// Per-dimension cardinalities in canonical order — the static,
+    /// allocation-free mirror of [`dims`](Self::dims) for hot-path
+    /// validation (`dims_cardinalities_match_static_table` pins the two
+    /// in sync).
+    pub const CARDINALITIES: [usize; 39] = [
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        2,
+        menus::MAX_GCSE_PASSES.len(),
+        2,
+        2,
+        2,
+        2,
+        menus::MAX_INLINE_INSNS_AUTO.len(),
+        menus::LARGE_FUNCTION_INSNS.len(),
+        menus::LARGE_FUNCTION_GROWTH.len(),
+        menus::LARGE_UNIT_INSNS.len(),
+        menus::INLINE_UNIT_GROWTH.len(),
+        menus::INLINE_CALL_COST.len(),
+        2,
+        menus::MAX_UNROLL_TIMES.len(),
+        menus::MAX_UNROLLED_INSNS.len(),
+    ];
+
     /// The 39 dimensions in canonical ([`OptConfig::to_choices`]) order,
     /// named exactly as in Figure 8 of the paper.
     pub fn dims() -> Vec<OptDim> {
@@ -621,6 +674,15 @@ mod tests {
         assert!(flags >= 5e8 && flags <= 2e9, "flags = {flags}");
         // Full space ~1e14..1e18 (paper: 1.69e17).
         assert!(total >= 1e13 && total <= 1e19, "total = {total}");
+    }
+
+    #[test]
+    fn dims_cardinalities_match_static_table() {
+        let dims = OptSpace::dims();
+        assert_eq!(dims.len(), OptSpace::CARDINALITIES.len());
+        for (d, &card) in dims.iter().zip(&OptSpace::CARDINALITIES) {
+            assert_eq!(d.cardinality, card, "{}", d.name);
+        }
     }
 
     #[test]

@@ -183,7 +183,21 @@ impl Deserialize for ServeRequest {
                     "request has both `features` and `module`; send one",
                 ))
             }
-            (Some(f), None) => RequestInput::Features(Vec::<f64>::from_value(f)?),
+            (Some(f), None) => {
+                let values = Vec::<f64>::from_value(f)?;
+                // Reject non-finite features at admission: JSON `null`
+                // decodes to NaN and `1e999` parses to +Inf, and a
+                // non-finite query would poison the distance ranking (the
+                // naive kernel used to panic mid-batch on exactly this).
+                // A typed per-request error reply keeps the batch alive.
+                if let Some(i) = values.iter().position(|v| !v.is_finite()) {
+                    return Err(serde::Error::new(format!(
+                        "features[{i}] is not a finite number \
+                         (NaN/Infinity are rejected)"
+                    )));
+                }
+                RequestInput::Features(values)
+            }
             (None, Some(m)) => RequestInput::Module(Box::new(Module::from_value(m)?)),
             (None, None) => {
                 return Err(serde::Error::new(
@@ -215,6 +229,160 @@ impl Deserialize for ServeRequest {
             apply,
         })
     }
+}
+
+/// Decodes the canonical request shape — a flat object whose keys are
+/// drawn from `id` / `features` / `uarch` / `apply`, each at most once,
+/// features all finite plain numbers, `uarch` the string `"xscale"` or
+/// the full configuration object in printed field order —
+/// straight off the line via [`serde_json::Scanner`], skipping the
+/// `Value` tree entirely. Returns `None` for ANY other shape (admin
+/// commands, `module` requests, duplicate or unknown keys, escapes,
+/// non-finite or malformed values, trailing bytes): the caller then
+/// takes the tree path, which is the semantic definition, so every line
+/// this accepts yields bit-identically the request the tree path would
+/// have built, and every line it refuses still gets the tree path's
+/// exact reply. `Scanner` reuses the parser's own tokenizer, so number
+/// and string tokens cannot be read differently here than there.
+fn decode_line_fast(line: &str) -> Option<(Option<u64>, ServeRequest)> {
+    let mut t = serde_json::Scanner::new(line);
+    if !t.bump_if(b'{') || t.bump_if(b'}') {
+        // Not an object, or `{}` (an error reply the tree path formats).
+        return None;
+    }
+    let mut id: Option<u64> = None;
+    let mut features: Option<Vec<f64>> = None;
+    let mut uarch: Option<MicroArch> = None;
+    let mut apply: Option<bool> = None;
+    loop {
+        let key = t.raw_str()?;
+        if !t.bump_if(b':') {
+            return None;
+        }
+        match key {
+            "id" if id.is_none() => {
+                // Only the integer token forms; a float-typed id (`5.0`)
+                // is valid to the tree path but never canonical — bail.
+                id = Some(match t.number()? {
+                    Value::I64(n) if n >= 0 => n as u64,
+                    Value::U64(n) => n,
+                    _ => return None,
+                });
+            }
+            "features" if features.is_none() => {
+                let mut vals = Vec::with_capacity(24);
+                if !t.bump_if(b'[') {
+                    return None;
+                }
+                if !t.bump_if(b']') {
+                    loop {
+                        let f = match t.number()? {
+                            Value::F64(x) => x,
+                            Value::I64(n) => n as f64,
+                            Value::U64(n) => n as f64,
+                            _ => return None,
+                        };
+                        if !f.is_finite() {
+                            // The tree path formats the typed
+                            // `features[i] is not a finite number` reply.
+                            return None;
+                        }
+                        vals.push(f);
+                        if t.bump_if(b',') {
+                            continue;
+                        }
+                        if t.bump_if(b']') {
+                            break;
+                        }
+                        return None;
+                    }
+                }
+                features = Some(vals);
+            }
+            "uarch" if uarch.is_none() => {
+                if t.bump_if(b'{') {
+                    // The full-configuration object, accepted only in the
+                    // exact shape our own printer emits: the ten fields in
+                    // declaration order, each a plain in-range integer.
+                    // The derive reads fields positionally first, so this
+                    // equals `MicroArch::from_value` on every accepted
+                    // line; reordered or exotic objects bail to the tree.
+                    const UARCH_KEYS: [&str; 10] = [
+                        "il1_size",
+                        "il1_assoc",
+                        "il1_block",
+                        "dl1_size",
+                        "dl1_assoc",
+                        "dl1_block",
+                        "btb_entries",
+                        "btb_assoc",
+                        "freq_mhz",
+                        "width",
+                    ];
+                    let mut vals = [0u32; 10];
+                    for (i, key) in UARCH_KEYS.iter().enumerate() {
+                        if i > 0 && !t.bump_if(b',') {
+                            return None;
+                        }
+                        if t.raw_str()? != *key || !t.bump_if(b':') {
+                            return None;
+                        }
+                        vals[i] = match t.number()? {
+                            Value::I64(n) if (0..=u32::MAX as i64).contains(&n) => n as u32,
+                            _ => return None,
+                        };
+                    }
+                    if !t.bump_if(b'}') {
+                        return None;
+                    }
+                    uarch = Some(MicroArch {
+                        il1_size: vals[0],
+                        il1_assoc: vals[1],
+                        il1_block: vals[2],
+                        dl1_size: vals[3],
+                        dl1_assoc: vals[4],
+                        dl1_block: vals[5],
+                        btb_entries: vals[6],
+                        btb_assoc: vals[7],
+                        freq_mhz: vals[8],
+                        width: vals[9],
+                    });
+                } else {
+                    if t.raw_str()? != "xscale" {
+                        return None;
+                    }
+                    uarch = Some(MicroArch::xscale());
+                }
+            }
+            "apply" if apply.is_none() => {
+                apply = Some(if t.keyword("true") {
+                    true
+                } else if t.keyword("false") {
+                    false
+                } else {
+                    return None;
+                });
+            }
+            _ => return None,
+        }
+        if t.bump_if(b',') {
+            continue;
+        }
+        if t.bump_if(b'}') {
+            break;
+        }
+        return None;
+    }
+    if !t.at_end() {
+        return None;
+    }
+    let req = ServeRequest {
+        id,
+        input: RequestInput::Features(features?),
+        uarch: uarch?,
+        apply: apply.unwrap_or(false),
+    };
+    Some((id, req))
 }
 
 /// Cycle counts from an `apply: true` module request.
@@ -371,6 +539,11 @@ pub enum LineAction {
 #[derive(Debug)]
 struct QueuedLine {
     conn: ConnId,
+    /// The client's request id when the line parsed far enough to have
+    /// one — echoed even on error replies so the client can correlate
+    /// them (a rejected request whose reply carries a synthetic id is as
+    /// bad as no reply).
+    id: Option<u64>,
     parsed: Result<ServeRequest, String>,
 }
 
@@ -475,7 +648,7 @@ impl PredictionService {
         &self,
         snapshot: &Snapshot,
         req: &ServeRequest,
-    ) -> Result<(OptConfig, Option<ApplyStats>), String> {
+    ) -> Result<(OptConfig, Vec<u8>, Option<ApplyStats>), String> {
         match &req.input {
             RequestInput::Features(values) => {
                 let want = snapshot.meta.feature_dim;
@@ -485,7 +658,8 @@ impl PredictionService {
                         values.len()
                     ));
                 }
-                Ok((snapshot.compiler.predict_features(values), None))
+                let (cfg, choices) = snapshot.compiler.predict_features_choices(values);
+                Ok((cfg, choices, None))
             }
             RequestInput::Module(module) => {
                 let img3 = compile(module, &OptConfig::o3());
@@ -508,7 +682,7 @@ impl PredictionService {
                 } else {
                     None
                 };
-                Ok((cfg, stats))
+                Ok((cfg, cfg.to_choices(), stats))
             }
         }
     }
@@ -553,7 +727,26 @@ impl PredictionService {
     /// reply stream stays in request order — unless the queue refuses it
     /// ([`LineAction::Refused`]), in which case the refusal reply is
     /// written out-of-band instead.
+    ///
+    /// The canonical request shape — a flat object of `id` / `features` /
+    /// `uarch` / `apply` — is decoded by `decode_line_fast` without
+    /// building a `Value` tree (the tree's per-node allocations were the
+    /// hot path's single largest cost on a single core). Anything the
+    /// fast decoder does not accept byte-for-byte falls through to the
+    /// tree path below, which remains the semantic definition; the
+    /// `fast_decoder_agrees_with_tree_path` differential test pins the
+    /// two paths together.
     pub fn classify_and_submit(&self, conn: ConnId, line: &str) -> LineAction {
+        if let Some((id, req)) = decode_line_fast(line) {
+            return self.admit_request(
+                id,
+                QueuedLine {
+                    conn,
+                    id,
+                    parsed: Ok(req),
+                },
+            );
+        }
         match serde_json::from_str::<Value>(line) {
             Ok(doc) => {
                 // One scan of the (small) top-level object for the admin
@@ -586,6 +779,7 @@ impl PredictionService {
                             req_id,
                             QueuedLine {
                                 conn,
+                                id: req_id,
                                 parsed: Err(format!("unknown admin command `{cmd}`")),
                             },
                         )
@@ -596,6 +790,7 @@ impl PredictionService {
                     req_id,
                     QueuedLine {
                         conn,
+                        id: req_id,
                         parsed: ServeRequest::from_value(&doc).map_err(|e| e.to_string()),
                     },
                 )
@@ -604,6 +799,7 @@ impl PredictionService {
                 None,
                 QueuedLine {
                     conn,
+                    id: None,
                     parsed: Err(e.to_string()),
                 },
             ),
@@ -684,30 +880,53 @@ impl PredictionService {
             "drain_batch",
             &[("snapshot_version", versioned.version.into())],
         );
+        // Per-query spans attribute each prediction's compute to the
+        // worker that ran it. They only exist when a trace consumer is
+        // listening (file sink, or stderr at `trace`) — the batch span's
+        // compute/fan-out split below is always on, so the unsinked hot
+        // path pays nothing per query.
+        let trace_queries =
+            portopt_trace::sink_on() || portopt_trace::stderr_wants(portopt_trace::Level::Trace);
         let answered = self.queue.drain_with(&self.exec, |queued| {
+            let qsp = trace_queries.then(|| {
+                portopt_trace::span("serve", "predict_query", &[("conn", queued.conn.into())])
+            });
             let started = Instant::now();
             // The client id must survive the error path too: a reply the
             // client cannot correlate is as bad as no reply.
             let (id, outcome) = match &queued.parsed {
                 Ok(req) => (req.id, self.predict_one(&versioned.snapshot, req)),
-                Err(e) => (None, Err(format!("bad request: {e}"))),
+                Err(e) => (queued.id, Err(format!("bad request: {e}"))),
             };
-            (
-                queued.conn,
-                id,
-                outcome,
-                started.elapsed().as_secs_f64() * 1e3,
-            )
+            let latency_ms = started.elapsed().as_secs_f64() * 1e3;
+            if let Some(qsp) = qsp {
+                qsp.close_with(&[
+                    ("id", id.unwrap_or(0).into()),
+                    ("error", u64::from(outcome.is_err()).into()),
+                ]);
+            }
+            (queued.conn, id, outcome, latency_ms)
         });
         if answered.is_empty() {
             sp.close_with(&[("requests", 0u64.into())]);
             return Vec::new();
         }
+        let batch_secs = batch_started.elapsed().as_secs_f64();
         stats.batches += 1;
         stats.max_batch = stats.max_batch.max(answered.len());
-        stats.busy_secs += batch_started.elapsed().as_secs_f64();
+        stats.busy_secs += batch_secs;
         self.metrics.record_batch(answered.len(), versioned.version);
-        sp.close_with(&[("requests", answered.len().into())]);
+        // compute = sum of per-request kernel time; fan-out = everything
+        // else the batch wall clock bought (queue handoff, executor
+        // scheduling, reply assembly) — the split the trace bin reads to
+        // tell "the model is slow" from "the batching is slow".
+        let compute_ms: f64 = answered.iter().map(|(_, (_, _, _, ms))| ms).sum();
+        let fanout_us = ((batch_secs * 1e3 - compute_ms).max(0.0) * 1e3) as u64;
+        sp.close_with(&[
+            ("requests", answered.len().into()),
+            ("compute_us", ((compute_ms * 1e3) as u64).into()),
+            ("fanout_us", fanout_us.into()),
+        ]);
         answered
             .into_iter()
             .map(|(ticket, (conn, id, outcome, latency_ms))| {
@@ -718,9 +937,9 @@ impl PredictionService {
                     .record_request(latency_ms, outcome.as_ref().err().map(|_| ()));
                 let id = id.unwrap_or(ticket);
                 let response = match outcome {
-                    Ok((cfg, apply)) => ServeResponse {
+                    Ok((cfg, choices, apply)) => ServeResponse {
                         id,
-                        choices: cfg.to_choices(),
+                        choices,
                         config: Some(cfg),
                         latency_ms,
                         stats: apply,
@@ -851,5 +1070,107 @@ pub(crate) fn admin_reload_reply(outcome: &Result<u64, String>) -> String {
             let msg = serde_json::to_string(e).unwrap_or_else(|_| "\"reload failed\"".into());
             format!(r#"{{"cmd":"reload","ok":false,"error":{msg}}}"#)
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The differential contract behind `decode_line_fast`: on every line
+    /// it accepts, its result must equal what the tree path
+    /// (`serde_json::parse` + `ServeRequest::from_value` + the admission
+    /// scan for `id`) would have produced; lines it refuses are the tree
+    /// path's business by construction. The corpus covers the canonical
+    /// shape, every reorder/whitespace/optional-field variant the fast
+    /// path should accept, and each bail-out class (admin markers,
+    /// duplicate and unknown keys, escapes, non-finite and malformed
+    /// values, `module` requests, garbage).
+    #[test]
+    fn fast_decoder_agrees_with_tree_path() {
+        let canonical = r#"{"id":7,"features":[0.5,1.25,-3.0,1e-6,123456789.25],"uarch":"xscale"}"#;
+        let corpus: Vec<String> = vec![
+            canonical.to_string(),
+            // Reordered, whitespace, optional fields present/absent.
+            r#"{"features":[1.0,2.0],"uarch":"xscale","id":3,"apply":true}"#.to_string(),
+            r#"{ "id" : 0 , "features" : [ 0.1 ] , "uarch" : "xscale" , "apply" : false }"#
+                .to_string(),
+            r#"{"features":[],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":18446744073709551615,"features":[2.5],"uarch":"xscale"}"#.to_string(),
+            // The full uarch object, in printed field order (fast-path
+            // hit) and reordered (tree-path bail, same result).
+            concat!(
+                r#"{"id":1,"features":[0.5],"uarch":{"il1_size":32768,"il1_assoc":32,"#,
+                r#""il1_block":32,"dl1_size":32768,"dl1_assoc":32,"dl1_block":32,"#,
+                r#""btb_entries":512,"btb_assoc":1,"freq_mhz":400,"width":1}}"#
+            )
+            .to_string(),
+            concat!(
+                r#"{"id":1,"features":[0.5],"uarch":{"width":1,"il1_size":32768,"il1_assoc":32,"#,
+                r#""il1_block":32,"dl1_size":32768,"dl1_assoc":32,"dl1_block":32,"#,
+                r#""btb_entries":512,"btb_assoc":1,"freq_mhz":400}}"#
+            )
+            .to_string(),
+            // Bail-outs the tree path must own: admin markers...
+            r#"{"shutdown":true}"#.to_string(),
+            r#"{"cmd":"stats"}"#.to_string(),
+            r#"{"cmd":"reload"}"#.to_string(),
+            // ...error shapes...
+            r#"{"id":9,"features":[0.5,null,0.25],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":[1e999],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":-1,"features":[1.0],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":[1.0],"uarch":"arm11"}"#.to_string(),
+            r#"{"id":9,"uarch":"xscale"}"#.to_string(),
+            r#"{"features":[1.0]}"#.to_string(),
+            r#"{"id":9,"id":10,"features":[1.0],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":[1.0],"uarch":"xscale","extra":1}"#.to_string(),
+            r#"{"id":5.0,"features":[1.0],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":[1.0],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":["a"],"uarch":"xscale"}"#.to_string(),
+            r#"{"id":9,"features":[1.0],"uarch":"xscale"} trailing"#.to_string(),
+            r#"not json at all"#.to_string(),
+            r#"[1,2,3]"#.to_string(),
+            r#"{}"#.to_string(),
+            String::new(),
+        ];
+
+        let mut fast_hits = 0usize;
+        for line in &corpus {
+            let fast = decode_line_fast(line);
+            let tree: Result<ServeRequest, _> =
+                serde_json::parse(line).and_then(|doc| ServeRequest::from_value(&doc));
+            if let Some((id, req)) = fast {
+                fast_hits += 1;
+                let tree_req = tree.unwrap_or_else(|e| {
+                    panic!("fast path accepted `{line}` but tree path errors: {e}")
+                });
+                assert_eq!(req, tree_req, "request mismatch on `{line}`");
+                assert_eq!(id, tree_req.id, "id mismatch on `{line}`");
+            }
+        }
+        // Coverage guard: the canonical shape and its accepted variants
+        // must HIT the fast path — if an edit silently stops it matching,
+        // the serving hot path quietly regresses to the tree path.
+        assert!(
+            fast_hits >= 5,
+            "fast decoder hit only {fast_hits} corpus lines; expected the 5 canonical variants"
+        );
+        assert!(
+            decode_line_fast(canonical).is_some(),
+            "fast decoder must accept the canonical request shape"
+        );
+
+        // And the wire shape our own client emits must hit it too.
+        let req = ServeRequest {
+            id: Some(42),
+            input: RequestInput::Features(vec![0.123456789012345, 7.0, -2.5e-4]),
+            uarch: MicroArch::xscale(),
+            apply: false,
+        };
+        let line = serde_json::to_string(&req).unwrap();
+        let (id, decoded) = decode_line_fast(&line)
+            .unwrap_or_else(|| panic!("fast decoder must accept our own wire format: {line}"));
+        assert_eq!(id, Some(42));
+        assert_eq!(decoded, req);
     }
 }

@@ -204,8 +204,18 @@ impl Snapshot {
     /// holdouts — a deployment model uses everything) and wraps it with
     /// the metadata a loader will validate.
     pub fn train(ds: &Dataset, opts: &TrainOptions) -> Self {
-        let compiler = PortableCompiler::train(ds, None, None, opts);
-        Snapshot {
+        match Self::try_train(ds, opts) {
+            Ok(snap) => snap,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`train`](Self::train) with malformed datasets reported as a typed
+    /// error instead of a panic — what the `snapshot` bin calls so an
+    /// empty dataset is an exit-code diagnostic, not a crash.
+    pub fn try_train(ds: &Dataset, opts: &TrainOptions) -> Result<Self, portopt_ml::TrainError> {
+        let compiler = PortableCompiler::try_train(ds, None, None, opts)?;
+        Ok(Snapshot {
             meta: SnapshotMeta {
                 magic: SNAPSHOT_MAGIC.to_string(),
                 format_version: FORMAT_VERSION,
@@ -218,7 +228,7 @@ impl Snapshot {
                 beta: opts.beta,
             },
             compiler,
-        }
+        })
     }
 
     /// Serializes the snapshot to bytes (the exact bytes [`Snapshot::save`]

@@ -202,6 +202,75 @@ fn garbage_lines_get_in_order_error_replies() {
     assert_eq!(stats.errors, REAL - 1, "one error reply per junk line");
 }
 
+/// Fault class 5 — non-finite features: JSON `null` decodes to NaN and
+/// `1e999` overflows to +Infinity. Both used to reach the distance kernel
+/// and panic the whole batch (`partial_cmp(..).expect("finite distances")`);
+/// now they are rejected at admission with a typed per-request error reply
+/// that echoes the client's id, and every surrounding request still
+/// answers normally.
+#[test]
+fn non_finite_features_are_rejected_per_request_not_per_batch() {
+    let (ds, _) = fixture();
+    let (addr, server) = spawn_server(|s| PredictionService::new(s, 2), fast_opts());
+    let stream = TcpStream::connect(addr).unwrap();
+    let reader_half = stream.try_clone().unwrap();
+    let mut w = stream;
+
+    // good(0), NaN, +Inf, good(1) — all on one connection, so the NaN and
+    // Inf requests share a batch with at least one healthy neighbour.
+    let nan_line = r#"{"id":777001,"features":[0.5,null,0.25],"uarch":"xscale"}"#;
+    let inf_line = r#"{"id":777002,"features":[1e999,0.5],"uarch":"xscale"}"#;
+    w.write_all(format!("{}\n", request_line(&ds, 7, 0)).as_bytes())
+        .unwrap();
+    w.write_all(format!("{nan_line}\n").as_bytes()).unwrap();
+    w.write_all(format!("{inf_line}\n").as_bytes()).unwrap();
+    w.write_all(format!("{}\n", request_line(&ds, 7, 1)).as_bytes())
+        .unwrap();
+
+    let mut reader = BufReader::new(reader_half);
+    let mut read_reply = || {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        serde_json::from_str::<ServeResponse>(line.trim())
+            .unwrap_or_else(|e| panic!("unparseable reply ({e}): {line}"))
+    };
+
+    let ok0 = read_reply();
+    assert!(ok0.error.is_none(), "healthy request poisoned: {ok0:?}");
+    assert_eq!(ok0.id, 7 * 100_000);
+
+    let nan = read_reply();
+    assert_eq!(nan.id, 777_001, "error reply must echo the client's id");
+    let msg = nan
+        .error
+        .as_deref()
+        .unwrap_or_else(|| panic!("NaN accepted: {nan:?}"));
+    assert!(msg.contains("features[1]"), "{msg}");
+    assert!(msg.contains("not a finite number"), "{msg}");
+
+    let inf = read_reply();
+    assert_eq!(inf.id, 777_002);
+    let msg = inf
+        .error
+        .as_deref()
+        .unwrap_or_else(|| panic!("Inf accepted: {inf:?}"));
+    assert!(msg.contains("features[0]"), "{msg}");
+
+    // The batch — and the server — survived: the trailing request answers.
+    let ok1 = read_reply();
+    assert!(
+        ok1.error.is_none(),
+        "request after the bad ones lost: {ok1:?}"
+    );
+    assert_eq!(ok1.id, 7 * 100_000 + 1);
+
+    shutdown(addr);
+    let stats = server.join().unwrap();
+    assert_eq!(stats.requests, 4);
+    assert_eq!(stats.errors, 2, "one error reply per non-finite request");
+    assert_eq!(stats.discarded, 0);
+}
+
 /// The queue cap is a hard ceiling: with `--queue-cap N`, the pending
 /// count never exceeds N, every refusal carries the `overloaded` error
 /// with a `retry_after_ms` hint, and draining reopens admission.

@@ -1,0 +1,82 @@
+//! Snapshot round-trip pins for the blocked SoA feature matrix.
+//!
+//! The matrix is a *derived* index over the model's training points: it
+//! must never appear in the snapshot wire format (old format-v1 artifacts
+//! have no such field and must keep loading), and a loader must rebuild
+//! it bit-identically so a reloaded snapshot predicts exactly what the
+//! freshly trained one did.
+
+mod common;
+
+use common::fixture;
+use portopt_serve::Snapshot;
+
+#[test]
+fn snapshot_round_trip_rebuilds_the_soa_matrix() {
+    let (ds, snap) = fixture();
+    let bytes = snap.to_bytes().unwrap();
+
+    // Wire-format stability: the derived matrix is rebuilt at load time,
+    // not serialized — a `matrix` key here would bump the format and
+    // orphan every existing snapshot.
+    let text = std::str::from_utf8(&bytes).unwrap();
+    assert!(
+        !text.contains("\"matrix\""),
+        "derived SoA matrix leaked into the snapshot wire format"
+    );
+
+    let back = Snapshot::from_bytes(&bytes).unwrap();
+    assert_eq!(back.meta, snap.meta);
+    // `KnnModel`'s PartialEq covers the derived matrix too, so equality
+    // proves the loader rebuilt it identically from the decoded points —
+    // including the block padding lanes.
+    assert_eq!(back.compiler.model(), snap.compiler.model());
+    let matrix = back.compiler.model().matrix();
+    assert_eq!(matrix.n_points(), back.compiler.model().len());
+
+    // And the reloaded model predicts byte-for-byte what the original
+    // does, over every feature vector in the training sweep.
+    for p in 0..ds.n_programs() {
+        for u in 0..ds.n_uarchs() {
+            let x = &ds.features[p][u];
+            assert_eq!(back.compiler.predict(x), snap.compiler.predict(x));
+            assert_eq!(
+                back.compiler.model().predict(&x.values),
+                snap.compiler.model().predict(&x.values)
+            );
+        }
+    }
+}
+
+/// A hand-built "old" snapshot — same JSON but with the model object
+/// containing only the source fields in a different key order — still
+/// loads: the decoder reads fields by name and derives the rest.
+#[test]
+fn snapshot_loader_tolerates_reordered_model_fields() {
+    let (ds, snap) = fixture();
+    let bytes = snap.to_bytes().unwrap();
+    let doc: serde::Value = serde_json::from_slice(&bytes).unwrap();
+    let reordered = reorder_objects(&doc);
+    let rebuilt = serde_json::to_vec(&reordered).unwrap();
+    assert_ne!(bytes, rebuilt, "reordering should have changed the bytes");
+    let back = Snapshot::from_bytes(&rebuilt).unwrap();
+    let x = &ds.features[0][0];
+    assert_eq!(back.compiler.predict(x), snap.compiler.predict(x));
+}
+
+/// Recursively reverses the field order of every JSON object.
+fn reorder_objects(v: &serde::Value) -> serde::Value {
+    match v {
+        serde::Value::Object(fields) => serde::Value::Object(
+            fields
+                .iter()
+                .rev()
+                .map(|(k, val)| (k.clone(), reorder_objects(val)))
+                .collect(),
+        ),
+        serde::Value::Array(items) => {
+            serde::Value::Array(items.iter().map(reorder_objects).collect())
+        }
+        other => other.clone(),
+    }
+}

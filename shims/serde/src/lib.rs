@@ -69,6 +69,26 @@ impl Value {
     }
 }
 
+/// Positional-first field lookup used by derived `Deserialize` impls.
+///
+/// Documents produced by this workspace's own serializer keep struct
+/// fields in declaration order, so `fields[index]` is almost always the
+/// requested field — one comparison instead of a name scan per field,
+/// which turns an n-field struct decode from O(n²) into O(n). Reordered
+/// or hand-written documents fall back to [`Value::field`]'s scan, so
+/// lookup semantics (including error messages) are unchanged.
+#[doc(hidden)]
+pub fn field_at<'v>(v: &'v Value, index: usize, name: &str) -> Result<&'v Value, Error> {
+    if let Value::Object(fields) = v {
+        if let Some((k, val)) = fields.get(index) {
+            if k == name {
+                return Ok(val);
+            }
+        }
+    }
+    v.field(name)
+}
+
 /// A (de)serialization error: a message, nothing more.
 #[derive(Debug, Clone)]
 pub struct Error {

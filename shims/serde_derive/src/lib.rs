@@ -429,9 +429,15 @@ fn emit_deserialize(item: &Item) -> String {
 }
 
 fn named_field_inits(names: &[String], source: &str) -> String {
+    // `field_at` checks the declaration-order position first (our own
+    // serializer emits fields in that order), making the common decode
+    // O(fields) instead of a name scan per field.
     names
         .iter()
-        .map(|f| format!("{f}: ::serde::Deserialize::from_value({source}.field(\"{f}\")?)?,"))
+        .enumerate()
+        .map(|(i, f)| {
+            format!("{f}: ::serde::Deserialize::from_value(::serde::field_at({source}, {i}, \"{f}\")?)?,")
+        })
         .collect::<Vec<_>>()
         .join(" ")
 }

@@ -40,16 +40,24 @@ pub fn from_slice<T: Deserialize>(bytes: &[u8]) -> Result<T> {
 // ---------------------------------------------------------------------------
 
 fn write_value(v: &Value, out: &mut String) {
+    use std::fmt::Write as _;
     match v {
         Value::Null => out.push_str("null"),
         Value::Bool(true) => out.push_str("true"),
         Value::Bool(false) => out.push_str("false"),
-        Value::I64(n) => out.push_str(&n.to_string()),
-        Value::U64(n) => out.push_str(&n.to_string()),
+        // `write!` formats straight into `out`; `to_string`/`format!`
+        // here would allocate a scratch String per number, which is the
+        // serving hot path's dominant serialization cost.
+        Value::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Value::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
         Value::F64(f) => {
             if f.is_finite() {
                 // `{:?}` prints the shortest representation that round-trips.
-                out.push_str(&format!("{f:?}"));
+                let _ = write!(out, "{f:?}");
             } else {
                 // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
                 out.push_str("null");
@@ -82,18 +90,30 @@ fn write_value(v: &Value, out: &mut String) {
 }
 
 fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
     out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+    // Copy maximal clean runs in one `push_str` each; only the bytes that
+    // actually need escaping (all ASCII, so always char boundaries) break
+    // the run. Object keys and most payloads are one clean run.
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'"' || b == b'\\' || b < 0x20 {
+            out.push_str(&s[start..i]);
+            match b {
+                b'"' => out.push_str("\\\""),
+                b'\\' => out.push_str("\\\\"),
+                b'\n' => out.push_str("\\n"),
+                b'\r' => out.push_str("\\r"),
+                b'\t' => out.push_str("\\t"),
+                _ => {
+                    let _ = write!(out, "\\u{b:04x}");
+                }
+            }
+            start = i + 1;
         }
     }
+    out.push_str(&s[start..]);
     out.push('"');
 }
 
@@ -178,7 +198,7 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value> {
         self.expect(b'[')?;
-        let mut items = Vec::new();
+        let mut items = Vec::with_capacity(8);
         if self.peek()? == b']' {
             self.pos += 1;
             return Ok(Value::Array(items));
@@ -203,7 +223,7 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Value> {
         self.expect(b'{')?;
-        let mut fields = Vec::new();
+        let mut fields = Vec::with_capacity(8);
         if self.peek()? == b'}' {
             self.pos += 1;
             return Ok(Value::Object(fields));
@@ -231,7 +251,31 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String> {
         self.expect(b'"')?;
+        // Fast path: scan to the closing quote; a string with no escape
+        // sequences (every key, almost every payload) is copied out in
+        // one exactly-sized allocation instead of byte-at-a-time pushes.
+        // The scan stops at ASCII bytes only, so the slice boundaries are
+        // char boundaries of the (already UTF-8-validated) input.
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|e| Error::new(format!("invalid utf-8 in string: {e}")))?;
+                    self.pos += 1;
+                    return Ok(s.to_string());
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        // Slow path: an escape (or an unterminated string, which the loop
+        // below reports). Seed with the clean prefix already scanned.
         let mut out = String::new();
+        out.push_str(
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|e| Error::new(format!("invalid utf-8 in string: {e}")))?,
+        );
         loop {
             let b = *self
                 .bytes
@@ -306,7 +350,11 @@ impl<'a> Parser<'a> {
                 _ => break,
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        let token = &self.bytes[start..self.pos];
+        if let Some(v) = fast_number(token) {
+            return Ok(v);
+        }
+        let text = std::str::from_utf8(token).unwrap();
         if !is_float {
             if let Ok(n) = text.parse::<i64>() {
                 return Ok(Value::I64(n));
@@ -319,6 +367,187 @@ impl<'a> Parser<'a> {
             .map(Value::F64)
             .map_err(|_| Error::new(format!("invalid number `{text}`")))
     }
+}
+
+/// Incremental token-level access to a JSON document, for callers that
+/// decode a known shape without building a [`Value`] tree (the serving hot
+/// path's request lines). Whitespace handling, string scanning and number
+/// conversion delegate to the same internals [`parse`] uses, so a
+/// shape-specialised decoder built on `Scanner` cannot diverge from the
+/// tree path on tokens it accepts — it must discard the scanner and
+/// re-parse via [`parse`] on any `None`/`false`, which may leave the
+/// scanner mid-token.
+pub struct Scanner<'a> {
+    p: Parser<'a>,
+}
+
+impl<'a> Scanner<'a> {
+    /// Starts scanning at the beginning of `s`.
+    pub fn new(s: &'a str) -> Self {
+        Scanner {
+            p: Parser {
+                bytes: s.as_bytes(),
+                pos: 0,
+            },
+        }
+    }
+
+    /// Consumes `b` (after whitespace) if it is the next byte.
+    pub fn bump_if(&mut self, b: u8) -> bool {
+        if self.p.peek().ok() == Some(b) {
+            self.p.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the literal `kw` (after whitespace) if it is next.
+    pub fn keyword(&mut self, kw: &str) -> bool {
+        self.p.skip_ws();
+        self.p.eat_keyword(kw)
+    }
+
+    /// Consumes a string token with no escape sequences and returns it
+    /// borrowed from the input; `None` on anything else (including a
+    /// string that merely *contains* an escape — fall back to [`parse`]).
+    pub fn raw_str(&mut self) -> Option<&'a str> {
+        if !self.bump_if(b'"') {
+            return None;
+        }
+        let start = self.p.pos;
+        loop {
+            match self.p.bytes.get(self.p.pos)? {
+                b'"' => {
+                    let s = std::str::from_utf8(&self.p.bytes[start..self.p.pos]).ok()?;
+                    self.p.pos += 1;
+                    return Some(s);
+                }
+                b'\\' => return None,
+                _ => self.p.pos += 1,
+            }
+        }
+    }
+
+    /// Consumes a number token (after whitespace) with exactly the
+    /// conversion semantics of [`parse`]: integer tokens through
+    /// I64-then-U64, everything else through the guarded fast path or
+    /// std's correctly rounded `f64` parse.
+    pub fn number(&mut self) -> Option<Value> {
+        self.p.skip_ws();
+        self.p.number().ok()
+    }
+
+    /// True when only whitespace remains.
+    pub fn at_end(&mut self) -> bool {
+        self.p.skip_ws();
+        self.p.pos == self.p.bytes.len()
+    }
+}
+
+/// Exact fast path for the common number shapes (Clinger 1990): a decimal
+/// whose mantissa fits in 53 bits combined with a power of ten that is
+/// itself exactly representable yields the correctly rounded `f64` from a
+/// single IEEE multiply or divide — bit-identical to `str::parse::<f64>`.
+/// Anything outside the guarded shape (huge mantissa, |exponent| > 22,
+/// malformed token) returns `None` and takes the std parse path, so error
+/// behaviour and extreme-value results are unchanged. This exists because
+/// a serve request line is mostly numbers, and per-number `from_str` was
+/// the hot path's single largest cost.
+fn fast_number(token: &[u8]) -> Option<Value> {
+    const POW10: [f64; 23] = [
+        1e0, 1e1, 1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10, 1e11, 1e12, 1e13, 1e14, 1e15, 1e16,
+        1e17, 1e18, 1e19, 1e20, 1e21, 1e22,
+    ];
+    let digit_run = |bytes: &[u8]| bytes.iter().take_while(|b| b.is_ascii_digit()).count();
+    let (neg, body) = match token {
+        [b'-', rest @ ..] => (true, rest),
+        _ => (false, token),
+    };
+    // Token shape: digits [ '.' digits ] [ (e|E) [+|-] digits ], nothing
+    // else. Anything off-shape returns None and takes the std path.
+    let int_len = digit_run(body);
+    if int_len == 0 {
+        return None;
+    }
+    let int_part = &body[..int_len];
+    let mut rest = &body[int_len..];
+    let mut frac_part: &[u8] = &[];
+    let mut is_float = false;
+    if let [b'.', tail @ ..] = rest {
+        is_float = true;
+        let frac_len = digit_run(tail);
+        if frac_len == 0 {
+            return None;
+        }
+        frac_part = &tail[..frac_len];
+        rest = &tail[frac_len..];
+    }
+    let mut exp: i32 = 0;
+    if let [b'e' | b'E', tail @ ..] = rest {
+        is_float = true;
+        let (exp_neg, digits) = match tail {
+            [b'-', d @ ..] => (true, d),
+            [b'+', d @ ..] => (false, d),
+            d => (false, d),
+        };
+        let exp_len = digit_run(digits);
+        if exp_len == 0 || exp_len > 4 {
+            return None;
+        }
+        for &b in &digits[..exp_len] {
+            exp = exp * 10 + (b - b'0') as i32;
+        }
+        rest = &digits[exp_len..];
+        if exp_neg {
+            exp = -exp;
+        }
+    }
+    if !rest.is_empty() {
+        return None;
+    }
+    // Leading zeros carry no mantissa value; skipping them from the digit
+    // count admits shapes like `0.000...123` whose significant digits fit
+    // even though the literal is long.
+    let mut lead = int_part.iter().take_while(|&&b| b == b'0').count();
+    if lead == int_part.len() {
+        lead += frac_part.iter().take_while(|&&b| b == b'0').count();
+    }
+    if int_part.len() + frac_part.len() - lead > 19 {
+        // More than 19 significant digits cannot be accumulated in a u64.
+        return None;
+    }
+    // ≤ 19 significant digits bound the result below 10^19 < u64::MAX, so
+    // the accumulation cannot overflow (leading zeros add nothing).
+    let mut mant: u64 = 0;
+    for &b in int_part.iter().chain(frac_part) {
+        mant = mant * 10 + (b - b'0') as u64;
+    }
+    let frac = frac_part.len() as i32;
+    if !is_float {
+        // Integer: mirror the std path's I64-then-U64 preference.
+        if mant <= i64::MAX as u64 {
+            let n = mant as i64;
+            return Some(Value::I64(if neg { -n } else { n }));
+        }
+        return if neg { None } else { Some(Value::U64(mant)) };
+    }
+    if mant >= (1u64 << 53) {
+        return None;
+    }
+    let e = exp - frac;
+    let magnitude = if e >= 0 {
+        if e > 22 {
+            return None;
+        }
+        (mant as f64) * POW10[e as usize]
+    } else {
+        if e < -22 {
+            return None;
+        }
+        (mant as f64) / POW10[(-e) as usize]
+    };
+    Some(Value::F64(if neg { -magnitude } else { magnitude }))
 }
 
 #[cfg(test)]
@@ -352,6 +581,76 @@ mod tests {
     fn parses_whitespace_and_rejects_trailing() {
         assert_eq!(from_str::<Vec<u8>>(" [ 1 , 2 ] ").unwrap(), vec![1, 2]);
         assert!(from_str::<Vec<u8>>("[1] x").is_err());
+    }
+
+    #[test]
+    fn number_fast_path_is_bit_identical_to_std_parse() {
+        // Hand-picked boundary shapes: fast-path hits, guard misses, and
+        // the int/float promotion edges.
+        let mut probes: Vec<String> = [
+            "0",
+            "-0",
+            "0.0",
+            "-0.0",
+            "1",
+            "-1",
+            "00",
+            "01.5",
+            "9007199254740991",
+            "9007199254740993",
+            "9223372036854775807",
+            "-9223372036854775808",
+            "18446744073709551615",
+            "0.1",
+            "-0.1",
+            "1e22",
+            "1e23",
+            "1e-22",
+            "1e-23",
+            "1e300",
+            "1e999",
+            "-1e999",
+            "2.2250738585072014e-308",
+            "5e-324",
+            "123456789.123456789",
+            "0.000001234",
+            "3.141592653589793",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        // Pseudo-random doubles through their shortest round-trip print —
+        // what our own printer emits and what the serving path re-parses.
+        let mut x = 0x9E37_79B9_7F4A_7C15u64;
+        for _ in 0..2000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let f = f64::from_bits(x);
+            if f.is_finite() {
+                probes.push(format!("{f:?}"));
+            }
+            probes.push(format!("{}", x >> 12));
+            probes.push(format!("{:?}", (x >> 40) as f64 / 1000.0));
+        }
+        for p in &probes {
+            // The shim's documented semantics: integer tokens decode
+            // through I64/U64 first (so `-0` is integer zero), everything
+            // else through std's correctly rounded f64 parse.
+            let expected = if let Ok(n) = p.parse::<i64>() {
+                n as f64
+            } else if let Ok(n) = p.parse::<u64>() {
+                n as f64
+            } else {
+                p.parse::<f64>().unwrap()
+            };
+            let got: f64 = from_str(p).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                expected.to_bits(),
+                "`{p}` parsed to {got:?}, std says {expected:?}"
+            );
+        }
     }
 
     #[test]
