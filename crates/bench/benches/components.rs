@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use portopt_core::{
-    generate, sweep_program, GenOptions, PortableCompiler, SweepScale, TrainOptions,
+    generate, sweep_program, GenOptions, ModelKind, PortableCompiler, SweepScale, TrainOptions,
 };
 use portopt_exec::Executor;
 use portopt_mibench::{by_name, suite, Workload};
@@ -85,12 +85,20 @@ fn bench_model(c: &mut Criterion) {
     // `predict` uses — the pair quantifies the hot-path rebuild and
     // guards against the oracle silently becoming the fast path again.
     let x = &ds.features[0][0].values;
-    g.bench_function("predict_mode_soa", |b| {
-        b.iter(|| pc.model().predict_mode(x))
-    });
+    let knn = pc.knn().expect("default training is kNN");
+    g.bench_function("predict_mode_soa", |b| b.iter(|| knn.predict_mode(x)));
     g.bench_function("predict_mode_oracle", |b| {
-        b.iter(|| pc.model().predict_mode_oracle(x))
+        b.iter(|| knn.predict_mode_oracle(x))
     });
+    // The rest of the zoo through the same query, so per-kind serve costs
+    // are tracked side by side with the paper's kNN.
+    for kind in [ModelKind::Linear, ModelKind::Clustered] {
+        let zoo = PortableCompiler::try_train_kind(&ds, None, None, kind, &TrainOptions::default())
+            .unwrap();
+        g.bench_function(&format!("predict_mode_{kind}"), |b| {
+            b.iter(|| zoo.model().predict_mode(x))
+        });
+    }
     g.finish();
 }
 
@@ -203,6 +211,25 @@ fn bench_serve(c: &mut Criterion) {
             service.drain(&mut stats)
         })
     });
+
+    // The same 64-request batch answered by the rest of the model zoo —
+    // identical harness, only the snapshot's model kind differs, so the
+    // per-kind serving cost is directly comparable with the kNN number.
+    for kind in [ModelKind::Linear, ModelKind::Clustered] {
+        let zoo_service = PredictionService::new(
+            Snapshot::try_train_kind(&ds, kind, &TrainOptions::default()).unwrap(),
+            0,
+        );
+        g.bench_function(&format!("serve_predict_batch64_{kind}"), |b| {
+            b.iter(|| {
+                let mut stats = ServiceStats::default();
+                for line in &lines {
+                    zoo_service.submit_line(line);
+                }
+                zoo_service.drain(&mut stats)
+            })
+        });
+    }
 
     // The same 64 predictions arriving interleaved on two registered
     // connections (the PR 5 concurrent path): classify + conn-tagged

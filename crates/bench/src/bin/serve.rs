@@ -41,13 +41,20 @@ fn main() {
         );
         std::process::exit(2);
     });
-    let snap = Snapshot::load(&path).unwrap_or_else(|e| {
+    // `--expect-model` refuses a wrong-kind artifact off its header, before
+    // the payload is decoded — the guard for deployments that pin a kind.
+    let snap = match args.expect_model {
+        Some(kind) => Snapshot::load_expecting(&path, kind),
+        None => Snapshot::load(&path),
+    }
+    .unwrap_or_else(|e| {
         portopt_trace::error!("bench.serve", "cannot serve {path}: {e}");
         std::process::exit(2);
     });
     portopt_trace::info!(
         "bench.serve",
-        "serving {path}: {} training pairs, format v{}",
+        "serving {path}: {} model, {} training pairs, format v{}",
+        snap.meta.model_kind,
         snap.compiler.model().len(),
         snap.meta.format_version
     );

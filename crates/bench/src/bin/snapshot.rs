@@ -7,6 +7,9 @@
 //! # train at smoke scale (cached dataset) and write target/portopt-model-smoke.snap
 //! cargo run --release -p portopt-bench --bin snapshot -- --scale smoke
 //!
+//! # train another model kind from the zoo on the same dataset
+//! cargo run --release -p portopt-bench --bin snapshot -- --scale smoke --model linear
+//!
 //! # train from pre-swept dataset shards (e.g. one per rig) instead
 //! cargo run --release -p portopt-bench --bin snapshot -- \
 //!     --shard rig0.json --shard rig1.json --out model.snap
@@ -57,10 +60,11 @@ fn main() {
         "train",
         &[("programs", (ds.n_programs() as u64).into())],
     );
-    let snap = Snapshot::try_train(&ds, &TrainOptions::default()).unwrap_or_else(|e| {
-        portopt_trace::error!("bench.snapshot", "cannot train on this dataset: {e}");
-        std::process::exit(2);
-    });
+    let snap =
+        Snapshot::try_train_kind(&ds, args.model, &TrainOptions::default()).unwrap_or_else(|e| {
+            portopt_trace::error!("bench.snapshot", "cannot train on this dataset: {e}");
+            std::process::exit(2);
+        });
     train_span.close_with(&[("pairs", (snap.compiler.model().len() as u64).into())]);
     let path = args.snapshot_path();
     if let Err(e) = snap.save(&path) {
@@ -69,9 +73,10 @@ fn main() {
     }
     let m = &snap.meta;
     println!(
-        "wrote {path}: format v{}, {} training pairs ({} programs x {} uarchs, \
+        "wrote {path}: format v{}, {} model, {} training pairs ({} programs x {} uarchs, \
          {} settings each), {} features, {}-dim pass space, k={}, beta={}",
         m.format_version,
+        m.model_kind,
         snap.compiler.model().len(),
         m.programs,
         m.uarchs,

@@ -8,7 +8,7 @@
 
 pub mod coordinator;
 
-use portopt_core::{Dataset, GenOptions, SweepReport, SweepScale};
+use portopt_core::{Dataset, GenOptions, ModelKind, SweepReport, SweepScale};
 use portopt_experiments::loo::{run_loo, LooResult};
 use portopt_experiments::{dataset_cached, suite_modules};
 use portopt_ir::Module;
@@ -80,6 +80,13 @@ pub struct BinArgs {
     pub log_level: portopt_trace::Level,
     /// Write a JSON-lines trace file here (`--trace-out`).
     pub trace_out: Option<String>,
+    /// `snapshot` bin: which model kind to train (`--model`, default kNN).
+    pub model: ModelKind,
+    /// `serve` bin: refuse to start unless the snapshot holds this model
+    /// kind (`--expect-model`).
+    pub expect_model: Option<ModelKind>,
+    /// `ab` bin: the second snapshot of the A/B pair (`--snapshot-b`).
+    pub snapshot_b: Option<String>,
 }
 
 impl BinArgs {
@@ -89,7 +96,10 @@ impl BinArgs {
     /// `--shard PATH` (repeatable), `--dataset-out PATH`, `--stdio`,
     /// `--port N`, `--batch N`, `--batch-window-ms N`, `--max-conns N`,
     /// `--queue-cap N`, `--per-conn-quota N`, `--metrics-port N`,
-    /// `--watch-snapshot`, the `sweep` flags `--shard-index N`,
+    /// `--watch-snapshot`, the model-zoo flags `--model knn|linear|clustered`
+    /// (what `snapshot` trains), `--expect-model KIND` (what `serve`
+    /// demands of its artifact) and `--snapshot-b PATH` (the `ab` bin's
+    /// second model), the `sweep` flags `--shard-index N`,
     /// `--shard-count N`, `--profile-cache DIR`, `--no-checkpoint`,
     /// `--worker HOST:PORT`, `--cache-max-bytes N`, the `coordinator`
     /// flags `--retry-budget N`, `--lease-timeout-ms N`, and the
@@ -128,6 +138,9 @@ impl BinArgs {
         let mut retry_budget = coordinator::DEFAULT_RETRY_BUDGET;
         let mut lease_timeout_ms = coordinator::DEFAULT_LEASE_TIMEOUT_MS;
         let mut cache_max_bytes = None;
+        let mut model = ModelKind::Knn;
+        let mut expect_model = None;
+        let mut snapshot_b = None;
         let args: Vec<String> = std::env::args().collect();
         // The tracer comes up before the main flag loop, so the loop's own
         // warnings already respect the requested level and land in the
@@ -292,6 +305,42 @@ impl BinArgs {
                         "--metrics-port expects a port number; endpoint disabled"
                     ),
                 },
+                // Model-kind flags are fatal on an unknown tag: training
+                // (or expecting) the wrong model because of a typo wastes
+                // a sweep, or silently serves the wrong predictor.
+                "--model" => match args.get(i + 1).map(|s| ModelKind::parse(s)) {
+                    Some(Some(k)) => {
+                        model = k;
+                        i += 1;
+                    }
+                    _ => {
+                        eprintln!(
+                            "--model expects knn|linear|clustered, got {:?}",
+                            args.get(i + 1)
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                "--expect-model" => match args.get(i + 1).map(|s| ModelKind::parse(s)) {
+                    Some(Some(k)) => {
+                        expect_model = Some(k);
+                        i += 1;
+                    }
+                    _ => {
+                        eprintln!(
+                            "--expect-model expects knn|linear|clustered, got {:?}",
+                            args.get(i + 1)
+                        );
+                        std::process::exit(2);
+                    }
+                },
+                "--snapshot-b" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(p) => {
+                        snapshot_b = Some(p.clone());
+                        i += 1;
+                    }
+                    None => portopt_trace::warn!("bench", "--snapshot-b expects a file path"),
+                },
                 "--watch-snapshot" => watch_snapshot = true,
                 "--no-checkpoint" => no_checkpoint = true,
                 "--worker" => match args.get(i + 1).filter(|v| !v.starts_with("--")) {
@@ -388,6 +437,9 @@ impl BinArgs {
             cache_max_bytes,
             log_level,
             trace_out,
+            model,
+            expect_model,
+            snapshot_b,
         }
     }
 
@@ -533,13 +585,20 @@ impl BinArgs {
     }
 
     /// Default model-artifact path for this scale (the `snapshot` bin's
-    /// `--out` default and the natural `serve --snapshot` argument).
+    /// `--out` default and the natural `serve --snapshot` argument). The
+    /// kNN path is unsuffixed — unchanged from before the model zoo — and
+    /// the other kinds get a `-{kind}` suffix so training two kinds at the
+    /// same scale never clobbers.
     pub fn snapshot_path(&self) -> String {
         self.out.clone().unwrap_or_else(|| {
             format!(
-                "target/portopt-model-{}{}.snap",
+                "target/portopt-model-{}{}{}.snap",
                 self.scale_name,
-                if self.extended { "-ext" } else { "" }
+                if self.extended { "-ext" } else { "" },
+                match self.model {
+                    ModelKind::Knn => "".to_string(),
+                    other => format!("-{other}"),
+                }
             )
         })
     }

@@ -5,16 +5,20 @@
 use crate::dataset::Dataset;
 use portopt_ir::interp::ExecLimits;
 use portopt_ir::Module;
-use portopt_ml::{IidDistribution, KnnModel, TrainError, DEFAULT_BETA, DEFAULT_K};
+use portopt_ml::{
+    IidDistribution, KnnModel, Model, ModelKind, ModelOptions, TrainError, DEFAULT_BETA, DEFAULT_K,
+    DEFAULT_K_CLUSTERS, DEFAULT_RIDGE_LAMBDA,
+};
 use portopt_passes::{compile, CodeImage, OptConfig, OptSpace};
 use portopt_sim::{evaluate, profile, TimingResult};
 use portopt_uarch::{FeatureVec, MicroArch, PerfCounters};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 /// The fraction of sampled settings considered "good" (paper: top 5 %).
 pub const GOOD_FRACTION: f64 = 0.05;
 
-/// Training hyper-parameters.
+/// Training hyper-parameters, covering every model kind in the zoo (each
+/// trainer reads the fields it understands).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct TrainOptions {
     /// Neighbour count (paper: 7).
@@ -23,6 +27,10 @@ pub struct TrainOptions {
     pub beta: f64,
     /// Good-set fraction (paper: 0.05).
     pub good_fraction: f64,
+    /// Ridge penalty λ for the `linear` model kind.
+    pub ridge_lambda: f64,
+    /// Cluster count for the `clustered` model kind.
+    pub k_clusters: usize,
 }
 
 impl Default for TrainOptions {
@@ -31,14 +39,58 @@ impl Default for TrainOptions {
             k: DEFAULT_K,
             beta: DEFAULT_BETA,
             good_fraction: GOOD_FRACTION,
+            ridge_lambda: DEFAULT_RIDGE_LAMBDA,
+            k_clusters: DEFAULT_K_CLUSTERS,
         }
     }
 }
 
-/// A trained portable optimising compiler.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+impl TrainOptions {
+    /// The model-zoo subset of these options, in `portopt_ml`'s terms.
+    pub fn model_options(&self) -> ModelOptions {
+        ModelOptions {
+            k: self.k,
+            beta: self.beta,
+            ridge_lambda: self.ridge_lambda,
+            k_clusters: self.k_clusters,
+        }
+    }
+}
+
+/// A trained portable optimising compiler: any model from the
+/// `portopt_ml` zoo behind the deployment flow of Figure 2.
+#[derive(Debug, Clone)]
 pub struct PortableCompiler {
-    model: KnnModel,
+    model: Box<dyn Model>,
+}
+
+// Hand-written serde: the wire shape stays `{"model": <payload>}` for the
+// kNN kind — byte-identical to what the derive produced when `model` was
+// a concrete `KnnModel`, so existing snapshots load as-is — and grows a
+// trailing `"model_kind"` tag only for the other kinds (absent tag =
+// kNN). Snapshot files additionally carry the kind in their validated
+// header; this in-payload copy keeps `PortableCompiler` self-describing
+// for direct serde users.
+impl Serialize for PortableCompiler {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![("model".to_string(), self.model.payload())];
+        if self.model.kind() != ModelKind::Knn {
+            fields.push(("model_kind".to_string(), self.model.kind().to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for PortableCompiler {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let kind = match v.field("model_kind") {
+            Ok(tag) => ModelKind::from_value(tag)?,
+            Err(_) => ModelKind::Knn,
+        };
+        Ok(PortableCompiler {
+            model: portopt_ml::decode_model(kind, v.field("model")?)?,
+        })
+    }
 }
 
 impl PortableCompiler {
@@ -63,13 +115,50 @@ impl PortableCompiler {
     /// tools (the `snapshot` bin) where "the dataset had no usable pairs"
     /// must be a diagnostic, not a crash. The only realistic failure here
     /// is [`TrainError::Empty`]: skipping the last program/uarch of a
-    /// minimal dataset can leave zero training pairs.
+    /// minimal dataset can leave zero training pairs. Trains the paper's
+    /// kNN model; [`try_train_kind`](Self::try_train_kind) picks another
+    /// kind from the zoo.
     pub fn try_train(
         ds: &Dataset,
         skip_prog: Option<usize>,
         skip_uarch: Option<usize>,
         opts: &TrainOptions,
     ) -> Result<Self, TrainError> {
+        Self::try_train_kind(ds, skip_prog, skip_uarch, ModelKind::Knn, opts)
+    }
+
+    /// [`try_train`](Self::try_train) for any model kind in the zoo.
+    pub fn try_train_kind(
+        ds: &Dataset,
+        skip_prog: Option<usize>,
+        skip_uarch: Option<usize>,
+        kind: ModelKind,
+        opts: &TrainOptions,
+    ) -> Result<Self, TrainError> {
+        let (features, dists) = Self::training_pairs(ds, skip_prog, skip_uarch, opts.good_fraction);
+        Ok(PortableCompiler {
+            model: portopt_ml::try_train_kind(kind, features, dists, &opts.model_options())?,
+        })
+    }
+
+    /// Wraps an already-trained model (differential tests that must
+    /// compare two kinds over the same training pairs build both sides
+    /// from [`training_pairs`](Self::training_pairs) and wrap them here).
+    pub fn from_model(model: Box<dyn Model>) -> Self {
+        PortableCompiler { model }
+    }
+
+    /// The per-pair training inputs every model kind is fitted to:
+    /// features and good-set distributions in dataset order, with the
+    /// leave-one-out holdouts excluded. Exposed so differential tests can
+    /// train a concrete model from exactly the pairs
+    /// [`try_train_kind`](Self::try_train_kind) uses.
+    pub fn training_pairs(
+        ds: &Dataset,
+        skip_prog: Option<usize>,
+        skip_uarch: Option<usize>,
+        good_fraction: f64,
+    ) -> (Vec<Vec<f64>>, Vec<IidDistribution>) {
         let dims: Vec<usize> = OptSpace::dims().iter().map(|d| d.cardinality).collect();
         let mut features = Vec::new();
         let mut dists = Vec::new();
@@ -82,7 +171,7 @@ impl PortableCompiler {
                     continue;
                 }
                 let good: Vec<Vec<u8>> = ds
-                    .good_set(p, u, opts.good_fraction)
+                    .good_set(p, u, good_fraction)
                     .into_iter()
                     .map(|c| ds.configs[c].to_choices())
                     .collect();
@@ -90,9 +179,7 @@ impl PortableCompiler {
                 features.push(ds.features[p][u].values.clone());
             }
         }
-        Ok(PortableCompiler {
-            model: KnnModel::try_train(features, dists, opts.k, opts.beta)?,
-        })
+        (features, dists)
     }
 
     /// Predicts the best optimisation setting from a feature vector.
@@ -145,9 +232,17 @@ impl PortableCompiler {
         (compile(module, &cfg), cfg, t3)
     }
 
-    /// Access to the underlying KNN model (for analysis).
-    pub fn model(&self) -> &KnnModel {
-        &self.model
+    /// Access to the underlying model (for analysis).
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// The concrete kNN model, when this compiler holds one — `None` for
+    /// the other kinds in the zoo. Analysis paths that need kNN-only
+    /// structure (the blocked feature matrix, the oracle predictors) go
+    /// through here.
+    pub fn knn(&self) -> Option<&KnnModel> {
+        self.model.as_any().downcast_ref::<KnnModel>()
     }
 }
 
@@ -267,5 +362,40 @@ mod tests {
         let back: PortableCompiler = serde_json::from_str(&json).unwrap();
         let x = &ds.features[0][0];
         assert_eq!(pc.predict(x), back.predict(x));
+        // The kNN wire shape is untagged — old snapshots stay decodable.
+        assert!(!json.contains("model_kind"));
+    }
+
+    #[test]
+    fn every_model_kind_trains_and_round_trips() {
+        let ds = small_dataset();
+        let opts = TrainOptions::default();
+        for kind in ModelKind::ALL {
+            let pc = PortableCompiler::try_train_kind(&ds, None, None, kind, &opts).unwrap();
+            assert_eq!(pc.model().kind(), kind);
+            assert_eq!(pc.knn().is_some(), kind == ModelKind::Knn);
+            let json = serde_json::to_string(&pc).unwrap();
+            assert_eq!(json.contains("model_kind"), kind != ModelKind::Knn);
+            let back: PortableCompiler = serde_json::from_str(&json).unwrap();
+            assert_eq!(back.model().kind(), kind);
+            let x = &ds.features[0][0];
+            assert_eq!(pc.predict(x), back.predict(x));
+        }
+    }
+
+    #[test]
+    fn trait_dispatch_matches_concrete_knn() {
+        let ds = small_dataset();
+        let opts = TrainOptions::default();
+        let (features, dists) =
+            PortableCompiler::training_pairs(&ds, Some(0), Some(0), opts.good_fraction);
+        let concrete = KnnModel::try_train(features, dists, opts.k, opts.beta).unwrap();
+        let pc =
+            PortableCompiler::try_train_kind(&ds, Some(0), Some(0), ModelKind::Knn, &opts).unwrap();
+        assert_eq!(pc.knn().unwrap(), &concrete);
+        for p in 0..ds.n_programs() {
+            let x = &ds.features[p][0].values;
+            assert_eq!(pc.model().predict_mode(x), concrete.predict_mode(x));
+        }
     }
 }

@@ -40,4 +40,5 @@ pub use dataset::{
     CachedProfile, Dataset, GenOptions, MergeError, SweepReport, SweepScale, PROFILE_CACHE_KIND,
     PROFILE_CACHE_PAYLOAD_VERSION,
 };
+pub use portopt_ml::{Model, ModelKind, ModelOptions};
 pub use shard::{ShardError, ShardSpec};

@@ -1,0 +1,315 @@
+//! Cluster-specialised kNN: deterministic k-means over normalised
+//! features, one independent [`KnnModel`] per cluster.
+//!
+//! The GRACE-style alternative predictor: training partitions the
+//! normalised feature space with Lloyd's k-means and fits a plain kNN
+//! model to each cluster's members; prediction routes a query to the
+//! nearest cluster centre and delegates to that cluster's model. With
+//! `k_clusters = 1` the partition is trivial and the single cluster model
+//! is trained on exactly the full training set in its original order —
+//! bit-identical to a plain [`KnnModel`], which the differential proptest
+//! pins.
+//!
+//! Everything is deterministic: initial centres are the points at indices
+//! `⌊i·n/k⌋` (no RNG), assignment ties go to the lowest centre index,
+//! empty clusters keep their previous centre, and the loop stops the
+//! first time an assignment pass changes nothing (or after a fixed
+//! iteration cap). Retraining from the same dataset is bit-identical.
+
+use crate::dist::IidDistribution;
+use crate::knn::{KnnModel, Normalizer, TrainError};
+use crate::linear::validate_training_input;
+use serde::{Deserialize, Serialize};
+
+/// Default cluster count: small enough that smoke-scale datasets keep a
+/// few points per cluster, large enough to separate the mem-heavy/ALU
+/// program families the suite actually contains.
+pub const DEFAULT_K_CLUSTERS: usize = 4;
+
+/// Upper bound on Lloyd iterations; assignment convergence almost always
+/// stops the loop long before this.
+const MAX_KMEANS_ITERS: usize = 100;
+
+/// A k-means partition of the training set with one [`KnnModel`] per
+/// cluster. `PartialEq` compares the full trained state (centres and
+/// every cluster model, derived matrices included), which is what the
+/// round-trip tests assert on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusteredKnnModel {
+    /// The *global* normaliser, used only to place queries relative to
+    /// the cluster centres; each cluster model fits its own.
+    normalizer: Normalizer,
+    /// Cluster centres in the global normalised space, parallel with
+    /// `clusters`. Empty clusters are dropped at the end of training, so
+    /// every centre has a model.
+    centers: Vec<Vec<f64>>,
+    clusters: Vec<KnnModel>,
+    /// Neighbour count handed to every per-cluster model.
+    pub k: usize,
+    /// Softmax inverse temperature handed to every per-cluster model.
+    pub beta: f64,
+    /// The requested cluster count (the effective count after dropping
+    /// empty clusters is `self.n_clusters()`).
+    pub k_clusters: usize,
+}
+
+impl ClusteredKnnModel {
+    /// Trains the model from per-pair features and fitted distributions.
+    ///
+    /// # Panics
+    /// Panics on the inputs [`try_train`](Self::try_train) rejects.
+    pub fn train(
+        features: Vec<Vec<f64>>,
+        dists: Vec<IidDistribution>,
+        k: usize,
+        beta: f64,
+        k_clusters: usize,
+    ) -> Self {
+        match Self::try_train(features, dists, k, beta, k_clusters) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Trains the model, rejecting malformed input with the same typed
+    /// errors (and in the same order) as `KnnModel::try_train`.
+    pub fn try_train(
+        features: Vec<Vec<f64>>,
+        dists: Vec<IidDistribution>,
+        k: usize,
+        beta: f64,
+        k_clusters: usize,
+    ) -> Result<Self, TrainError> {
+        validate_training_input(&features, &dists)?;
+        let n = features.len();
+        let normalizer = Normalizer::fit(&features);
+        let xn: Vec<Vec<f64>> = features.iter().map(|f| normalizer.apply(f)).collect();
+        let k_eff = k_clusters.max(1).min(n);
+        // Deterministic seeding: the (already dataset-ordered) points at
+        // evenly spaced indices.
+        let mut centers: Vec<Vec<f64>> = (0..k_eff).map(|i| xn[i * n / k_eff].clone()).collect();
+        let mut assign = vec![0usize; n];
+        for _ in 0..MAX_KMEANS_ITERS {
+            let mut changed = false;
+            for (i, x) in xn.iter().enumerate() {
+                let best = nearest_center(&centers, x);
+                if assign[i] != best {
+                    assign[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            for (c, center) in centers.iter_mut().enumerate() {
+                let members: Vec<&Vec<f64>> = assign
+                    .iter()
+                    .zip(&xn)
+                    .filter(|(a, _)| **a == c)
+                    .map(|(_, x)| x)
+                    .collect();
+                // An empty cluster keeps its previous centre (it may
+                // capture points again next pass).
+                if members.is_empty() {
+                    continue;
+                }
+                let mut mean = vec![0.0f64; center.len()];
+                for m in &members {
+                    for (acc, v) in mean.iter_mut().zip(m.iter()) {
+                        *acc += v;
+                    }
+                }
+                for acc in &mut mean {
+                    *acc /= members.len() as f64;
+                }
+                *center = mean;
+            }
+        }
+        // One kNN model per non-empty cluster, trained on its members'
+        // RAW features in original dataset order — so `k_clusters = 1`
+        // reconstructs a plain KnnModel exactly.
+        let mut kept_centers = Vec::new();
+        let mut clusters = Vec::new();
+        for c in 0..k_eff {
+            let idx: Vec<usize> = (0..n).filter(|&i| assign[i] == c).collect();
+            if idx.is_empty() {
+                continue;
+            }
+            let f: Vec<Vec<f64>> = idx.iter().map(|&i| features[i].clone()).collect();
+            let g: Vec<IidDistribution> = idx.iter().map(|&i| dists[i].clone()).collect();
+            clusters.push(KnnModel::try_train(f, g, k, beta)?);
+            kept_centers.push(centers[c].clone());
+        }
+        Ok(ClusteredKnnModel {
+            normalizer,
+            centers: kept_centers,
+            clusters,
+            k,
+            beta,
+            k_clusters,
+        })
+    }
+
+    /// Total training points across every cluster.
+    pub fn len(&self) -> usize {
+        self.clusters.iter().map(|c| c.len()).sum()
+    }
+
+    /// Returns `true` when no cluster holds any training point (never
+    /// true for a model built by [`ClusteredKnnModel::train`]).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality of the feature vectors this model was trained on.
+    pub fn feature_dim(&self) -> usize {
+        self.normalizer.dim()
+    }
+
+    /// Per-dimension cardinalities of the optimisation space.
+    pub fn dims(&self) -> Vec<usize> {
+        self.clusters[0].dims()
+    }
+
+    /// Number of non-empty clusters the training set actually produced.
+    pub fn n_clusters(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// The per-cluster models, parallel with [`centers`](Self::centers)
+    /// (for the `k_clusters = 1` identity test and analysis).
+    pub fn clusters(&self) -> &[KnnModel] {
+        &self.clusters
+    }
+
+    /// The cluster centres in the global normalised feature space.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Index of the cluster a query routes to.
+    fn route(&self, x: &[f64]) -> usize {
+        nearest_center(&self.centers, &self.normalizer.apply(x))
+    }
+
+    /// The predictive distribution of the nearest cluster's kNN model.
+    pub fn predict(&self, x: &[f64]) -> IidDistribution {
+        self.clusters[self.route(x)].predict(x)
+    }
+
+    /// The predicted-best setting, through the nearest cluster's fused
+    /// kNN decode (mode-consistent because `KnnModel::predict_mode` is).
+    pub fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        self.clusters[self.route(x)].predict_mode(x)
+    }
+}
+
+/// Index of the centre nearest to `x` by squared Euclidean distance;
+/// ties go to the lowest index (strict `<` while scanning in order).
+fn nearest_center(centers: &[Vec<f64>], x: &[f64]) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, center) in centers.iter().enumerate() {
+        let d: f64 = center.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_training() -> (Vec<Vec<f64>>, Vec<IidDistribution>) {
+        let dims = vec![2usize, 4usize];
+        let mut features = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..8 {
+            let e = i as f64 * 0.1;
+            features.push(vec![e, -e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![0, 0]; 4]));
+            features.push(vec![10.0 + e, 10.0 - e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![1, 3]; 4]));
+        }
+        (features, dists)
+    }
+
+    #[test]
+    fn separates_obvious_clusters_and_predicts_their_preferences() {
+        let (features, dists) = two_cluster_training();
+        let m = ClusteredKnnModel::train(features, dists, 3, 1.0, 2);
+        assert_eq!(m.n_clusters(), 2);
+        assert_eq!(m.len(), 16);
+        assert_eq!(m.feature_dim(), 2);
+        assert_eq!(m.dims(), vec![2, 4]);
+        assert_eq!(m.predict_mode(&[0.2, 0.0]), vec![0, 0]);
+        assert_eq!(m.predict_mode(&[9.8, 10.1]), vec![1, 3]);
+    }
+
+    #[test]
+    fn one_cluster_is_bit_identical_to_plain_knn() {
+        let (features, dists) = two_cluster_training();
+        let plain = KnnModel::train(features.clone(), dists.clone(), 7, 1.0);
+        let clustered = ClusteredKnnModel::train(features, dists, 7, 1.0, 1);
+        assert_eq!(clustered.n_clusters(), 1);
+        assert_eq!(&clustered.clusters()[0], &plain);
+        for probe in [vec![0.0, 0.0], vec![5.0, 5.0], vec![10.0, 10.0]] {
+            assert_eq!(clustered.predict(&probe), plain.predict(&probe));
+            assert_eq!(clustered.predict_mode(&probe), plain.predict_mode(&probe));
+        }
+    }
+
+    #[test]
+    fn retraining_is_deterministic() {
+        let (features, dists) = two_cluster_training();
+        let a = ClusteredKnnModel::train(features.clone(), dists.clone(), 3, 1.0, 4);
+        let b = ClusteredKnnModel::train(features, dists, 3, 1.0, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn more_clusters_than_points_is_clamped() {
+        let dims = vec![2usize];
+        let features = vec![vec![0.0], vec![1.0]];
+        let dists = vec![
+            IidDistribution::fit(&dims, &[vec![0]]),
+            IidDistribution::fit(&dims, &[vec![1]]),
+        ];
+        let m = ClusteredKnnModel::train(features, dists, 1, 1.0, 16);
+        assert!(m.n_clusters() <= 2);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.predict_mode(&[0.0]), vec![0]);
+        assert_eq!(m.predict_mode(&[1.0]), vec![1]);
+    }
+
+    #[test]
+    fn try_train_reports_typed_errors_in_knn_order() {
+        let d = IidDistribution::fit(&[2], &[vec![0]]);
+        let err =
+            ClusteredKnnModel::try_train(vec![vec![0.0]], vec![d.clone(), d.clone()], 1, 1.0, 2)
+                .unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::LengthMismatch {
+                features: 1,
+                dists: 2
+            }
+        );
+        let err = ClusteredKnnModel::try_train(Vec::new(), Vec::new(), 1, 1.0, 2).unwrap_err();
+        assert_eq!(err, TrainError::Empty);
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let (features, dists) = two_cluster_training();
+        let m = ClusteredKnnModel::train(features, dists, 3, 1.0, 2);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ClusteredKnnModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        let probe = vec![4.2, -1.3];
+        assert_eq!(m.predict(&probe), back.predict(&probe));
+    }
+}

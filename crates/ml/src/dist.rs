@@ -94,6 +94,32 @@ impl IidDistribution {
         self.offsets.len() - 1
     }
 
+    /// Per-dimension cardinalities (row lengths) — the pass-space shape
+    /// the distribution is defined over.
+    pub fn dims(&self) -> Vec<usize> {
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .collect()
+    }
+
+    /// Builds a distribution from explicit per-dimension probability rows
+    /// (each expected to sum to 1 — callers own that invariant). The
+    /// constructor `LinearModel::predict` turns its softmaxed score rows
+    /// into a distribution with.
+    pub(crate) fn from_prob_rows(rows: &[Vec<f64>]) -> Self {
+        let mut offsets = Vec::with_capacity(rows.len() + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        let mut probs = Vec::new();
+        for row in rows {
+            total += row.len() as u32;
+            offsets.push(total);
+            probs.extend_from_slice(row);
+        }
+        IidDistribution { probs, offsets }
+    }
+
     /// `θ_ℓ^j`.
     pub fn prob(&self, dim: usize, choice: u8) -> f64 {
         self.row(dim)[choice as usize]

@@ -370,6 +370,13 @@ impl KnnModel {
         &self.matrix
     }
 
+    /// Per-dimension cardinalities of the optimisation space the model
+    /// predicts over (read off the first training distribution; a trained
+    /// model is never empty).
+    pub fn dims(&self) -> Vec<usize> {
+        self.points[0].1.dims()
+    }
+
     /// Softmax weights over the selected nearest neighbours — the shared
     /// back half of both prediction paths. `nearest` must be ascending by
     /// `(distance, index)`.

@@ -1,0 +1,432 @@
+//! Ridge-regression predictor: per-pass independent linear models over
+//! normalised features, decoded through a per-dimension softmax.
+//!
+//! The MLComp-style alternative to the paper's kNN: instead of blending
+//! neighbouring training distributions, fit one linear scorer per
+//! *(dimension, choice)* cell by ridge regression against the fitted
+//! per-pair probabilities, and turn the scores back into a factorised
+//! distribution with a per-dimension softmax. Training solves the normal
+//! equations `(XᵀX + λI) w = Xᵀy` once per target column with Gaussian
+//! elimination; [`ridge_weights_oracle`] recomputes the same coefficients
+//! through an explicit Gauss–Jordan matrix inverse and is the reference
+//! the differential proptests compare against.
+
+use crate::dist::IidDistribution;
+use crate::knn::{Normalizer, TrainError};
+use serde::{Deserialize, Serialize};
+
+/// Default ridge penalty λ. Small enough not to bias well-conditioned
+/// fits, large enough to keep the normal equations solvable when features
+/// are collinear (constant counters are common at small sweep scales).
+pub const DEFAULT_RIDGE_LAMBDA: f64 = 1e-3;
+
+/// A trained per-pass ridge-regression predictor.
+///
+/// `weights[ℓ][j]` is the coefficient vector (feature dimension + 1, the
+/// intercept last) scoring choice `j` of optimisation dimension `ℓ`;
+/// [`predict`](LinearModel::predict) softmaxes each dimension's scores
+/// into a probability row. `PartialEq` compares the full trained state,
+/// which is what the snapshot round-trip tests assert on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearModel {
+    normalizer: Normalizer,
+    dims: Vec<usize>,
+    weights: Vec<Vec<Vec<f64>>>,
+    lambda: f64,
+    n_points: usize,
+}
+
+impl LinearModel {
+    /// Trains the model from per-pair features and fitted distributions.
+    ///
+    /// # Panics
+    /// Panics on the inputs [`try_train`](Self::try_train) rejects.
+    pub fn train(features: Vec<Vec<f64>>, dists: Vec<IidDistribution>, lambda: f64) -> Self {
+        match Self::try_train(features, dists, lambda) {
+            Ok(m) => m,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Trains the model, rejecting malformed input with the same typed
+    /// errors (and in the same order) as `KnnModel::try_train`.
+    pub fn try_train(
+        features: Vec<Vec<f64>>,
+        dists: Vec<IidDistribution>,
+        lambda: f64,
+    ) -> Result<Self, TrainError> {
+        validate_training_input(&features, &dists)?;
+        let dims = dists[0].dims();
+        let normalizer = Normalizer::fit(&features);
+        let rows: Vec<Vec<f64>> = features
+            .iter()
+            .map(|f| design_row(&normalizer.apply(f)))
+            .collect();
+        let cols = rows[0].len();
+        // One Gram matrix serves every target column.
+        let mut gram = vec![vec![0.0f64; cols]; cols];
+        for row in &rows {
+            for (i, &ri) in row.iter().enumerate() {
+                for (j, &rj) in row.iter().enumerate() {
+                    gram[i][j] += ri * rj;
+                }
+            }
+        }
+        for (i, row) in gram.iter_mut().enumerate() {
+            row[i] += lambda;
+        }
+        let mut weights = Vec::with_capacity(dims.len());
+        for (l, &card) in dims.iter().enumerate() {
+            let mut per_choice = Vec::with_capacity(card);
+            for j in 0..card {
+                let mut rhs = vec![0.0f64; cols];
+                for (row, g) in rows.iter().zip(&dists) {
+                    let y = g.prob(l, j as u8);
+                    for (r, &x) in rhs.iter_mut().zip(row) {
+                        *r += x * y;
+                    }
+                }
+                per_choice.push(solve_linear_system(&gram, &rhs));
+            }
+            weights.push(per_choice);
+        }
+        Ok(LinearModel {
+            normalizer,
+            dims,
+            weights,
+            lambda,
+            n_points: rows.len(),
+        })
+    }
+
+    /// Number of training points the model was fitted on.
+    pub fn len(&self) -> usize {
+        self.n_points
+    }
+
+    /// Returns `true` when the model saw no training points (never true
+    /// for a model built by [`LinearModel::train`]).
+    pub fn is_empty(&self) -> bool {
+        self.n_points == 0
+    }
+
+    /// Dimensionality of the feature vectors this model was trained on.
+    pub fn feature_dim(&self) -> usize {
+        self.normalizer.dim()
+    }
+
+    /// Per-dimension cardinalities of the optimisation space.
+    pub fn dims(&self) -> Vec<usize> {
+        self.dims.clone()
+    }
+
+    /// The ridge penalty the model was trained with.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// The fitted coefficients, `weights[ℓ][j]` scoring choice `j` of
+    /// dimension `ℓ` (intercept last) — what the differential proptest
+    /// compares against [`ridge_weights_oracle`].
+    pub fn weights(&self) -> &[Vec<Vec<f64>>] {
+        &self.weights
+    }
+
+    /// The predictive distribution: per-dimension softmax over the linear
+    /// scores of the normalised query.
+    pub fn predict(&self, x: &[f64]) -> IidDistribution {
+        let row = design_row(&self.normalizer.apply(x));
+        let prob_rows: Vec<Vec<f64>> = self
+            .weights
+            .iter()
+            .map(|per_choice| {
+                let scores: Vec<f64> = per_choice
+                    .iter()
+                    .map(|w| w.iter().zip(&row).map(|(a, b)| a * b).sum())
+                    .collect();
+                softmax(&scores)
+            })
+            .collect();
+        IidDistribution::from_prob_rows(&prob_rows)
+    }
+
+    /// The predicted-best setting. Defined as
+    /// `self.predict(x).mode()` — mode-consistency holds by construction.
+    pub fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        self.predict(x).mode()
+    }
+}
+
+/// The shared input validation of every zoo trainer, with `KnnModel`'s
+/// exact error order: length mismatch, then empty, then ragged rows.
+pub(crate) fn validate_training_input(
+    features: &[Vec<f64>],
+    dists: &[IidDistribution],
+) -> Result<(), TrainError> {
+    if features.len() != dists.len() {
+        return Err(TrainError::LengthMismatch {
+            features: features.len(),
+            dists: dists.len(),
+        });
+    }
+    if features.is_empty() {
+        return Err(TrainError::Empty);
+    }
+    let expected = features[0].len();
+    for (index, f) in features.iter().enumerate() {
+        if f.len() != expected {
+            return Err(TrainError::RaggedFeatures {
+                index,
+                len: f.len(),
+                expected,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// A normalised feature vector with the intercept column appended.
+fn design_row(xn: &[f64]) -> Vec<f64> {
+    let mut row = Vec::with_capacity(xn.len() + 1);
+    row.extend_from_slice(xn);
+    row.push(1.0);
+    row
+}
+
+/// Numerically-stable softmax (max-shifted); uniform over an empty slice
+/// cannot occur (cardinalities are ≥ 1).
+fn softmax(scores: &[f64]) -> Vec<f64> {
+    let max = scores.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let exps: Vec<f64> = scores.iter().map(|&s| (s - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / total).collect()
+}
+
+/// Solves `a·w = b` by Gaussian elimination with partial pivoting —
+/// deterministic (no randomised pivoting) so retraining from the same
+/// dataset is bit-identical.
+fn solve_linear_system(a: &[Vec<f64>], b: &[f64]) -> Vec<f64> {
+    let n = b.len();
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .zip(b)
+        .map(|(row, &rhs)| {
+            let mut r = row.clone();
+            r.push(rhs);
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .expect("non-empty pivot range");
+        m.swap(col, pivot);
+        let p = m[col][col];
+        for row in col + 1..n {
+            let factor = m[row][col] / p;
+            for k in col..=n {
+                let v = m[col][k];
+                m[row][k] -= factor * v;
+            }
+        }
+    }
+    let mut w = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = m[row][n];
+        for k in row + 1..n {
+            acc -= m[row][k] * w[k];
+        }
+        w[row] = acc / m[row][row];
+    }
+    w
+}
+
+/// The naive normal-equations oracle: recomputes the ridge coefficients
+/// through an explicit Gauss–Jordan inverse of `XᵀX + λI` (the textbook
+/// definition), normalising features exactly as training does. The
+/// differential proptest pins [`LinearModel::try_train`]'s elimination
+/// solver against this on well-conditioned random datasets.
+pub fn ridge_weights_oracle(
+    features: &[Vec<f64>],
+    dists: &[IidDistribution],
+    lambda: f64,
+) -> Vec<Vec<Vec<f64>>> {
+    let dims = dists[0].dims();
+    let normalizer = Normalizer::fit(features);
+    let rows: Vec<Vec<f64>> = features
+        .iter()
+        .map(|f| design_row(&normalizer.apply(f)))
+        .collect();
+    let cols = rows[0].len();
+    let mut gram = vec![vec![0.0f64; cols]; cols];
+    for row in &rows {
+        for (i, &ri) in row.iter().enumerate() {
+            for (j, &rj) in row.iter().enumerate() {
+                gram[i][j] += ri * rj;
+            }
+        }
+    }
+    for (i, row) in gram.iter_mut().enumerate() {
+        row[i] += lambda;
+    }
+    let inv = invert_matrix(&gram);
+    dims.iter()
+        .enumerate()
+        .map(|(l, &card)| {
+            (0..card)
+                .map(|j| {
+                    let mut rhs = vec![0.0f64; cols];
+                    for (row, g) in rows.iter().zip(dists) {
+                        let y = g.prob(l, j as u8);
+                        for (r, &x) in rhs.iter_mut().zip(row) {
+                            *r += x * y;
+                        }
+                    }
+                    inv.iter()
+                        .map(|inv_row| inv_row.iter().zip(&rhs).map(|(a, b)| a * b).sum())
+                        .collect()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Gauss–Jordan inverse with partial pivoting (oracle-only: `O(n³)` with
+/// a fat constant, but unambiguous).
+fn invert_matrix(a: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let n = a.len();
+    // Augment [A | I].
+    let mut m: Vec<Vec<f64>> = a
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut r = row.clone();
+            r.extend((0..n).map(|j| if i == j { 1.0 } else { 0.0 }));
+            r
+        })
+        .collect();
+    for col in 0..n {
+        let pivot = (col..n)
+            .max_by(|&i, &j| m[i][col].abs().total_cmp(&m[j][col].abs()))
+            .expect("non-empty pivot range");
+        m.swap(col, pivot);
+        let p = m[col][col];
+        for v in m[col].iter_mut() {
+            *v /= p;
+        }
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let factor = m[row][col];
+            for k in 0..2 * n {
+                let v = m[col][k];
+                m[row][k] -= factor * v;
+            }
+        }
+    }
+    m.into_iter().map(|row| row[n..].to_vec()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_cluster_training() -> (Vec<Vec<f64>>, Vec<IidDistribution>) {
+        let dims = vec![2usize, 4usize];
+        let mut features = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..8 {
+            let e = i as f64 * 0.1;
+            features.push(vec![e, -e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![0, 0]; 4]));
+            features.push(vec![10.0 + e, 10.0 - e]);
+            dists.push(IidDistribution::fit(&dims, &vec![vec![1, 3]; 4]));
+        }
+        (features, dists)
+    }
+
+    #[test]
+    fn learns_linearly_separable_preferences() {
+        let (features, dists) = two_cluster_training();
+        let m = LinearModel::train(features, dists, DEFAULT_RIDGE_LAMBDA);
+        assert_eq!(m.predict_mode(&[0.2, 0.0]), vec![0, 0]);
+        assert_eq!(m.predict_mode(&[9.8, 10.1]), vec![1, 3]);
+        assert_eq!(m.feature_dim(), 2);
+        assert_eq!(m.dims(), vec![2, 4]);
+        assert_eq!(m.len(), 16);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn predictions_are_proper_distributions() {
+        let (features, dists) = two_cluster_training();
+        let m = LinearModel::train(features, dists, DEFAULT_RIDGE_LAMBDA);
+        let q = m.predict(&[3.0, 2.0]);
+        for (d, card) in m.dims().into_iter().enumerate() {
+            let total: f64 = (0..card).map(|j| q.prob(d, j as u8)).sum();
+            assert!((total - 1.0).abs() < 1e-12, "dim {d} sums to {total}");
+        }
+    }
+
+    #[test]
+    fn mode_consistency_is_exact() {
+        let (features, dists) = two_cluster_training();
+        let m = LinearModel::train(features, dists, DEFAULT_RIDGE_LAMBDA);
+        for probe in [vec![0.0, 0.0], vec![5.0, 5.0], vec![10.0, 10.0]] {
+            assert_eq!(m.predict_mode(&probe), m.predict(&probe).mode());
+        }
+    }
+
+    #[test]
+    fn solver_matches_oracle_on_fixed_input() {
+        let (features, dists) = two_cluster_training();
+        let m = LinearModel::train(features.clone(), dists.clone(), DEFAULT_RIDGE_LAMBDA);
+        let oracle = ridge_weights_oracle(&features, &dists, DEFAULT_RIDGE_LAMBDA);
+        assert_eq!(m.weights().len(), oracle.len());
+        for (wl, ol) in m.weights().iter().zip(&oracle) {
+            for (wj, oj) in wl.iter().zip(ol) {
+                for (a, b) in wj.iter().zip(oj) {
+                    assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_train_reports_typed_errors_in_knn_order() {
+        let d = IidDistribution::fit(&[2], &[vec![0]]);
+        let err =
+            LinearModel::try_train(vec![vec![0.0]], vec![d.clone(), d.clone()], 0.1).unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::LengthMismatch {
+                features: 1,
+                dists: 2
+            }
+        );
+        let err = LinearModel::try_train(Vec::new(), Vec::new(), 0.1).unwrap_err();
+        assert_eq!(err, TrainError::Empty);
+        let err = LinearModel::try_train(vec![vec![0.0, 1.0], vec![2.0]], vec![d.clone(), d], 0.1)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            TrainError::RaggedFeatures {
+                index: 1,
+                len: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let (features, dists) = two_cluster_training();
+        let m = LinearModel::train(features, dists, DEFAULT_RIDGE_LAMBDA);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: LinearModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+        let probe = vec![4.2, -1.3];
+        assert_eq!(m.predict(&probe), back.predict(&probe));
+    }
+}

@@ -1,0 +1,371 @@
+//! The model zoo: one trait over every trained predictor.
+//!
+//! [`Model`] is the contract the snapshot format and the prediction
+//! service program against — predict a factorised distribution or its
+//! mode from a feature vector, report the feature dimensionality and
+//! pass-space shape, and hand back a serde payload. Three families
+//! implement it:
+//!
+//! | kind        | type                  | idea                                 |
+//! |-------------|-----------------------|--------------------------------------|
+//! | `knn`       | [`KnnModel`]          | the paper's kNN-over-softmax (§3.3)  |
+//! | `linear`    | [`LinearModel`]       | per-pass ridge regression to scores  |
+//! | `clustered` | [`ClusteredKnnModel`] | k-means + one kNN per cluster        |
+//!
+//! [`ModelKind`] is the closed registry: it names the snapshot payload
+//! tag ([`ModelKind::as_str`]), dispatches training
+//! ([`try_train_kind`]) and decoding ([`decode_model`]), and indexes
+//! per-kind metrics counters ([`ModelKind::index`]). Adding a model kind
+//! means extending the enum and the two dispatch functions here; the
+//! cross-model conformance suite then picks it up from
+//! [`ModelKind::ALL`].
+
+use crate::cluster::ClusteredKnnModel;
+use crate::dist::IidDistribution;
+use crate::knn::{KnnModel, TrainError, DEFAULT_BETA, DEFAULT_K};
+use crate::linear::LinearModel;
+use serde::{Deserialize, Serialize, Value};
+use std::any::Any;
+use std::fmt;
+
+/// Which predictor family a trained model belongs to — the snapshot
+/// payload tag, CLI `--model` value and metrics label, all spelled the
+/// same way ([`as_str`](Self::as_str)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// The paper's kNN-over-softmax predictor ([`KnnModel`]).
+    Knn,
+    /// Per-pass ridge regression to class scores ([`LinearModel`]).
+    Linear,
+    /// k-means over normalised features with one kNN per cluster
+    /// ([`ClusteredKnnModel`]).
+    Clustered,
+}
+
+impl ModelKind {
+    /// Every registered kind, in tag order — what generic harnesses (the
+    /// conformance suite, the metrics renderings) iterate over.
+    pub const ALL: [ModelKind; 3] = [ModelKind::Knn, ModelKind::Linear, ModelKind::Clustered];
+
+    /// The canonical tag: what snapshots store, `--model` accepts and
+    /// metrics label with.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ModelKind::Knn => "knn",
+            ModelKind::Linear => "linear",
+            ModelKind::Clustered => "clustered",
+        }
+    }
+
+    /// Parses a tag; `None` for anything [`as_str`](Self::as_str) never
+    /// produces.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        ModelKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+
+    /// Dense index into [`ALL`](Self::ALL) (for fixed-size per-kind
+    /// counter arrays).
+    pub fn index(self) -> usize {
+        match self {
+            ModelKind::Knn => 0,
+            ModelKind::Linear => 1,
+            ModelKind::Clustered => 2,
+        }
+    }
+}
+
+impl fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for ModelKind {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for ModelKind {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let s = String::from_value(v)?;
+        ModelKind::parse(&s).ok_or_else(|| {
+            serde::Error::new(format!(
+                "unknown model kind `{s}` (known: knn, linear, clustered)"
+            ))
+        })
+    }
+}
+
+/// Hyper-parameters covering every kind in the zoo; each trainer reads
+/// the fields it understands.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ModelOptions {
+    /// Neighbour count for the kNN-family kinds (paper: 7).
+    pub k: usize,
+    /// Softmax inverse temperature for the kNN-family kinds (paper: 1).
+    pub beta: f64,
+    /// Ridge penalty λ for the linear kind.
+    pub ridge_lambda: f64,
+    /// Cluster count for the clustered kind.
+    pub k_clusters: usize,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            k: DEFAULT_K,
+            beta: DEFAULT_BETA,
+            ridge_lambda: crate::linear::DEFAULT_RIDGE_LAMBDA,
+            k_clusters: crate::cluster::DEFAULT_K_CLUSTERS,
+        }
+    }
+}
+
+/// A trained predictor behind the snapshot and serving contract.
+///
+/// Implementations promise:
+/// * **determinism** — `predict`/`predict_mode` are pure functions of the
+///   trained state and the query, bit-identical across calls and across a
+///   save/load round trip of [`payload`](Self::payload);
+/// * **mode-consistency** — `predict_mode(x) == predict(x).mode()`
+///   bit-identically (the conformance suite pins it for every kind);
+/// * **honest metadata** — `feature_dim` is the exact query length
+///   `predict` expects and `dims` the exact pass-space shape it answers
+///   over.
+pub trait Model: fmt::Debug + Send + Sync {
+    /// Which registry entry this model is (drives snapshot tagging,
+    /// payload decoding and per-kind metrics).
+    fn kind(&self) -> ModelKind;
+    /// Dimensionality of the feature vectors the model was trained on.
+    fn feature_dim(&self) -> usize;
+    /// Number of training points behind the model.
+    fn len(&self) -> usize;
+    /// Whether the model holds no training points (never true for a
+    /// trained model).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Per-dimension cardinalities of the optimisation space the model
+    /// predicts over.
+    fn dims(&self) -> Vec<usize>;
+    /// The predictive distribution `q(y|x)`.
+    fn predict(&self, x: &[f64]) -> IidDistribution;
+    /// The predicted-best setting `argmax_y q(y|x)`.
+    fn predict_mode(&self, x: &[f64]) -> Vec<u8>;
+    /// The serde payload a snapshot stores under its kind tag;
+    /// [`decode_model`] with [`kind`](Self::kind) inverts it exactly.
+    fn payload(&self) -> Value;
+    /// Clones the model behind the trait object ([`Clone`] for
+    /// `Box<dyn Model>` delegates here).
+    fn boxed_clone(&self) -> Box<dyn Model>;
+    /// Downcast access for kind-specific paths (benches and differential
+    /// tests that need the concrete model's oracle methods).
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
+}
+
+impl Model for KnnModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Knn
+    }
+    fn feature_dim(&self) -> usize {
+        KnnModel::feature_dim(self)
+    }
+    fn len(&self) -> usize {
+        KnnModel::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        KnnModel::is_empty(self)
+    }
+    fn dims(&self) -> Vec<usize> {
+        KnnModel::dims(self)
+    }
+    fn predict(&self, x: &[f64]) -> IidDistribution {
+        KnnModel::predict(self, x)
+    }
+    fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        KnnModel::predict_mode(self, x)
+    }
+    fn payload(&self) -> Value {
+        self.to_value()
+    }
+    fn boxed_clone(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Model for LinearModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Linear
+    }
+    fn feature_dim(&self) -> usize {
+        LinearModel::feature_dim(self)
+    }
+    fn len(&self) -> usize {
+        LinearModel::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        LinearModel::is_empty(self)
+    }
+    fn dims(&self) -> Vec<usize> {
+        LinearModel::dims(self)
+    }
+    fn predict(&self, x: &[f64]) -> IidDistribution {
+        LinearModel::predict(self, x)
+    }
+    fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        LinearModel::predict_mode(self, x)
+    }
+    fn payload(&self) -> Value {
+        self.to_value()
+    }
+    fn boxed_clone(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+impl Model for ClusteredKnnModel {
+    fn kind(&self) -> ModelKind {
+        ModelKind::Clustered
+    }
+    fn feature_dim(&self) -> usize {
+        ClusteredKnnModel::feature_dim(self)
+    }
+    fn len(&self) -> usize {
+        ClusteredKnnModel::len(self)
+    }
+    fn is_empty(&self) -> bool {
+        ClusteredKnnModel::is_empty(self)
+    }
+    fn dims(&self) -> Vec<usize> {
+        ClusteredKnnModel::dims(self)
+    }
+    fn predict(&self, x: &[f64]) -> IidDistribution {
+        ClusteredKnnModel::predict(self, x)
+    }
+    fn predict_mode(&self, x: &[f64]) -> Vec<u8> {
+        ClusteredKnnModel::predict_mode(self, x)
+    }
+    fn payload(&self) -> Value {
+        self.to_value()
+    }
+    fn boxed_clone(&self) -> Box<dyn Model> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// Trains a model of the given kind from per-pair features and fitted
+/// distributions — the one dispatch point every trainer goes through.
+pub fn try_train_kind(
+    kind: ModelKind,
+    features: Vec<Vec<f64>>,
+    dists: Vec<IidDistribution>,
+    opts: &ModelOptions,
+) -> Result<Box<dyn Model>, TrainError> {
+    Ok(match kind {
+        ModelKind::Knn => Box::new(KnnModel::try_train(features, dists, opts.k, opts.beta)?),
+        ModelKind::Linear => Box::new(LinearModel::try_train(features, dists, opts.ridge_lambda)?),
+        ModelKind::Clustered => Box::new(ClusteredKnnModel::try_train(
+            features,
+            dists,
+            opts.k,
+            opts.beta,
+            opts.k_clusters,
+        )?),
+    })
+}
+
+/// Decodes a model payload of the given kind — the inverse of
+/// [`Model::payload`], and the one dispatch point every snapshot loader
+/// goes through.
+pub fn decode_model(kind: ModelKind, v: &Value) -> Result<Box<dyn Model>, serde::Error> {
+    Ok(match kind {
+        ModelKind::Knn => Box::new(KnnModel::from_value(v)?),
+        ModelKind::Linear => Box::new(LinearModel::from_value(v)?),
+        ModelKind::Clustered => Box::new(ClusteredKnnModel::from_value(v)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_tags_round_trip() {
+        for kind in ModelKind::ALL {
+            assert_eq!(ModelKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
+            assert_eq!(ModelKind::ALL[kind.index()], kind);
+            let back = ModelKind::from_value(&kind.to_value()).unwrap();
+            assert_eq!(back, kind);
+        }
+        assert_eq!(ModelKind::parse("gradient-boosted"), None);
+        assert!(ModelKind::from_value(&Value::Str("nope".into()))
+            .unwrap_err()
+            .to_string()
+            .contains("unknown model kind `nope`"));
+    }
+
+    #[test]
+    fn dispatch_trains_every_kind_and_payloads_invert() {
+        let dims = vec![2usize, 3usize];
+        let mut features = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..10 {
+            let e = i as f64;
+            features.push(vec![e, -e, e * 0.5]);
+            let pick = if i < 5 { vec![0, 0] } else { vec![1, 2] };
+            dists.push(IidDistribution::fit(&dims, &vec![pick; 4]));
+        }
+        let opts = ModelOptions {
+            k: 3,
+            k_clusters: 2,
+            ..ModelOptions::default()
+        };
+        for kind in ModelKind::ALL {
+            let m = try_train_kind(kind, features.clone(), dists.clone(), &opts).unwrap();
+            assert_eq!(m.kind(), kind);
+            assert_eq!(m.feature_dim(), 3);
+            assert_eq!(m.dims(), dims);
+            assert_eq!(m.len(), 10);
+            assert!(!m.is_empty());
+            let back = decode_model(kind, &m.payload()).unwrap();
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.payload(), m.payload(), "{kind}: payload round trip");
+            let probe = vec![2.5, -2.5, 1.25];
+            assert_eq!(back.predict(&probe), m.predict(&probe), "{kind}");
+            assert_eq!(m.predict_mode(&probe), m.predict(&probe).mode(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_behaviour() {
+        let dims = vec![2usize];
+        let features = vec![vec![0.0], vec![1.0]];
+        let dists = vec![
+            IidDistribution::fit(&dims, &[vec![0]]),
+            IidDistribution::fit(&dims, &[vec![1]]),
+        ];
+        let m: Box<dyn Model> =
+            try_train_kind(ModelKind::Knn, features, dists, &ModelOptions::default()).unwrap();
+        let c = m.clone();
+        assert_eq!(c.kind(), ModelKind::Knn);
+        assert_eq!(c.predict_mode(&[0.1]), m.predict_mode(&[0.1]));
+        assert!(c.as_any().downcast_ref::<KnnModel>().is_some());
+    }
+}

@@ -3,7 +3,7 @@
 
 use portopt_ml::{
     bin_equal_frequency, entropy, mutual_information, normalized_mutual_information,
-    IidDistribution, KnnModel,
+    ridge_weights_oracle, ClusteredKnnModel, IidDistribution, KnnModel, LinearModel,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -244,6 +244,69 @@ proptest! {
             })
             .collect();
         prop_assert_eq!(got, want);
+    }
+
+    /// Differential check on the ridge solver: the Gaussian-elimination
+    /// coefficients `LinearModel::try_train` keeps must match the naive
+    /// normal-equations oracle (explicit Gauss–Jordan inverse of
+    /// `XᵀX + λI`) on well-conditioned random datasets — many more points
+    /// than dimensions, bounded features, a real λ on the diagonal.
+    #[test]
+    fn linear_weights_match_normal_equations_oracle(
+        seed in 0u64..100_000, dim in 1usize..6, extra in 20usize..60
+    ) {
+        let dims = vec![2usize, 3, 4];
+        let npts = dim + extra;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats: Vec<Vec<f64>> = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push((0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect());
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 5)));
+        }
+        let lambda = 1e-3;
+        let model = LinearModel::try_train(feats.clone(), dists.clone(), lambda).unwrap();
+        let oracle = ridge_weights_oracle(&feats, &dists, lambda);
+        prop_assert_eq!(model.weights().len(), oracle.len());
+        for (wl, ol) in model.weights().iter().zip(&oracle) {
+            prop_assert_eq!(wl.len(), ol.len());
+            for (wc, oc) in wl.iter().zip(ol) {
+                for (w, o) in wc.iter().zip(oc) {
+                    prop_assert!(
+                        (w - o).abs() <= 1e-6 * (1.0 + o.abs()),
+                        "solver {} vs oracle {}", w, o
+                    );
+                }
+            }
+        }
+    }
+
+    /// With a single cluster, k-means degenerates to "everything in one
+    /// bucket" and the clustered model must be the plain kNN model —
+    /// bit-identical payload for the inner cluster and bit-identical
+    /// predictions, across random datasets, ks and queries.
+    #[test]
+    fn single_cluster_is_plain_knn(
+        seed in 0u64..100_000, npts in 1usize..30, k in 1usize..10
+    ) {
+        let dims = vec![2usize, 3, 4];
+        let dim = 1 + (seed % 5) as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut feats: Vec<Vec<f64>> = Vec::new();
+        let mut dists = Vec::new();
+        for i in 0..npts {
+            feats.push((0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect());
+            dists.push(IidDistribution::fit(&dims, &random_goodset(seed ^ i as u64, &dims, 5)));
+        }
+        let plain = KnnModel::train(feats.clone(), dists.clone(), k, 1.0);
+        let clustered = ClusteredKnnModel::train(feats, dists, k, 1.0, 1);
+        prop_assert_eq!(clustered.n_clusters(), 1);
+        prop_assert_eq!(&clustered.clusters()[0], &plain, "inner cluster differs from plain kNN");
+        for _ in 0..4 {
+            let q: Vec<f64> = (0..dim).map(|_| rng.gen_range(-12.0..12.0)).collect();
+            prop_assert_eq!(clustered.predict(&q), plain.predict(&q), "predict");
+            prop_assert_eq!(clustered.predict_mode(&q), plain.predict_mode(&q), "predict_mode");
+        }
     }
 
     /// Equal-frequency binning is order-preserving and balanced within 1.

@@ -50,6 +50,7 @@ pub use concurrent::{
     DEFAULT_WINDOW_MS,
 };
 pub use metrics::{MetricsSnapshot, ServeMetrics};
+pub use portopt_ml::ModelKind;
 pub use reload::{ReloadHandle, VersionedSnapshot, WatchEvent};
 pub use service::{
     ApplyStats, ConnId, LineAction, PredictionService, RequestInput, ServeRequest, ServeResponse,
@@ -129,7 +130,7 @@ mod tests {
         snap.save(&path).unwrap();
         let back = Snapshot::load(&path).unwrap();
         assert_eq!(back.meta, snap.meta);
-        assert_eq!(back.compiler.model(), snap.compiler.model());
+        assert_eq!(back.compiler.knn().unwrap(), snap.compiler.knn().unwrap());
         assert_eq!(back.to_bytes().unwrap(), snap.to_bytes().unwrap());
         let ds = tiny_dataset();
         let x = &ds.features[0][0];

@@ -33,6 +33,7 @@
 //! assert!(snap.to_json_line().starts_with("{\"cmd\":\"stats\""));
 //! ```
 
+use portopt_ml::ModelKind;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -139,6 +140,11 @@ pub struct ServeMetrics {
     /// `(snapshot_version, predictions)` pairs, appended on first sight of
     /// a version. A handful of entries, touched once per batch.
     per_version: Mutex<Vec<(u64, u64)>>,
+    /// Successful predictions per model kind, indexed by
+    /// [`ModelKind::index`]. Error replies never land here (and refusals
+    /// never even reach `requests`), so across kinds these sum to
+    /// `requests - errors`.
+    predictions_by_kind: [AtomicU64; 3],
     started: Instant,
 }
 
@@ -163,6 +169,7 @@ impl ServeMetrics {
             rejected_connections: AtomicU64::new(0),
             latency: LatencyHistogram::default(),
             per_version: Mutex::new(Vec::new()),
+            predictions_by_kind: [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)],
             started: Instant::now(),
         }
     }
@@ -223,6 +230,12 @@ impl ServeMetrics {
         }
     }
 
+    /// `n` successful predictions answered by a model of `kind` (one call
+    /// per batch drain; error replies are excluded by the caller).
+    pub fn record_predictions(&self, kind: ModelKind, n: u64) {
+        self.predictions_by_kind[kind.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// One accepted / one refused TCP connection.
     pub fn note_connection(&self, accepted: bool) {
         if accepted {
@@ -268,6 +281,11 @@ impl ServeMetrics {
             connections_total: self.connections.load(Ordering::Relaxed),
             rejected_connections_total: self.rejected_connections.load(Ordering::Relaxed),
             predictions_by_version: versions,
+            predictions_by_kind: [
+                self.predictions_by_kind[0].load(Ordering::Relaxed),
+                self.predictions_by_kind[1].load(Ordering::Relaxed),
+                self.predictions_by_kind[2].load(Ordering::Relaxed),
+            ],
         }
     }
 }
@@ -319,6 +337,10 @@ pub struct MetricsSnapshot {
     pub rejected_connections_total: u64,
     /// Predictions answered per snapshot version, ascending by version.
     pub predictions_by_version: Vec<(u64, u64)>,
+    /// Successful predictions per model kind, indexed by
+    /// [`ModelKind::index`]. All kinds render, including zeroes, so a
+    /// dashboard sees the full registry.
+    pub predictions_by_kind: [u64; 3],
 }
 
 impl MetricsSnapshot {
@@ -332,13 +354,19 @@ impl MetricsSnapshot {
             .map(|(v, n)| format!("\"{v}\":{n}"))
             .collect::<Vec<_>>()
             .join(",");
+        let kinds: String = ModelKind::ALL
+            .iter()
+            .map(|k| format!("\"{}\":{}", k.as_str(), self.predictions_by_kind[k.index()]))
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
             "{{\"cmd\":\"stats\",\"uptime_secs\":{:.3},\"queue_depth\":{},\"inflight\":{},\
              \"requests_total\":{},\"errors_total\":{},\"refused_total\":{},\
              \"discarded_total\":{},\"batches_total\":{},\"max_batch\":{},\
              \"latency_p50_ms\":{:.3},\"latency_p99_ms\":{:.3},\"latency_mean_ms\":{:.4},\
              \"connections_total\":{},\"rejected_connections_total\":{},\
-             \"predictions_by_version\":{{{versions}}}}}",
+             \"predictions_by_version\":{{{versions}}},\
+             \"predictions_by_kind\":{{{kinds}}}}}",
             self.uptime_secs,
             self.queue_depth,
             self.inflight,
@@ -396,6 +424,13 @@ impl MetricsSnapshot {
         for (v, n) in &self.predictions_by_version {
             s.push_str(&format!(
                 "portopt_predictions_total{{snapshot_version=\"{v}\"}} {n}\n"
+            ));
+        }
+        for k in ModelKind::ALL {
+            s.push_str(&format!(
+                "portopt_predictions_kind_total{{kind=\"{}\"}} {}\n",
+                k.as_str(),
+                self.predictions_by_kind[k.index()]
             ));
         }
         s
@@ -538,6 +573,9 @@ mod tests {
         m.record_batch(1, 2);
         m.note_connection(true);
         m.note_connection(false);
+        m.record_predictions(ModelKind::Knn, 1);
+        m.record_predictions(ModelKind::Linear, 3);
+        m.record_predictions(ModelKind::Linear, 2);
         let s = m.snapshot(5);
         assert_eq!(s.queue_depth, 5);
         assert_eq!(s.requests_total, 2);
@@ -549,6 +587,7 @@ mod tests {
         assert_eq!(s.connections_total, 1);
         assert_eq!(s.rejected_connections_total, 1);
         assert_eq!(s.predictions_by_version, vec![(1, 2), (2, 4)]);
+        assert_eq!(s.predictions_by_kind, [1, 5, 0]);
     }
 
     #[test]
@@ -557,6 +596,7 @@ mod tests {
         m.note_admitted();
         m.record_request(0.1, None);
         m.record_batch(1, 7);
+        m.record_predictions(ModelKind::Clustered, 1);
         let s = m.snapshot(0);
         let json = s.to_json_line();
         assert!(json.starts_with("{\"cmd\":\"stats\""), "{json}");
@@ -566,6 +606,10 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"refused_total\":0"), "{json}");
+        assert!(
+            json.contains("\"predictions_by_kind\":{\"knn\":0,\"linear\":0,\"clustered\":1}"),
+            "{json}"
+        );
         // The JSON line is parseable by the vendored parser.
         let doc = serde_json::from_str::<serde::Value>(&json).expect("stats reply parses");
         assert!(doc.as_object().is_some());
@@ -574,6 +618,14 @@ mod tests {
         assert!(
             text.contains("portopt_predictions_total{snapshot_version=\"7\"} 1\n"),
             "{text}"
+        );
+        assert!(
+            text.contains("portopt_predictions_kind_total{kind=\"clustered\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("portopt_predictions_kind_total{kind=\"knn\"} 0\n"),
+            "every kind renders, including zeroes: {text}"
         );
     }
 

@@ -916,6 +916,14 @@ impl PredictionService {
         stats.max_batch = stats.max_batch.max(answered.len());
         stats.busy_secs += batch_secs;
         self.metrics.record_batch(answered.len(), versioned.version);
+        let successes = answered
+            .iter()
+            .filter(|(_, (_, _, outcome, _))| outcome.is_ok())
+            .count() as u64;
+        if successes > 0 {
+            self.metrics
+                .record_predictions(versioned.snapshot.compiler.model().kind(), successes);
+        }
         // compute = sum of per-request kernel time; fan-out = everything
         // else the batch wall clock bought (queue handoff, executor
         // scheduling, reply assembly) — the split the trace bin reads to

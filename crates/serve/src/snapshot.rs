@@ -46,9 +46,9 @@
 //! assert_eq!(prediction, snap.compiler.predict(&ds.features[0][0]));
 //! ```
 
-use portopt_core::{Dataset, PortableCompiler, TrainOptions};
+use portopt_core::{Dataset, ModelKind, PortableCompiler, TrainOptions};
 use portopt_passes::OptSpace;
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::path::Path;
 
 /// First bytes of the `magic` field of every portopt snapshot.
@@ -68,7 +68,7 @@ pub fn current_pass_space() -> Vec<(String, usize)> {
 }
 
 /// Self-describing header of a [`Snapshot`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotMeta {
     /// Always [`SNAPSHOT_MAGIC`]; anything else is not a snapshot.
     pub magic: String,
@@ -88,6 +88,54 @@ pub struct SnapshotMeta {
     pub k: usize,
     /// Softmax inverse temperature the model was trained with.
     pub beta: f64,
+    /// Which model from the zoo the payload holds. Validated against the
+    /// decoded payload, and against the operator's expectation in
+    /// [`Snapshot::load_expecting`], *before* the payload is decoded.
+    pub model_kind: ModelKind,
+}
+
+// Hand-written serde: the `model_kind` tag is appended after `beta` for
+// the non-kNN kinds and omitted entirely for kNN, so snapshots written
+// before the model zoo existed (no tag) load as kNN and freshly-written
+// kNN snapshots stay byte-identical to them.
+impl Serialize for SnapshotMeta {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("magic".to_string(), self.magic.to_value()),
+            ("format_version".to_string(), self.format_version.to_value()),
+            ("feature_dim".to_string(), self.feature_dim.to_value()),
+            ("pass_space".to_string(), self.pass_space.to_value()),
+            ("programs".to_string(), self.programs.to_value()),
+            ("uarchs".to_string(), self.uarchs.to_value()),
+            ("settings".to_string(), self.settings.to_value()),
+            ("k".to_string(), self.k.to_value()),
+            ("beta".to_string(), self.beta.to_value()),
+        ];
+        if self.model_kind != ModelKind::Knn {
+            fields.push(("model_kind".to_string(), self.model_kind.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for SnapshotMeta {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        Ok(SnapshotMeta {
+            magic: String::from_value(v.field("magic")?)?,
+            format_version: u32::from_value(v.field("format_version")?)?,
+            feature_dim: usize::from_value(v.field("feature_dim")?)?,
+            pass_space: Vec::from_value(v.field("pass_space")?)?,
+            programs: usize::from_value(v.field("programs")?)?,
+            uarchs: usize::from_value(v.field("uarchs")?)?,
+            settings: usize::from_value(v.field("settings")?)?,
+            k: usize::from_value(v.field("k")?)?,
+            beta: f64::from_value(v.field("beta")?)?,
+            model_kind: match v.field("model_kind") {
+                Ok(tag) => ModelKind::from_value(tag)?,
+                Err(_) => ModelKind::Knn,
+            },
+        })
+    }
 }
 
 /// A trained [`PortableCompiler`] plus its validation metadata.
@@ -132,6 +180,21 @@ pub enum SnapshotError {
         /// Dimensionality this binary produces.
         expected: usize,
     },
+    /// The snapshot declares a model kind this binary has never heard of
+    /// (a newer build's zoo, or a corrupted tag).
+    UnknownModelKind {
+        /// The tag actually found.
+        found: String,
+    },
+    /// The snapshot holds a model of a different kind than required —
+    /// either the operator's `--expect-model` demand, or a payload that
+    /// disagrees with its own header.
+    ModelKindMismatch {
+        /// Kind in the file.
+        found: ModelKind,
+        /// Kind that was required.
+        expected: ModelKind,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -156,6 +219,16 @@ impl std::fmt::Display for SnapshotError {
                 f,
                 "snapshot expects {found}-dimensional features, this binary \
                  produces {expected}; re-run `snapshot` to retrain"
+            ),
+            SnapshotError::UnknownModelKind { found } => write!(
+                f,
+                "snapshot declares unknown model kind `{found}` (this binary \
+                 knows: {}); upgrade the binary or retrain",
+                ModelKind::ALL.map(|k| k.as_str()).join("/")
+            ),
+            SnapshotError::ModelKindMismatch { found, expected } => write!(
+                f,
+                "snapshot holds a `{found}` model where `{expected}` was expected"
             ),
         }
     }
@@ -212,9 +285,22 @@ impl Snapshot {
 
     /// [`train`](Self::train) with malformed datasets reported as a typed
     /// error instead of a panic — what the `snapshot` bin calls so an
-    /// empty dataset is an exit-code diagnostic, not a crash.
+    /// empty dataset is an exit-code diagnostic, not a crash. Trains the
+    /// paper's kNN model; [`try_train_kind`](Self::try_train_kind) picks
+    /// another kind from the zoo.
     pub fn try_train(ds: &Dataset, opts: &TrainOptions) -> Result<Self, portopt_ml::TrainError> {
-        let compiler = PortableCompiler::try_train(ds, None, None, opts)?;
+        Self::try_train_kind(ds, ModelKind::Knn, opts)
+    }
+
+    /// [`try_train`](Self::try_train) for any model kind in the zoo; the
+    /// kind is recorded in the header so loaders can refuse a mismatched
+    /// artifact before decoding the payload.
+    pub fn try_train_kind(
+        ds: &Dataset,
+        kind: ModelKind,
+        opts: &TrainOptions,
+    ) -> Result<Self, portopt_ml::TrainError> {
+        let compiler = PortableCompiler::try_train_kind(ds, None, None, kind, opts)?;
         Ok(Snapshot {
             meta: SnapshotMeta {
                 magic: SNAPSHOT_MAGIC.to_string(),
@@ -226,6 +312,7 @@ impl Snapshot {
                 settings: ds.configs.len(),
                 k: opts.k,
                 beta: opts.beta,
+                model_kind: kind,
             },
             compiler,
         })
@@ -244,19 +331,46 @@ impl Snapshot {
     }
 
     /// Parses and validates a snapshot from bytes. The header is checked
-    /// (magic, format version, pass space, feature dimensionality) before
-    /// the model payload is deserialized, so every rejection carries the
-    /// specific mismatch.
+    /// (magic, format version, pass space, feature dimensionality, model
+    /// kind) before the model payload is deserialized, so every rejection
+    /// carries the specific mismatch.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        Self::from_bytes_checked(bytes, None)
+    }
+
+    /// [`from_bytes`](Self::from_bytes), additionally requiring the header
+    /// to declare model kind `expected`. The check runs on the header tag
+    /// alone — a wrong-kind snapshot is refused with
+    /// [`SnapshotError::ModelKindMismatch`] before its payload is touched.
+    pub fn from_bytes_expecting(bytes: &[u8], expected: ModelKind) -> Result<Self, SnapshotError> {
+        Self::from_bytes_checked(bytes, Some(expected))
+    }
+
+    fn from_bytes_checked(
+        bytes: &[u8],
+        expected_kind: Option<ModelKind>,
+    ) -> Result<Self, SnapshotError> {
         // One parse to the document tree; the header is validated off the
         // tree before the (much larger) model payload is decoded, so a
         // mismatched file is rejected with its specific reason and a
         // multi-megabyte artifact is not lexed twice.
         let doc: serde::Value =
             serde_json::from_slice(bytes).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
-        let meta = doc
+        let raw_meta = doc
             .field("meta")
-            .and_then(SnapshotMeta::from_value)
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        // Probe the kind tag before the header decode proper: a tag from a
+        // newer zoo must surface as `UnknownModelKind`, not `Corrupt`.
+        if let Ok(tag) = raw_meta.field("model_kind") {
+            let found = match tag {
+                Value::Str(s) => s.clone(),
+                other => format!("{other:?}"),
+            };
+            if ModelKind::parse(&found).is_none() {
+                return Err(SnapshotError::UnknownModelKind { found });
+            }
+        }
+        let meta = SnapshotMeta::from_value(raw_meta)
             .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         if meta.magic != SNAPSHOT_MAGIC {
             return Err(SnapshotError::NotASnapshot { found: meta.magic });
@@ -266,6 +380,14 @@ impl Snapshot {
                 found: meta.format_version,
                 supported: FORMAT_VERSION,
             });
+        }
+        if let Some(expected) = expected_kind {
+            if meta.model_kind != expected {
+                return Err(SnapshotError::ModelKindMismatch {
+                    found: meta.model_kind,
+                    expected,
+                });
+            }
         }
         if let Some(detail) = pass_space_diff(&meta.pass_space, &current_pass_space()) {
             return Err(SnapshotError::PassSpaceMismatch { detail });
@@ -280,6 +402,13 @@ impl Snapshot {
         let snap = Snapshot::from_value(&doc).map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
         // The header said the right thing; make sure the payload agrees
         // (a hand-edited file could pair a valid header with a stale model).
+        let payload_kind = snap.compiler.model().kind();
+        if payload_kind != snap.meta.model_kind {
+            return Err(SnapshotError::ModelKindMismatch {
+                found: payload_kind,
+                expected: snap.meta.model_kind,
+            });
+        }
         let model_dim = snap.compiler.model().feature_dim();
         if model_dim != expected {
             return Err(SnapshotError::FeatureDimMismatch {
@@ -293,5 +422,14 @@ impl Snapshot {
     /// Loads and validates a snapshot from `path`.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
         Self::from_bytes(&std::fs::read(path)?)
+    }
+
+    /// [`load`](Self::load), refusing any snapshot whose header does not
+    /// declare model kind `expected` (the `serve --expect-model` guard).
+    pub fn load_expecting(
+        path: impl AsRef<Path>,
+        expected: ModelKind,
+    ) -> Result<Self, SnapshotError> {
+        Self::from_bytes_expecting(&std::fs::read(path)?, expected)
     }
 }

@@ -12,8 +12,11 @@
 mod common;
 
 use common::{fixture, request_line, shutdown, spawn_server};
+use portopt_core::TrainOptions;
 use portopt_serve::testkit::{garbage_line, ChaosConfig, ChaosRng, ChaosWriter};
-use portopt_serve::{LineAction, PredictionService, ServeOptions, ServeResponse, LOCAL_CONN};
+use portopt_serve::{
+    LineAction, ModelKind, PredictionService, ServeOptions, ServeResponse, Snapshot, LOCAL_CONN,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::Duration;
@@ -342,6 +345,139 @@ fn closed_queue_refuses_with_shutting_down_error() {
     // What was pending before the close still drains.
     let mut stats = portopt_serve::ServiceStats::default();
     assert_eq!(service.drain(&mut stats).len(), 1);
+}
+
+/// Model-zoo fault: a hot reload that swaps the model *kind* mid-flight.
+/// Requests queued under the old (kNN) snapshot are answered by whichever
+/// snapshot the drain captures — but a single batch must never split
+/// across snapshots, `snapshot_version` must be uniform within it, and
+/// the per-kind prediction counters must attribute every answer to the
+/// kind that actually computed it.
+#[test]
+fn reload_across_model_kinds_never_splits_a_batch() {
+    let (ds, knn_snap) = fixture();
+    let linear_snap =
+        Snapshot::try_train_kind(&ds, ModelKind::Linear, &TrainOptions::default()).unwrap();
+    let service = PredictionService::new(knn_snap, 1);
+    let v1 = service.current_snapshot().version;
+
+    // Batch 1: fully answered under kNN.
+    const FIRST: u64 = 5;
+    for seq in 0..FIRST {
+        assert!(matches!(
+            service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, seq)),
+            LineAction::Queued
+        ));
+    }
+    let mut stats = portopt_serve::ServiceStats::default();
+    let replies = service.drain(&mut stats);
+    assert_eq!(replies.len(), FIRST as usize);
+    for r in &replies {
+        assert!(r.error.is_none(), "{r:?}");
+        assert_eq!(r.snapshot_version, v1);
+    }
+    let m = service.metrics().snapshot(service.pending());
+    assert_eq!(m.predictions_by_kind, [FIRST, 0, 0]);
+
+    // Batch 2: queued under kNN, the linear snapshot lands *before* the
+    // drain. The drain captures one snapshot for the whole batch, so
+    // every reply carries the new version and every prediction counts
+    // against `linear` — no split attribution.
+    const SECOND: u64 = 4;
+    for seq in FIRST..FIRST + SECOND {
+        assert!(matches!(
+            service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, seq)),
+            LineAction::Queued
+        ));
+    }
+    let v2 = service.reload_handle().reload(linear_snap);
+    assert!(v2 > v1);
+    let replies = service.drain(&mut stats);
+    assert_eq!(replies.len(), SECOND as usize);
+    for r in &replies {
+        assert!(r.error.is_none(), "{r:?}");
+        assert_eq!(
+            r.snapshot_version, v2,
+            "a reload split a batch across snapshots"
+        );
+    }
+    let m = service.metrics().snapshot(service.pending());
+    assert_eq!(
+        m.predictions_by_kind,
+        [FIRST, SECOND, 0],
+        "per-kind counters must follow the serving model across a reload"
+    );
+    assert_eq!(
+        m.predictions_by_version,
+        vec![(v1, FIRST), (v2, SECOND)],
+        "per-version and per-kind accounting must agree"
+    );
+}
+
+/// The `{"cmd":"stats"}` line keeps the model-zoo counter identity: the
+/// per-kind prediction counts sum to `requests_total - errors_total`
+/// (refusals never enter `requests_total`, so they do not appear on
+/// either side) — pinned with all three counter classes non-zero.
+#[test]
+fn stats_line_per_kind_counters_sum_to_successes() {
+    let (ds, snap) = fixture();
+    const CAP: usize = 4;
+    let service = PredictionService::new(snap, 1).with_queue_cap(CAP);
+
+    // One garbage line (answered with an error reply), three healthy
+    // requests, then two more against the full queue (refused).
+    assert!(matches!(
+        service.classify_and_submit(LOCAL_CONN, "{\"nonsense\":1}"),
+        LineAction::Queued
+    ));
+    for seq in 0..(CAP as u64 - 1) {
+        assert!(matches!(
+            service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, seq)),
+            LineAction::Queued
+        ));
+    }
+    for seq in 10..12u64 {
+        assert!(matches!(
+            service.classify_and_submit(LOCAL_CONN, &request_line(&ds, 1, seq)),
+            LineAction::Refused { .. }
+        ));
+    }
+    let mut stats = portopt_serve::ServiceStats::default();
+    assert_eq!(service.drain(&mut stats).len(), CAP);
+
+    let line = match service.classify_and_submit(LOCAL_CONN, "{\"cmd\": \"stats\"}") {
+        LineAction::Stats(line) => line,
+        other => panic!("expected a stats line, got {other:?}"),
+    };
+    let v = serde_json::parse(&line).expect("stats line must be valid JSON");
+    let count = |name: &str| match v.field(name) {
+        Ok(serde::Value::U64(n)) => *n,
+        Ok(serde::Value::I64(n)) => *n as u64,
+        other => panic!("{name} missing or not a count: {other:?}"),
+    };
+    assert_eq!(count("requests_total"), CAP as u64);
+    assert_eq!(count("errors_total"), 1, "the garbage line");
+    assert_eq!(count("refused_total"), 2, "the over-cap submissions");
+    let kinds = v
+        .field("predictions_by_kind")
+        .expect("stats line must render the kind table")
+        .as_object()
+        .expect("kind table is an object");
+    // Every registered kind renders, even at zero.
+    assert_eq!(kinds.len(), ModelKind::ALL.len());
+    let kind_sum: u64 = kinds
+        .iter()
+        .map(|(_, n)| match n {
+            serde::Value::U64(n) => *n,
+            serde::Value::I64(n) => *n as u64,
+            other => panic!("kind count not a number: {other:?}"),
+        })
+        .sum();
+    assert_eq!(
+        kind_sum,
+        count("requests_total") - count("errors_total"),
+        "per-kind counters must sum to successful answers: {line}"
+    );
 }
 
 /// End-to-end backpressure over TCP: a server with a tiny queue cap and

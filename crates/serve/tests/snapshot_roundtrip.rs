@@ -30,8 +30,8 @@ fn snapshot_round_trip_rebuilds_the_soa_matrix() {
     // `KnnModel`'s PartialEq covers the derived matrix too, so equality
     // proves the loader rebuilt it identically from the decoded points —
     // including the block padding lanes.
-    assert_eq!(back.compiler.model(), snap.compiler.model());
-    let matrix = back.compiler.model().matrix();
+    assert_eq!(back.compiler.knn().unwrap(), snap.compiler.knn().unwrap());
+    let matrix = back.compiler.knn().unwrap().matrix();
     assert_eq!(matrix.n_points(), back.compiler.model().len());
 
     // And the reloaded model predicts byte-for-byte what the original
